@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-regeneration benches.
+
+Each bench regenerates one artifact of the paper's evaluation at full paper
+scale (1 GB matrices, 16 c3.8xlarge workers, 8..256 cores) using the modeled
+execution mode, asserts the *shape* properties the paper reports, and writes
+the regenerated rows to ``benchmarks/out/`` (also printed; use ``pytest -s``
+to see them live).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    (out_dir / name).write_text(text + "\n")

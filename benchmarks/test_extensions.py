@@ -1,0 +1,147 @@
+"""Extension experiments beyond the paper's figures.
+
+1. **The JVM array ceiling** — Section IV: "we were limited by the maximal
+   size of the arrays supported by the Java Virtual Machine".  We sweep the
+   matrix size upward and locate the exact wall.
+2. **Cost efficiency** — the paper's pay-as-you-go motivation, quantified:
+   dollars per run versus core count, with EC2's hour-rounded billing.
+   More cores are *not* always cheaper-per-run once the runtime drops below
+   the billing hour.
+3. **Problem-size scaling** — speedups at 256 cores across matrix sizes:
+   small problems are overhead-dominated ("the problem to be solved has to
+   be sufficiently complex", Section III-D).
+"""
+
+import pytest
+
+from repro.core.api import offload
+from repro.core.buffers import ExecutionMode
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.runtime import OffloadRuntime
+from repro.metrics.figures import demo_config, run_point
+from repro.metrics.sweep import cheapest_point, fastest_point, sweep, to_csv
+from repro.metrics.tables import format_table
+from repro.spark.serialization import JVM_MAX_ARRAY_BYTES, JavaArrayLimitError
+from repro.workloads import WORKLOADS
+
+from benchmarks.conftest import emit
+
+
+def test_extension_jvm_array_ceiling(benchmark, out_dir):
+    """Find the largest square float32 matrix a JVM byte[] can hold and show
+    the offload failing exactly one step past it."""
+    spec = WORKLOADS["matmul"]
+    limit_elems = JVM_MAX_ARRAY_BYTES // 4
+    n_max = int(limit_elems ** 0.5)  # largest N with N*N*4 <= cap
+
+    def probe(n):
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(demo_config(), physical_cores=256))
+        return offload(spec.build_region("CLOUD"), scalars=spec.scalars(n),
+                       runtime=rt, mode=ExecutionMode.MODELED)
+
+    report = benchmark(probe, n_max)
+    assert report.full_s > 0  # exactly at the cap: fine
+    with pytest.raises(JavaArrayLimitError):
+        probe(n_max + 1)
+    emit(out_dir, "extension_jvm_limit.txt", format_table(
+        ["N", "matrix bytes", "outcome"],
+        [[n_max, n_max * n_max * 4, "runs"],
+         [n_max + 1, (n_max + 1) ** 2 * 4, "JavaArrayLimitError"]],
+        title="Extension 1: the JVM array ceiling the paper hit "
+              f"(cap = {JVM_MAX_ARRAY_BYTES} bytes)",
+    ))
+
+
+def test_extension_cost_efficiency(benchmark, out_dir):
+    """Dollars per GEMM run vs cores: hour-rounded billing makes the middle
+    of the sweep the cheapest, not the fastest end."""
+    rows = benchmark(sweep, ["gemm"], (8, 16, 32, 64, 128, 256))
+    emit(out_dir, "extension_cost.txt", format_table(
+        ["cores", "full (min)", "cost $"],
+        [[r.cores, r.full_s / 60.0, r.cost_usd] for r in rows],
+        title="Extension 2: cost per run (16 x c3.8xlarge, hour-rounded billing)",
+    ))
+    fastest = fastest_point(rows)
+    cheapest = cheapest_point(rows)
+    assert fastest.cores == 256  # speed always wants all the cores...
+    # ...but the cost curve is flat once every run fits in one billed hour:
+    one_hour_runs = [r for r in rows if r.full_s <= 3600.0]
+    assert len(one_hour_runs) >= 2
+    assert cheapest.cost_usd == min(r.cost_usd for r in rows)
+    assert all(r.cost_usd == one_hour_runs[0].cost_usd for r in one_hour_runs)
+
+
+def test_extension_problem_size_scaling(benchmark, out_dir):
+    """Speedup at 256 cores across problem sizes: small problems drown in
+    offloading overhead — the application-domain caveat of Section III-D."""
+    sizes = (1024, 2048, 4096, 8192, 16384)
+
+    def run():
+        return [run_point("gemm", 256, 1.0, size=n) for n in sizes]
+
+    points = benchmark(run)
+    emit(out_dir, "extension_size_scaling.txt", format_table(
+        ["N", "matrix MB", "full speedup", "computation speedup"],
+        [[n, n * n * 4 / 1e6, p.speedup_full, p.speedup_computation]
+         for n, p in zip(sizes, points)],
+        title="Extension 3: GEMM speedup at 256 cores vs problem size",
+    ))
+    fulls = [p.speedup_full for p in points]
+    assert fulls == sorted(fulls)  # bigger problems amortize the overheads
+    assert fulls[0] < 0.35 * fulls[-1]  # small N: overhead-dominated
+
+
+def test_extension_sweep_csv_export(benchmark, out_dir):
+    rows = benchmark(sweep, ["collinear"], (8, 256))
+    text = to_csv(rows)
+    assert text.splitlines()[0].startswith("workload,cores")
+    assert len(text.splitlines()) == 3
+    (out_dir / "extension_sweep.csv").write_text(text)
+
+
+def test_extension_wan_sensitivity(benchmark, out_dir):
+    """Model-robustness check: how sensitive is the headline full-speedup to
+    the one constant we know least about, the WAN bandwidth?  The qualitative
+    conclusions must not hinge on the exact megabits of the authors' uplink."""
+    import dataclasses
+
+    from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+
+    def run_with_wan(multiplier):
+        cal = dataclasses.replace(
+            DEFAULT_CALIBRATION,
+            wan_capacity_bps=DEFAULT_CALIBRATION.wan_capacity_bps * multiplier,
+            wan_stream_cap_bps=DEFAULT_CALIBRATION.wan_stream_cap_bps * multiplier,
+        )
+        spec = WORKLOADS["2mm"]
+        runtime = OffloadRuntime()
+        runtime.register(CloudDevice(demo_config(), physical_cores=256,
+                                     calibration=cal))
+        report = offload(spec.build_region("CLOUD"), scalars=spec.scalars(),
+                         runtime=runtime, mode=ExecutionMode.MODELED)
+        from repro.perfmodel.compute import ComputeModel
+
+        seq = ComputeModel(cal).sequential_time(2 * 2.0 * 16384**3 + 3 * 16384**2)
+        return report, seq / report.full_s, seq / report.computation_s
+
+    rows = []
+    for mult in (0.5, 1.0, 2.0, 4.0):
+        report, s_full, s_comp = run_with_wan(mult)
+        rows.append([f"{mult:.1f}x", report.host_comm_s, s_full, s_comp])
+    benchmark(run_with_wan, 1.0)
+    emit(out_dir, "extension_wan_sensitivity.txt", format_table(
+        ["WAN bandwidth", "host-comm s", "full speedup", "computation speedup"],
+        rows,
+        title="Extension 4: sensitivity of 2MM@256 (dense) to the WAN constant",
+    ))
+    fulls = [r[2] for r in rows]
+    comps = [r[3] for r in rows]
+    # Full speedup improves with bandwidth but stays bounded by the cluster...
+    assert fulls == sorted(fulls)
+    assert fulls[-1] < comps[-1]
+    # ...and the computation curve is bandwidth-independent.
+    assert max(comps) - min(comps) < 1e-6
+    # Orderings hold across the whole 8x bandwidth range: the reproduction's
+    # qualitative claims do not hinge on this constant.
+    assert fulls[0] > 0.3 * fulls[-1]

@@ -1,0 +1,83 @@
+"""Figure 4 (panels a-h): average speedup of multicore over single core.
+
+For every benchmark, regenerates the four series of the paper's Figure 4 —
+OmpThread (8/16 threads), OmpCloud-full, OmpCloud-spark, OmpCloud-computation
+over 8..256 physical cores — and asserts the shape the paper reports:
+
+* all cloud speedups grow monotonically with the core count;
+* at every point: computation >= spark >= full (overheads only ever subtract);
+* at 8/16 cores OmpCloud-computation tracks OmpThread closely (the "just
+  1.8%" comparison), while at 256 cores the spark/computation gap has grown;
+* 3MM reaches the neighbourhood of the paper's 143x/97x/86x triple.
+"""
+
+import pytest
+
+from repro.metrics.figures import CORE_SWEEP, figure4_series
+from repro.metrics.tables import format_table
+from repro.workloads import WORKLOADS
+
+from benchmarks.conftest import emit
+
+ALL = sorted(WORKLOADS)
+
+
+def _rows_to_table(name, rows):
+    spec = WORKLOADS[name]
+    return format_table(
+        ["cores", "OmpThread", "OmpCloud-full", "OmpCloud-spark", "OmpCloud-computation"],
+        [[r.cores, r.omp_thread, r.cloud_full, r.cloud_spark, r.cloud_computation]
+         for r in rows],
+        title=f"Figure {spec.figure_panel.split('/')[0]} - {name} (speedup over 1 core)",
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_fig4(name, benchmark, out_dir):
+    rows = benchmark(figure4_series, name, CORE_SWEEP)
+    emit(out_dir, f"fig4_{name}.txt", _rows_to_table(name, rows))
+
+    # Monotone scaling of every cloud series.
+    for attr in ("cloud_full", "cloud_spark", "cloud_computation"):
+        series = [getattr(r, attr) for r in rows]
+        assert series == sorted(series), f"{name}.{attr} not monotone: {series}"
+
+    # Ordering at every point: computation >= spark >= full.
+    for r in rows:
+        assert r.cloud_computation >= r.cloud_spark >= r.cloud_full > 0
+
+    # The OmpThread reference exists exactly for 8 and 16 cores.
+    assert rows[0].omp_thread is not None and rows[1].omp_thread is not None
+    assert all(r.omp_thread is None for r in rows[2:])
+
+    # One-worker closeness: OmpCloud-computation within 15% of OmpThread.
+    r16 = rows[1]
+    assert r16.cloud_computation > 0.85 * r16.omp_thread
+
+    # The spark/computation gap grows with the core count.
+    gap8 = 1 - rows[0].cloud_spark / rows[0].cloud_computation
+    gap256 = 1 - rows[-1].cloud_spark / rows[-1].cloud_computation
+    assert gap256 > gap8
+
+
+def test_fig4_3mm_headline_triple(benchmark, out_dir):
+    """Paper: 'up to 143x/97x/86x respectively with 256 cores for 3MM'."""
+    rows = benchmark(figure4_series, "3mm", CORE_SWEEP)
+    last = rows[-1]
+    assert last.cloud_computation == pytest.approx(143, rel=0.25)
+    assert last.cloud_spark == pytest.approx(97, rel=0.25)
+    assert last.cloud_full == pytest.approx(86, rel=0.30)
+
+
+def test_fig4_2mm_headline(benchmark, out_dir):
+    """Abstract: 'speedups of up to 86x in 256 cores for the 2MM benchmark'."""
+    rows = benchmark(figure4_series, "2mm", CORE_SWEEP)
+    assert rows[-1].cloud_full == pytest.approx(86, rel=0.35)
+
+
+def test_fig4_collinear_scales_best(benchmark):
+    """Fig 4h: the compute-bound benchmark scales closest to ideal."""
+    col = benchmark(figure4_series, "collinear", CORE_SWEEP)[-1]
+    others = [figure4_series(n, CORE_SWEEP)[-1] for n in ALL if n != "collinear"]
+    assert all(col.cloud_full > o.cloud_full for o in others)
+    assert col.cloud_computation > 180  # near-linear at 256 cores

@@ -1,0 +1,107 @@
+"""Figure 5 (panels a-h): load distribution of cloud offloading.
+
+For every benchmark, regenerates the stacked decomposition — host-target
+communication / Spark overhead / computation — versus core count, on sparse
+and dense data, and asserts what the paper's Figure 5 shows:
+
+* computation time shrinks with the core count;
+* "the overhead induced by cloud offloading and Spark distributed execution
+  stays constant" as cores grow;
+* "both overheads increase substantially when processing dense matrices ...
+  but the variation is negligible for the computation time";
+* collinear-list shows "a negligible overhead of the communication and
+  scheduling";
+* 8-core runtimes fall in the paper's 10 min - 1 h 30 band.
+"""
+
+import pytest
+
+from repro.metrics.figures import CORE_SWEEP, figure5_series
+from repro.metrics.tables import format_table
+from repro.workloads import WORKLOADS
+
+from benchmarks.conftest import emit
+
+ALL = sorted(WORKLOADS)
+MATRIX_BENCHMARKS = [n for n in ALL if n != "collinear"]
+
+
+def _table(name, rows):
+    spec = WORKLOADS[name]
+    return format_table(
+        ["data", "cores", "host-comm s", "spark-overhead s", "computation s", "total s"],
+        [[r.density_label, r.cores, r.host_comm_s, r.spark_overhead_s,
+          r.computation_s, r.total_s] for r in rows],
+        title=f"Figure {spec.figure_panel.split('/')[1]} - {name} (load distribution)",
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_fig5(name, benchmark, out_dir):
+    rows = benchmark(figure5_series, name, CORE_SWEEP)
+    emit(out_dir, f"fig5_{name}.txt", _table(name, rows))
+
+    for label in ("sparse", "dense"):
+        series = [r for r in rows if r.density_label == label]
+        comps = [r.computation_s for r in series]
+        # Computation shrinks with cores.
+        assert comps == sorted(comps, reverse=True), (name, label)
+        # Host-target communication is independent of the cluster size.
+        hosts = [r.host_comm_s for r in series]
+        assert max(hosts) - min(hosts) <= 0.05 * max(hosts) + 1e-9
+        # Spark overhead stays roughly constant (within 2.5x across 8->256,
+        # versus the ~32x drop of computation).
+        sparks = [r.spark_overhead_s for r in series]
+        assert max(sparks) <= 2.5 * min(sparks), (name, label, sparks)
+
+
+@pytest.mark.parametrize("name", MATRIX_BENCHMARKS)
+def test_fig5_dense_vs_sparse(name, benchmark):
+    rows = benchmark(figure5_series, name, CORE_SWEEP)
+    for cores in CORE_SWEEP:
+        sparse = next(r for r in rows if r.cores == cores and r.density_label == "sparse")
+        dense = next(r for r in rows if r.cores == cores and r.density_label == "dense")
+        # Overheads increase substantially on dense data...
+        assert dense.host_comm_s > 3 * sparse.host_comm_s
+        assert dense.spark_overhead_s > sparse.spark_overhead_s
+        # ...but the computation variation is negligible.
+        assert dense.computation_s == pytest.approx(sparse.computation_s, rel=0.02)
+
+
+def test_fig5_collinear_negligible_overheads(benchmark):
+    rows = benchmark(figure5_series, "collinear", CORE_SWEEP)
+    for r in rows:
+        assert r.host_comm_s < 0.01 * r.total_s
+        assert r.spark_overhead_s < 0.12 * r.total_s
+
+
+def test_fig5_runtime_bands_at_8_cores(benchmark):
+    """Paper: '2 benchmarks ... between 10 and 25 min; 5 in between 30min to
+    1h; and 1 in about 1h30' (dense, 8 cores)."""
+    def collect():
+        out = {}
+        for name in ALL:
+            rows = figure5_series(name, (8,))
+            dense = next(r for r in rows if r.density_label == "dense")
+            out[name] = dense.total_s / 60.0
+        return out
+
+    totals = benchmark(collect)
+    assert 8.0 <= min(totals.values()) <= 30.0
+    assert 60.0 <= max(totals.values()) <= 150.0
+    assert max(totals, key=totals.get) == "3mm"  # the ~1h30 one
+    # A sane spread: some short, some long.
+    assert sum(1 for t in totals.values() if t < 30) >= 1
+    assert sum(1 for t in totals.values() if t > 45) >= 2
+
+
+def test_fig5_most_overhead_is_inside_the_cluster(benchmark):
+    """Paper: 'for all benchmarks, the host-target communications account for
+    a small share of the total overhead' at large core counts."""
+    rows_by_name = benchmark(
+        lambda: {n: figure5_series(n, (256,)) for n in MATRIX_BENCHMARKS}
+    )
+    for name in MATRIX_BENCHMARKS:
+        rows = rows_by_name[name]
+        dense = next(r for r in rows if r.density_label == "dense")
+        assert dense.spark_overhead_s > 0.4 * dense.host_comm_s

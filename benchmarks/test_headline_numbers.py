@@ -1,0 +1,87 @@
+"""Section IV headline numbers: paper vs measured, side by side.
+
+Regenerates every quotable number of the paper's evaluation text from the
+same experiment grid as Figures 4/5 and records both values.  Tolerances are
+generous where the paper's absolute value depends on its (unpublished)
+testbed details, strict on orderings — the reproduction contract is shape,
+not testbed-exact seconds.
+"""
+
+import pytest
+
+from repro.metrics.figures import headline_numbers
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import emit
+
+PAPER = {
+    "overhead_computation_16": 0.018,
+    "overhead_spark_16": 0.088,
+    "overhead_full_16": 0.136,
+    "syrk_overhead_8": 0.17,
+    "syrk_overhead_256": 0.69,
+    "collinear_overhead_8": 0.001,
+    "collinear_overhead_256": 0.15,
+    "s3mm_computation_256": 143.0,
+    "s3mm_spark_256": 97.0,
+    "s3mm_full_256": 86.0,
+    "s2mm_full_256": 86.0,
+    "runtime_8_min": 10.0,
+    "runtime_8_max": 90.0,
+}
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return headline_numbers()
+
+
+def test_emit_comparison_table(benchmark, measured, out_dir):
+    h = benchmark(headline_numbers)
+    rows = [[k, h[k], PAPER[k]] for k in PAPER]
+    emit(out_dir, "headline_numbers.txt",
+         format_table(["quantity", "measured", "paper"], rows,
+                      title="Section IV headline numbers (paper vs measured)"))
+
+
+def test_one_worker_overheads_ordered(benchmark, measured):
+    """computation < spark < full, all small — the 1.8/8.8/13.6% story."""
+    benchmark(lambda: None)
+    assert (measured["overhead_computation_16"]
+            < measured["overhead_spark_16"]
+            < measured["overhead_full_16"])
+    assert measured["overhead_computation_16"] < 0.10
+    assert measured["overhead_spark_16"] < 0.20
+    assert measured["overhead_full_16"] < 0.30
+    # spark and full overheads land close to the paper's values.
+    assert measured["overhead_spark_16"] == pytest.approx(0.088, abs=0.05)
+    assert measured["overhead_full_16"] == pytest.approx(0.136, abs=0.08)
+
+
+def test_syrk_worst_collinear_best(benchmark, measured):
+    """SYRK shows the largest spark-overhead share range, collinear the
+    smallest, both growing from 8 to 256 cores."""
+    benchmark(lambda: None)
+    assert measured["syrk_overhead_8"] < measured["syrk_overhead_256"]
+    assert measured["collinear_overhead_8"] < measured["collinear_overhead_256"]
+    assert measured["collinear_overhead_8"] < measured["syrk_overhead_8"]
+    assert measured["collinear_overhead_256"] < measured["syrk_overhead_256"]
+    assert measured["collinear_overhead_8"] < 0.02
+    assert measured["collinear_overhead_256"] < 0.25
+    assert measured["syrk_overhead_256"] > 0.40
+
+
+def test_3mm_triple(benchmark, measured):
+    benchmark(lambda: None)
+    assert measured["s3mm_computation_256"] == pytest.approx(143, rel=0.25)
+    assert measured["s3mm_spark_256"] == pytest.approx(97, rel=0.25)
+    assert measured["s3mm_full_256"] == pytest.approx(86, rel=0.30)
+    assert (measured["s3mm_computation_256"]
+            > measured["s3mm_spark_256"]
+            > measured["s3mm_full_256"])
+
+
+def test_runtime_band(benchmark, measured):
+    benchmark(lambda: None)
+    assert 8.0 <= measured["runtime_8_min"] <= 30.0
+    assert 60.0 <= measured["runtime_8_max"] <= 150.0

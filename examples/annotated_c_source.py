@@ -1,0 +1,71 @@
+"""Offloading straight from annotated C source — Listing 2, verbatim.
+
+The paper's front end is Clang; this reproduction's source scanner gets as
+close as Python can: the C text of Listing 2 (as printed in the paper) is
+parsed for its pragmas and loop structure, the tile body is supplied as a
+Python function standing in for the JNI kernel, and the region runs on the
+simulated cloud.
+
+Run:  python examples/annotated_c_source.py
+"""
+
+import numpy as np
+
+from repro import CloudDevice, OffloadRuntime, demo_config, offload, region_from_source
+
+LISTING_2 = """
+#pragma omp target device(CLOUD)
+#pragma omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])
+#pragma omp parallel for
+for(int i=0; i < N; ++i)
+#pragma omp target data map(to: A[i*N:(i+1)*N]) map(from: C[i*N:(i+1)*N])
+  for (int j = 0; j < N; ++j)
+    C[i * N + j] = 0;
+    for (int k = 0; k < N; ++k)
+      C[i * N + j] += A[i * N + k] * B[k * N + j];
+"""
+
+
+def matmul_kernel(lo, hi, arrays, scalars):
+    """The JNI kernel's stand-in: the loop body over one tile."""
+    n = int(scalars["N"])
+    b = np.asarray(arrays["B"]).reshape(n, n)
+    rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+    arrays["C"][lo * n : hi * n] = (rows @ b).reshape(-1)
+
+
+def main() -> None:
+    region = region_from_source(
+        LISTING_2,
+        name="listing2",
+        bodies=matmul_kernel,
+        reads={"i": ("A", "B")},
+        writes={"i": ("C",)},
+        flops_per_iter={"i": lambda i, env: 2.0 * env["N"] ** 2},
+    )
+    print("parsed from the paper's C text:")
+    print(f"  device: {region.device}")
+    print(f"  region maps: {[str(c) for c in region.maps]}")
+    loop = region.loops[0]
+    print(f"  loop: for {loop.loop_var} in 0..{loop.trip_count}")
+    print(f"  partitioned: {sorted(n for n, s in loop.partitions.items() if s.is_partitioned)}")
+    print()
+
+    n = 160
+    rng = np.random.default_rng(9)
+    a = rng.uniform(-1, 1, n * n).astype(np.float32)
+    b = rng.uniform(-1, 1, n * n).astype(np.float32)
+    c = np.zeros(n * n, dtype=np.float32)
+
+    runtime = OffloadRuntime()
+    runtime.register(CloudDevice(demo_config(n_workers=4), physical_cores=32))
+    report = offload(region, arrays={"A": a, "B": b, "C": c},
+                     scalars={"N": n}, runtime=runtime)
+
+    expected = (a.reshape(n, n) @ b.reshape(n, n)).reshape(-1)
+    assert np.allclose(c, expected, rtol=1e-4)
+    print(f"verified for N={n}; ran as {report.tasks_run} map tasks on the cloud device")
+
+
+if __name__ == "__main__":
+    main()

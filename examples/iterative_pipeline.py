@@ -1,0 +1,84 @@
+"""Iterative offloading with data caching (the paper's future work, built).
+
+Power iteration finds the dominant eigenvalue of A by repeating y = A @ x.
+Offloaded naively, every iteration re-uploads the (large, constant) matrix A;
+with the staging cache enabled (``cache = true`` in the device config), A
+crosses the WAN once and later offloads upload only the small vector x —
+"data caching to limit the cost of host-target communications".
+
+Run:  python examples/iterative_pipeline.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import CloudDevice, OffloadRuntime, ParallelLoop, TargetRegion, demo_config, offload
+
+
+def matvec_region() -> TargetRegion:
+    def body(lo, hi, arrays, scalars):
+        n = int(scalars["N"])
+        x = np.asarray(arrays["x"])
+        rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+        arrays["y"][lo:hi] = rows @ x
+
+    return TargetRegion(
+        name="matvec",
+        pragmas=[
+            "omp target device(CLOUD)",
+            "omp map(to: A[:N*N], x[:N]) map(from: y[:N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "x"),
+                writes=("y",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) map(from: y[i:i+1])"
+                ),
+                body=body,
+                flops_per_iter=lambda i, env: 2.0 * env["N"],
+            )
+        ],
+    )
+
+
+def main() -> None:
+    n = 512
+    rng = np.random.default_rng(3)
+    # A symmetric positive matrix with a known dominant eigenvalue.
+    m = rng.uniform(0, 1, (n, n)).astype(np.float32)
+    a = ((m + m.T) / 2).reshape(-1)
+    true_lambda = float(np.linalg.eigvalsh(a.reshape(n, n))[-1])
+
+    runtime = OffloadRuntime()
+    runtime.register(CloudDevice(replace(demo_config(n_workers=4), cache=True,
+                                         min_compress_size=1 << 10),
+                                 physical_cores=32))
+
+    region = matvec_region()
+    x = rng.uniform(size=n).astype(np.float32)
+    x /= np.linalg.norm(x)
+
+    print(f"{'iter':>4} {'lambda estimate':>16} {'uploaded (KB)':>14} {'cache hits':>11}")
+    lam = 0.0
+    for it in range(1, 9):
+        y = np.zeros(n, dtype=np.float32)
+        report = offload(region, arrays={"A": a, "x": x, "y": y},
+                         scalars={"N": n}, runtime=runtime)
+        lam = float(x @ y)
+        x = (y / np.linalg.norm(y)).astype(np.float32)
+        print(f"{it:>4} {lam:>16.4f} {report.bytes_up_raw / 1024:>14.1f} "
+              f"{report.cache_hits:>11}")
+
+    assert abs(lam - true_lambda) / true_lambda < 1e-3, "power iteration diverged?"
+    print(f"\nconverged to lambda = {lam:.4f} (numpy: {true_lambda:.4f})")
+    print("the 1 MiB matrix A crossed the WAN exactly once; every later")
+    print("iteration re-used the staged copy and uploaded only the 2 KiB vector.")
+
+
+if __name__ == "__main__":
+    main()

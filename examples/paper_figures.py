@@ -1,0 +1,103 @@
+"""Regenerate the paper's evaluation figures as text tables.
+
+Runs the modeled experiment grid at paper scale (1 GB matrices on a
+16-worker c3.8xlarge cluster, 8..256 physical cores) and prints:
+
+* Figure 4 — speedup series per benchmark (OmpThread / OmpCloud-full /
+  -spark / -computation);
+* Figure 5 — the stacked time decomposition per benchmark, sparse vs dense;
+* the Section-IV headline numbers with the paper's values alongside.
+
+This is the same machinery the pytest benches exercise; here it renders
+everything at once.  Takes a few seconds.
+
+Run:  python examples/paper_figures.py [benchmark ...]
+"""
+
+import sys
+
+from repro.metrics.figures import (
+    CORE_SWEEP,
+    figure4_series,
+    figure5_series,
+    headline_numbers,
+)
+from repro.metrics.tables import format_percent, format_table
+from repro.workloads import WORKLOADS
+
+PAPER_HEADLINES = {
+    "overhead_computation_16": 0.018,
+    "overhead_spark_16": 0.088,
+    "overhead_full_16": 0.136,
+    "syrk_overhead_8": 0.17,
+    "syrk_overhead_256": 0.69,
+    "collinear_overhead_8": 0.001,
+    "collinear_overhead_256": 0.15,
+    "s3mm_computation_256": 143.0,
+    "s3mm_spark_256": 97.0,
+    "s3mm_full_256": 86.0,
+    "s2mm_full_256": 86.0,
+    "runtime_8_min": 10.0,
+    "runtime_8_max": 90.0,
+}
+
+
+def print_figure4(name: str) -> None:
+    rows = figure4_series(name)
+    table = [
+        [r.cores, r.omp_thread, r.cloud_full, r.cloud_spark, r.cloud_computation]
+        for r in rows
+    ]
+    spec = WORKLOADS[name]
+    print(format_table(
+        ["cores", "OmpThread", "OmpCloud-full", "OmpCloud-spark", "OmpCloud-comp"],
+        table,
+        title=f"Figure {spec.figure_panel.split('/')[0]} — {name}: speedup over 1 core",
+    ))
+    print()
+
+
+def print_figure5(name: str) -> None:
+    rows = figure5_series(name)
+    table = [
+        [r.density_label, r.cores, r.host_comm_s, r.spark_overhead_s,
+         r.computation_s, r.total_s]
+        for r in rows
+    ]
+    spec = WORKLOADS[name]
+    print(format_table(
+        ["data", "cores", "host-comm s", "spark-ovh s", "compute s", "total s"],
+        table,
+        title=f"Figure {spec.figure_panel.split('/')[1]} — {name}: load distribution",
+    ))
+    print()
+
+
+def print_headlines() -> None:
+    h = headline_numbers()
+    rows = []
+    for key, paper in PAPER_HEADLINES.items():
+        measured = h[key]
+        if "overhead" in key:
+            rows.append([key, format_percent(measured), format_percent(paper)])
+        else:
+            rows.append([key, f"{measured:.1f}", f"{paper:.1f}"])
+    print(format_table(["quantity", "measured", "paper"], rows,
+                       title="Section IV headline numbers"))
+    print()
+
+
+def main() -> None:
+    names = sys.argv[1:] or sorted(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            raise SystemExit(f"unknown benchmark {name!r}; choose from {sorted(WORKLOADS)}")
+        print_figure4(name)
+        print_figure5(name)
+    print_headlines()
+    print(f"core sweep: {CORE_SWEEP}; all times are simulated seconds from the "
+          f"calibrated performance model (see DESIGN.md / EXPERIMENTS.md).")
+
+
+if __name__ == "__main__":
+    main()

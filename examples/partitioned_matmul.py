@@ -1,0 +1,125 @@
+"""Listing 2: the data-partitioning extension, and why it matters.
+
+The same matrix multiplication is offloaded twice:
+
+1. **partitioned** — ``map(to: A[i*N:(i+1)*N]) map(from: C[i*N:(i+1)*N])``
+   assigns each worker exactly the rows it computes on; only B is broadcast;
+2. **unpartitioned** — no ``target data`` pragma: every input is broadcast to
+   every node and every task returns a *full-size* partial C that the driver
+   merges with a bitwise-or reduction (Eq. 8), exactly as the paper describes
+   for variables "the programmer has not detailed the partitioning" of.
+
+Both produce the same bits; the traffic and the Spark-side overhead differ —
+which is the point of Section III-B.
+
+Run:  python examples/partitioned_matmul.py
+"""
+
+import numpy as np
+
+from repro import CloudDevice, OffloadRuntime, ParallelLoop, TargetRegion, demo_config, offload
+from repro.simtime import Phase
+
+
+def make_region(partitioned: bool) -> TargetRegion:
+    def body(lo, hi, arrays, scalars):
+        n = int(scalars["N"])
+        b = np.asarray(arrays["B"]).reshape(n, n)
+        a = np.asarray(arrays["A"])
+        if partitioned:
+            rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+        else:
+            rows = a.reshape(n, n)[lo:hi]
+        arrays["C"][lo * n : hi * n] = (rows @ b).reshape(-1)
+
+    return TargetRegion(
+        name="matmul-partitioned" if partitioned else "matmul-broadcast",
+        pragmas=[
+            "omp target device(CLOUD)",
+            "omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "B"),
+                writes=("C",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) "
+                    "map(from: C[i*N:(i+1)*N])"
+                )
+                if partitioned
+                else None,
+                body=body,
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2,
+            )
+        ],
+    )
+
+
+def run(partitioned: bool, arrays: dict) -> tuple[np.ndarray, object, object]:
+    runtime = OffloadRuntime()
+    device = CloudDevice(demo_config(n_workers=4), physical_cores=32)
+    runtime.register(device)
+    local = {k: v.copy() for k, v in arrays.items()}
+    n = int(np.sqrt(local["A"].shape[0]))
+    report = offload(make_region(partitioned), arrays=local,
+                     scalars={"N": n}, runtime=runtime)
+    return local["C"], report, device
+
+
+def main() -> None:
+    n = 192
+    rng = np.random.default_rng(1)
+    arrays = {
+        "A": rng.uniform(-1, 1, n * n).astype(np.float32),
+        "B": rng.uniform(-1, 1, n * n).astype(np.float32),
+        "C": np.zeros(n * n, dtype=np.float32),
+    }
+
+    c_part, rep_part, _ = run(partitioned=True, arrays=arrays)
+    c_bcast, rep_bcast, _ = run(partitioned=False, arrays=arrays)
+    assert np.array_equal(c_part, c_bcast), "both variants must agree bit-for-bit"
+    print(f"N={n}: partitioned and broadcast variants agree bit-for-bit\n")
+
+    header = f"{'':28s} {'partitioned':>14s} {'broadcast-all':>14s}"
+    print(header)
+    print("-" * len(header))
+
+    def row(label, a, b, fmt="{:14.3f}"):
+        print(f"{label:28s} " + fmt.format(a) + " " + fmt.format(b))
+
+    row("spark job (sim s)", rep_part.spark_job_s, rep_bcast.spark_job_s)
+    row("spark overhead (sim s)", rep_part.spark_overhead_s, rep_bcast.spark_overhead_s)
+    bp = rep_part.timeline.busy(Phase.BROADCAST)
+    bb = rep_bcast.timeline.busy(Phase.BROADCAST)
+    row("broadcast busy (sim s)", bp, bb)
+    cp = rep_part.timeline.busy(Phase.COLLECT)
+    cb = rep_bcast.timeline.busy(Phase.COLLECT)
+    row("collect busy (sim s)", cp, cb)
+    print()
+    print("Partitioning assigns each worker only the rows it needs; without it,")
+    print("every task ships back a FULL-size partial C for the driver's bitwise-or")
+    print("reduction — the cost the paper's extension exists to avoid.")
+
+    # At the paper's 1 GB scale (modeled, no allocation) the gap is dramatic.
+    from repro.core.buffers import ExecutionMode
+
+    n_paper = 16384
+    rows = []
+    for partitioned in (True, False):
+        runtime = OffloadRuntime()
+        runtime.register(CloudDevice(demo_config(), physical_cores=256))
+        report = offload(make_region(partitioned), scalars={"N": n_paper},
+                         runtime=runtime, mode=ExecutionMode.MODELED)
+        rows.append((partitioned, report))
+    print(f"\nAt paper scale (N={n_paper}, 1 GB matrices, 256 cores, modeled):")
+    for partitioned, report in rows:
+        label = "partitioned" if partitioned else "broadcast-all"
+        print(f"  {label:14s} spark job {report.spark_job_s:9.1f} s   "
+              f"(overhead {report.spark_overhead_s:8.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so ``pip install -e .``
+works on environments without the ``wheel`` package (PEP 660 editable builds
+need it, ``setup.py develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""OmpCloud reproduction: the cloud as an OpenMP offloading device.
+
+A Python reproduction of Yviquel & Araújo, *The Cloud as an OpenMP Offloading
+Device* (ICPP 2017).  The package turns OpenMP 4.5 ``target device(CLOUD)``
+regions into map-reduce jobs on an in-process Spark substrate backed by
+simulated cloud infrastructure (EC2/Azure/private providers, S3/HDFS/Azure
+storage, WAN/LAN network models) and a calibrated performance model that
+regenerates the paper's evaluation figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (TargetRegion, ParallelLoop, offload,
+                       OffloadRuntime, CloudDevice, demo_config)
+
+    region = TargetRegion(
+        name="matmul",
+        pragmas=["omp target device(CLOUD)",
+                 "omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A", "B"), writes=("C",),
+            partition_pragma="omp target data map(to: A[i*N:(i+1)*N]) "
+                             "map(from: C[i*N:(i+1)*N])",
+            body=my_tile_body)],
+    )
+    runtime = OffloadRuntime()
+    runtime.register(CloudDevice(demo_config()))
+    offload(region, arrays={"A": a, "B": b, "C": c}, scalars={"N": n},
+            runtime=runtime)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from repro.core import (
+    Buffer,
+    omp_kernel,
+    region_from_source,
+    CloudConfig,
+    CloudDevice,
+    DirectiveError,
+    ExecutionMode,
+    HostDevice,
+    OffloadReport,
+    OffloadRuntime,
+    ParallelLoop,
+    TargetRegion,
+    load_config,
+    offload,
+    omp_get_num_devices,
+    parse_pragma,
+)
+from repro.metrics.figures import demo_config
+from repro.spark import SparkCluster, SparkConf, SparkContext
+from repro.workloads import WORKLOADS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Buffer",
+    "CloudConfig",
+    "CloudDevice",
+    "DirectiveError",
+    "ExecutionMode",
+    "HostDevice",
+    "OffloadReport",
+    "OffloadRuntime",
+    "ParallelLoop",
+    "TargetRegion",
+    "load_config",
+    "offload",
+    "omp_get_num_devices",
+    "parse_pragma",
+    "region_from_source",
+    "omp_kernel",
+    "demo_config",
+    "SparkCluster",
+    "SparkConf",
+    "SparkContext",
+    "WORKLOADS",
+    "__version__",
+]

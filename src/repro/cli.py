@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <benchmark>`` — offload one paper workload (functional at a test
+  size, or modeled at paper scale with ``--modeled``) and print the report;
+* ``figures [benchmark ...]`` — regenerate Figure 4 / Figure 5 tables;
+* ``headlines`` — the Section-IV paper-vs-measured table;
+* ``validate`` — run every workload functionally against its NumPy oracle;
+* ``config <path>`` — write an example cloud_rtl.ini.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.api import offload
+from repro.core.buffers import ExecutionMode
+from repro.core.config import write_example_config
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.runtime import OffloadRuntime
+from repro.metrics.figures import (
+    CORE_SWEEP,
+    demo_config,
+    figure4_series,
+    figure5_series,
+    headline_numbers,
+)
+from repro.metrics.tables import format_percent, format_table
+from repro.workloads import WORKLOADS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OmpCloud reproduction: the cloud as an OpenMP offloading device",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="offload one benchmark")
+    run.add_argument("benchmark", choices=sorted(WORKLOADS))
+    run.add_argument("--cores", type=int, default=32,
+                     help="physical cores granted to the job (default 32)")
+    run.add_argument("--workers", type=int, default=16,
+                     help="worker nodes in the cluster (default 16)")
+    run.add_argument("--size", type=int, default=None,
+                     help="problem size N/M (default: test size, or paper size with --modeled)")
+    run.add_argument("--density", type=float, default=1.0,
+                     help="input nonzero density (1.0 dense, 0.05 sparse)")
+    run.add_argument("--modeled", action="store_true",
+                     help="paper-scale modeled run (no data allocated)")
+    run.add_argument("--gantt", action="store_true",
+                     help="render an ASCII Gantt chart of the offload timeline")
+    run.add_argument("--json", action="store_true",
+                     help="print the report as JSON instead of the summary")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="export the timeline as a Chrome/Perfetto trace file")
+
+    figures = sub.add_parser("figures", help="regenerate Figure 4/5 tables")
+    figures.add_argument("benchmarks", nargs="*", default=None,
+                         help="benchmarks to include (default: all)")
+    figures.add_argument("--csv", metavar="PATH", default=None,
+                         help="also export the full sweep grid as CSV")
+
+    sub.add_parser("headlines", help="Section-IV paper-vs-measured numbers")
+    sub.add_parser("validate", help="verify every kernel against its oracle")
+    sub.add_parser("calibration", help="print the performance-model constants")
+
+    config = sub.add_parser("config", help="write an example cloud_rtl.ini")
+    config.add_argument("path")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    spec = WORKLOADS[args.benchmark]
+    runtime = OffloadRuntime()
+    runtime.register(CloudDevice(demo_config(n_workers=args.workers),
+                                 physical_cores=args.cores))
+    if args.modeled:
+        size = args.size if args.size is not None else spec.paper_size
+        region = spec.build_region("CLOUD")
+        densities = {i.name: args.density for c in region.maps for i in c.items}
+        report = offload(region, scalars=spec.scalars(size),
+                         runtime=runtime, mode=ExecutionMode.MODELED,
+                         densities=densities)
+    else:
+        size = args.size if args.size is not None else spec.test_size
+        scalars = spec.scalars(size)
+        arrays = spec.inputs(size, density=args.density, seed=0)
+        expected = spec.reference({k: v.copy() for k, v in arrays.items()}, scalars)
+        report = offload(spec.build_region("CLOUD"), arrays=arrays,
+                         scalars=scalars, runtime=runtime)
+        for key, want in expected.items():
+            if not np.allclose(arrays[key], want, rtol=3e-5, atol=1e-4):
+                print(f"VERIFICATION FAILED for output {key!r}", file=sys.stderr)
+                return 1
+        print(f"verified: {args.benchmark} output matches the NumPy oracle")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    if args.gantt:
+        from repro.metrics.gantt import render_gantt
+
+        print()
+        print(render_gantt(report.timeline, width=100, max_rows=24))
+    if args.trace:
+        from repro.metrics.tracing import write_chrome_trace
+
+        write_chrome_trace(report.timeline, args.trace)
+        print(f"wrote Chrome/Perfetto trace to {args.trace}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    names = args.benchmarks or sorted(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            print(f"unknown benchmark {name!r}; known: {sorted(WORKLOADS)}",
+                  file=sys.stderr)
+            return 2
+    for name in names:
+        spec = WORKLOADS[name]
+        rows4 = figure4_series(name, CORE_SWEEP)
+        print(format_table(
+            ["cores", "OmpThread", "full", "spark", "computation"],
+            [[r.cores, r.omp_thread, r.cloud_full, r.cloud_spark,
+              r.cloud_computation] for r in rows4],
+            title=f"Figure {spec.figure_panel.split('/')[0]} - {name} (speedups)",
+        ))
+        print()
+        rows5 = figure5_series(name, CORE_SWEEP)
+        print(format_table(
+            ["data", "cores", "host-comm s", "spark-ovh s", "compute s"],
+            [[r.density_label, r.cores, r.host_comm_s, r.spark_overhead_s,
+              r.computation_s] for r in rows5],
+            title=f"Figure {spec.figure_panel.split('/')[1]} - {name} (breakdown)",
+        ))
+        print()
+    if args.csv:
+        from repro.metrics.sweep import sweep, to_csv
+
+        rows = sweep(names, CORE_SWEEP, densities=(1.0, 0.05))
+        with open(args.csv, "w") as fh:
+            fh.write(to_csv(rows))
+        print(f"wrote sweep CSV to {args.csv}")
+    return 0
+
+
+def _cmd_headlines() -> int:
+    h = headline_numbers()
+    rows = []
+    for key, value in h.items():
+        rows.append([key, format_percent(value) if "overhead" in key else f"{value:.1f}"])
+    print(format_table(["quantity", "measured"], rows,
+                       title="Section IV headline numbers"))
+    return 0
+
+
+def _cmd_validate() -> int:
+    failures = 0
+    for name, spec in sorted(WORKLOADS.items()):
+        runtime = OffloadRuntime()
+        runtime.register(CloudDevice(demo_config(n_workers=4), physical_cores=16))
+        scalars = spec.scalars(spec.test_size)
+        arrays = spec.inputs(spec.test_size, density=1.0, seed=1)
+        expected = spec.reference({k: v.copy() for k, v in arrays.items()}, scalars)
+        offload(spec.build_region("CLOUD"), arrays=arrays, scalars=scalars,
+                runtime=runtime)
+        ok = all(np.allclose(arrays[k], v, rtol=3e-5, atol=1e-4)
+                 for k, v in expected.items())
+        print(f"{name:10s} {'OK' if ok else 'FAILED'}")
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+def _cmd_calibration() -> int:
+    import dataclasses
+
+    from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+
+    rows = []
+    for f in dataclasses.fields(DEFAULT_CALIBRATION):
+        value = getattr(DEFAULT_CALIBRATION, f.name)
+        rows.append([f.name, f"{value:g}" if isinstance(value, float) else str(value)])
+    print(format_table(["constant", "value"], rows,
+                       title="Calibrated performance-model constants "
+                             "(see docs/MODEL.md for provenance)"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "headlines":
+        return _cmd_headlines()
+    if args.command == "validate":
+        return _cmd_validate()
+    if args.command == "calibration":
+        return _cmd_calibration()
+    if args.command == "config":
+        path = write_example_config(args.path)
+        print(f"wrote example configuration to {path}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Cloud infrastructure substrate.
+
+The paper offloads to real AWS EC2 / Azure HDInsight clusters and moves data
+through S3, HDFS or Azure Storage over the public Internet.  None of that is
+available offline, so this package provides faithful *simulators* exposing the
+same API surface the OmpCloud plugin needs:
+
+* :mod:`repro.cloud.network` — WAN / LAN links with parallel-stream and
+  BitTorrent-broadcast cost models;
+* :mod:`repro.cloud.storage` + :mod:`~repro.cloud.s3` /
+  :mod:`~repro.cloud.hdfs` / :mod:`~repro.cloud.azure_storage` — object stores
+  that hold real bytes (functional mode) or virtual sizes (modeled mode);
+* :mod:`repro.cloud.provider` + :mod:`~repro.cloud.ec2` /
+  :mod:`~repro.cloud.azure` / :mod:`~repro.cloud.private` — instance lifecycle
+  and per-hour billing, including the paper's on-the-fly start/stop of EC2
+  instances during offload;
+* :mod:`repro.cloud.ssh` — the SSH channel used to submit Spark jobs;
+* :mod:`repro.cloud.provision` — a cgcloud-style cluster provisioner.
+"""
+
+from repro.cloud.credentials import Credentials
+from repro.cloud.network import NetworkModel, Link
+from repro.cloud.storage import ObjectStore, StorageError, StoredObject
+from repro.cloud.s3 import S3Store
+from repro.cloud.hdfs import HDFSStore
+from repro.cloud.azure_storage import AzureBlobStore
+from repro.cloud.provider import CloudProvider, Instance, InstanceState, InstanceType
+from repro.cloud.ec2 import EC2Provider, EC2_INSTANCE_TYPES
+from repro.cloud.azure import AzureProvider
+from repro.cloud.private import PrivateCloudProvider
+from repro.cloud.billing import BillingLedger, LineItem
+from repro.cloud.ssh import SSHClient, SSHError
+from repro.cloud.provision import ClusterSpec, ProvisionedCluster, provision_cluster
+
+__all__ = [
+    "Credentials",
+    "NetworkModel",
+    "Link",
+    "ObjectStore",
+    "StorageError",
+    "StoredObject",
+    "S3Store",
+    "HDFSStore",
+    "AzureBlobStore",
+    "CloudProvider",
+    "Instance",
+    "InstanceState",
+    "InstanceType",
+    "EC2Provider",
+    "EC2_INSTANCE_TYPES",
+    "AzureProvider",
+    "PrivateCloudProvider",
+    "BillingLedger",
+    "LineItem",
+    "SSHClient",
+    "SSHError",
+    "ClusterSpec",
+    "ProvisionedCluster",
+    "provision_cluster",
+]

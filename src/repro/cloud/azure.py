@@ -1,0 +1,44 @@
+"""Microsoft Azure HDInsight simulator.
+
+HDInsight provisions a managed Spark cluster rather than raw VMs, so boots
+are slower but the head node arrives pre-configured.  The catalog covers the
+D-series sizes HDInsight offered in 2017.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.credentials import Credentials
+from repro.cloud.provider import CloudProvider, InstanceType, ProviderError
+
+AZURE_INSTANCE_TYPES: dict[str, InstanceType] = {
+    t.name: t
+    for t in (
+        InstanceType("D4_v2", vcpus=8, ram_gb=28.0, hourly_usd=0.458),
+        InstanceType("D5_v2", vcpus=16, ram_gb=56.0, hourly_usd=0.916),
+        InstanceType("D14_v2", vcpus=16, ram_gb=112.0, hourly_usd=1.482),
+        InstanceType("D15_v2", vcpus=20, ram_gb=140.0, hourly_usd=1.853),
+    )
+}
+
+
+class AzureProvider(CloudProvider):
+    """Azure HDInsight: managed-cluster semantics over the VM lifecycle."""
+
+    boot_delay_s = 180.0  # HDInsight cluster provisioning is minutes, not seconds
+    stop_delay_s = 60.0
+
+    def __init__(self, credentials: Credentials | None = None, region: str = "eastus") -> None:
+        super().__init__(credentials=credentials)
+        self.region = region
+
+    @property
+    def kind(self) -> str:
+        return "azure"
+
+    def instance_type(self, name: str) -> InstanceType:
+        try:
+            return AZURE_INSTANCE_TYPES[name]
+        except KeyError:
+            raise ProviderError(
+                f"Azure {self.region}: unknown size {name!r}; known: {sorted(AZURE_INSTANCE_TYPES)}"
+            ) from None

@@ -1,0 +1,84 @@
+"""Credential records for cloud services.
+
+The paper notes that, unlike GPUs, "cloud devices cannot be detected
+automatically ... the user has to provide an identification/authentication
+information" through the configuration file.  This module models those
+credentials and their validation; the simulated providers check them so that
+mis-configured runs fail the same way a real run would (authentication error
+before any data moves).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class CredentialError(Exception):
+    """Raised when credentials are missing or malformed."""
+
+
+_AWS_KEY_ID_RE = re.compile(r"^AKIA[0-9A-Z]{12,20}$")
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Authentication material for one cloud service.
+
+    Which fields matter depends on the provider: AWS uses
+    ``access_key_id``/``secret_key``, Azure a ``username``/``secret_key`` pair,
+    a private cluster just ``username`` + ``ssh_key_path``.
+    """
+
+    provider: str
+    username: str = ""
+    access_key_id: str = ""
+    secret_key: str = ""
+    ssh_key_path: str = ""
+    region: str = "us-east-1"
+    extra: dict[str, str] = field(default_factory=dict)
+
+    def validated_for(self, provider_kind: str) -> "Credentials":
+        """Check that this record satisfies ``provider_kind``'s requirements.
+
+        Returns ``self`` on success so calls can be chained; raises
+        :class:`CredentialError` otherwise.
+        """
+        kind = provider_kind.lower()
+        if kind in ("aws", "ec2"):
+            if not self.access_key_id or not self.secret_key:
+                raise CredentialError(
+                    "AWS offloading requires both an access key id and a secret key"
+                )
+            if not _AWS_KEY_ID_RE.match(self.access_key_id):
+                raise CredentialError(
+                    f"malformed AWS access key id {self.access_key_id!r} "
+                    "(expected AKIA followed by 12-20 uppercase alphanumerics)"
+                )
+        elif kind in ("azure", "hdinsight"):
+            if not self.username or not self.secret_key:
+                raise CredentialError(
+                    "Azure HDInsight offloading requires a username and a key"
+                )
+        elif kind in ("private", "local"):
+            if not self.username:
+                raise CredentialError("private-cloud offloading requires a username")
+        else:
+            raise CredentialError(f"unknown provider kind {provider_kind!r}")
+        return self
+
+    def redacted(self) -> dict[str, str]:
+        """A loggable view with secrets masked."""
+
+        def mask(s: str) -> str:
+            if not s:
+                return ""
+            return s[:4] + "*" * max(0, len(s) - 4)
+
+        return {
+            "provider": self.provider,
+            "username": self.username,
+            "access_key_id": mask(self.access_key_id),
+            "secret_key": mask(self.secret_key),
+            "region": self.region,
+        }

@@ -1,0 +1,64 @@
+"""Amazon EC2 simulator with the 2017-era c3/c4/m4 instance catalog.
+
+The paper's cluster is 1 driver + 16 workers of type **c3.8xlarge** (32 vCPU
+on Intel Xeon E5-2680 v2, 60 GB RAM); prices below are the 2017 us-east-1
+on-demand rates, which the billing examples reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.credentials import Credentials
+from repro.cloud.provider import CloudProvider, InstanceType, ProviderError
+
+#: 2017 us-east-1 on-demand catalog (subset relevant to Spark clusters).
+EC2_INSTANCE_TYPES: dict[str, InstanceType] = {
+    t.name: t
+    for t in (
+        InstanceType("c3.xlarge", vcpus=4, ram_gb=7.5, hourly_usd=0.210),
+        InstanceType("c3.2xlarge", vcpus=8, ram_gb=15.0, hourly_usd=0.420),
+        InstanceType("c3.4xlarge", vcpus=16, ram_gb=30.0, hourly_usd=0.840),
+        InstanceType("c3.8xlarge", vcpus=32, ram_gb=60.0, hourly_usd=1.680),
+        InstanceType("c4.8xlarge", vcpus=36, ram_gb=60.0, hourly_usd=1.591),
+        InstanceType("m4.4xlarge", vcpus=16, ram_gb=64.0, hourly_usd=0.800),
+        InstanceType("m4.10xlarge", vcpus=40, ram_gb=160.0, hourly_usd=2.000),
+    )
+}
+
+
+class EC2Provider(CloudProvider):
+    """EC2 with region-scoped capacity limits and the c3/c4/m4 catalog."""
+
+    boot_delay_s = 60.0  # Ubuntu 14.04 AMI boot + Spark daemons, as in cgcloud
+    stop_delay_s = 25.0
+
+    def __init__(
+        self,
+        credentials: Credentials | None = None,
+        region: str = "us-east-1",
+        instance_limit: int = 64,
+    ) -> None:
+        super().__init__(credentials=credentials)
+        self.region = region
+        self.instance_limit = instance_limit
+
+    @property
+    def kind(self) -> str:
+        return "ec2"
+
+    def instance_type(self, name: str) -> InstanceType:
+        try:
+            return EC2_INSTANCE_TYPES[name]
+        except KeyError:
+            raise ProviderError(
+                f"EC2 {self.region}: unknown instance type {name!r}; "
+                f"known: {sorted(EC2_INSTANCE_TYPES)}"
+            ) from None
+
+    def launch(self, type_name, now, count=1, tags=None):  # type: ignore[override]
+        active = [i for i in self.instances() if i.state.value not in ("terminated",)]
+        if len(active) + count > self.instance_limit:
+            raise ProviderError(
+                f"EC2 {self.region}: instance limit {self.instance_limit} exceeded "
+                f"({len(active)} active, {count} requested)"
+            )
+        return super().launch(type_name, now, count=count, tags=tags)

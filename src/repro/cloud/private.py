@@ -1,0 +1,50 @@
+"""Private-cloud provider: a fixed rack of already-owned machines.
+
+The paper supports "Spark clusters running within a private cloud".  Machines
+are free (already paid for), boot instantly (they are up), and the catalog is
+whatever the operator says the rack contains.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.credentials import Credentials
+from repro.cloud.provider import CloudProvider, InstanceType, ProviderError
+
+
+class PrivateCloudProvider(CloudProvider):
+    """A fixed inventory of zero-cost machines."""
+
+    boot_delay_s = 0.0
+    stop_delay_s = 0.0
+
+    def __init__(
+        self,
+        credentials: Credentials | None = None,
+        machine: InstanceType | None = None,
+        machine_count: int = 8,
+    ) -> None:
+        super().__init__(credentials=credentials)
+        self.machine = machine or InstanceType(
+            "rack-node", vcpus=16, ram_gb=32.0, hourly_usd=0.0
+        )
+        self.machine_count = machine_count
+
+    @property
+    def kind(self) -> str:
+        return "private"
+
+    def instance_type(self, name: str) -> InstanceType:
+        if name != self.machine.name:
+            raise ProviderError(
+                f"private cloud only has {self.machine.name!r} machines, asked for {name!r}"
+            )
+        return self.machine
+
+    def launch(self, type_name, now, count=1, tags=None):  # type: ignore[override]
+        in_use = len([i for i in self.instances() if i.state.value != "terminated"])
+        if in_use + count > self.machine_count:
+            raise ProviderError(
+                f"private cloud has {self.machine_count} machines; "
+                f"{in_use} in use, {count} requested"
+            )
+        return super().launch(type_name, now, count=count, tags=tags)

@@ -1,0 +1,193 @@
+"""Abstract cloud object storage.
+
+The OmpCloud plugin moves mapped buffers as *binary files* through a cloud
+file storage — AWS S3, any HDFS server, or Azure Storage.  The simulated
+stores hold either real ``bytes`` (functional mode) or just an object size
+(modeled mode, where a 1 GB matrix would not fit in test memory); both paths
+share the same bookkeeping so the cost models see identical traffic.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.cloud.credentials import Credentials
+
+
+class StorageError(Exception):
+    """Base error for object-store operations."""
+
+
+class NoSuchObjectError(StorageError):
+    """GET/DELETE of a key that does not exist."""
+
+
+class TransientStorageError(StorageError):
+    """A retryable service hiccup (throttling, 5xx, connection reset).
+
+    Real S3/HDFS clients see these routinely; the plugin retries with
+    backoff.  Tests inject them via :meth:`ObjectStore.inject_failures`."""
+
+
+class AccessDeniedError(StorageError):
+    """Operation attempted with missing or invalid credentials."""
+
+
+@dataclass
+class StoredObject:
+    """One object in a store.
+
+    ``data is None`` marks a *virtual* object: it has a size (for the cost
+    models) but no materialized payload.  Reading a virtual object's bytes is
+    an error; reading its size is always fine.
+    """
+
+    key: str
+    size: int
+    data: Optional[bytes] = None
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+
+class ObjectStore(abc.ABC):
+    """Key -> object storage with flat namespaces.
+
+    Thread-safe: the cloud plugin uploads buffers from one thread per buffer,
+    exactly as the paper's runtime does.
+    """
+
+    #: Sustained single-object throughput seen from inside the cluster, B/s.
+    cluster_read_bps: float = 400e6
+    cluster_write_bps: float = 300e6
+    #: Per-request overhead (metadata round trip), seconds.
+    request_latency_s: float = 0.020
+
+    def __init__(self, name: str, credentials: Credentials | None = None) -> None:
+        self.name = name
+        self._objects: dict[str, StoredObject] = {}
+        self._lock = threading.Lock()
+        self._credentials = credentials
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.put_count = 0
+        self.get_count = 0
+        self._fail_puts = 0
+        self._fail_gets = 0
+
+    # -------------------------------------------------------------- security
+    @abc.abstractmethod
+    def check_access(self, credentials: Credentials | None) -> None:
+        """Raise :class:`AccessDeniedError` unless ``credentials`` suffice."""
+
+    def _authorize(self, credentials: Credentials | None) -> None:
+        self.check_access(credentials if credentials is not None else self._credentials)
+
+    # ------------------------------------------------------------------- API
+    def put(
+        self,
+        key: str,
+        data: bytes | None = None,
+        size: int | None = None,
+        credentials: Credentials | None = None,
+    ) -> StoredObject:
+        """Store an object.  Pass ``data`` for a real object, ``size`` for a
+        virtual one (exactly one of the two must be given)."""
+        self._authorize(credentials)
+        if (data is None) == (size is None):
+            raise ValueError("provide exactly one of data= or size=")
+        obj = StoredObject(key=key, size=len(data) if data is not None else int(size or 0), data=data)
+        if obj.size < 0:
+            raise ValueError(f"negative object size {obj.size}")
+        with self._lock:
+            if self._fail_puts > 0:
+                self._fail_puts -= 1
+                raise TransientStorageError(
+                    f"{self.name}: transient PUT failure (injected)"
+                )
+            self._objects[key] = obj
+            self.bytes_written += obj.size
+            self.put_count += 1
+        return obj
+
+    def get(self, key: str, credentials: Credentials | None = None) -> StoredObject:
+        """Fetch the object record (payload included for real objects)."""
+        self._authorize(credentials)
+        with self._lock:
+            if self._fail_gets > 0:
+                self._fail_gets -= 1
+                raise TransientStorageError(
+                    f"{self.name}: transient GET failure (injected)"
+                )
+            try:
+                obj = self._objects[key]
+            except KeyError:
+                raise NoSuchObjectError(f"{self.name}: no object {key!r}") from None
+            self.bytes_read += obj.size
+            self.get_count += 1
+            return obj
+
+    def get_bytes(self, key: str, credentials: Credentials | None = None) -> bytes:
+        """Fetch the payload of a real object; error on virtual objects."""
+        obj = self.get(key, credentials)
+        if obj.data is None:
+            raise StorageError(
+                f"{self.name}: object {key!r} is virtual (size-only); no payload to read"
+            )
+        return obj.data
+
+    def size_of(self, key: str) -> int:
+        with self._lock:
+            try:
+                return self._objects[key].size
+            except KeyError:
+                raise NoSuchObjectError(f"{self.name}: no object {key!r}") from None
+
+    def exists(self, key: str) -> bool:
+        with self._lock:
+            return key in self._objects
+
+    def delete(self, key: str, credentials: Credentials | None = None) -> None:
+        self._authorize(credentials)
+        with self._lock:
+            if key not in self._objects:
+                raise NoSuchObjectError(f"{self.name}: no object {key!r}")
+            del self._objects[key]
+
+    def list_keys(self, prefix: str = "") -> Iterator[str]:
+        with self._lock:
+            keys = sorted(k for k in self._objects if k.startswith(prefix))
+        return iter(keys)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._objects.clear()
+
+    def total_bytes_stored(self) -> int:
+        with self._lock:
+            return sum(o.size for o in self._objects.values())
+
+    def inject_failures(self, puts: int = 0, gets: int = 0) -> None:
+        """Arm the next ``puts``/``gets`` operations to fail transiently."""
+        if puts < 0 or gets < 0:
+            raise ValueError("failure counts must be non-negative")
+        with self._lock:
+            self._fail_puts += puts
+            self._fail_gets += gets
+
+    # ---------------------------------------------------------- cost queries
+    def cluster_read_time(self, nbytes: int) -> float:
+        """Seconds for a cluster node to read ``nbytes`` from this store."""
+        if nbytes < 0:
+            raise ValueError(f"negative size {nbytes}")
+        return self.request_latency_s + nbytes / self.cluster_read_bps
+
+    def cluster_write_time(self, nbytes: int) -> float:
+        """Seconds for a cluster node to write ``nbytes`` to this store."""
+        if nbytes < 0:
+            raise ValueError(f"negative size {nbytes}")
+        return self.request_latency_s + nbytes / self.cluster_write_bps

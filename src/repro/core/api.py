@@ -1,0 +1,319 @@
+"""Public programming model: annotated target regions.
+
+The C original of Listing 1 becomes, in this reproduction:
+
+    region = TargetRegion(
+        name="matmul",
+        pragmas=[
+            "omp target device(CLOUD)",
+            "omp map(to: A[0:N*N], B[0:N*N]) map(from: C[0:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "B"),
+                writes=("C",),
+                partition_pragma="omp target data map(to: A[i*N:(i+1)*N]) "
+                                 "map(from: C[i*N:(i+1)*N])",
+                body=matmul_tile,
+            )
+        ],
+    )
+    offload(region, arrays={"A": a, "B": b, "C": c}, scalars={"N": n})
+
+The *tile body* is the loop body after Algorithm 1's tiling: it receives the
+tile bounds ``[lo, hi)`` plus the mapped arrays — partitioned ones as
+:class:`~repro.core.buffers.OffsetArray` windows addressed in **global**
+coordinates, so the same body text works partitioned or not, exactly like the
+paper's JNI kernels.
+
+Multiple ``ParallelLoop`` s in one region become "successive map-reduce
+transformations within the Spark job" (Section III-D); ``locals_`` declares
+the intermediate buffers that live on the cluster between loops and never
+cross the WAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.buffers import Buffer, ExecutionMode
+from repro.core.exprs import parse_expr
+from repro.core.omp_ast import (
+    MapClause,
+    MapItem,
+    MapType,
+    ParallelForConstruct,
+    TargetConstruct,
+    TargetDataConstruct,
+    UnsupportedConstruct,
+)
+from repro.core.parser import DirectiveError, parse_pragma
+from repro.core.partition import PartitionSpec, spec_from_map_item
+
+#: body(lo, hi, arrays, scalars) -> None, writing into the output arrays.
+TileBody = Callable[[int, int, Mapping[str, object], Mapping[str, Union[int, float]]], None]
+#: flops consumed by iteration i given the scalar environment.
+FlopsPerIter = Callable[[int, Mapping[str, Union[int, float]]], float]
+
+
+class RegionError(Exception):
+    """Ill-formed target region."""
+
+
+@dataclass
+class ParallelLoop:
+    """One ``parallel for`` inside a target region."""
+
+    pragma: str
+    loop_var: str
+    trip_count: Union[str, int]
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    body: Optional[TileBody] = None
+    partition_pragma: Optional[str] = None
+    flops_per_iter: Union[FlopsPerIter, float, None] = None
+
+    # Filled by _analyze().
+    parallel_for: ParallelForConstruct = field(init=False, repr=False)
+    partitions: dict[str, PartitionSpec] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._analyze()
+
+    def _analyze(self) -> None:
+        parsed = parse_pragma(self.pragma)
+        if isinstance(parsed, tuple):
+            raise RegionError(
+                f"loop pragma must be a plain 'parallel for', got combined form: {self.pragma!r}"
+            )
+        if not isinstance(parsed, ParallelForConstruct):
+            raise RegionError(f"loop pragma is not a parallel for: {self.pragma!r}")
+        self.parallel_for = parsed
+        self.partitions = {}
+        if self.partition_pragma is not None:
+            pdata = parse_pragma(self.partition_pragma)
+            if not isinstance(pdata, TargetDataConstruct):
+                raise RegionError(
+                    f"partition pragma must be a 'target data map', got {self.partition_pragma!r}"
+                )
+            for clause in pdata.maps:
+                for item in clause.items:
+                    spec = spec_from_map_item(item, clause.map_type, self.loop_var)
+                    if item.name in self.partitions:
+                        raise RegionError(
+                            f"variable {item.name!r} partitioned twice in {self.partition_pragma!r}"
+                        )
+                    self.partitions[item.name] = spec
+
+    # ------------------------------------------------------------- queries
+    @property
+    def reduction_vars(self) -> dict[str, str]:
+        """Map variable name -> reduction operator."""
+        out: dict[str, str] = {}
+        for red in self.parallel_for.reductions:
+            for name in red.variables:
+                out[name] = red.op
+        return out
+
+    def trip_count_value(self, env: Mapping[str, Union[int, float]]) -> int:
+        if isinstance(self.trip_count, int):
+            n = self.trip_count
+        else:
+            n = parse_expr(self.trip_count).eval(env)
+        if n < 0:
+            raise RegionError(f"negative trip count {n} for loop over {self.loop_var!r}")
+        return n
+
+    def flops_for(self, iteration: int, env: Mapping[str, Union[int, float]]) -> float:
+        if self.flops_per_iter is None:
+            return 0.0
+        if callable(self.flops_per_iter):
+            return float(self.flops_per_iter(iteration, env))
+        return float(self.flops_per_iter)
+
+    def tile_flops(self, lo: int, hi: int, env: Mapping[str, Union[int, float]]) -> float:
+        if self.flops_per_iter is None:
+            return 0.0
+        if not callable(self.flops_per_iter):
+            return float(self.flops_per_iter) * (hi - lo)
+        return sum(self.flops_for(i, env) for i in range(lo, hi))
+
+
+class TargetRegion:
+    """A ``target device(...)`` region: maps + one or more parallel loops."""
+
+    def __init__(
+        self,
+        name: str,
+        pragmas: Sequence[str],
+        loops: Sequence[ParallelLoop],
+        locals_: Mapping[str, Union[str, int]] | None = None,
+        memory_intensity: float = 1.0,
+    ) -> None:
+        if not loops:
+            raise RegionError(f"region {name!r} has no parallel loops")
+        if not 0.0 <= memory_intensity <= 1.0:
+            raise RegionError(f"memory_intensity must be in [0, 1], got {memory_intensity!r}")
+        self.name = name
+        self.pragma_sources = tuple(pragmas)
+        self.loops = list(loops)
+        self.locals_ = dict(locals_ or {})
+        self.memory_intensity = memory_intensity
+        self.device: str | None = None
+        self.maps: list[MapClause] = []
+        self._parse_pragmas()
+        self._validate()
+
+    # -------------------------------------------------------------- analysis
+    def _parse_pragmas(self) -> None:
+        for src in self.pragma_sources:
+            parsed = parse_pragma(src)
+            nodes = parsed if isinstance(parsed, tuple) else (parsed,)
+            for node in nodes:
+                if isinstance(node, UnsupportedConstruct):
+                    raise RegionError(
+                        f"region {self.name!r} uses '{node.name}', which needs shared "
+                        f"memory; the cloud device does not support OpenMP "
+                        f"synchronization constructs (paper Section III-D)"
+                    )
+                if isinstance(node, TargetConstruct):
+                    if node.device is not None:
+                        self.device = node.device
+                    self.maps.extend(node.maps)
+                elif isinstance(node, TargetDataConstruct):
+                    raise RegionError(
+                        f"'target data' belongs on a loop's partition_pragma, "
+                        f"not on region {self.name!r}"
+                    )
+                elif isinstance(node, ParallelForConstruct):
+                    raise RegionError(
+                        f"'parallel for' belongs in a ParallelLoop, not in the "
+                        f"region pragmas of {self.name!r}"
+                    )
+
+    def _validate(self) -> None:
+        mapped = {i.name for c in self.maps for i in c.items}
+        declared = mapped | set(self.locals_)
+        for loop in self.loops:
+            for name in (*loop.reads, *loop.writes):
+                if name not in declared:
+                    raise RegionError(
+                        f"loop over {loop.loop_var!r} touches {name!r}, which is neither "
+                        f"mapped on region {self.name!r} nor a region-local buffer"
+                    )
+            for name in loop.partitions:
+                if name not in declared:
+                    raise RegionError(
+                        f"partition pragma names {name!r}, not declared on region {self.name!r}"
+                    )
+            for name, op in loop.reduction_vars.items():
+                if name not in declared:
+                    raise RegionError(
+                        f"reduction({op}: {name}) names an undeclared variable "
+                        f"on region {self.name!r}"
+                    )
+
+    # --------------------------------------------------------------- queries
+    def map_items(self, map_type: MapType | None = None) -> list[MapItem]:
+        out: list[MapItem] = []
+        for clause in self.maps:
+            if map_type is None or clause.map_type == map_type:
+                out.extend(clause.items)
+        return out
+
+    def map_type_of(self, name: str) -> MapType | None:
+        """The (merged) map type of a variable; tofrom wins over to/from."""
+        found: MapType | None = None
+        for clause in self.maps:
+            for item in clause.items:
+                if item.name != name:
+                    continue
+                if found is None:
+                    found = clause.map_type
+                elif found != clause.map_type:
+                    found = MapType.TOFROM
+        return found
+
+    @property
+    def input_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for clause in self.maps:
+            if clause.map_type.is_input:
+                for item in clause.items:
+                    seen.setdefault(item.name, None)
+        return list(seen)
+
+    @property
+    def output_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for clause in self.maps:
+            if clause.map_type.is_output:
+                for item in clause.items:
+                    seen.setdefault(item.name, None)
+        return list(seen)
+
+    def declared_length(self, name: str, env: Mapping[str, Union[int, float]]) -> int:
+        """Element count of a mapped or local variable from its declaration."""
+        if name in self.locals_:
+            decl = self.locals_[name]
+            return int(decl) if isinstance(decl, int) else parse_expr(decl).eval(env)
+        for clause in self.maps:
+            for item in clause.items:
+                if item.name == name and item.upper is not None:
+                    lo = item.lower.eval(env) if item.lower is not None else 0
+                    return item.upper.eval(env) - lo
+        raise RegionError(f"cannot determine the length of {name!r} on region {self.name!r}")
+
+
+def omp_get_num_devices(runtime=None) -> int:
+    """User-level runtime routine from the accelerator model."""
+    from repro.core.runtime import OffloadRuntime
+
+    rt = runtime if runtime is not None else OffloadRuntime.default()
+    return rt.num_devices()
+
+
+def offload(
+    region: TargetRegion,
+    arrays: Mapping[str, np.ndarray] | None = None,
+    scalars: Mapping[str, Union[int, float]] | None = None,
+    *,
+    runtime=None,
+    lengths: Mapping[str, int] | None = None,
+    densities: Mapping[str, float] | None = None,
+    mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
+):
+    """Execute a target region through the offloading runtime.
+
+    Functional mode takes real ``arrays``; modeled mode takes ``lengths`` (and
+    optional ``densities``) instead.  Returns the device's
+    :class:`~repro.core.plugin_cloud.OffloadReport`.
+    """
+    from repro.core.runtime import OffloadRuntime
+
+    rt = runtime if runtime is not None else OffloadRuntime.default()
+    scalars = dict(scalars or {})
+    buffers: dict[str, Buffer] = {}
+    names = {i.name for c in region.maps for i in c.items}
+    if mode == ExecutionMode.FUNCTIONAL:
+        arrays = arrays or {}
+        for name in names:
+            if name not in arrays:
+                raise RegionError(f"functional offload of {region.name!r} misses array {name!r}")
+            density = (densities or {}).get(name, 1.0)
+            buffers[name] = Buffer(name, data=arrays[name], density=density)
+    else:
+        lengths = dict(lengths or {})
+        for name in names:
+            length = lengths.get(name, None)
+            if length is None:
+                length = region.declared_length(name, scalars)
+            density = (densities or {}).get(name, 1.0)
+            buffers[name] = Buffer(name, length=length, density=density)
+    return rt.target(region, buffers, scalars, mode=mode)

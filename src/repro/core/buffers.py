@@ -1,0 +1,158 @@
+"""Mapped buffers and global-coordinate views.
+
+OmpCloud moves *linearized* arrays ("Matrices A, B and C ... are represented
+in their linearized forms").  A :class:`Buffer` is one host variable named in
+a ``map`` clause — either backed by a real ndarray (functional mode) or by a
+shape/density description only (modeled mode, where a 1 GB matrix must not be
+allocated in tests).
+
+Workers receive *windows* of partitioned buffers.  :class:`OffsetArray` lets
+kernel bodies keep using **global** flat indices (``C[i*N+j]``) over a local
+window, so the same loop body runs unchanged whether or not the programmer
+partitioned the variable — exactly the property the paper's JNI kernels have.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+
+class ExecutionMode(enum.Enum):
+    """How an offload run treats data and kernels."""
+
+    #: Real ndarrays, kernels actually execute, results are checked.
+    FUNCTIONAL = "functional"
+    #: Virtual buffers (sizes only), kernels contribute modelled time.
+    MODELED = "modeled"
+
+
+class Buffer:
+    """One host variable appearing in a ``map`` clause."""
+
+    def __init__(
+        self,
+        name: str,
+        data: np.ndarray | None = None,
+        *,
+        length: int | None = None,
+        dtype: Union[np.dtype, str] = np.float32,
+        density: float = 1.0,
+    ) -> None:
+        if (data is None) == (length is None):
+            raise ValueError("provide exactly one of data= (real) or length= (virtual)")
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {density!r}")
+        self.name = name
+        self.density = density
+        if data is not None:
+            if data.ndim != 1:
+                raise ValueError(
+                    f"buffer {name!r} must be linearized (1-D); got shape {data.shape}"
+                )
+            self.data: np.ndarray | None = data
+            self.length = data.shape[0]
+            self.dtype = data.dtype
+        else:
+            assert length is not None
+            if length < 0:
+                raise ValueError(f"negative buffer length {length!r}")
+            self.data = None
+            self.length = int(length)
+            self.dtype = np.dtype(dtype)
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.data is None
+
+    @property
+    def itemsize(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.itemsize
+
+    def require_data(self) -> np.ndarray:
+        if self.data is None:
+            raise ValueError(
+                f"buffer {self.name!r} is virtual; functional execution needs real data"
+            )
+        return self.data
+
+    def slice_bytes(self, lo: int, hi: int) -> int:
+        """Bytes of elements [lo, hi) — cost accounting for windows."""
+        self._check_range(lo, hi)
+        return (hi - lo) * self.itemsize
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        if not (0 <= lo <= hi <= self.length):
+            raise IndexError(
+                f"window [{lo}, {hi}) outside buffer {self.name!r} of length {self.length}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "virtual" if self.is_virtual else "real"
+        return f"Buffer({self.name!r}, len={self.length}, {kind})"
+
+
+class OffsetArray:
+    """A window of a global linearized array, indexed in global coordinates.
+
+    >>> import numpy as np
+    >>> w = OffsetArray(np.zeros(4), offset=10)
+    >>> w[12] = 7.0
+    >>> w[10:14].tolist()
+    [0.0, 0.0, 7.0, 0.0]
+    """
+
+    __slots__ = ("local", "offset")
+
+    def __init__(self, local: np.ndarray, offset: int) -> None:
+        if local.ndim != 1:
+            raise ValueError(f"OffsetArray wraps linearized arrays; got shape {local.shape}")
+        if offset < 0:
+            raise ValueError(f"negative offset {offset!r}")
+        self.local = local
+        self.offset = offset
+
+    def _translate(self, idx):
+        if isinstance(idx, slice):
+            if idx.step not in (None, 1):
+                raise IndexError("OffsetArray supports only unit-stride slices")
+            start = (idx.start if idx.start is not None else self.offset) - self.offset
+            stop = (idx.stop if idx.stop is not None else self.offset + len(self.local)) - self.offset
+            if start < 0 or stop > len(self.local) or start > stop:
+                raise IndexError(
+                    f"global slice [{idx.start}:{idx.stop}] outside window "
+                    f"[{self.offset}, {self.offset + len(self.local)})"
+                )
+            return slice(start, stop)
+        i = int(idx) - self.offset
+        if not 0 <= i < len(self.local):
+            raise IndexError(
+                f"global index {idx} outside window "
+                f"[{self.offset}, {self.offset + len(self.local)})"
+            )
+        return i
+
+    def __getitem__(self, idx):
+        return self.local[self._translate(idx)]
+
+    def __setitem__(self, idx, value) -> None:
+        self.local[self._translate(idx)] = value
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    @property
+    def global_range(self) -> tuple[int, int]:
+        return self.offset, self.offset + len(self.local)
+
+
+def as_window(array: np.ndarray, lo: int, hi: int, offset_view: bool = True):
+    """Window [lo, hi) of a global array as an :class:`OffsetArray` view."""
+    view = array[lo:hi]
+    return OffsetArray(view, lo) if offset_view else view

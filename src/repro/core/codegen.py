@@ -1,0 +1,561 @@
+"""Lowering target regions to Spark jobs (Eq. 4-10 + Algorithm 1).
+
+In the paper this is the Scala program LLVM emits next to the fat binary:
+"When submitting the job to the cluster, the driver node runs the Scala
+program and distributes the loop iteration among the worker nodes", the
+workers running the loop body natively through JNI.  Here the generator
+builds the same job directly against the Spark substrate:
+
+1. read the staged input files from cloud storage onto the driver;
+2. per parallel loop: tile the iteration space to the core count
+   (Algorithm 1), split partitioned inputs into per-tile windows (Eq. 3),
+   broadcast unpartitioned inputs, ``map`` the tile body (Eq. 4-7), collect,
+   and reconstruct outputs — indexed writes for partitioned variables,
+   ``bitor`` reduction for unpartitioned ones, the OpenMP reduction operator
+   for reduction variables (Eq. 8-10);
+3. write region outputs back to cloud storage.
+
+The generator runs in both execution modes: functional (real ndarrays, the
+body really executes on the substrate) and modeled (virtual buffers, task
+durations from the performance model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Union
+
+import numpy as np
+
+from repro.core.api import ParallelLoop, TargetRegion
+from repro.core.buffers import Buffer, ExecutionMode, OffsetArray
+from repro.core.omp_ast import REDUCTION_OPS, MapType
+from repro.core.partition import partition_for_tile
+from repro.core.tiling import Tile, tile_by_chunk, tile_iterations, untiled
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.compression import CompressionModel, gzip_compress, gzip_decompress, model_for_density
+from repro.perfmodel.compute import ComputeModel
+from repro.simtime.timeline import Phase
+from repro.spark.context import SparkContext
+from repro.spark.driver import TaskCosts
+from repro.spark.faults import NO_FAULTS, FaultPlan
+from repro.cloud.storage import TransientStorageError
+from repro.spark.serialization import check_jvm_array_limit
+
+
+class CodegenError(Exception):
+    """Region cannot be lowered to a Spark job."""
+
+
+class ExecutorOOMError(CodegenError):
+    """A loop's working set cannot fit in the executor heap.
+
+    Mirrors the JVM OutOfMemoryError a real Spark executor throws when the
+    broadcast blocks plus the concurrently-resident task payloads exceed
+    ``spark.executor.memory`` (the paper runs 40 GB heaps on 60 GB nodes)."""
+
+
+@dataclass
+class LoopJobReport:
+    """Per-loop accounting returned to the plugin."""
+
+    loop_var: str
+    n_tasks: int
+    computation_s: float
+    recomputed_tasks: int
+
+
+@dataclass
+class SparkJobReport:
+    """What one spark-submit produced."""
+
+    started_at: float
+    finished_at: float
+    loops: list[LoopJobReport] = field(default_factory=list)
+    output_keys: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def job_s(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def computation_s(self) -> float:
+        return sum(lp.computation_s for lp in self.loops)
+
+    @property
+    def tasks_run(self) -> int:
+        return sum(lp.n_tasks for lp in self.loops)
+
+    @property
+    def tasks_recomputed(self) -> int:
+        return sum(lp.recomputed_tasks for lp in self.loops)
+
+
+class SparkJobGenerator:
+    """Builds and runs the Spark job for one target region."""
+
+    def __init__(
+        self,
+        region: TargetRegion,
+        scalars: Mapping[str, Union[int, float]],
+        context: SparkContext,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
+        tiling: bool = True,
+        intra_compression: bool = True,
+        fault_plan: FaultPlan = NO_FAULTS,
+        host_compression: bool = True,
+        min_compress_size: int | None = None,
+    ) -> None:
+        self.region = region
+        self.scalars = dict(scalars)
+        self.sc = context
+        self.cal = calibration
+        self.mode = mode
+        self.tiling = tiling
+        self.intra_compression = intra_compression
+        self.fault_plan = fault_plan
+        self.host_compression = host_compression
+        self.min_compress_size = (
+            min_compress_size if min_compress_size is not None
+            else calibration.min_compress_size
+        )
+        self.compute_model = ComputeModel(calibration)
+        self._driver_arrays: dict[str, np.ndarray | None] = {}
+        self._buffer_info: dict[str, Buffer] = {}
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        buffers: Mapping[str, Buffer],
+        storage,
+        input_keys: Mapping[str, str],
+        key_prefix: str,
+    ) -> SparkJobReport:
+        """Execute the whole job; advances the cluster clock."""
+        clock = self.sc.clock
+        timeline = self.sc.timeline
+        started = clock.now
+        self._buffer_info = dict(buffers)
+
+        # Stage setup: spark-submit, driver JVM, stage DAG.
+        self.sc.log.info(clock.now, "SparkContext",
+                         f"Running OmpCloud job for region {self.region.name!r} on "
+                         f"{self.sc.cluster.total_task_slots} task slots")
+        timeline.record(Phase.CLUSTER_INIT, clock.now, clock.advance(self.cal.job_setup_s),
+                        resource="driver", label="job-setup")
+
+        self._read_inputs(buffers, storage, input_keys)
+        self._allocate_locals()
+
+        report = SparkJobReport(started_at=started, finished_at=started)
+        for loop in self.region.loops:
+            report.loops.append(self._run_loop(loop))
+
+        report.output_keys = self._write_outputs(storage, key_prefix)
+        report.finished_at = clock.now
+        return report
+
+    # --------------------------------------------------------------- staging
+    def _storage_retry(self, op_name: str, fn, *args, **kwargs):
+        """Driver-side storage access with Hadoop-client-style retries;
+        backoff is charged to the simulated clock."""
+        last: TransientStorageError | None = None
+        for attempt in range(3):
+            try:
+                return fn(*args, **kwargs)
+            except TransientStorageError as e:
+                last = e
+                delay = 0.5 * (2 ** attempt)
+                self.sc.log.warn(self.sc.clock.now, "HadoopRDD",
+                                 f"{op_name} failed transiently ({e}); "
+                                 f"retrying in {delay:.1f}s")
+                self.sc.clock.advance(delay)
+        assert last is not None
+        raise last
+
+    def staged_compressed(self, buf: Buffer) -> bool:
+        """Whether the plugin gzip'd this buffer when staging it (the same
+        threshold rule decides both sides of the storage hop)."""
+        return self.host_compression and buf.nbytes >= self.min_compress_size
+
+    def _read_inputs(self, buffers, storage, input_keys) -> None:
+        clock, timeline = self.sc.clock, self.sc.timeline
+        for name in self.region.input_names:
+            buf = buffers[name]
+            key = input_keys[name]
+            wire = storage.size_of(key)
+            codec = self._codec_for(buf)
+            dt = storage.cluster_read_time(wire)
+            if self.staged_compressed(buf):
+                dt += codec.decompress_time(buf.nbytes)
+            timeline.record(Phase.STORAGE_READ, clock.now, clock.advance(dt),
+                            resource="driver", label=f"read-{name}")
+            if self.mode == ExecutionMode.FUNCTIONAL:
+                raw = self._storage_retry("GET", storage.get_bytes, key)
+                if self.staged_compressed(buf):
+                    raw = gzip_decompress(raw)
+                self._driver_arrays[name] = np.frombuffer(raw, dtype=buf.dtype).copy()
+            else:
+                self._driver_arrays[name] = None
+        # Output-only variables exist on the driver but carry no uploaded
+        # payload; allocate them for reconstruction.
+        for name in self.region.output_names:
+            if name in self._driver_arrays:
+                continue
+            buf = buffers[name]
+            self._driver_arrays[name] = (
+                np.zeros(buf.length, dtype=buf.dtype)
+                if self.mode == ExecutionMode.FUNCTIONAL
+                else None
+            )
+
+    def _allocate_locals(self) -> None:
+        for name in self.region.locals_:
+            length = self.region.declared_length(name, self.scalars)
+            buf = Buffer(name, length=length, dtype=np.float32)
+            self._buffer_info[name] = buf
+            self._driver_arrays[name] = (
+                np.zeros(length, dtype=np.float32)
+                if self.mode == ExecutionMode.FUNCTIONAL
+                else None
+            )
+
+    def _write_outputs(self, storage, key_prefix: str) -> dict[str, str]:
+        clock, timeline = self.sc.clock, self.sc.timeline
+        out_keys: dict[str, str] = {}
+        for name in self.region.output_names:
+            buf = self._buffer_info[name]
+            codec = self._codec_for(buf)
+            compressed = self.staged_compressed(buf)
+            key = f"{key_prefix}/out/{name}.bin" + (".gz" if compressed else "")
+            if self.mode == ExecutionMode.FUNCTIONAL:
+                arr = self._driver_arrays[name]
+                assert arr is not None
+                payload = arr.tobytes()
+                if compressed:
+                    payload = gzip_compress(payload)
+                self._storage_retry("PUT", storage.put, key, data=payload)
+                wire = len(payload)
+            else:
+                wire = codec.compressed_size(buf.nbytes) if compressed else buf.nbytes
+                self._storage_retry("PUT", storage.put, key, size=wire)
+            dt = codec.compress_time(buf.nbytes) if compressed else 0.0
+            dt += storage.cluster_write_time(wire)
+            timeline.record(Phase.STORAGE_WRITE, clock.now, clock.advance(dt),
+                            resource="driver", label=f"write-{name}")
+            out_keys[name] = key
+        return out_keys
+
+    # ------------------------------------------------------------- loop jobs
+    def _run_loop(self, loop: ParallelLoop) -> LoopJobReport:
+        clock, timeline = self.sc.clock, self.sc.timeline
+        n = loop.trip_count_value(self.scalars)
+        cores = self.sc.cluster.total_task_slots
+        tiles = self._tiles_for(loop, n, cores)
+        if not tiles:
+            return LoopJobReport(loop_var=loop.loop_var, n_tasks=0,
+                                 computation_s=0.0, recomputed_tasks=0)
+
+        partitioned_reads = [
+            nm for nm in loop.reads if nm in loop.partitions and loop.partitions[nm].is_partitioned
+        ]
+        broadcast_reads = [nm for nm in loop.reads if nm not in partitioned_reads]
+        self._check_jvm_limits(loop)
+        self._check_executor_memory(loop, tiles, partitioned_reads, broadcast_reads)
+        self.sc.log.info(clock.now, "OmpCloudJob",
+                         f"loop over {loop.loop_var!r}: {n} iterations -> "
+                         f"{len(tiles)} tiles; split={partitioned_reads} "
+                         f"broadcast={broadcast_reads}")
+
+        # Driver splits partitioned inputs into per-tile windows (Eq. 3).
+        split_bytes = sum(self._buffer_info[nm].nbytes for nm in partitioned_reads)
+        if split_bytes:
+            dt = split_bytes / self.cal.driver_byte_bps
+            timeline.record(Phase.RECONSTRUCT, clock.now, clock.advance(dt),
+                            resource="driver", label=f"split-{loop.loop_var}")
+
+        # Broadcast unpartitioned inputs; serialization on the driver, then
+        # the scheduler charges the BitTorrent distribution.
+        handles = {}
+        for nm in broadcast_reads:
+            buf = self._buffer_info[nm]
+            dt = buf.nbytes / self.cal.broadcast_serialize_bps
+            timeline.record(Phase.BROADCAST, clock.now, clock.advance(dt),
+                            resource="driver", label=f"serialize-{nm}")
+            wire = self._wire_bytes(buf, buf.nbytes)
+            value = self._driver_arrays[nm] if self.mode == ExecutionMode.FUNCTIONAL else None
+            handles[nm] = self.sc.broadcast(value, nbytes=wire)
+
+        elements = [self._element_for(tile, loop, partitioned_reads) for tile in tiles]
+        rdd = self.sc.parallelize(elements, num_slices=len(tiles))
+        map_fn = self._make_map_fn(loop, partitioned_reads, handles)
+        mapped = rdd.map(map_fn)
+
+        costs_for = self._make_costs_fn(loop, tiles, partitioned_reads, broadcast_reads)
+        self.sc.cluster.reset_pools()
+        self.sc.log.info(clock.now, "DAGScheduler",
+                         f"Submitting map stage for loop {loop.loop_var!r} "
+                         f"({len(tiles)} tasks)")
+        job = self.sc.driver.run_job(
+            mapped,
+            costs_for=costs_for,
+            broadcasts=tuple(handles.values()),
+            fault_plan=self.fault_plan,
+            functional=self.mode == ExecutionMode.FUNCTIONAL,
+        )
+        self.sc.timeline.extend(job.timeline)
+        self.sc.log.info(clock.now, "DAGScheduler",
+                         f"Map stage for loop {loop.loop_var!r} finished in "
+                         f"{job.stats.makespan_s:.3f} s "
+                         f"({job.stats.recomputed_tasks} task(s) recomputed)")
+        computation = job.timeline.filter([Phase.COMPUTE, Phase.JNI_CALL]).span()
+        self._reconstruct(loop, job.partitions, tiles)
+        return LoopJobReport(
+            loop_var=loop.loop_var,
+            n_tasks=len(tiles),
+            computation_s=computation,
+            recomputed_tasks=job.stats.recomputed_tasks,
+        )
+
+    def _tiles_for(self, loop: ParallelLoop, n: int, cores: int) -> list[Tile]:
+        """Tiling policy: an explicit schedule chunk wins; otherwise
+        Algorithm 1 (or per-iteration tasks when tiling is disabled)."""
+        if not self.tiling:
+            return untiled(n)
+        sched = loop.parallel_for.schedule
+        if sched is not None and sched.chunk:
+            return tile_by_chunk(n, sched.chunk)
+        if sched is not None and sched.kind in ("dynamic", "guided"):
+            # No chunk given: OpenMP's dynamic default is fine-grained; use
+            # 4 waves per core as a Spark-friendly compromise.
+            return tile_by_chunk(n, max(1, n // (cores * 4)))
+        return tile_iterations(n, cores)
+
+    # ------------------------------------------------------------- elements
+    def _element_for(self, tile: Tile, loop: ParallelLoop, partitioned_reads: list[str]):
+        windows: dict[str, tuple[int, Any]] = {}
+        for nm in partitioned_reads:
+            lo, hi = partition_for_tile(loop.partitions[nm], tile, self.scalars)
+            buf = self._buffer_info[nm]
+            buf._check_range(lo, hi)
+            if self.mode == ExecutionMode.FUNCTIONAL:
+                arr = self._driver_arrays[nm]
+                assert arr is not None
+                windows[nm] = (lo, arr[lo:hi].copy())
+            else:
+                windows[nm] = (lo, None)
+        return (tile.index, tile.lo, tile.hi, windows)
+
+    def _make_map_fn(self, loop: ParallelLoop, partitioned_reads: list[str], handles):
+        """The worker-side mapping function (Eq. 5): run the tile body over
+        windows + broadcasts, return the partial outputs (Eq. 6)."""
+        region = self.region
+        scalars = self.scalars
+        reductions = loop.reduction_vars
+        buffer_info = self._buffer_info
+        partitioned_set = set(partitioned_reads)
+
+        def map_fn(elem):
+            idx, lo, hi, windows = elem
+            arrays: dict[str, Any] = {}
+            outs: dict[str, tuple] = {}
+            for nm in loop.reads:
+                if nm in partitioned_set:
+                    off, data = windows[nm]
+                    arrays[nm] = OffsetArray(data, off)
+                else:
+                    arrays[nm] = handles[nm].value
+            for nm in loop.writes:
+                spec = loop.partitions.get(nm)
+                if nm in reductions:
+                    identity, _ = REDUCTION_OPS[reductions[nm]]
+                    buf = np.full(buffer_info[nm].length, identity,
+                                  dtype=buffer_info[nm].dtype)
+                    arrays[nm] = buf
+                    outs[nm] = ("red", 0, buf)
+                elif spec is not None and spec.is_partitioned:
+                    p_lo, p_hi = partition_for_tile(spec, Tile(idx, lo, hi), scalars)
+                    if nm in arrays:  # tofrom window doubles as the output
+                        view = arrays[nm]
+                        outs[nm] = ("part", p_lo, view.local)
+                    else:
+                        local = np.zeros(p_hi - p_lo, dtype=buffer_info[nm].dtype)
+                        arrays[nm] = OffsetArray(local, p_lo)
+                        outs[nm] = ("part", p_lo, local)
+                else:
+                    if (region.map_type_of(nm) or MapType.FROM) == MapType.TOFROM \
+                            and nm not in region.locals_:
+                        raise CodegenError(
+                            f"{nm!r} is an unpartitioned tofrom output: the bitor "
+                            f"reconstruction (Eq. 8) cannot preserve its input value. "
+                            f"Partition it or declare a reduction."
+                        )
+                    full = np.zeros(buffer_info[nm].length, dtype=buffer_info[nm].dtype)
+                    arrays[nm] = full
+                    outs[nm] = ("full", 0, full)
+            loop.body(lo, hi, arrays, scalars)
+            return (idx, lo, hi, outs)
+
+        return map_fn
+
+    # ----------------------------------------------------------------- costs
+    def _make_costs_fn(self, loop, tiles, partitioned_reads, broadcast_reads):
+        slots_per_node = self.sc.cluster.executors[0].task_slots
+        n_nodes = self.sc.cluster.active_worker_nodes
+        k = min(slots_per_node, max(1, -(-len(tiles) // n_nodes)))
+        intensity = self.region.memory_intensity
+        # Each node decompresses its copy of every broadcast once; the cost is
+        # amortized over the tasks co-resident on the node.
+        bcast_raw = sum(self._buffer_info[nm].nbytes for nm in broadcast_reads)
+        bcast_share = bcast_raw / k if k else 0.0
+
+        def costs_for(split: int) -> TaskCosts:
+            tile = tiles[split]
+            timing = self.compute_model.task_timing(
+                loop.tile_flops(tile.lo, tile.hi, self.scalars),
+                tasks_on_node=k,
+                slots_per_node=slots_per_node,
+                intensity=intensity,
+                task_index=split,
+                jni_calls=1,
+            )
+            in_raw = in_wire = 0
+            for nm in partitioned_reads:
+                lo, hi = partition_for_tile(loop.partitions[nm], tile, self.scalars)
+                raw = self._buffer_info[nm].slice_bytes(lo, hi)
+                in_raw += raw
+                in_wire += self._wire_bytes(self._buffer_info[nm], raw)
+            out_raw = out_wire = 0
+            for nm in loop.writes:
+                buf = self._buffer_info[nm]
+                spec = loop.partitions.get(nm)
+                if nm in loop.reduction_vars:
+                    raw = buf.nbytes
+                elif spec is not None and spec.is_partitioned:
+                    lo, hi = partition_for_tile(spec, tile, self.scalars)
+                    raw = buf.slice_bytes(lo, hi)
+                else:
+                    raw = buf.nbytes  # full partial array per task (the paper's Eq. 6-8)
+                out_raw += raw
+                out_wire += self._wire_bytes(buf, raw)
+            return TaskCosts(
+                compute_s=timing.compute_s,
+                jni_s=timing.jni_s,
+                decompress_s=(in_raw + bcast_share) / self.cal.worker_byte_bps,
+                compress_s=out_raw / self.cal.worker_byte_bps,
+                input_bytes=in_wire,
+                output_bytes=out_wire,
+            )
+
+        return costs_for
+
+    # ------------------------------------------------------------ reconstruct
+    def _reconstruct(self, loop: ParallelLoop, partitions: list[list[Any]], tiles) -> None:
+        clock, timeline = self.sc.clock, self.sc.timeline
+        out_raw = 0
+        for nm in loop.writes:
+            buf = self._buffer_info[nm]
+            spec = loop.partitions.get(nm)
+            if spec is not None and spec.is_partitioned and nm not in loop.reduction_vars:
+                out_raw += buf.nbytes
+            else:
+                out_raw += buf.nbytes * len(tiles)  # bitor/reduce over per-task fulls
+        if self.mode == ExecutionMode.FUNCTIONAL:
+            self._reconstruct_functional(loop, partitions)
+        dt = out_raw / self.cal.driver_byte_bps
+        timeline.record(Phase.RECONSTRUCT, clock.now, clock.advance(dt),
+                        resource="driver", label=f"rebuild-{loop.loop_var}")
+
+    def _reconstruct_functional(self, loop: ParallelLoop, partitions: list[list[Any]]) -> None:
+        reductions = loop.reduction_vars
+        originals = {
+            nm: self._driver_arrays[nm].copy()  # type: ignore[union-attr]
+            for nm in reductions
+            if self._driver_arrays.get(nm) is not None
+        }
+        acc_red: dict[str, np.ndarray] = {}
+        acc_full: dict[str, np.ndarray] = {}
+        for part in partitions:
+            for elem in part:
+                _idx, _lo, _hi, outs = elem
+                for nm, (kind, off, data) in outs.items():
+                    target = self._driver_arrays[nm]
+                    assert target is not None
+                    if kind == "part":
+                        target[off : off + len(data)] = data
+                    elif kind == "red":
+                        if nm not in acc_red:
+                            acc_red[nm] = data.copy()
+                        else:
+                            _, combine = REDUCTION_OPS[reductions[nm]]
+                            cur = acc_red[nm]
+                            for j in range(cur.shape[0]):
+                                cur[j] = combine(cur[j], data[j])
+                    else:  # full: bitwise-or of disjointly-written partials (Eq. 8)
+                        if nm not in acc_full:
+                            acc_full[nm] = data.copy()
+                        else:
+                            a = acc_full[nm].view(np.uint8)
+                            b = data.view(np.uint8)
+                            np.bitwise_or(a, b, out=a)
+        for nm, acc in acc_red.items():
+            _, combine = REDUCTION_OPS[reductions[nm]]
+            target = self._driver_arrays[nm]
+            assert target is not None
+            orig = originals.get(nm)
+            for j in range(target.shape[0]):
+                base = orig[j] if orig is not None else acc[j]
+                target[j] = combine(base, acc[j]) if orig is not None else acc[j]
+        for nm, acc in acc_full.items():
+            target = self._driver_arrays[nm]
+            assert target is not None
+            target[:] = acc
+
+    # -------------------------------------------------------------- utilities
+    def _codec_for(self, buf: Buffer) -> CompressionModel:
+        return model_for_density(buf.density)
+
+    def _wire_bytes(self, buf: Buffer, raw: int) -> int:
+        if not self.intra_compression:
+            return raw
+        return self._codec_for(buf).compressed_size(raw, 0)
+
+    def _check_executor_memory(self, loop, tiles, partitioned_reads, broadcast_reads) -> None:
+        """Worst-case resident bytes on one executor: every broadcast block
+        plus one input window and one output buffer per concurrent task."""
+        executor = self.sc.cluster.executors[0]
+        slots = executor.task_slots
+        heap = executor.heap_bytes
+        bcast = sum(self._buffer_info[nm].nbytes for nm in broadcast_reads)
+        worst_task = 0
+        for tile in tiles:
+            task_bytes = 0
+            for nm in partitioned_reads:
+                lo, hi = partition_for_tile(loop.partitions[nm], tile, self.scalars)
+                task_bytes += self._buffer_info[nm].slice_bytes(lo, hi)
+            for nm in loop.writes:
+                buf = self._buffer_info[nm]
+                spec = loop.partitions.get(nm)
+                if spec is not None and spec.is_partitioned and nm not in loop.reduction_vars:
+                    lo, hi = partition_for_tile(spec, tile, self.scalars)
+                    task_bytes += buf.slice_bytes(lo, hi)
+                else:
+                    task_bytes += buf.nbytes  # full partial / reduction buffer
+            worst_task = max(worst_task, task_bytes)
+        needed = bcast + slots * worst_task
+        if needed > heap:
+            raise ExecutorOOMError(
+                f"loop over {loop.loop_var!r} needs ~{needed} bytes resident per "
+                f"executor (broadcasts {bcast} + {slots} slots x {worst_task} "
+                f"task bytes) but spark.executor.memory grants only {heap}; "
+                f"partition more variables or raise the executor heap"
+            )
+
+    def _check_jvm_limits(self, loop: ParallelLoop) -> None:
+        for nm in dict.fromkeys((*loop.reads, *loop.writes)):
+            check_jvm_array_limit(self._buffer_info[nm].nbytes, what=f"buffer {nm!r}")
+
+    def driver_array(self, name: str) -> np.ndarray | None:
+        """Driver-side value of a mapped/local variable (tests, plugin)."""
+        return self._driver_arrays.get(name)

@@ -1,0 +1,189 @@
+"""The cloud-device configuration file.
+
+"Our cloud plugin reads at runtime a configuration file to properly set up
+the cloud device and to avoid the need to recompile the binary ... Besides
+the login information, the configuration file also contains the address of
+the Spark driver as well as the address of the cloud file storage."
+
+The format is INI, matching the ompcloud project's ``cloud_rtl.ini``:
+
+    [Spark]
+    driver   = ec2-54-23-9-12.compute-1.amazonaws.com
+    user     = ubuntu
+    workers  = 16
+    instance = c3.8xlarge
+
+    [Storage]
+    kind   = s3
+    bucket = ompcloud-staging
+
+    [AWS]
+    access_key = AKIA...
+    secret_key = ...
+    region     = us-east-1
+
+    [Offload]
+    provider          = ec2
+    compression       = gzip
+    min_compress_size = 1048576
+    manage_instances  = false
+    verbose           = false
+"""
+
+from __future__ import annotations
+
+import configparser
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cloud.credentials import Credentials
+
+
+class ConfigError(Exception):
+    """Missing or inconsistent configuration."""
+
+
+_VALID_PROVIDERS = ("ec2", "azure", "private")
+_VALID_STORAGE = ("s3", "hdfs", "azure")
+
+
+@dataclass(frozen=True)
+class CloudConfig:
+    """Parsed cloud-device configuration."""
+
+    provider: str = "ec2"
+    spark_driver: str = "spark-driver"
+    spark_user: str = "ubuntu"
+    n_workers: int = 16
+    instance_type: str = "c3.8xlarge"
+    storage_kind: str = "s3"
+    storage_name: str = "ompcloud-staging"
+    credentials: Credentials = field(
+        default_factory=lambda: Credentials(provider="ec2", username="ubuntu")
+    )
+    compression: bool = True
+    min_compress_size: int = 1 << 20
+    manage_instances: bool = False
+    verbose: bool = False
+    #: Host-target data caching (the paper's future work, implemented here):
+    #: inputs whose content is already staged are not re-uploaded.
+    cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.provider not in _VALID_PROVIDERS:
+            raise ConfigError(
+                f"unknown provider {self.provider!r}; expected one of {_VALID_PROVIDERS}"
+            )
+        if self.storage_kind not in _VALID_STORAGE:
+            raise ConfigError(
+                f"unknown storage kind {self.storage_kind!r}; expected one of {_VALID_STORAGE}"
+            )
+        if self.n_workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.n_workers}")
+        if self.min_compress_size < 0:
+            raise ConfigError(f"min_compress_size must be >= 0, got {self.min_compress_size}")
+
+
+def load_config(path: str | os.PathLike[str]) -> CloudConfig:
+    """Parse an INI configuration file into a :class:`CloudConfig`."""
+    p = Path(path)
+    if not p.exists():
+        raise ConfigError(f"configuration file {p} does not exist")
+    cp = configparser.ConfigParser()
+    try:
+        cp.read(p)
+    except configparser.Error as e:
+        raise ConfigError(f"cannot parse {p}: {e}") from e
+
+    spark = cp["Spark"] if cp.has_section("Spark") else {}
+    storage = cp["Storage"] if cp.has_section("Storage") else {}
+    offload = cp["Offload"] if cp.has_section("Offload") else {}
+
+    provider = offload.get("provider", "ec2").lower()
+    creds = _credentials_from(cp, provider, spark.get("user", "ubuntu"))
+
+    try:
+        n_workers = int(spark.get("workers", "16"))
+        min_sz = int(offload.get("min_compress_size", str(1 << 20)))
+    except ValueError as e:
+        raise ConfigError(f"non-integer value in {p}: {e}") from e
+
+    return CloudConfig(
+        provider=provider,
+        spark_driver=spark.get("driver", "spark-driver"),
+        spark_user=spark.get("user", "ubuntu"),
+        n_workers=n_workers,
+        instance_type=spark.get("instance", "c3.8xlarge"),
+        storage_kind=storage.get("kind", "s3").lower(),
+        storage_name=storage.get("bucket", storage.get("name", "ompcloud-staging")),
+        credentials=creds,
+        compression=offload.get("compression", "gzip").lower() != "none",
+        min_compress_size=min_sz,
+        manage_instances=_parse_bool(offload.get("manage_instances", "false")),
+        verbose=_parse_bool(offload.get("verbose", "false")),
+        cache=_parse_bool(offload.get("cache", "false")),
+    )
+
+
+def _credentials_from(cp: configparser.ConfigParser, provider: str, user: str) -> Credentials:
+    if provider == "ec2":
+        aws = cp["AWS"] if cp.has_section("AWS") else {}
+        return Credentials(
+            provider="ec2",
+            username=user,
+            access_key_id=aws.get("access_key", ""),
+            secret_key=aws.get("secret_key", ""),
+            region=aws.get("region", "us-east-1"),
+        )
+    if provider == "azure":
+        az = cp["Azure"] if cp.has_section("Azure") else {}
+        return Credentials(
+            provider="azure",
+            username=az.get("account", user),
+            secret_key=az.get("key", ""),
+            region=az.get("region", "eastus"),
+        )
+    return Credentials(provider="private", username=user)
+
+
+def _parse_bool(text: str) -> bool:
+    t = text.strip().lower()
+    if t in ("true", "yes", "1", "on"):
+        return True
+    if t in ("false", "no", "0", "off"):
+        return False
+    raise ConfigError(f"cannot parse boolean {text!r}")
+
+
+def write_example_config(path: str | os.PathLike[str], provider: str = "ec2") -> Path:
+    """Emit a filled-in example configuration (used by the quickstart)."""
+    p = Path(path)
+    sections = {
+        "Spark": {
+            "driver": "spark-driver.example.com",
+            "user": "ubuntu",
+            "workers": "16",
+            "instance": "c3.8xlarge",
+        },
+        "Storage": {"kind": "s3", "bucket": "ompcloud-staging"},
+        "AWS": {
+            "access_key": "AKIA" + "EXAMPLEKEY00",
+            "secret_key": "example-secret-key-material",
+            "region": "us-east-1",
+        },
+        "Offload": {
+            "provider": provider,
+            "compression": "gzip",
+            "min_compress_size": str(1 << 20),
+            "manage_instances": "false",
+            "verbose": "false",
+            "cache": "false",
+        },
+    }
+    cp = configparser.ConfigParser()
+    for name, body in sections.items():
+        cp[name] = body
+    with open(p, "w") as fh:
+        cp.write(fh)
+    return p

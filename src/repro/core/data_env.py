@@ -1,0 +1,95 @@
+"""Device data environments.
+
+The target-agnostic wrapper of the accelerator model manages "the creation of
+devices' data environments": for each mapped host variable, a device-side
+entry with a reference count, created at ``tgt_data_begin`` and released —
+copying outputs back — at ``tgt_data_end``.  The bookkeeping is shared by the
+host and cloud plugins; only the transport differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.buffers import Buffer
+from repro.core.omp_ast import MapType
+
+
+class DataEnvError(Exception):
+    """Mapping protocol violation (unbalanced begin/end, unknown variable)."""
+
+
+@dataclass
+class MapEntry:
+    """One host-variable <-> device-copy association."""
+
+    buffer: Buffer
+    map_type: MapType
+    device_handle: Any = None  # plugin-specific: storage key, ndarray copy, ...
+    ref_count: int = 1
+    dirty: bool = False  # device copy diverged from host (needs copy-back)
+
+    @property
+    def needs_upload(self) -> bool:
+        return self.map_type.is_input
+
+    @property
+    def needs_download(self) -> bool:
+        return self.map_type.is_output
+
+
+class DataEnvironment:
+    """The set of live map entries on one device."""
+
+    def __init__(self, device_name: str) -> None:
+        self.device_name = device_name
+        self._entries: dict[str, MapEntry] = {}
+        self.begun = 0
+        self.ended = 0
+
+    def begin(self, buffer: Buffer, map_type: MapType) -> MapEntry:
+        """Enter a mapping (``tgt_data_begin``): create or re-reference."""
+        self.begun += 1
+        entry = self._entries.get(buffer.name)
+        if entry is not None:
+            if entry.buffer is not buffer:
+                raise DataEnvError(
+                    f"{buffer.name!r} is already mapped to a different host buffer "
+                    f"on {self.device_name}"
+                )
+            entry.ref_count += 1
+            if map_type != entry.map_type:
+                entry.map_type = MapType.TOFROM
+            return entry
+        entry = MapEntry(buffer=buffer, map_type=map_type)
+        self._entries[buffer.name] = entry
+        return entry
+
+    def end(self, name: str) -> MapEntry | None:
+        """Leave a mapping (``tgt_data_end``); returns the entry when its
+        reference count hits zero (i.e. copy-back time), else None."""
+        self.ended += 1
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DataEnvError(f"{name!r} is not mapped on {self.device_name}")
+        entry.ref_count -= 1
+        if entry.ref_count > 0:
+            return None
+        del self._entries[name]
+        return entry
+
+    def lookup(self, name: str) -> MapEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DataEnvError(f"{name!r} is not mapped on {self.device_name}")
+        return entry
+
+    def is_mapped(self, name: str) -> bool:
+        return name in self._entries
+
+    def live_entries(self) -> list[MapEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

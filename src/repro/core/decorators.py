@@ -1,0 +1,140 @@
+"""Decorator front end: pragmas attached directly to the kernel.
+
+The closest Python analogue of writing pragmas above the loop in C — the
+directives sit on the tile body itself:
+
+    @omp_kernel(
+        "omp target device(CLOUD)",
+        "omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])",
+        "omp parallel for",
+        loop_var="i", trip_count="N",
+        partition="omp target data map(to: A[i*N:(i+1)*N]) "
+                  "map(from: C[i*N:(i+1)*N])",
+        reads=("A", "B"), writes=("C",),
+    )
+    def matmul(lo, hi, arrays, scalars):
+        ...
+
+    matmul.offload(arrays={...}, scalars={"N": n}, runtime=rt)
+
+The decorated function remains directly callable (it is just the tile body)
+and gains ``.region`` plus an ``.offload(...)`` convenience.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Mapping, Sequence, Union
+
+from repro.core.api import (
+    FlopsPerIter,
+    ParallelLoop,
+    RegionError,
+    TargetRegion,
+    offload as _offload,
+)
+from repro.core.omp_ast import ParallelForConstruct, TargetDataConstruct
+from repro.core.parser import parse_pragma
+
+
+class OmpKernel:
+    """A tile body bound to its target region."""
+
+    def __init__(self, fn: Callable, region: TargetRegion) -> None:
+        functools.update_wrapper(self, fn)
+        self._fn = fn
+        self.region = region
+
+    def __call__(self, lo, hi, arrays, scalars):
+        return self._fn(lo, hi, arrays, scalars)
+
+    def offload(self, **kwargs):
+        """Run the region through the offloading runtime; same keyword
+        surface as :func:`repro.core.api.offload`."""
+        return _offload(self.region, **kwargs)
+
+
+def omp_kernel(
+    *pragmas: str,
+    loop_var: str = "i",
+    trip_count: Union[str, int] = "N",
+    partition: str | None = None,
+    reads: Sequence[str] | None = None,
+    writes: Sequence[str] | None = None,
+    name: str | None = None,
+    flops_per_iter: Union[FlopsPerIter, float, None] = None,
+    memory_intensity: float = 1.0,
+    locals_: Mapping[str, Union[str, int]] | None = None,
+) -> Callable[[Callable], OmpKernel]:
+    """Build a single-loop :class:`TargetRegion` around the decorated body.
+
+    The pragma list must contain exactly one ``parallel for`` (its clauses —
+    reduction, schedule — apply to the loop); the remaining pragmas are the
+    region's ``target``/``map`` directives.  ``reads``/``writes`` default to
+    the variables of the ``partition`` pragma, like
+    :func:`repro.core.source_scan.region_from_source`.
+    """
+    region_pragmas: list[str] = []
+    loop_pragma: str | None = None
+    for src in pragmas:
+        parsed = parse_pragma(src)
+        nodes = parsed if isinstance(parsed, tuple) else (parsed,)
+        is_loop = any(isinstance(n, ParallelForConstruct) for n in nodes)
+        if is_loop and not isinstance(parsed, tuple):
+            if loop_pragma is not None:
+                raise RegionError(
+                    "omp_kernel supports exactly one 'parallel for' pragma; "
+                    "use TargetRegion directly for multi-loop regions"
+                )
+            loop_pragma = src
+        else:
+            region_pragmas.append(src)
+    if loop_pragma is None:
+        raise RegionError("omp_kernel needs a 'parallel for' pragma")
+
+    r, w = reads, writes
+    if (r is None or w is None) and partition is not None:
+        pr, pw = _infer_from_partition(partition)
+        r = r if r is not None else pr
+        w = w if w is not None else pw
+    if r is None or w is None:
+        raise RegionError(
+            "omp_kernel needs reads=/writes= (or a partition pragma to infer "
+            "them from)"
+        )
+
+    def decorate(fn: Callable) -> OmpKernel:
+        region = TargetRegion(
+            name=name or fn.__name__,
+            pragmas=region_pragmas,
+            loops=[ParallelLoop(
+                pragma=loop_pragma,
+                loop_var=loop_var,
+                trip_count=trip_count,
+                reads=tuple(r),
+                writes=tuple(w),
+                partition_pragma=partition,
+                body=fn,
+                flops_per_iter=flops_per_iter,
+            )],
+            locals_=locals_,
+            memory_intensity=memory_intensity,
+        )
+        return OmpKernel(fn, region)
+
+    return decorate
+
+
+def _infer_from_partition(partition: str) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    parsed = parse_pragma(partition)
+    if not isinstance(parsed, TargetDataConstruct):
+        raise RegionError(f"partition must be a 'target data map' pragma, got {partition!r}")
+    reads: list[str] = []
+    writes: list[str] = []
+    for clause in parsed.maps:
+        for item in clause.items:
+            if clause.map_type.is_input and item.name not in reads:
+                reads.append(item.name)
+            if clause.map_type.is_output and item.name not in writes:
+                writes.append(item.name)
+    return tuple(reads), tuple(writes)

@@ -1,0 +1,73 @@
+"""Target-device plugin interface.
+
+"Target-specific offloading plug-ins ... perform the direct interaction with
+the devices ... and provide services such as the initialization and
+transmission of input and output data, and the execution of offloaded
+computation."  Every device implements this interface; the runtime's wrapper
+(:mod:`repro.core.runtime`) is the only caller.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Union
+
+from repro.core.api import TargetRegion
+from repro.core.buffers import Buffer, ExecutionMode
+from repro.core.data_env import DataEnvironment
+
+
+class DeviceError(Exception):
+    """Device initialization or execution failure."""
+
+
+class Device(abc.ABC):
+    """One offloading target."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.device_id = -1  # assigned by the runtime at registration
+        self.env = DataEnvironment(device_name=name)
+        self._initialized = False
+
+    # ------------------------------------------------------------- lifecycle
+    def initialize(self) -> None:
+        """Idempotent device bring-up (RTL load, cluster connection...)."""
+        if not self._initialized:
+            self._do_initialize()
+            self._initialized = True
+
+    @abc.abstractmethod
+    def _do_initialize(self) -> None:
+        ...
+
+    @abc.abstractmethod
+    def is_available(self) -> bool:
+        """Can this device accept offloads right now?  The runtime falls back
+        to the host when the answer is no ("if the cloud is not available the
+        computation is performed locally")."""
+
+    # ----------------------------------------------------------- data moves
+    @abc.abstractmethod
+    def data_begin(self, buffers: Mapping[str, Buffer], region: TargetRegion,
+                   mode: ExecutionMode) -> None:
+        """Create the region's data environment and ship inputs to the device."""
+
+    @abc.abstractmethod
+    def data_end(self, buffers: Mapping[str, Buffer], region: TargetRegion,
+                 mode: ExecutionMode) -> None:
+        """Copy outputs back to the host and tear down the environment."""
+
+    # ------------------------------------------------------------- execution
+    @abc.abstractmethod
+    def execute(
+        self,
+        region: TargetRegion,
+        buffers: Mapping[str, Buffer],
+        scalars: Mapping[str, Union[int, float]],
+        mode: ExecutionMode,
+    ):
+        """Run the region's loops on the device.  Returns a report object."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(name={self.name!r}, id={self.device_id})"

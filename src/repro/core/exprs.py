@@ -1,0 +1,213 @@
+"""Bound expressions of the partitioning extension.
+
+The paper's ``map(to: A[i*N:(i+1)*N])`` puts arithmetic over the loop
+variable inside map clauses.  This module is the expression language: a
+lexer-independent recursive-descent parser over ``+ - * / % ( )``, integer
+literals and identifiers, producing an AST that evaluates against an
+environment (``i``, ``N``, ...) and prints back to C-ish source.
+
+Division is C integer division (truncation toward zero) because the bounds
+are C ``int`` expressions in the original.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+EvalEnv = Mapping[str, Union[int, float]]
+
+
+class ExprError(Exception):
+    """Malformed bound expression."""
+
+
+class Expr:
+    """Base expression node."""
+
+    def eval(self, env: EvalEnv) -> int:
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+    def eval(self, env: EvalEnv) -> int:
+        return self.value
+
+    def variables(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def eval(self, env: EvalEnv) -> int:
+        try:
+            return int(env[self.name])
+        except KeyError:
+            raise ExprError(f"unbound variable {self.name!r} in bound expression") from None
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _c_div(a: int, b: int) -> int:
+    """C99 integer division: truncation toward zero."""
+    if b == 0:
+        raise ExprError("division by zero in bound expression")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C99 %: sign follows the dividend (a == (a/b)*b + a%b)."""
+    return a - _c_div(a, b) * b
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    _OPS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": _c_div,
+        "%": _c_mod,
+    }
+
+    def eval(self, env: EvalEnv) -> int:
+        if self.op not in self._OPS:
+            raise ExprError(f"unknown operator {self.op!r}")
+        return self._OPS[self.op](int(self.left.eval(env)), int(self.right.eval(env)))
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left}{self.op}{self.right})"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    operand: Expr
+
+    def eval(self, env: EvalEnv) -> int:
+        return -int(self.operand.eval(env))
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+_TOKEN_RE = re.compile(r"\s*(?:(\d+)|([A-Za-z_]\w*)|([-+*/%()]))")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ExprError(f"unexpected character {rest[0]!r} in expression {text!r}")
+        tokens.append(m.group(m.lastindex))  # type: ignore[arg-type]
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    """expr := term (('+'|'-') term)* ; term := unary (('*'|'/'|'%') unary)* ;
+    unary := '-' unary | atom ; atom := NUM | IDENT | '(' expr ')'"""
+
+    def __init__(self, tokens: list[str], source: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ExprError(f"unexpected end of expression {self.source!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise ExprError(f"expected {tok!r}, got {got!r} in {self.source!r}")
+
+    def parse(self) -> Expr:
+        e = self.expr()
+        if self.peek() is not None:
+            raise ExprError(f"trailing tokens after expression in {self.source!r}")
+        return e
+
+    def expr(self) -> Expr:
+        node = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            node = BinOp(op, node, self.term())
+        return node
+
+    def term(self) -> Expr:
+        node = self.unary()
+        while self.peek() in ("*", "/", "%"):
+            op = self.next()
+            node = BinOp(op, node, self.unary())
+        return node
+
+    def unary(self) -> Expr:
+        if self.peek() == "-":
+            self.next()
+            return Neg(self.unary())
+        return self.atom()
+
+    def atom(self) -> Expr:
+        tok = self.next()
+        if tok == "(":
+            node = self.expr()
+            self.expect(")")
+            return node
+        if tok.isdigit():
+            return Num(int(tok))
+        if re.fullmatch(r"[A-Za-z_]\w*", tok):
+            return Var(tok)
+        raise ExprError(f"unexpected token {tok!r} in {self.source!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a C-ish integer expression into an :class:`Expr`.
+
+    >>> parse_expr("i*N + 1").eval({"i": 2, "N": 10})
+    21
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExprError("empty expression")
+    return _Parser(tokens, text).parse()

@@ -1,0 +1,113 @@
+"""Tokenizer for pragma lines.
+
+Splits ``#pragma omp target map(to: A[0:N*N]) ...`` into a token stream the
+directive parser consumes.  Bound *expressions* are not tokenized here — the
+parser collects their raw text (balanced up to ``:``/``,``/``]``) and hands it
+to :func:`repro.core.exprs.parse_expr`, keeping the two grammars independent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class LexError(Exception):
+    """Unexpected character in a pragma line."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT | NUM | PUNCT
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<IDENT>[A-Za-z_]\w*)
+      | (?P<NUM>\d+)
+      | (?P<PUNCT>[()\[\]:,+\-*/%\#|&^])
+    )""",
+    re.VERBOSE,
+)
+
+
+def tokenize(line: str) -> list[Token]:
+    """Tokenize one pragma line.
+
+    >>> [t.text for t in tokenize("omp target device(CLOUD)")]
+    ['omp', 'target', 'device', '(', 'CLOUD', ')']
+    """
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(line):
+        m = _TOKEN_RE.match(line, pos)
+        if m is None:
+            rest = line[pos:].strip()
+            if not rest:
+                break
+            raise LexError(f"unexpected character {rest[0]!r} at column {pos} in {line!r}")
+        kind = m.lastgroup
+        assert kind is not None
+        tokens.append(Token(kind=kind, text=m.group(kind), pos=m.start(kind)))
+        pos = m.end()
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def peek_text(self) -> str | None:
+        t = self.peek()
+        return t.text if t is not None else None
+
+    def next(self) -> Token:
+        t = self.peek()
+        if t is None:
+            raise LexError(f"unexpected end of pragma {self.source!r}")
+        self.pos += 1
+        return t
+
+    def expect(self, text: str) -> Token:
+        t = self.next()
+        if t.text != text:
+            raise LexError(f"expected {text!r} but found {t.text!r} in {self.source!r}")
+        return t
+
+    def accept(self, text: str) -> bool:
+        if self.peek_text() == text:
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def collect_until(self, stops: set[str]) -> str:
+        """Concatenate raw token text until a ``stops`` punctuation at bracket
+        depth zero; used to slice out bound expressions."""
+        parts: list[str] = []
+        depth = 0
+        while not self.at_end():
+            t = self.peek()
+            assert t is not None
+            if depth == 0 and t.text in stops:
+                break
+            if t.text in ("(", "["):
+                depth += 1
+            elif t.text in (")", "]"):
+                if depth == 0:
+                    break
+                depth -= 1
+            parts.append(t.text)
+            self.pos += 1
+        return "".join(parts)

@@ -1,0 +1,169 @@
+"""AST for the OpenMP pragma dialect of the paper.
+
+Covers the constructs Listings 1-2 use — ``target`` with ``device`` and
+``map`` clauses, ``parallel for`` with ``reduction`` and ``schedule``, and the
+partitioning ``target data map`` — plus the combined forms Clang accepts
+(``target parallel for``).  The ``map`` item grammar follows the paper's
+dialect: ``A[lb:ub]`` is the element range [lb, ub) ("the first element of
+the partitioned data block followed by colon and the last element"); ``A[:ub]``
+starts at 0, bare ``A`` maps the whole variable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.exprs import Expr
+
+
+class MapType(enum.Enum):
+    TO = "to"
+    FROM = "from"
+    TOFROM = "tofrom"
+    ALLOC = "alloc"
+
+    @property
+    def is_input(self) -> bool:
+        return self in (MapType.TO, MapType.TOFROM)
+
+    @property
+    def is_output(self) -> bool:
+        return self in (MapType.FROM, MapType.TOFROM)
+
+
+@dataclass(frozen=True)
+class MapItem:
+    """One variable reference inside a map clause."""
+
+    name: str
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+
+    @property
+    def has_section(self) -> bool:
+        return self.upper is not None
+
+    @property
+    def is_loop_dependent(self) -> bool:
+        """Does any bound reference a variable other than problem-size
+        constants?  (The partition analysis refines this with the actual
+        loop variable name.)"""
+        vs = set()
+        if self.lower is not None:
+            vs |= self.lower.variables()
+        if self.upper is not None:
+            vs |= self.upper.variables()
+        return bool(vs)
+
+    def __str__(self) -> str:
+        if not self.has_section:
+            return self.name
+        lo = str(self.lower) if self.lower is not None else ""
+        return f"{self.name}[{lo}:{self.upper}]"
+
+
+@dataclass(frozen=True)
+class MapClause:
+    map_type: MapType
+    items: tuple[MapItem, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(i) for i in self.items)
+        return f"map({self.map_type.value}: {inner})"
+
+
+#: OpenMP reduction operators and their identity/combiner semantics.
+REDUCTION_OPS = {
+    "+": (0, lambda a, b: a + b),
+    "*": (1, lambda a, b: a * b),
+    "max": (float("-inf"), max),
+    "min": (float("inf"), min),
+    "|": (0, lambda a, b: a | b),
+    "&": (-1, lambda a, b: a & b),
+    "^": (0, lambda a, b: a ^ b),
+}
+
+
+@dataclass(frozen=True)
+class ReductionClause:
+    op: str
+    variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in REDUCTION_OPS:
+            raise ValueError(
+                f"unsupported reduction operator {self.op!r}; known: {sorted(REDUCTION_OPS)}"
+            )
+
+    def __str__(self) -> str:
+        return f"reduction({self.op}: {', '.join(self.variables)})"
+
+
+@dataclass(frozen=True)
+class ScheduleClause:
+    kind: str  # static | dynamic | guided
+    chunk: Optional[int] = None
+
+
+class Pragma:
+    """Base class of parsed pragmas."""
+
+
+@dataclass(frozen=True)
+class TargetConstruct(Pragma):
+    """``#pragma omp target [device(...)] [map(...)]*``"""
+
+    device: Optional[str] = None
+    maps: tuple[MapClause, ...] = ()
+
+    def map_items(self, map_type: MapType | None = None) -> list[MapItem]:
+        out = []
+        for clause in self.maps:
+            if map_type is None or clause.map_type == map_type:
+                out.extend(clause.items)
+        return out
+
+
+@dataclass(frozen=True)
+class TargetDataConstruct(Pragma):
+    """``#pragma omp target data map(...)*`` — the partitioning extension.
+
+    The paper reuses this directive (no new syntax) inside the parallel loop
+    to declare per-iteration data blocks.
+    """
+
+    maps: tuple[MapClause, ...] = ()
+
+    def map_items(self, map_type: MapType | None = None) -> list[MapItem]:
+        out = []
+        for clause in self.maps:
+            if map_type is None or clause.map_type == map_type:
+                out.extend(clause.items)
+        return out
+
+
+@dataclass(frozen=True)
+class ParallelForConstruct(Pragma):
+    """``#pragma omp parallel for [reduction(...)] [schedule(...)]``"""
+
+    reductions: tuple[ReductionClause, ...] = ()
+    schedule: Optional[ScheduleClause] = None
+    num_threads: Optional[int] = None
+
+
+#: Directives whose semantics require shared memory; the cloud device rejects
+#: regions containing them (Section III-D).
+UNSUPPORTED_DIRECTIVES = frozenset({"atomic", "flush", "barrier", "critical", "master"})
+
+
+@dataclass(frozen=True)
+class UnsupportedConstruct(Pragma):
+    """A parsed-but-rejected synchronization directive."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in UNSUPPORTED_DIRECTIVES:
+            raise ValueError(f"{self.name!r} is not one of the rejected directives")

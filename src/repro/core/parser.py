@@ -1,0 +1,205 @@
+"""Recursive-descent parser for the pragma dialect.
+
+Accepts the pragmas of Listings 1-2 (with or without the leading
+``#pragma``), the combined ``target parallel for`` form, and the rejected
+synchronization directives (parsed into :class:`UnsupportedConstruct` so the
+runtime can report *why* a region cannot offload, mirroring Section III-D).
+"""
+
+from __future__ import annotations
+
+from repro.core.exprs import ExprError, parse_expr
+from repro.core.lexer import LexError, TokenStream, tokenize
+from repro.core.omp_ast import (
+    UNSUPPORTED_DIRECTIVES,
+    MapClause,
+    MapItem,
+    MapType,
+    ParallelForConstruct,
+    Pragma,
+    ReductionClause,
+    ScheduleClause,
+    TargetConstruct,
+    TargetDataConstruct,
+    UnsupportedConstruct,
+)
+
+
+class DirectiveError(Exception):
+    """Malformed or unsupported pragma."""
+
+
+def parse_pragma(line: str) -> Pragma | tuple[Pragma, ...]:
+    """Parse one pragma line into AST node(s).
+
+    The combined ``omp target parallel for ...`` form returns a
+    ``(TargetConstruct, ParallelForConstruct)`` pair, matching how Clang
+    splits combined constructs.
+
+    >>> p = parse_pragma("#pragma omp target device(CLOUD)")
+    >>> p.device
+    'CLOUD'
+    """
+    try:
+        ts = TokenStream(tokenize(line), line)
+    except LexError as e:
+        raise DirectiveError(str(e)) from e
+    try:
+        return _parse(ts)
+    except (LexError, ExprError) as e:
+        raise DirectiveError(f"{e} (while parsing {line!r})") from e
+
+
+def _parse(ts: TokenStream) -> Pragma | tuple[Pragma, ...]:
+    ts.accept("#")
+    ts.accept("pragma")
+    ts.expect("omp")
+    head = ts.next().text
+
+    if head in UNSUPPORTED_DIRECTIVES:
+        return UnsupportedConstruct(head)
+
+    if head == "target":
+        if ts.accept("data"):
+            return TargetDataConstruct(maps=_parse_map_clauses(ts))
+        if ts.peek_text() == "parallel":
+            ts.next()
+            ts.expect("for")
+            target = _parse_target_clauses(ts, split_parallel=True)
+            pf = _parse_parallel_for_clauses(ts)
+            _expect_end(ts)
+            return (target, pf)
+        target = _parse_target_clauses(ts)
+        _expect_end(ts)
+        return target
+
+    if head == "parallel":
+        ts.expect("for")
+        pf = _parse_parallel_for_clauses(ts)
+        _expect_end(ts)
+        return pf
+
+    if head == "map":
+        # Bare continuation pragma: "#pragma omp map(...)" as in Listing 1.
+        ts.pos -= 1
+        return TargetConstruct(maps=_parse_map_clauses(ts))
+
+    raise DirectiveError(f"unknown OpenMP directive {head!r} in {ts.source!r}")
+
+
+def _expect_end(ts: TokenStream) -> None:
+    if not ts.at_end():
+        raise DirectiveError(
+            f"trailing tokens starting at {ts.peek_text()!r} in {ts.source!r}"
+        )
+
+
+# ---------------------------------------------------------------- clauses
+def _parse_target_clauses(ts: TokenStream, split_parallel: bool = False) -> TargetConstruct:
+    device: str | None = None
+    maps: list[MapClause] = []
+    while not ts.at_end():
+        kw = ts.peek_text()
+        if kw == "device":
+            ts.next()
+            ts.expect("(")
+            device = ts.next().text
+            ts.expect(")")
+        elif kw == "map":
+            maps.append(_parse_one_map(ts))
+        elif split_parallel and kw in ("reduction", "schedule", "num_threads"):
+            break
+        else:
+            raise DirectiveError(f"unexpected clause {kw!r} on target in {ts.source!r}")
+    return TargetConstruct(device=device, maps=tuple(maps))
+
+
+def _parse_map_clauses(ts: TokenStream) -> tuple[MapClause, ...]:
+    maps: list[MapClause] = []
+    while not ts.at_end():
+        if ts.peek_text() != "map":
+            raise DirectiveError(
+                f"expected a map clause, found {ts.peek_text()!r} in {ts.source!r}"
+            )
+        maps.append(_parse_one_map(ts))
+    if not maps:
+        raise DirectiveError(f"expected at least one map clause in {ts.source!r}")
+    return tuple(maps)
+
+
+def _parse_one_map(ts: TokenStream) -> MapClause:
+    ts.expect("map")
+    ts.expect("(")
+    type_tok = ts.next().text
+    try:
+        map_type = MapType(type_tok)
+    except ValueError:
+        raise DirectiveError(
+            f"unknown map type {type_tok!r} (expected to/from/tofrom/alloc) in {ts.source!r}"
+        ) from None
+    ts.expect(":")
+    items: list[MapItem] = [_parse_map_item(ts)]
+    while ts.accept(","):
+        items.append(_parse_map_item(ts))
+    ts.expect(")")
+    return MapClause(map_type=map_type, items=tuple(items))
+
+
+def _parse_map_item(ts: TokenStream) -> MapItem:
+    name_tok = ts.next()
+    if name_tok.kind != "IDENT":
+        raise DirectiveError(f"expected a variable name, got {name_tok.text!r} in {ts.source!r}")
+    if not ts.accept("["):
+        return MapItem(name=name_tok.text)
+    lower_src = ts.collect_until({":"})
+    ts.expect(":")
+    upper_src = ts.collect_until({"]"})
+    ts.expect("]")
+    if not upper_src:
+        raise DirectiveError(
+            f"array section on {name_tok.text!r} needs an upper bound in {ts.source!r}"
+        )
+    lower = parse_expr(lower_src) if lower_src else None
+    upper = parse_expr(upper_src)
+    return MapItem(name=name_tok.text, lower=lower, upper=upper)
+
+
+def _parse_parallel_for_clauses(ts: TokenStream) -> ParallelForConstruct:
+    reductions: list[ReductionClause] = []
+    schedule: ScheduleClause | None = None
+    num_threads: int | None = None
+    while not ts.at_end():
+        kw = ts.next().text
+        if kw == "reduction":
+            ts.expect("(")
+            op_parts = [ts.next().text]
+            # max/min are identifiers; + * | & ^ are single punct tokens.
+            op = op_parts[0]
+            ts.expect(":")
+            names = [ts.next().text]
+            while ts.accept(","):
+                names.append(ts.next().text)
+            ts.expect(")")
+            try:
+                reductions.append(ReductionClause(op=op, variables=tuple(names)))
+            except ValueError as e:
+                raise DirectiveError(str(e)) from e
+        elif kw == "schedule":
+            ts.expect("(")
+            kind = ts.next().text
+            if kind not in ("static", "dynamic", "guided"):
+                raise DirectiveError(f"unknown schedule kind {kind!r} in {ts.source!r}")
+            chunk = None
+            if ts.accept(","):
+                chunk = int(ts.next().text)
+            ts.expect(")")
+            schedule = ScheduleClause(kind=kind, chunk=chunk)
+        elif kw == "num_threads":
+            ts.expect("(")
+            num_threads = int(ts.next().text)
+            ts.expect(")")
+        else:
+            raise DirectiveError(f"unexpected clause {kw!r} on parallel for in {ts.source!r}")
+    return ParallelForConstruct(
+        reductions=tuple(reductions), schedule=schedule, num_threads=num_threads
+    )

@@ -1,0 +1,115 @@
+"""Partition analysis: Eq. 1-3 and the tile-widening rule.
+
+The partitioning extension (Section III-B) attaches per-iteration element
+ranges to mapped variables: ``map(to: A[i*N:(i+1)*N])`` says iteration ``i``
+reads elements [i*N, (i+1)*N) of A.  After Algorithm 1 tiles the loop, "the
+lower and upper bounds of the partitions will also be readjusted dynamically
+according to the tiling size, hence increasing their granularity": tile
+[lo, hi) owns elements [bound(lo).lower, bound(hi-1).upper).
+
+Variables *without* a loop-dependent section (matrix B in the running
+example) are not partitioned — every worker gets a full copy via broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.exprs import Expr, Num
+from repro.core.omp_ast import MapItem, MapType
+from repro.core.tiling import Tile
+
+
+class PartitionError(Exception):
+    """Inconsistent or invalid partition bounds."""
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How one mapped variable is distributed to workers."""
+
+    name: str
+    map_type: MapType
+    lower: Expr | None = None  # None => not partitioned (broadcast/whole)
+    upper: Expr | None = None
+    loop_var: str = "i"
+
+    @property
+    def is_partitioned(self) -> bool:
+        """Partitioned iff a section exists and depends on the loop variable."""
+        if self.upper is None:
+            return False
+        deps = self.upper.variables() | (self.lower.variables() if self.lower else set())
+        return self.loop_var in deps
+
+    def element_range(self, iteration: int, env: Mapping[str, int]) -> tuple[int, int]:
+        """Elements owned by one iteration (Eq. 2's V_IN(i) block)."""
+        if self.upper is None:
+            raise PartitionError(f"{self.name!r} has no section to evaluate")
+        scope = dict(env)
+        scope[self.loop_var] = iteration
+        lo = self.lower.eval(scope) if self.lower is not None else 0
+        hi = self.upper.eval(scope)
+        if lo < 0 or hi < lo:
+            raise PartitionError(
+                f"{self.name!r}: bounds [{lo}, {hi}) invalid at {self.loop_var}={iteration}"
+            )
+        return lo, hi
+
+
+def spec_from_map_item(item: MapItem, map_type: MapType, loop_var: str) -> PartitionSpec:
+    return PartitionSpec(
+        name=item.name,
+        map_type=map_type,
+        lower=item.lower if item.lower is not None else (Num(0) if item.upper is not None else None),
+        upper=item.upper,
+        loop_var=loop_var,
+    )
+
+
+def partition_for_tile(
+    spec: PartitionSpec, tile: Tile, env: Mapping[str, int]
+) -> tuple[int, int]:
+    """Widened element range owned by ``tile`` (the dynamic readjustment).
+
+    Bounds must be monotone in the loop variable — the contiguous-block
+    contract the paper's driver relies on when it "splits A according to the
+    partitioning bound defined by the user".  Violations raise
+    :class:`PartitionError` instead of silently mis-splitting.
+    """
+    if tile.size == 0:
+        raise PartitionError(f"empty tile {tile}")
+    first_lo, first_hi = spec.element_range(tile.lo, env)
+    last_lo, last_hi = spec.element_range(tile.hi - 1, env)
+    if last_lo < first_lo or last_hi < first_hi:
+        raise PartitionError(
+            f"{spec.name!r}: partition bounds are not monotone in {spec.loop_var!r} "
+            f"over tile [{tile.lo}, {tile.hi})"
+        )
+    return first_lo, last_hi
+
+
+def check_exact_cover(
+    spec: PartitionSpec,
+    tiles: list[Tile],
+    env: Mapping[str, int],
+    total_elements: int,
+) -> None:
+    """Verify tiles' widened ranges tile the variable exactly (no overlap, no
+    gap, full coverage).  Used by the driver before scattering and heavily by
+    the property tests."""
+    cursor = 0
+    for tile in sorted(tiles, key=lambda t: t.lo):
+        lo, hi = partition_for_tile(spec, tile, env)
+        if lo != cursor:
+            raise PartitionError(
+                f"{spec.name!r}: partition gap/overlap at element {cursor} "
+                f"(tile [{tile.lo},{tile.hi}) starts at {lo})"
+            )
+        cursor = hi
+    if cursor != total_elements:
+        raise PartitionError(
+            f"{spec.name!r}: partitions cover [0, {cursor}) but the variable "
+            f"has {total_elements} elements"
+        )

@@ -1,0 +1,433 @@
+"""The cloud-device plugin.
+
+"The cloud-specific plugin is used to initialize the cluster, to compress and
+transmit the offloaded data through the cloud file storage (HDFS or S3), and
+to submit the Spark jobs through SSH connection."  This module is that
+plugin against the simulated substrates:
+
+* device setup from the configuration file (provider, storage, credentials);
+* optional on-the-fly EC2 instance management (start on offload, stop after,
+  billed per hour);
+* one upload pipeline per mapped buffer: gzip above the minimal compression
+  size, parallel WAN streams;
+* job submission over SSH to the Spark driver, which runs the generated job
+  (:class:`~repro.core.codegen.SparkJobGenerator`);
+* result download + decompression back into the host arrays.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.cloud.azure import AzureProvider
+from repro.cloud.azure_storage import AzureBlobStore
+from repro.cloud.ec2 import EC2Provider
+from repro.cloud.hdfs import HDFSStore
+from repro.cloud.network import NetworkModel
+from repro.cloud.private import PrivateCloudProvider
+from repro.cloud.provider import CloudProvider
+from repro.cloud.credentials import Credentials
+from repro.cloud.provision import ClusterSpec, ProvisionedCluster, provision_cluster
+from repro.cloud.s3 import S3Store
+from repro.cloud.ssh import SSHClient, SSHEndpoint, CommandResult
+from repro.cloud.storage import ObjectStore, StorageError, TransientStorageError
+from repro.core.api import TargetRegion
+from repro.core.buffers import Buffer, ExecutionMode
+from repro.core.codegen import SparkJobGenerator, SparkJobReport
+from repro.core.config import CloudConfig
+from repro.core.device import Device, DeviceError
+from repro.core.omp_ast import MapType
+from repro.core.report import OffloadReport
+from repro.core.staging_cache import CacheKey, StagingCache
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.comm import HostCommModel, TransferPlan
+from repro.perfmodel.compression import gzip_compress, gzip_decompress, model_for_density
+from repro.simtime.clock import SimClock
+from repro.simtime.timeline import Phase, Timeline
+from repro.spark.cluster import SparkCluster, WorkerShape
+from repro.spark.context import SparkContext
+from repro.spark.faults import NO_FAULTS, FaultPlan
+from repro.spark.scheduler import SchedulerCosts
+
+
+class CloudDevice(Device):
+    """The cloud as an OpenMP target device."""
+
+    def __init__(
+        self,
+        config: CloudConfig,
+        *,
+        physical_cores: int | None = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        clock: SimClock | None = None,
+        storage: ObjectStore | None = None,
+        provider: CloudProvider | None = None,
+        reachable: bool = True,
+        tiling: bool = True,
+        parallel_streams: bool = True,
+        intra_compression: bool = True,
+        fault_plan: FaultPlan = NO_FAULTS,
+        colocated: bool = False,
+    ) -> None:
+        """``colocated=True`` models running the application directly from the
+        Spark driver node (Section III-D): staged data moves over the cluster
+        fabric instead of the WAN, "removing the overhead of host-target
+        communication"."""
+        super().__init__(name="CLOUD")
+        self.colocated = colocated
+        self.config = config
+        self.cal = calibration
+        self.clock = clock if clock is not None else SimClock()
+        self.network = NetworkModel(calibration.wan_link(), calibration.lan_link())
+        self.physical_cores = (
+            physical_cores
+            if physical_cores is not None
+            else config.n_workers * calibration.worker_vcpus // 2
+        )
+        self.cluster = SparkCluster.for_physical_cores(
+            self.physical_cores,
+            n_workers=config.n_workers,
+            shape=WorkerShape(vcpus=calibration.worker_vcpus),
+            network=self.network,
+            clock=self.clock,
+        )
+        self.sc = SparkContext(
+            cluster=self.cluster,
+            scheduler_costs=SchedulerCosts(task_launch_s=calibration.task_launch_s),
+            fault_plan=fault_plan,
+        )
+        self.storage = storage if storage is not None else self._storage_from_config()
+        self.comm = HostCommModel(
+            calibration, network=self.network,
+            compress=config.compression, parallel_streams=parallel_streams,
+        )
+        self.tiling = tiling
+        self.intra_compression = intra_compression
+        self.fault_plan = fault_plan
+        self._reachable = reachable
+        self._offload_seq = itertools.count(1)
+        self._provisioned: ProvisionedCluster | None = None
+        self._provider = provider
+        self.endpoint = SSHEndpoint(
+            hostname=config.spark_driver,
+            authorized_users={config.spark_user},
+        )
+        self._pending: dict[str, object] = {}
+        #: Host-target data cache (paper future work; enabled via config).
+        self.stage_cache = StagingCache(enabled=config.cache)
+        #: Transient-failure retries: attempts per storage operation and the
+        #: base backoff (exponential), charged to simulated time.
+        self.storage_retries = 3
+        self.retry_backoff_s = 0.5
+        self._pending_backoff_s = 0.0
+        self._backoff_lock = __import__("threading").Lock()
+
+    # --------------------------------------------------------------- set-up
+    def _storage_from_config(self) -> ObjectStore:
+        cfg = self.config
+        if cfg.storage_kind == "s3":
+            return S3Store(cfg.storage_name, credentials=cfg.credentials)
+        if cfg.storage_kind == "hdfs":
+            return HDFSStore(f"hdfs://{cfg.spark_driver}:9000", credentials=cfg.credentials)
+        return AzureBlobStore("ompcloudacct", cfg.storage_name, credentials=cfg.credentials)
+
+    def _provider_from_config(self) -> CloudProvider:
+        cfg = self.config
+        if cfg.provider == "ec2":
+            return EC2Provider(credentials=cfg.credentials)
+        if cfg.provider == "azure":
+            return AzureProvider(credentials=cfg.credentials)
+        return PrivateCloudProvider(credentials=cfg.credentials,
+                                    machine_count=cfg.n_workers + 1)
+
+    def _do_initialize(self) -> None:
+        # Validate credentials against the storage service up front; a failure
+        # leaves the device unavailable (host fallback) rather than raising.
+        try:
+            self.storage.check_access(self.config.credentials)
+        except StorageError:
+            return
+        if self.config.manage_instances and self._provisioned is None:
+            if self._provider is None:
+                self._provider = self._provider_from_config()
+            spec = ClusterSpec(
+                instance_type=self.config.instance_type,
+                n_workers=self.config.n_workers,
+                authorized_users=(self.config.spark_user,),
+            )
+            self._provisioned = provision_cluster(self._provider, spec, self.clock,
+                                                  driver_hostname=self.config.spark_driver)
+            self.endpoint = self._provisioned.ssh_endpoint
+
+    def is_available(self) -> bool:
+        if not self._reachable:
+            return False
+        try:
+            self.storage.check_access(self.config.credentials)
+        except StorageError:
+            return False
+        return True
+
+    # ------------------------------------------------------------ data moves
+    def data_begin(self, buffers: Mapping[str, Buffer], region: TargetRegion,
+                   mode: ExecutionMode) -> None:
+        seq = next(self._offload_seq)
+        report = OffloadReport(region_name=region.name, device_name=self.name,
+                               mode=mode.value)
+        timeline = report.timeline
+
+        mgmt_start = self.clock.now
+        if self.config.manage_instances:
+            self._start_instances()
+        report.instance_mgmt_s += self.clock.now - mgmt_start
+
+        key_prefix = f"{region.name}/{seq}"
+        input_keys: dict[str, str] = {}
+        plans: list[TransferPlan] = []
+        to_stage: list[tuple[Buffer, str, CacheKey | None]] = []
+        for name in region.input_names:
+            buf = buffers[name]
+            self.env.begin(buf, region.map_type_of(name) or MapType.TO)
+            if self.stage_cache.enabled and (mode == ExecutionMode.FUNCTIONAL
+                                             or buf.is_virtual):
+                ckey = CacheKey.for_buffer(buf)
+                cached = self.stage_cache.lookup(ckey)
+                if cached is not None and self.storage.exists(cached):
+                    # Already staged with identical content: reuse in place.
+                    input_keys[name] = cached
+                    self.stage_cache.credit_saved(buf.nbytes)
+                    report.cache_hits += 1
+                    report.cache_bytes_saved += buf.nbytes
+                    continue
+            else:
+                ckey = None
+            compressed = (self.config.compression
+                          and buf.nbytes >= self.config.min_compress_size)
+            key = f"{key_prefix}/in/{name}.bin" + (".gz" if compressed else "")
+            input_keys[name] = key
+            plans.append(TransferPlan(name, buf.nbytes, model_for_density(buf.density)))
+            to_stage.append((buf, key, ckey))
+        wire_sizes = self._stage_inputs(to_stage, mode)
+        self._charge_retry_backoff()
+        for name in region.output_names:
+            if name not in input_keys:
+                self.env.begin(buffers[name], region.map_type_of(name) or MapType.FROM)
+
+        if plans:
+            cost = self.comm.upload(plans)
+            # Wire sizes are the *actual* staged sizes (real gzip output in
+            # functional mode), not the model's estimate.  A colocated host
+            # moves them over the cluster fabric instead of the WAN.
+            link = self.network.lan if self.colocated else self.network.wan
+            transfer_s = (
+                link.parallel_transfer_time(wire_sizes)
+                if self.comm.parallel_streams
+                else link.serial_transfer_time(wire_sizes)
+            )
+            t0 = self.clock.now
+            if cost.compress_s > 0:
+                timeline.record(Phase.HOST_COMPRESS, t0, self.clock.advance(cost.compress_s),
+                                resource="host")
+            t1 = self.clock.now
+            timeline.record(Phase.HOST_UPLOAD, t1, self.clock.advance(transfer_s),
+                            resource="host")
+            report.host_comm_up_s = self.clock.now - t0
+            report.bytes_up_raw = sum(p.nbytes for p in plans)
+            report.bytes_up_wire = sum(wire_sizes)
+
+        self._pending = {
+            "report": report,
+            "input_keys": input_keys,
+            "key_prefix": key_prefix,
+            "buffers": dict(buffers),
+        }
+
+    def _with_retries(self, op_name: str, fn, *args, **kwargs):
+        """Run a storage operation, retrying transient failures with
+        exponential backoff (thread-safe; the backoff is charged to the
+        simulated clock once staging completes)."""
+        last: TransientStorageError | None = None
+        for attempt in range(self.storage_retries):
+            try:
+                return fn(*args, **kwargs)
+            except TransientStorageError as e:
+                last = e
+                delay = self.retry_backoff_s * (2 ** attempt)
+                with self._backoff_lock:
+                    self._pending_backoff_s += delay
+                self.sc.log.warn(self.clock.now, "CloudPlugin",
+                                 f"{op_name} failed transiently ({e}); "
+                                 f"retrying in {delay:.1f}s")
+        assert last is not None
+        raise last
+
+    def _charge_retry_backoff(self) -> None:
+        with self._backoff_lock:
+            delay, self._pending_backoff_s = self._pending_backoff_s, 0.0
+        if delay > 0.0:
+            self.clock.advance(delay)
+
+    def _stage_inputs(
+        self, to_stage: list[tuple[Buffer, str, "CacheKey | None"]], mode: ExecutionMode
+    ) -> list[int]:
+        """Stage all buffers — really concurrently in functional mode, one
+        thread per buffer, as the paper's plugin does ("automatically creates
+        a new thread for transmitting each offloaded data")."""
+        if not to_stage:
+            return []
+        if mode == ExecutionMode.FUNCTIONAL and len(to_stage) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(to_stage)) as pool:
+                sizes = list(pool.map(
+                    lambda item: self._stage_input(item[0], item[1], mode), to_stage
+                ))
+        else:
+            sizes = [self._stage_input(buf, key, mode) for buf, key, _ in to_stage]
+        for (buf, key, ckey), _size in zip(to_stage, sizes):
+            if ckey is not None:
+                self.stage_cache.record(ckey, key)
+        return sizes
+
+    def _stage_input(self, buf: Buffer, key: str, mode: ExecutionMode) -> int:
+        codec = model_for_density(buf.density)
+        if mode == ExecutionMode.FUNCTIONAL:
+            payload = buf.require_data().tobytes()
+            if self.config.compression and buf.nbytes >= self.config.min_compress_size:
+                payload = gzip_compress(payload)
+            self._with_retries("PUT", self.storage.put, key, data=payload,
+                               credentials=self.config.credentials)
+            return len(payload)
+        wire = (
+            codec.compressed_size(buf.nbytes, self.config.min_compress_size)
+            if self.config.compression
+            else buf.nbytes
+        )
+        self._with_retries("PUT", self.storage.put, key, size=wire,
+                           credentials=self.config.credentials)
+        return wire
+
+    def data_end(self, buffers: Mapping[str, Buffer], region: TargetRegion,
+                 mode: ExecutionMode) -> None:
+        report: OffloadReport = self._pending["report"]  # type: ignore[assignment]
+        out_keys: dict[str, str] = self._pending.get("output_keys", {})  # type: ignore[assignment]
+        timeline = report.timeline
+
+        plans = []
+        wire_sizes = []
+        for name in region.output_names:
+            buf = buffers[name]
+            plans.append(TransferPlan(name, buf.nbytes, model_for_density(buf.density)))
+            key = out_keys.get(name)
+            if key is None:
+                continue
+            wire_sizes.append(self.storage.size_of(key))
+            if mode == ExecutionMode.FUNCTIONAL:
+                payload = self._with_retries(
+                    "GET", self.storage.get_bytes, key,
+                    credentials=self.config.credentials)
+                self._charge_retry_backoff()
+                if key.endswith(".gz"):
+                    payload = gzip_decompress(payload)
+                buf.require_data()[:] = np.frombuffer(payload, dtype=buf.dtype)
+                if self.stage_cache.enabled:
+                    # The result now lives both on the host and in storage;
+                    # re-offloading it later is a cache hit (no re-upload).
+                    self.stage_cache.record(CacheKey.for_bytes(payload), key)
+
+        if plans and wire_sizes:
+            cost = self.comm.download(plans)
+            link = self.network.lan if self.colocated else self.network.wan
+            transfer_s = (
+                link.parallel_transfer_time(wire_sizes)
+                if self.comm.parallel_streams
+                else link.serial_transfer_time(wire_sizes)
+            )
+            t0 = self.clock.now
+            timeline.record(Phase.HOST_DOWNLOAD, t0, self.clock.advance(transfer_s),
+                            resource="host")
+            if cost.decompress_s > 0:
+                timeline.record(Phase.HOST_DECOMPRESS, self.clock.now,
+                                self.clock.advance(cost.decompress_s), resource="host")
+            report.host_comm_down_s = self.clock.now - t0
+            report.bytes_down_raw = sum(p.nbytes for p in plans)
+            report.bytes_down_wire = sum(wire_sizes)
+
+        for name in {i.name for c in region.maps for i in c.items}:
+            if self.env.is_mapped(name):
+                self.env.end(name)
+
+        mgmt_start = self.clock.now
+        if self.config.manage_instances and self._provisioned is not None:
+            billed_before = self._provider.ledger.total_usd() if self._provider else 0.0
+            self._provisioned.stop_all(self.clock.now)
+            if self._provider is not None:
+                report.billed_usd = self._provider.ledger.total_usd() - billed_before
+        report.instance_mgmt_s += self.clock.now - mgmt_start
+        self._pending["done"] = True
+
+    def _start_instances(self) -> None:
+        if self._provisioned is None:
+            return
+        up = self._provisioned.start_all(self.clock.now)
+        self.clock.advance_to(max(up, self.clock.now))
+
+    # ------------------------------------------------------------- execution
+    def execute(
+        self,
+        region: TargetRegion,
+        buffers: Mapping[str, Buffer],
+        scalars: Mapping[str, Union[int, float]],
+        mode: ExecutionMode,
+    ) -> OffloadReport:
+        report: OffloadReport = self._pending["report"]  # type: ignore[assignment]
+        input_keys: dict[str, str] = self._pending["input_keys"]  # type: ignore[assignment]
+        key_prefix: str = self._pending["key_prefix"]  # type: ignore[assignment]
+
+        gen = SparkJobGenerator(
+            region, scalars, self.sc,
+            calibration=self.cal, mode=mode, tiling=self.tiling,
+            intra_compression=self.intra_compression, fault_plan=self.fault_plan,
+            host_compression=self.config.compression,
+            min_compress_size=self.config.min_compress_size,
+        )
+
+        def handler(command: str) -> CommandResult:
+            job_report = gen.run(buffers, self.storage, input_keys, key_prefix)
+            self._pending["job_report"] = job_report
+            return CommandResult(command=command, exit_status=0,
+                                 stdout=f"job finished in {job_report.job_s:.1f}s")
+
+        self.endpoint.register_handler("spark-submit", handler)
+        ssh_creds = Credentials(
+            provider=self.config.provider,
+            username=self.config.spark_user,
+            ssh_key_path=self.config.credentials.ssh_key_path,
+        )
+        ssh = SSHClient(self.endpoint, ssh_creds)
+        handshake = ssh.connect()
+        self.clock.advance(handshake)
+        result = ssh.exec_command(
+            f"spark-submit --class org.ompcloud.Job ompcloud-{region.name}.jar "
+            f"--cores {self.cluster.total_physical_cores}"
+        )
+        ssh.close()
+        if not result.ok:
+            raise DeviceError(
+                f"spark-submit failed on {self.config.spark_driver}: {result.stderr}"
+            )
+        if self.config.verbose:
+            for line in self.sc.log.lines():
+                print(line)
+
+        job_report: SparkJobReport = self._pending["job_report"]  # type: ignore[assignment]
+        self._pending["output_keys"] = job_report.output_keys
+        report.spark_job_s = job_report.job_s
+        report.computation_s = job_report.computation_s
+        report.tasks_run = job_report.tasks_run
+        report.tasks_recomputed = job_report.tasks_recomputed
+        report.timeline.extend(self.sc.timeline)
+        return report

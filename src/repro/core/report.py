@@ -1,0 +1,121 @@
+"""Offload reports: the measured quantities behind Figures 4 and 5.
+
+Every offload returns an :class:`OffloadReport` with the three milestones the
+paper's evaluation plots:
+
+* ``full_s``            — OmpCloud-full: everything, host-target included;
+* ``spark_job_s``       — OmpCloud-spark: the Spark job only;
+* ``computation_s``     — OmpCloud-computation: the parallel map tasks only;
+
+plus the fine-grained timeline for Figure 5's stacked decomposition.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.simtime.timeline import (
+    BUCKET_COMPUTE,
+    BUCKET_HOST_COMM,
+    BUCKET_SPARK,
+    Timeline,
+)
+
+
+@dataclass
+class OffloadReport:
+    """Timing and traffic record of one target-region offload."""
+
+    region_name: str
+    device_name: str
+    mode: str
+    timeline: Timeline = field(default_factory=Timeline)
+    # Milestones (simulated seconds).
+    host_comm_up_s: float = 0.0
+    host_comm_down_s: float = 0.0
+    spark_job_s: float = 0.0
+    computation_s: float = 0.0
+    # Traffic.
+    bytes_up_raw: int = 0
+    bytes_up_wire: int = 0
+    bytes_down_raw: int = 0
+    bytes_down_wire: int = 0
+    # Cluster activity.
+    tasks_run: int = 0
+    tasks_recomputed: int = 0
+    fell_back_to_host: bool = False
+    # Pay-as-you-go accounting when the plugin manages instances.
+    billed_usd: float = 0.0
+    instance_mgmt_s: float = 0.0
+    # Host-target data cache (when enabled): inputs served without upload.
+    cache_hits: int = 0
+    cache_bytes_saved: int = 0
+
+    @property
+    def host_comm_s(self) -> float:
+        return self.host_comm_up_s + self.host_comm_down_s
+
+    @property
+    def full_s(self) -> float:
+        """OmpCloud-full: offload wall time, instance management excluded
+        (the paper's timings start from a provisioned cluster)."""
+        return self.host_comm_s + self.spark_job_s
+
+    @property
+    def spark_overhead_s(self) -> float:
+        """The Figure-5 'spark overhead' bucket."""
+        return max(0.0, self.spark_job_s - self.computation_s)
+
+    def figure5_stack(self) -> dict[str, float]:
+        """The three stacked components of Figure 5, summing to ``full_s``."""
+        return {
+            BUCKET_HOST_COMM: self.host_comm_s,
+            BUCKET_SPARK: self.spark_overhead_s,
+            BUCKET_COMPUTE: self.computation_s,
+        }
+
+    def to_dict(self) -> dict:
+        """Flat, JSON-serializable view (timeline summarized per bucket)."""
+        return {
+            "region": self.region_name,
+            "device": self.device_name,
+            "mode": self.mode,
+            "full_s": self.full_s,
+            "spark_job_s": self.spark_job_s,
+            "computation_s": self.computation_s,
+            "spark_overhead_s": self.spark_overhead_s,
+            "host_comm_up_s": self.host_comm_up_s,
+            "host_comm_down_s": self.host_comm_down_s,
+            "bytes_up_raw": self.bytes_up_raw,
+            "bytes_up_wire": self.bytes_up_wire,
+            "bytes_down_raw": self.bytes_down_raw,
+            "bytes_down_wire": self.bytes_down_wire,
+            "tasks_run": self.tasks_run,
+            "tasks_recomputed": self.tasks_recomputed,
+            "billed_usd": self.billed_usd,
+            "cache_hits": self.cache_hits,
+            "cache_bytes_saved": self.cache_bytes_saved,
+            "figure5_stack": self.figure5_stack(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        stack = self.figure5_stack()
+        lines = [
+            f"offload {self.region_name!r} on {self.device_name} ({self.mode})",
+            f"  full: {self.full_s:10.2f} s   spark job: {self.spark_job_s:10.2f} s   "
+            f"computation: {self.computation_s:10.2f} s",
+        ]
+        for bucket, secs in stack.items():
+            share = secs / self.full_s * 100.0 if self.full_s > 0 else 0.0
+            lines.append(f"  {bucket:<28} {secs:10.2f} s  ({share:5.1f} %)")
+        lines.append(
+            f"  up: {self.bytes_up_raw / 1e6:.1f} MB raw -> {self.bytes_up_wire / 1e6:.1f} MB wire; "
+            f"down: {self.bytes_down_raw / 1e6:.1f} MB raw -> {self.bytes_down_wire / 1e6:.1f} MB wire"
+        )
+        if self.billed_usd:
+            lines.append(f"  billed: ${self.billed_usd:.2f}")
+        return "\n".join(lines)

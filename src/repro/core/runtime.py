@@ -1,0 +1,128 @@
+"""The target-agnostic offloading wrapper (libomptarget's role).
+
+Responsible for "the detection of the available devices, the creation of
+devices' data environments, the execution of the right offloading function
+according to the device type", exposing the user-level routines
+(``omp_get_num_devices``) and the compiler-level entry point (``__tgt_target``
+here spelled :meth:`OffloadRuntime.target`).
+
+The cloud is special in one way the paper stresses: it "cannot be detected
+automatically since [it is] not physically hosted at the local computer", so
+cloud devices are *registered from configuration*, and offloading falls back
+to the host when the device reports itself unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.core.api import TargetRegion
+from repro.core.buffers import Buffer, ExecutionMode
+from repro.core.device import Device, DeviceError
+
+#: Reserved device id for the initial (host) device, as in OpenMP.
+DEVICE_HOST = 0
+
+
+class OffloadRuntime:
+    """Device table + offload dispatch."""
+
+    _default: "OffloadRuntime | None" = None
+
+    def __init__(self) -> None:
+        from repro.core.plugin_host import HostDevice
+
+        self._devices: list[Device] = []
+        self.offloads = 0
+        self.fallbacks = 0
+        self._default_device = DEVICE_HOST
+        self.register(HostDevice())
+
+    # ---------------------------------------------------------- device table
+    def register(self, device: Device) -> int:
+        """Add a device; returns its device id."""
+        device.device_id = len(self._devices)
+        self._devices.append(device)
+        return device.device_id
+
+    def num_devices(self) -> int:
+        """omp_get_num_devices(): devices *besides* the host."""
+        return len(self._devices) - 1
+
+    def device(self, ident: Union[int, str]) -> Device:
+        """Look a device up by id or by name (e.g. ``"CLOUD"``)."""
+        if isinstance(ident, int):
+            if not 0 <= ident < len(self._devices):
+                raise DeviceError(f"no device with id {ident}")
+            return self._devices[ident]
+        for d in self._devices:
+            if d.name == ident:
+                return d
+        raise DeviceError(f"no device named {ident!r}")
+
+    @property
+    def host(self) -> Device:
+        return self._devices[DEVICE_HOST]
+
+    # ----------------------------------------------- default-device routines
+    def set_default_device(self, ident: Union[int, str]) -> None:
+        """omp_set_default_device(): regions without a device clause go here."""
+        self._default_device = self.device(ident).device_id
+
+    def get_default_device(self) -> int:
+        """omp_get_default_device()."""
+        return self._default_device
+
+    # -------------------------------------------------------------- offload
+    def target(
+        self,
+        region: TargetRegion,
+        buffers: Mapping[str, Buffer],
+        scalars: Mapping[str, Union[int, float]],
+        mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
+    ):
+        """``__tgt_target``: run ``region`` on its requested device.
+
+        Device selection: the region's ``device(...)`` clause by name, the
+        default device (``omp_set_default_device``; initially the host) when
+        absent.  An unavailable device (cloud unreachable, bad
+        credentials...) silently falls back to host execution, matching the
+        dynamic-offloading behaviour of Figure 1, step 1.
+        """
+        self.offloads += 1
+        dev = self._select_device(region)
+        dev.initialize()
+        if not dev.is_available():
+            self.fallbacks += 1
+            dev = self.host
+            dev.initialize()
+        dev.data_begin(buffers, region, mode)
+        try:
+            report = dev.execute(region, buffers, scalars, mode)
+        finally:
+            dev.data_end(buffers, region, mode)
+        return report
+
+    def _select_device(self, region: TargetRegion) -> Device:
+        if region.device is None:
+            return self._devices[self._default_device]
+        if region.device.isdigit():
+            return self.device(int(region.device))
+        try:
+            return self.device(region.device)
+        except DeviceError:
+            # Unknown device names degrade to the host, like libomptarget
+            # when a plugin is missing.
+            return self.host
+
+    # ------------------------------------------------------------- singleton
+    @classmethod
+    def default(cls) -> "OffloadRuntime":
+        """The process-wide runtime (lazily created, host-only)."""
+        if cls._default is None:
+            cls._default = cls()
+        return cls._default
+
+    @classmethod
+    def reset_default(cls) -> None:
+        cls._default = None

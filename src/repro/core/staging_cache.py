@@ -1,0 +1,87 @@
+"""Host-target data caching — the paper's stated future work.
+
+"In the future, we plan to implement data caching to limit the cost of
+host-target communications."  This module implements it: the plugin
+remembers, per storage, which buffer *contents* are already staged; an
+offload whose input bytes match a previously staged object skips compression
+and upload entirely and re-uses the object in place.
+
+Content identity:
+
+* functional mode — a SHA-1 over the raw buffer bytes (cheap next to gzip);
+* modeled mode — (name, length, dtype, density), i.e. the full description of
+  a virtual buffer; two virtual buffers with identical descriptions denote
+  the same synthetic content by construction.
+
+Downloaded outputs are registered too: re-offloading a result the cloud just
+produced (`C` of one GEMM as `A` of the next) is a cache hit without the
+host ever re-uploading it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.core.buffers import Buffer
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one staged payload."""
+
+    digest: str
+
+    @classmethod
+    def for_buffer(cls, buf: Buffer) -> "CacheKey":
+        if buf.is_virtual:
+            token = f"virtual:{buf.name}:{buf.length}:{buf.dtype}:{buf.density}"
+            return cls(hashlib.sha1(token.encode()).hexdigest())
+        h = hashlib.sha1()
+        h.update(buf.require_data().tobytes())
+        return cls(h.hexdigest())
+
+    @classmethod
+    def for_bytes(cls, payload: bytes) -> "CacheKey":
+        return cls(hashlib.sha1(payload).hexdigest())
+
+
+@dataclass
+class StagingCache:
+    """digest -> storage key of the already-staged object."""
+
+    enabled: bool = True
+    _entries: dict[str, str] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    bytes_saved: int = 0
+
+    def lookup(self, key: CacheKey) -> str | None:
+        """Storage key holding this content, or None."""
+        if not self.enabled:
+            return None
+        found = self._entries.get(key.digest)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def record(self, key: CacheKey, storage_key: str) -> None:
+        if self.enabled:
+            self._entries[key.digest] = storage_key
+
+    def credit_saved(self, nbytes: int) -> None:
+        self.bytes_saved += nbytes
+
+    def invalidate(self, storage_key: str) -> None:
+        """Drop entries pointing at a deleted/overwritten object."""
+        stale = [d for d, k in self._entries.items() if k == storage_key]
+        for d in stale:
+            del self._entries[d]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

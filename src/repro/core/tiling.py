@@ -1,0 +1,101 @@
+"""Algorithm 1: tiling the parallel loop to the cluster size.
+
+"Since each iteration will require one call to JNI, the closer the number of
+iterations is to the number of cores, the smaller will be the overhead."  The
+transformed loop runs ``ii`` over tiles of size ``floor(N/C)``:
+
+    for ii = 0 to N-1 by floor(N/C):
+        for i = ii to min(ii + floor(N/C) - 1, N-1):
+            loopbody
+
+The total core count C "is passed as an argument when Spark is calling the
+map functions to avoid any recompilation when executing on different
+clusters" — here, ``tile_iterations`` is evaluated at job-generation time
+with the live cluster's core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile: iterations [lo, hi) of the original loop."""
+
+    index: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo <= self.hi:
+            raise ValueError(f"bad tile bounds [{self.lo}, {self.hi})")
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    def iterations(self) -> range:
+        return range(self.lo, self.hi)
+
+
+def tile_iterations(n: int, cores: int) -> list[Tile]:
+    """Transcription of Algorithm 1.
+
+    Tiles are ``floor(N/C)`` wide; because N rarely divides C exactly, the
+    trailing remainder becomes one extra (smaller) tile — the algorithm's
+    ``min(ii + floor(N/C) - 1, N-1)`` upper clamp.  When ``C >= N`` the tile
+    width clamps to 1 (one iteration per task; no fewer is possible).
+
+    >>> [(t.lo, t.hi) for t in tile_iterations(10, 4)]
+    [(0, 2), (2, 4), (4, 6), (6, 8), (8, 10)]
+    """
+    if n < 0:
+        raise ValueError(f"negative trip count {n!r}")
+    if cores < 1:
+        raise ValueError(f"need at least one core, got {cores!r}")
+    if n == 0:
+        return []
+    width = max(1, n // cores)
+    tiles = []
+    index = 0
+    for lo in range(0, n, width):
+        hi = min(lo + width, n)
+        tiles.append(Tile(index=index, lo=lo, hi=hi))
+        index += 1
+    return tiles
+
+
+def untiled(n: int) -> list[Tile]:
+    """The original loop: one tile per iteration (the ablation baseline —
+    every iteration pays a JNI call and a task launch)."""
+    if n < 0:
+        raise ValueError(f"negative trip count {n!r}")
+    return [Tile(index=i, lo=i, hi=i + 1) for i in range(n)]
+
+
+def tiles_cover(tiles: list[Tile], n: int) -> bool:
+    """True when the tiles partition ``range(n)`` exactly (test invariant)."""
+    covered: list[tuple[int, int]] = sorted((t.lo, t.hi) for t in tiles)
+    cursor = 0
+    for lo, hi in covered:
+        if lo != cursor:
+            return False
+        cursor = hi
+    return cursor == n
+
+
+def tile_by_chunk(n: int, chunk: int) -> list[Tile]:
+    """Fixed-width tiles for an explicit ``schedule(static|dynamic, chunk)``.
+
+    OpenMP's chunked schedules override Algorithm 1's cluster-size width: the
+    programmer trades per-task overhead for finer-grained load balancing.
+    """
+    if n < 0:
+        raise ValueError(f"negative trip count {n!r}")
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk!r}")
+    tiles = []
+    for index, lo in enumerate(range(0, n, chunk)):
+        tiles.append(Tile(index=index, lo=lo, hi=min(lo + chunk, n)))
+    return tiles

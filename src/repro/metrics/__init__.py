@@ -1,0 +1,51 @@
+"""Experiment drivers and reporting for the paper's evaluation.
+
+:mod:`~repro.metrics.figures` runs the modeled experiments behind Figure 4
+(speedup curves) and Figure 5 (load-distribution stacks) and the headline
+numbers of Section IV; :mod:`~repro.metrics.tables` renders aligned text
+tables; :mod:`~repro.metrics.costs` estimates the dollar cost of each
+experiment through the billing substrate.
+"""
+
+from repro.metrics.figures import (
+    CORE_SWEEP,
+    DENSE,
+    SPARSE,
+    ExperimentPoint,
+    Figure4Row,
+    Figure5Row,
+    demo_config,
+    figure4_series,
+    figure5_series,
+    headline_numbers,
+    run_point,
+)
+from repro.metrics.tables import format_table
+from repro.metrics.costs import experiment_cost
+from repro.metrics.gantt import render_gantt
+from repro.metrics.tracing import to_chrome_trace, write_chrome_trace
+from repro.metrics.sweep import SweepRow, cheapest_point, fastest_point, sweep, to_csv
+
+__all__ = [
+    "CORE_SWEEP",
+    "DENSE",
+    "SPARSE",
+    "ExperimentPoint",
+    "Figure4Row",
+    "Figure5Row",
+    "demo_config",
+    "figure4_series",
+    "figure5_series",
+    "headline_numbers",
+    "run_point",
+    "format_table",
+    "experiment_cost",
+    "render_gantt",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "SweepRow",
+    "cheapest_point",
+    "fastest_point",
+    "sweep",
+    "to_csv",
+]

@@ -1,0 +1,103 @@
+"""ASCII Gantt rendering of offload timelines.
+
+Turns a :class:`~repro.simtime.timeline.Timeline` into a monospace chart —
+one row per resource, one glyph per phase — so a report can *show* where an
+offload spent its time (the visual counterpart of Figure 5's stacks):
+
+    host        CCCUUUUUUU..................DDd
+    driver      ..........SSRR....rr..........
+    driver-nic  ............xx........cc......
+    worker-0    ..............ddjMMMMMMMMw....
+"""
+
+from __future__ import annotations
+
+from repro.simtime.timeline import Phase, Timeline
+
+#: One glyph per phase (upper-case = usually dominant phases).
+PHASE_GLYPHS: dict[Phase, str] = {
+    Phase.HOST_COMPRESS: "C",
+    Phase.HOST_UPLOAD: "U",
+    Phase.HOST_DOWNLOAD: "D",
+    Phase.HOST_DECOMPRESS: "d",
+    Phase.CLUSTER_INIT: "I",
+    Phase.STORAGE_READ: "R",
+    Phase.STORAGE_WRITE: "W",
+    Phase.SCHEDULING: "S",
+    Phase.BROADCAST: "B",
+    Phase.INTRA_TRANSFER: "x",
+    Phase.WORKER_DECOMPRESS: "u",
+    Phase.WORKER_COMPRESS: "z",
+    Phase.COLLECT: "c",
+    Phase.RECONSTRUCT: "r",
+    Phase.JNI_CALL: "j",
+    Phase.COMPUTE: "M",
+}
+
+
+def render_gantt(
+    timeline: Timeline,
+    width: int = 80,
+    max_rows: int = 24,
+) -> str:
+    """Render the timeline as an ASCII Gantt chart.
+
+    Resources are rows (ordered by first activity); simulated time maps
+    linearly onto ``width`` columns.  When several phases of one resource
+    share a column, the one covering more of that column wins.  Rows beyond
+    ``max_rows`` are folded into a ``(+N more)`` line.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    spans = timeline.spans
+    if not spans:
+        return "(empty timeline)"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    horizon = max(t1 - t0, 1e-12)
+
+    resources: list[str] = []
+    for s in sorted(spans, key=lambda s: s.start):
+        name = s.resource or "(unnamed)"
+        if name not in resources:
+            resources.append(name)
+
+    hidden = 0
+    if len(resources) > max_rows:
+        hidden = len(resources) - max_rows
+        resources = resources[:max_rows]
+
+    label_w = max(len(r) for r in resources)
+    lines = [
+        f"{'':{label_w}}  0.0s{'':{max(0, width - 12)}}{horizon:.1f}s",
+    ]
+    for name in resources:
+        # Per-column coverage: phase -> seconds covered in that column.
+        coverage: list[dict[Phase, float]] = [dict() for _ in range(width)]
+        for s in spans:
+            if (s.resource or "(unnamed)") != name:
+                continue
+            c_lo = (s.start - t0) / horizon * width
+            c_hi = (s.end - t0) / horizon * width
+            for col in range(max(0, int(c_lo)), min(width, int(c_hi) + 1)):
+                overlap = min(c_hi, col + 1) - max(c_lo, col)
+                if overlap > 0:
+                    coverage[col][s.phase] = coverage[col].get(s.phase, 0.0) + overlap
+        row = []
+        for col in range(width):
+            if not coverage[col]:
+                row.append(".")
+            else:
+                phase = max(coverage[col], key=coverage[col].get)  # type: ignore[arg-type]
+                row.append(PHASE_GLYPHS.get(phase, "?"))
+        lines.append(f"{name:{label_w}}  {''.join(row)}")
+    if hidden:
+        lines.append(f"{'':{label_w}}  (+{hidden} more resource rows)")
+
+    legend_phases = sorted(
+        {s.phase for s in spans}, key=lambda p: p.value
+    )
+    legend = "  ".join(f"{PHASE_GLYPHS[p]}={p.value}" for p in legend_phases)
+    lines.append("")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Parameter sweeps over the modeled experiment space.
+
+A thin grid-runner used by the extension benches: sweep any combination of
+workload, core count, density and problem size, collect one flat row per
+point, and export CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.metrics.costs import experiment_cost
+from repro.metrics.figures import run_point
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid point, flattened."""
+
+    workload: str
+    cores: int
+    density: float
+    size: int
+    full_s: float
+    spark_s: float
+    computation_s: float
+    host_comm_s: float
+    speedup_full: float
+    speedup_spark: float
+    speedup_computation: float
+    cost_usd: float
+
+    FIELDS = (
+        "workload", "cores", "density", "size", "full_s", "spark_s",
+        "computation_s", "host_comm_s", "speedup_full", "speedup_spark",
+        "speedup_computation", "cost_usd",
+    )
+
+    def as_tuple(self) -> tuple:
+        return tuple(getattr(self, f) for f in self.FIELDS)
+
+
+def sweep(
+    workloads: Sequence[str],
+    cores: Sequence[int],
+    densities: Sequence[float] = (1.0,),
+    size: int | None = None,
+    n_workers: int = 16,
+) -> list[SweepRow]:
+    """Run the full cartesian grid; one modeled offload per point."""
+    rows: list[SweepRow] = []
+    for name in workloads:
+        for c in cores:
+            for d in densities:
+                pt = run_point(name, c, d, size=size, n_workers=n_workers)
+                cost = experiment_cost(pt.report.full_s, n_workers=n_workers)
+                rows.append(SweepRow(
+                    workload=name,
+                    cores=c,
+                    density=d,
+                    size=size if size is not None else -1,
+                    full_s=pt.report.full_s,
+                    spark_s=pt.report.spark_job_s,
+                    computation_s=pt.report.computation_s,
+                    host_comm_s=pt.report.host_comm_s,
+                    speedup_full=pt.speedup_full,
+                    speedup_spark=pt.speedup_spark,
+                    speedup_computation=pt.speedup_computation,
+                    cost_usd=cost.total_usd,
+                ))
+    return rows
+
+
+def to_csv(rows: Iterable[SweepRow]) -> str:
+    """Render sweep rows as CSV text (header included)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(SweepRow.FIELDS)
+    for row in rows:
+        writer.writerow(row.as_tuple())
+    return buf.getvalue()
+
+
+def cheapest_point(rows: Sequence[SweepRow]) -> SweepRow:
+    """The grid point with the lowest dollar cost (ties: fewer cores)."""
+    if not rows:
+        raise ValueError("empty sweep")
+    return min(rows, key=lambda r: (r.cost_usd, r.cores))
+
+
+def fastest_point(rows: Sequence[SweepRow]) -> SweepRow:
+    if not rows:
+        raise ValueError("empty sweep")
+    return min(rows, key=lambda r: (r.full_s, r.cores))

@@ -1,0 +1,66 @@
+"""Chrome-trace export of offload timelines.
+
+Converts a :class:`~repro.simtime.timeline.Timeline` into the Trace Event
+Format consumed by ``chrome://tracing`` and Perfetto (https://ui.perfetto.dev):
+one track per resource, one complete event per span, phases as categories.
+Simulated seconds map to microseconds.
+
+    report = offload(...)
+    write_chrome_trace(report.timeline, "offload.trace.json")
+    # then open the file in Perfetto
+
+The CLI exposes it as ``python -m repro run <bench> --trace out.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.simtime.timeline import Timeline
+
+
+def to_chrome_trace(timeline: Timeline, process_name: str = "ompcloud") -> dict[str, Any]:
+    """Build the Trace Event Format dict for ``timeline``."""
+    # Stable track ids: resources in order of first activity.
+    tids: dict[str, int] = {}
+    for span in sorted(timeline.spans, key=lambda s: s.start):
+        tids.setdefault(span.resource or "(unnamed)", len(tids))
+
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",  # metadata
+            "pid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for resource, tid in tids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": resource},
+        })
+    for span in timeline.spans:
+        tid = tids[span.resource or "(unnamed)"]
+        events.append({
+            "name": span.label or span.phase.value,
+            "cat": span.phase.bucket,
+            "ph": "X",  # complete event
+            "pid": 1,
+            "tid": tid,
+            "ts": span.start * 1e6,  # simulated seconds -> microseconds
+            "dur": span.duration * 1e6,
+            "args": {"phase": span.phase.value},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(timeline: Timeline, path: str,
+                       process_name: str = "ompcloud") -> str:
+    """Serialize the trace to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(timeline, process_name), fh)
+    return path

@@ -1,0 +1,113 @@
+"""Host-target communication model.
+
+The cloud plugin "automatically creates a new thread for transmitting each
+offloaded data (possibly after gzip compression if the data size is larger
+than a predefined minimal compression size)".  So an upload of K mapped
+buffers is K concurrent pipelines of compress -> WAN stream; a download is
+the mirror image.  The phase totals reported here are what Figure 5 stacks
+as *host-target communication*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.network import NetworkModel
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perfmodel.compression import CompressionModel
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """One mapped buffer to move across the WAN."""
+
+    name: str
+    nbytes: int
+    compression: CompressionModel
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative buffer size {self.nbytes!r}")
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Phase durations of one direction of host-target communication."""
+
+    compress_s: float
+    transfer_s: float
+    decompress_s: float
+    raw_bytes: int
+    wire_bytes: int
+
+    @property
+    def total_s(self) -> float:
+        return self.compress_s + self.transfer_s + self.decompress_s
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.wire_bytes / self.raw_bytes if self.raw_bytes else 1.0
+
+
+class HostCommModel:
+    """Costs of moving mapped buffers between host and cloud storage."""
+
+    def __init__(
+        self,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        network: NetworkModel | None = None,
+        compress: bool = True,
+        parallel_streams: bool = True,
+    ) -> None:
+        self.cal = calibration
+        self.network = network if network is not None else NetworkModel(
+            calibration.wan_link(), calibration.lan_link()
+        )
+        self.compress_enabled = compress
+        self.parallel_streams = parallel_streams
+
+    # ------------------------------------------------------------ directions
+    def upload(self, plans: list[TransferPlan]) -> TransferCost:
+        """Host compresses (one thread per buffer) then uploads to storage."""
+        wire = [self._wire_size(p) for p in plans]
+        compress_s = self._codec_time(plans, direction="compress")
+        transfer_s = self.network.upload_time(wire, parallel=self.parallel_streams) if wire else 0.0
+        return TransferCost(
+            compress_s=compress_s,
+            transfer_s=transfer_s,
+            decompress_s=0.0,
+            raw_bytes=sum(p.nbytes for p in plans),
+            wire_bytes=sum(wire),
+        )
+
+    def download(self, plans: list[TransferPlan]) -> TransferCost:
+        """Host downloads results from storage then decompresses."""
+        wire = [self._wire_size(p) for p in plans]
+        transfer_s = self.network.download_time(wire, parallel=self.parallel_streams) if wire else 0.0
+        decompress_s = self._codec_time(plans, direction="decompress")
+        return TransferCost(
+            compress_s=0.0,
+            transfer_s=transfer_s,
+            decompress_s=decompress_s,
+            raw_bytes=sum(p.nbytes for p in plans),
+            wire_bytes=sum(wire),
+        )
+
+    # -------------------------------------------------------------- internals
+    def _wire_size(self, plan: TransferPlan) -> int:
+        if not self.compress_enabled:
+            return plan.nbytes
+        return plan.compression.compressed_size(plan.nbytes, self.cal.min_compress_size)
+
+    def _codec_time(self, plans: list[TransferPlan], direction: str) -> float:
+        """Compression runs on one host core per buffer, concurrently; the
+        phase lasts as long as the slowest buffer."""
+        if not self.compress_enabled or not plans:
+            return 0.0
+        times = []
+        for p in plans:
+            if direction == "compress":
+                times.append(p.compression.compress_time(p.nbytes, self.cal.min_compress_size))
+            else:
+                times.append(p.compression.decompress_time(p.nbytes, self.cal.min_compress_size))
+        return max(times)

@@ -1,0 +1,40 @@
+"""Simulated-time substrate for the OmpCloud reproduction.
+
+The paper evaluates OmpCloud on a real EC2 cluster with up to 256 physical
+cores.  A laptop cannot exhibit that scaling with wall-clock time, so every
+component in this reproduction accounts *simulated* time instead: network
+transfers, compression, task execution and scheduling all advance a
+:class:`~repro.simtime.clock.SimClock` through either the discrete-event
+:class:`~repro.simtime.engine.EventEngine` or deterministic list scheduling on
+:class:`~repro.simtime.resources.SlotPool` core slots.
+
+The resulting :class:`~repro.simtime.timeline.Timeline` records every phase
+(host-target communication, Spark overhead, computation, ...) exactly as
+Figure 5 of the paper decomposes them.
+"""
+
+from repro.simtime.clock import SimClock
+from repro.simtime.engine import EventEngine, Event
+from repro.simtime.resources import SlotPool, Slot
+from repro.simtime.timeline import Phase, Span, Timeline
+from repro.simtime.validate import (
+    ResourceLimits,
+    TimelineInvariantError,
+    check_timeline,
+    max_concurrency,
+)
+
+__all__ = [
+    "SimClock",
+    "EventEngine",
+    "Event",
+    "SlotPool",
+    "Slot",
+    "Phase",
+    "Span",
+    "Timeline",
+    "ResourceLimits",
+    "TimelineInvariantError",
+    "check_timeline",
+    "max_concurrency",
+]

@@ -1,0 +1,58 @@
+"""Simulated wall clock.
+
+All durations in this project are seconds of *simulated* time, held as plain
+floats.  A :class:`SimClock` is a monotonically advancing cursor shared by the
+components of one offload run (host plugin, network links, Spark driver...).
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonic simulated clock.
+
+    The clock only moves forward: :meth:`advance` adds a non-negative delta and
+    :meth:`advance_to` jumps to a later absolute time.  Attempting to move
+    backwards raises ``ValueError`` — catching accidental time travel early is
+    the main debugging aid a simulation clock can offer.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0.0:
+            raise ValueError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump the clock to absolute time ``when`` (must not be in the past)."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now!r}, requested {when!r}"
+            )
+        self._now = float(when)
+        return self._now
+
+    def fork(self) -> "SimClock":
+        """Return an independent clock starting at the current time.
+
+        Used when a sub-activity (e.g. one upload thread among several parallel
+        streams) needs its own cursor; the caller later merges the forks with
+        ``advance_to(max(...))``.
+        """
+        return SimClock(self._now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

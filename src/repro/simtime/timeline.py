@@ -1,0 +1,188 @@
+"""Phase timelines — the data behind Figure 5 of the paper.
+
+The paper decomposes offload time into *host-target communication*, *Spark
+overhead* and *computation*.  Internally we record finer-grained phases (gzip
+compression, upload/download, broadcast, scheduling, intra-cluster shuffle,
+JNI-style call overhead, the map computation itself) and roll them up into the
+paper's three buckets with :meth:`Timeline.figure5_breakdown`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+class Phase(enum.Enum):
+    """Fine-grained activity classes recorded during an offload run."""
+
+    # Host-target communication (local machine <-> cloud storage).
+    HOST_COMPRESS = "host_compress"
+    HOST_UPLOAD = "host_upload"
+    HOST_DOWNLOAD = "host_download"
+    HOST_DECOMPRESS = "host_decompress"
+    # Spark / cluster overhead.
+    CLUSTER_INIT = "cluster_init"
+    STORAGE_READ = "storage_read"
+    STORAGE_WRITE = "storage_write"
+    SCHEDULING = "scheduling"
+    BROADCAST = "broadcast"
+    INTRA_TRANSFER = "intra_transfer"
+    WORKER_DECOMPRESS = "worker_decompress"
+    WORKER_COMPRESS = "worker_compress"
+    COLLECT = "collect"
+    RECONSTRUCT = "reconstruct"
+    JNI_CALL = "jni_call"
+    # The useful work.
+    COMPUTE = "compute"
+
+    @property
+    def bucket(self) -> str:
+        """Figure-5 bucket this phase rolls up into."""
+        return _BUCKET_OF[self]
+
+
+#: The three stacked components of Figure 5.
+BUCKET_HOST_COMM = "host-target communication"
+BUCKET_SPARK = "spark overhead"
+BUCKET_COMPUTE = "computation"
+
+_BUCKET_OF: dict[Phase, str] = {
+    Phase.HOST_COMPRESS: BUCKET_HOST_COMM,
+    Phase.HOST_UPLOAD: BUCKET_HOST_COMM,
+    Phase.HOST_DOWNLOAD: BUCKET_HOST_COMM,
+    Phase.HOST_DECOMPRESS: BUCKET_HOST_COMM,
+    Phase.CLUSTER_INIT: BUCKET_SPARK,
+    Phase.STORAGE_READ: BUCKET_SPARK,
+    Phase.STORAGE_WRITE: BUCKET_SPARK,
+    Phase.SCHEDULING: BUCKET_SPARK,
+    Phase.BROADCAST: BUCKET_SPARK,
+    Phase.INTRA_TRANSFER: BUCKET_SPARK,
+    Phase.WORKER_DECOMPRESS: BUCKET_SPARK,
+    Phase.WORKER_COMPRESS: BUCKET_SPARK,
+    Phase.COLLECT: BUCKET_SPARK,
+    Phase.RECONSTRUCT: BUCKET_SPARK,
+    Phase.JNI_CALL: BUCKET_SPARK,
+    Phase.COMPUTE: BUCKET_COMPUTE,
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous activity on one resource, in simulated seconds."""
+
+    phase: Phase
+    start: float
+    end: float
+    resource: str = ""
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span ends before it starts: {self!r}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """An append-only collection of :class:`Span` with roll-up queries.
+
+    The *critical-path* semantics of an offload run live in the recorded start
+    and end times, not the sum of durations: parallel uploads overlap, map
+    tasks overlap.  ``wall(phase)`` therefore measures the union of intervals
+    of a phase, while ``busy(phase)`` sums raw durations (resource-seconds).
+    """
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+
+    def record(
+        self,
+        phase: Phase,
+        start: float,
+        end: float,
+        resource: str = "",
+        label: str = "",
+    ) -> Span:
+        span = Span(phase=phase, start=start, end=end, resource=resource, label=label)
+        self._spans.append(span)
+        return span
+
+    def extend(self, other: "Timeline") -> None:
+        self._spans.extend(other._spans)
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def filter(self, phases: Iterable[Phase]) -> "Timeline":
+        keep = set(phases)
+        tl = Timeline()
+        tl._spans = [s for s in self._spans if s.phase in keep]
+        return tl
+
+    def busy(self, phase: Phase | None = None) -> float:
+        """Total resource-seconds spent in ``phase`` (all phases if None)."""
+        return sum(s.duration for s in self._spans if phase is None or s.phase == phase)
+
+    def wall(self, phase: Phase | None = None) -> float:
+        """Length of the union of intervals of ``phase`` (all phases if None)."""
+        ivals = sorted(
+            (s.start, s.end) for s in self._spans if phase is None or s.phase == phase
+        )
+        total = 0.0
+        cur_start: float | None = None
+        cur_end = 0.0
+        for a, b in ivals:
+            if cur_start is None:
+                cur_start, cur_end = a, b
+            elif a <= cur_end:
+                cur_end = max(cur_end, b)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = a, b
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    def span(self) -> float:
+        """Makespan: last end minus first start (0 for an empty timeline)."""
+        if not self._spans:
+            return 0.0
+        return max(s.end for s in self._spans) - min(s.start for s in self._spans)
+
+    def bucket_wall(self) -> dict[str, float]:
+        """Union-of-intervals time per Figure-5 bucket."""
+        out: dict[str, float] = {}
+        for bucket in (BUCKET_HOST_COMM, BUCKET_SPARK, BUCKET_COMPUTE):
+            phases = [p for p, b in _BUCKET_OF.items() if b == bucket]
+            out[bucket] = self.filter(phases).wall()
+        return out
+
+    def figure5_breakdown(self, total: float | None = None) -> dict[str, float]:
+        """Roll spans up into the paper's three stacked components.
+
+        The three buckets are scaled so they sum to ``total`` (default: the
+        observed makespan).  Scaling is needed because buckets overlap in time
+        (computation proceeds while the next wave is being scheduled); Figure 5
+        presents a stacked — i.e. partitioned — view.
+        """
+        walls = self.bucket_wall()
+        s = sum(walls.values())
+        total = self.span() if total is None else total
+        if s <= 0.0:
+            return {k: 0.0 for k in walls}
+        return {k: v * total / s for k, v in walls.items()}
+
+    def by_resource(self) -> Mapping[str, float]:
+        """Busy seconds per resource name."""
+        out: dict[str, float] = {}
+        for s in self._spans:
+            out[s.resource] = out.get(s.resource, 0.0) + s.duration
+        return out

@@ -1,0 +1,88 @@
+"""Timeline invariant checking.
+
+A recorded timeline is a claim about what the simulated system did; this
+module verifies the claims are physically possible:
+
+* no span runs backwards or before time zero;
+* serial resources (the driver, the driver NIC, the host) never do two
+  things at once;
+* bounded-parallel resources (a worker's task slots) never exceed their
+  concurrency limit.
+
+The integration suite runs these checks on real offload timelines, so a
+scheduler bug that double-books a core fails loudly instead of silently
+producing an optimistic makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simtime.timeline import Span, Timeline
+
+
+class TimelineInvariantError(AssertionError):
+    """A recorded timeline is physically impossible."""
+
+
+@dataclass
+class ResourceLimits:
+    """Concurrency limits per resource name.
+
+    ``serial`` resources allow one activity at a time; ``bounded`` maps a
+    resource name to its slot count; unknown resources are unconstrained
+    (aggregate rows like "cluster").
+    """
+
+    serial: set[str] = field(default_factory=set)
+    bounded: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def for_cluster(cls, slots_per_worker: int, n_workers: int,
+                    host_streams: int | None = None) -> "ResourceLimits":
+        limits = cls(
+            serial={"driver", "driver-nic"},
+            bounded={f"worker-{i}": slots_per_worker for i in range(n_workers)},
+        )
+        if host_streams is not None:
+            limits.bounded["host"] = host_streams
+        return limits
+
+
+def max_concurrency(spans: list[Span]) -> int:
+    """Peak number of simultaneously-active spans."""
+    events: list[tuple[float, int]] = []
+    for s in spans:
+        if s.duration <= 0:
+            continue
+        events.append((s.start, 1))
+        events.append((s.end, -1))
+    # Ends sort before starts at the same instant: touching spans don't overlap.
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = cur = 0
+    for _, delta in events:
+        cur += delta
+        peak = max(peak, cur)
+    return peak
+
+
+def check_timeline(timeline: Timeline, limits: ResourceLimits) -> None:
+    """Raise :class:`TimelineInvariantError` on any violated invariant."""
+    by_resource: dict[str, list[Span]] = {}
+    for s in timeline.spans:
+        if s.start < 0:
+            raise TimelineInvariantError(f"span starts before t=0: {s}")
+        by_resource.setdefault(s.resource, []).append(s)
+
+    for name, spans in by_resource.items():
+        peak = max_concurrency(spans)
+        if name in limits.serial and peak > 1:
+            raise TimelineInvariantError(
+                f"serial resource {name!r} ran {peak} activities at once"
+            )
+        cap = limits.bounded.get(name)
+        if cap is not None and peak > cap:
+            raise TimelineInvariantError(
+                f"resource {name!r} ran {peak} activities at once "
+                f"(limit {cap})"
+            )

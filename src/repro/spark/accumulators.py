@@ -1,0 +1,87 @@
+"""Spark accumulators.
+
+Write-only-from-tasks counters with driver-side reads.  The semantics Spark
+guarantees (and that matter under fault injection) are reproduced: a task's
+contributions are buffered while the task runs and **committed only if the
+task succeeds** — a task that dies with its worker contributes nothing, and
+its successful re-execution contributes exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+import threading
+from typing import Any, Callable
+
+_local = threading.local()
+
+
+def _buffer_stack() -> list[list[tuple["Accumulator", Any]]]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+class Accumulator:
+    """A commutative-associative accumulator.
+
+    ``add`` inside a running task buffers the contribution; outside any task
+    (driver code) it applies immediately.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, initial: Any, op: Callable[[Any, Any], Any] = operator.add,
+                 name: str = "") -> None:
+        self.id = next(Accumulator._ids)
+        self.name = name or f"accumulator-{self.id}"
+        self._op = op
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def add(self, amount: Any) -> None:
+        stack = _buffer_stack()
+        if stack:
+            stack[-1].append((self, amount))
+        else:
+            self._commit(amount)
+
+    def _commit(self, amount: Any) -> None:
+        with self._lock:
+            self._value = self._op(self._value, amount)
+
+    @property
+    def value(self) -> Any:
+        """Driver-side read of the committed value."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Accumulator({self.name!r}, value={self._value!r})"
+
+
+class TaskAccumulatorScope:
+    """Context manager the executor wraps around each task closure."""
+
+    def __init__(self) -> None:
+        self.pending: list[tuple[Accumulator, Any]] = []
+
+    def __enter__(self) -> "TaskAccumulatorScope":
+        _buffer_stack().append(self.pending)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = _buffer_stack().pop()
+        assert popped is self.pending
+
+    def commit(self) -> None:
+        """Apply the buffered contributions (task succeeded)."""
+        for acc, amount in self.pending:
+            acc._commit(amount)
+        self.pending.clear()
+
+    def discard(self) -> None:
+        """Drop the buffered contributions (task failed)."""
+        self.pending.clear()

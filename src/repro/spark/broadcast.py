@@ -1,0 +1,54 @@
+"""Broadcast variables.
+
+Unpartitioned inputs (matrix ``B`` in the paper's running example) are sent
+to every worker node once: "the communication overhead will be limited by the
+efficiency of BitTorrent protocol used by Spark to broadcast variables".  The
+value lives on the driver; executors receive a reference and the network cost
+model charges one BitTorrent distribution per job that reads it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only variable shipped once per node.
+
+    ``nbytes`` drives the cost model; in functional mode it is measured from
+    the value, in modeled mode the caller supplies it for a virtual payload.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, value: T, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative broadcast size {nbytes!r}")
+        self.id = next(Broadcast._ids)
+        self._value: T | None = value
+        self.nbytes = nbytes
+        self._destroyed = False
+        #: Nodes that already hold the blocks (filled in by the scheduler).
+        self.nodes_seeded: set[str] = set()
+
+    @property
+    def value(self) -> T:
+        if self._destroyed:
+            raise RuntimeError(f"broadcast {self.id} was destroyed")
+        return self._value  # type: ignore[return-value]
+
+    def destroy(self) -> None:
+        """Release the blocks everywhere (irreversible, like Spark)."""
+        self._destroyed = True
+        self._value = None
+        self.nodes_seeded.clear()
+
+    @property
+    def is_destroyed(self) -> bool:
+        return self._destroyed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Broadcast(id={self.id}, nbytes={self.nbytes}, destroyed={self._destroyed})"

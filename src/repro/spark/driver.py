@@ -1,0 +1,148 @@
+"""The Spark driver.
+
+"The driver is in charge of communication with the outside world (i.e. host
+computer), resource allocation and task scheduling."  Here it turns an RDD
+action into a task set, runs it through the :class:`TaskScheduler`, and hands
+back per-partition results plus the job's timeline and statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.simtime.timeline import Timeline
+from repro.spark.broadcast import Broadcast
+from repro.spark.faults import NO_FAULTS, FaultPlan
+from repro.spark.rdd import RDD, MappedRDD, ParallelCollectionRDD
+from repro.spark.scheduler import (
+    JobStats,
+    SchedulerCosts,
+    Task,
+    TaskScheduler,
+)
+from repro.spark.serialization import sizeof_element
+
+if True:  # keep import group tight for the type checker
+    from repro.spark.cluster import SparkCluster
+
+
+@dataclass
+class TaskCosts:
+    """Per-task simulated durations and payload sizes, supplied by the
+    OmpCloud codegen in modeled runs (functional runs default to zero cost)."""
+
+    compute_s: float = 0.0
+    jni_s: float = 0.0
+    decompress_s: float = 0.0
+    compress_s: float = 0.0
+    input_bytes: int = -1  # -1 = measure from the partition data
+    output_bytes: int = -1  # -1 = measure from the result
+
+
+@dataclass
+class JobResult:
+    """Everything a job produced."""
+
+    partitions: list[list[Any]]
+    stats: JobStats
+    timeline: Timeline = field(default_factory=Timeline)
+
+    @property
+    def makespan_s(self) -> float:
+        return self.stats.makespan_s
+
+
+CostsFor = Callable[[int], TaskCosts]
+PartitionPost = Callable[[list[Any]], list[Any]]
+
+
+class Driver:
+    """Driver-node logic shared by functional and modeled jobs."""
+
+    def __init__(self, cluster: "SparkCluster", costs: SchedulerCosts | None = None) -> None:
+        self.cluster = cluster
+        self.scheduler = TaskScheduler(costs)
+        self._job_seq = 0
+
+    def run_job(
+        self,
+        rdd: RDD,
+        partition_post: PartitionPost | None = None,
+        costs_for: CostsFor | None = None,
+        broadcasts: Sequence[Broadcast] = (),
+        fault_plan: FaultPlan = NO_FAULTS,
+        functional: bool = True,
+    ) -> JobResult:
+        """Execute ``rdd`` (optionally post-processing each partition).
+
+        In functional mode the closures really run; task payload sizes are
+        measured from the data unless ``costs_for`` overrides them.
+        """
+        self._job_seq += 1
+        timeline = Timeline()
+        tasks: list[Task] = []
+        for split in range(rdd.num_partitions):
+            costs = costs_for(split) if costs_for is not None else TaskCosts()
+            task = Task(
+                task_id=self._job_seq * 100_000 + split,
+                split=split,
+                compute_s=costs.compute_s,
+                jni_s=costs.jni_s,
+                decompress_s=costs.decompress_s,
+                compress_s=costs.compress_s,
+                input_bytes=(
+                    costs.input_bytes
+                    if costs.input_bytes >= 0
+                    else (self._measure_input_bytes(rdd, split) if functional else 0)
+                ),
+                output_bytes=max(costs.output_bytes, 0),
+            )
+            if functional:
+                task.closure = self._make_closure(rdd, split, partition_post, task,
+                                                  costs.output_bytes < 0)
+            tasks.append(task)
+
+        stats = self.scheduler.run_job(
+            tasks,
+            executors=self.cluster.executors,
+            network=self.cluster.network,
+            clock=self.cluster.clock,
+            timeline=timeline,
+            broadcasts=broadcasts,
+            fault_plan=fault_plan,
+            functional=functional,
+        )
+        partitions = [r.value if r.value is not None else [] for r in stats.results]
+        return JobResult(partitions=partitions, stats=stats, timeline=timeline)
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _make_closure(
+        rdd: RDD,
+        split: int,
+        partition_post: PartitionPost | None,
+        task: Task,
+        measure_output: bool,
+    ) -> Callable[[], list[Any]]:
+        def closure() -> list[Any]:
+            data = rdd.iterator(split)
+            if partition_post is not None:
+                data = partition_post(data)
+            if measure_output:
+                task.output_bytes = sum(sizeof_element(x) for x in data)
+            return data
+
+        return closure
+
+    @staticmethod
+    def _measure_input_bytes(rdd: RDD, split: int) -> int:
+        """Bytes that must move driver -> executor for this partition: the
+        source collection's slice (narrow transformations recompute the rest
+        on the worker)."""
+        node = rdd
+        while isinstance(node, MappedRDD):
+            node = node.parent
+        if isinstance(node, ParallelCollectionRDD):
+            return sum(sizeof_element(x) for x in node.compute(split))
+        return 0

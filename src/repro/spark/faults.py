@@ -1,0 +1,46 @@
+"""Fault injection for the Spark substrate.
+
+RDD fault tolerance is one of the features OmpCloud gets "transparently" from
+Spark, so the reproduction must be able to kill workers and show the job still
+completes with identical results.  A :class:`FaultPlan` describes the
+failures; the scheduler consults it both in simulated scheduling (a worker
+dies at a simulated instant) and in functional runs (a worker's Nth task
+raises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultPlan:
+    """Planned executor failures.
+
+    ``die_at`` maps worker id -> simulated time after which the worker serves
+    nothing; ``fail_task_number`` maps worker id -> 1-based index of the task
+    execution on that worker that raises (functional mode).
+    """
+
+    die_at: dict[str, float] = field(default_factory=dict)
+    fail_task_number: dict[str, int] = field(default_factory=dict)
+
+    def is_dead(self, worker_id: str, when: float) -> bool:
+        t = self.die_at.get(worker_id)
+        return t is not None and when >= t
+
+    def kills_reservation(self, worker_id: str, start: float, end: float) -> bool:
+        """True when the worker dies before the reservation completes."""
+        t = self.die_at.get(worker_id)
+        return t is not None and t < end
+
+    def should_raise(self, worker_id: str, task_number: int) -> bool:
+        return self.fail_task_number.get(worker_id) == task_number
+
+    @property
+    def empty(self) -> bool:
+        return not self.die_at and not self.fail_task_number
+
+
+#: A plan with no failures, shared default.
+NO_FAULTS = FaultPlan()

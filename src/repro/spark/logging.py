@@ -1,0 +1,57 @@
+"""Spark log streaming.
+
+"Additionally, the user can choose to print the log messages of Spark to the
+standard output of the host computer to check the current state of the
+computation."  Components append structured records to a :class:`SparkLog`;
+the cloud plugin relays them to stdout when the configuration sets
+``verbose = true``.  Log lines carry the *simulated* timestamp, so the stream
+reads like a real driver log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    time: float
+    level: str
+    component: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.time:10.3f} {self.level:<5} {self.component:<12} {self.message}"
+
+
+@dataclass
+class SparkLog:
+    """Append-only log with optional live sinks."""
+
+    records: list[LogRecord] = field(default_factory=list)
+    sinks: list[Callable[[str], None]] = field(default_factory=list)
+
+    def log(self, time: float, component: str, message: str, level: str = "INFO") -> None:
+        rec = LogRecord(time=time, level=level, component=component, message=message)
+        self.records.append(rec)
+        for sink in self.sinks:
+            sink(rec.format())
+
+    def info(self, time: float, component: str, message: str) -> None:
+        self.log(time, component, message, "INFO")
+
+    def warn(self, time: float, component: str, message: str) -> None:
+        self.log(time, component, message, "WARN")
+
+    def attach_stdout(self) -> None:
+        """Stream future records to stdout (the verbose=true behaviour)."""
+        self.sinks.append(print)
+
+    def lines(self, component: str | None = None) -> Iterable[str]:
+        for rec in self.records:
+            if component is None or rec.component == component:
+                yield rec.format()
+
+    def __len__(self) -> int:
+        return len(self.records)

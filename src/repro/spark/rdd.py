@@ -1,0 +1,284 @@
+"""Resilient Distributed Datasets.
+
+The execution model of the paper (Section III-C) is expressed entirely in RDD
+terms: ``RDD_IN`` is a parallelized collection of ``(i, V_IN(i))`` pairs, a
+``map`` applies the loop body, and the outputs are collected and reconstructed
+on the driver.  This module implements the RDD abstraction with the three
+properties OmpCloud relies on:
+
+* **partitioning** — elements are split into equal parts across workers
+  (Eq. 3), here via :func:`repro.spark.partitioner.range_partition`;
+* **laziness + lineage** — transformations build a DAG; ``compute(split)``
+  materializes one partition by recursively computing its parents, which is
+  also exactly the **fault recovery** story: a lost task is re-run from
+  lineage, nothing else;
+* **actions** — ``collect``/``reduce``/``count`` hand the DAG to the driver,
+  which schedules one task per partition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TYPE_CHECKING
+
+from repro.spark.partitioner import range_partition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.context import SparkContext
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A handle on one split of an RDD."""
+
+    rdd_id: int
+    index: int
+
+
+class RDD:
+    """Base class; subclasses define :meth:`compute`."""
+
+    _ids = itertools.count()
+
+    def __init__(self, context: "SparkContext", num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"an RDD needs >= 1 partition, got {num_partitions}")
+        self.context = context
+        self.id = next(RDD._ids)
+        self.num_partitions = num_partitions
+        self._cache: dict[int, list[Any]] | None = None
+
+    # ------------------------------------------------------------- lineage
+    def compute(self, split: int) -> list[Any]:
+        """Materialize partition ``split`` (recursively via parents)."""
+        raise NotImplementedError
+
+    def partitions(self) -> list[Partition]:
+        return [Partition(self.id, i) for i in range(self.num_partitions)]
+
+    def iterator(self, split: int) -> list[Any]:
+        """compute() with cache lookup, like Spark's ``RDD.iterator``."""
+        self._check_split(split)
+        if self._cache is not None:
+            if split not in self._cache:
+                self._cache[split] = self.compute(split)
+            return self._cache[split]
+        return self.compute(split)
+
+    def cache(self) -> "RDD":
+        """Keep computed partitions around (driver-side block manager)."""
+        if self._cache is None:
+            self._cache = {}
+        return self
+
+    def unpersist(self) -> "RDD":
+        self._cache = None
+        return self
+
+    def _check_split(self, split: int) -> None:
+        if not 0 <= split < self.num_partitions:
+            raise IndexError(
+                f"RDD {self.id} has {self.num_partitions} partitions, asked for {split}"
+            )
+
+    # ------------------------------------------------------ transformations
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return MappedRDD(self, lambda it: [fn(x) for x in it])
+
+    def filter(self, fn: Callable[[Any], bool]) -> "RDD":
+        return MappedRDD(self, lambda it: [x for x in it if fn(x)])
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return MappedRDD(self, lambda it: [y for x in it for y in fn(x)])
+
+    def map_partitions(self, fn: Callable[[list[Any]], Iterable[Any]]) -> "RDD":
+        return MappedRDD(self, lambda it: list(fn(it)))
+
+    def map_partitions_with_index(
+        self, fn: Callable[[int, list[Any]], Iterable[Any]]
+    ) -> "RDD":
+        return MappedRDD(self, fn, with_index=True)
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each element with its global index (requires a size pass,
+        like Spark's ``zipWithIndex``)."""
+        counts = [len(self.iterator(i)) for i in range(self.num_partitions)]
+        offsets = [0]
+        for c in counts[:-1]:
+            offsets.append(offsets[-1] + c)
+
+        def fn(idx: int, it: list[Any]) -> list[Any]:
+            return [(x, offsets[idx] + j) for j, x in enumerate(it)]
+
+        return MappedRDD(self, fn, with_index=True)
+
+    def glom(self) -> "RDD":
+        """Each partition becomes a single list element."""
+        return MappedRDD(self, lambda it: [list(it)])
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs partition-wise (narrow, no shuffle)."""
+        return UnionRDD(self, other)
+
+    def zip(self, other: "RDD") -> "RDD":
+        """Pair elements position-wise; requires identical partitioning,
+        like Spark's ``zip``."""
+        if other.num_partitions != self.num_partitions:
+            raise ValueError(
+                f"can only zip RDDs with the same number of partitions "
+                f"({self.num_partitions} != {other.num_partitions})"
+            )
+        return ZippedRDD(self, other)
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "RDD":
+        return self.map(lambda x: (fn(x), x))
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    def reduce_by_key(self, fn: Callable[[Any, Any], Any],
+                      num_partitions: int | None = None) -> "RDD":
+        """Combine values per key.
+
+        Map-side combining happens per partition on the substrate; the merge
+        across partitions runs on the driver (a simplification of Spark's
+        shuffle that preserves its semantics — OmpCloud's generated jobs never
+        need a distributed shuffle).  Keys keep first-seen order.
+        """
+
+        def combine(it: list[Any]) -> list[Any]:
+            acc: dict[Any, Any] = {}
+            for k, v in it:
+                acc[k] = fn(acc[k], v) if k in acc else v
+            return list(acc.items())
+
+        partials = [x for p in self.context.run_job(self, combine) for x in p]
+        merged: dict[Any, Any] = {}
+        for k, v in partials:
+            merged[k] = fn(merged[k], v) if k in merged else v
+        n = num_partitions if num_partitions is not None else self.num_partitions
+        return ParallelCollectionRDD(self.context, list(merged.items()),
+                                     max(1, min(n, max(len(merged), 1))))
+
+    def collect_as_map(self) -> dict:
+        """collectAsMap(): the pairs of this RDD as a driver-side dict."""
+        return dict(self.collect())
+
+    # --------------------------------------------------------------- actions
+    def collect(self) -> list[Any]:
+        """Run the job and concatenate all partitions, in order."""
+        parts = self.context.run_job(self)
+        return [x for p in parts for x in p]
+
+    def count(self) -> int:
+        parts = self.context.run_job(self, lambda it: [len(it)])
+        return sum(x for p in parts for x in p)
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        """Tree-free two-level reduce: within partitions, then on the driver."""
+
+        def reduce_partition(it: list[Any]) -> list[Any]:
+            if not it:
+                return []
+            acc = it[0]
+            for x in it[1:]:
+                acc = fn(acc, x)
+            return [acc]
+
+        partials = [x for p in self.context.run_job(self, reduce_partition) for x in p]
+        if not partials:
+            raise ValueError("reduce of an empty RDD")
+        acc = partials[0]
+        for x in partials[1:]:
+            acc = fn(acc, x)
+        return acc
+
+    def take(self, n: int) -> list[Any]:
+        out: list[Any] = []
+        for i in range(self.num_partitions):
+            if len(out) >= n:
+                break
+            out.extend(self.iterator(i))
+        return out[:n]
+
+
+class ParallelCollectionRDD(RDD):
+    """An RDD born from a driver-side sequence (``sc.parallelize``)."""
+
+    def __init__(self, context: "SparkContext", data: Sequence[Any], num_partitions: int) -> None:
+        super().__init__(context, num_partitions)
+        self._slices: list[list[Any]] = [
+            list(data[lo:hi]) for lo, hi in range_partition(len(data), num_partitions)
+        ]
+
+    def compute(self, split: int) -> list[Any]:
+        self._check_split(split)
+        return list(self._slices[split])
+
+
+class MappedRDD(RDD):
+    """A narrow one-parent transformation."""
+
+    def __init__(
+        self,
+        parent: RDD,
+        fn: Callable[..., Iterable[Any]],
+        with_index: bool = False,
+    ) -> None:
+        super().__init__(parent.context, parent.num_partitions)
+        self.parent = parent
+        self.fn = fn
+        self.with_index = with_index
+
+    def compute(self, split: int) -> list[Any]:
+        self._check_split(split)
+        parent_data = self.parent.iterator(split)
+        if self.with_index:
+            return list(self.fn(split, parent_data))
+        return list(self.fn(parent_data))
+
+
+class UnionRDD(RDD):
+    """Partition-wise concatenation of two parents (Spark's UnionRDD)."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.context, left.num_partitions + right.num_partitions)
+        self.left = left
+        self.right = right
+
+    def compute(self, split: int) -> list[Any]:
+        self._check_split(split)
+        if split < self.left.num_partitions:
+            return self.left.iterator(split)
+        return self.right.iterator(split - self.left.num_partitions)
+
+
+class ZippedRDD(RDD):
+    """Position-wise pairing of two identically-partitioned parents."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.context, left.num_partitions)
+        self.left = left
+        self.right = right
+
+    def compute(self, split: int) -> list[Any]:
+        self._check_split(split)
+        a = self.left.iterator(split)
+        b = self.right.iterator(split)
+        if len(a) != len(b):
+            raise ValueError(
+                f"cannot zip partition {split}: {len(a)} vs {len(b)} elements "
+                f"(Spark requires the same number of elements per partition)"
+            )
+        return list(zip(a, b))
+
+
+def lineage_depth(rdd: RDD) -> int:
+    """Number of transformation hops back to a source RDD (diagnostics)."""
+    depth = 0
+    node = rdd
+    while isinstance(node, MappedRDD):
+        node = node.parent
+        depth += 1
+    return depth

@@ -1,0 +1,256 @@
+"""Task scheduling.
+
+The driver "is in charge of ... resource allocation and task scheduling".
+This scheduler reproduces the cost structure of Spark's TaskSchedulerImpl for
+the one-stage DOALL jobs OmpCloud generates:
+
+* task launches are **serialized through the driver** (closure serialization +
+  RPC), so per-task overhead scales with the task count — the reason the
+  paper tiles loops down to one task per core (Algorithm 1);
+* partition payloads scatter to executors through the **driver NIC**, modelled
+  as a serial resource;
+* broadcasts are charged once per job via the BitTorrent model;
+* results stream back through the same NIC (``collect``);
+* executor failures (from a :class:`~repro.spark.faults.FaultPlan`) trigger
+  re-execution on surviving executors, up to ``spark.task.maxFailures``
+  attempts — lineage recomputation in RDD terms.
+
+Everything is accounted on a :class:`~repro.simtime.timeline.Timeline` with
+the phases Figure 5 of the paper stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.cloud.network import NetworkModel
+from repro.simtime.clock import SimClock
+from repro.simtime.timeline import Phase, Timeline
+from repro.spark.broadcast import Broadcast
+from repro.spark.executor import Executor, ExecutorLostError
+from repro.spark.faults import NO_FAULTS, FaultPlan
+
+#: Spark's default spark.task.maxFailures.
+MAX_TASK_FAILURES = 4
+
+
+class JobFailedError(Exception):
+    """A task exhausted its attempts or no executor survives."""
+
+
+@dataclass
+class SchedulerCosts:
+    """Driver-side constants (calibrated in :mod:`repro.perfmodel.calibration`)."""
+
+    #: Closure serialization + launch RPC per task, on the driver.
+    task_launch_s: float = 0.004
+    #: Heartbeat-based failure detection latency.
+    failure_detect_s: float = 2.0
+
+
+@dataclass
+class Task:
+    """One schedulable unit: a tile of loop iterations (after Algorithm 1).
+
+    Durations are split by phase so the timeline can reproduce Figure 5's
+    decomposition; ``closure`` is executed for real in functional mode.
+    """
+
+    task_id: int
+    split: int
+    compute_s: float = 0.0
+    jni_s: float = 0.0
+    decompress_s: float = 0.0
+    compress_s: float = 0.0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    closure: Callable[[], Any] | None = None
+
+    @property
+    def slot_duration_s(self) -> float:
+        return self.compute_s + self.jni_s + self.decompress_s + self.compress_s
+
+
+@dataclass
+class TaskResult:
+    """Where and when one task ran, and what it produced."""
+
+    task: Task
+    worker_id: str
+    start: float
+    end: float
+    value: Any = None
+    attempts: int = 1
+    collected_at: float = 0.0
+
+
+@dataclass
+class JobStats:
+    """Aggregates the benches report."""
+
+    tasks: int = 0
+    recomputed_tasks: int = 0
+    broadcast_s: float = 0.0
+    makespan_s: float = 0.0
+    results: list[TaskResult] = field(default_factory=list)
+
+
+class TaskScheduler:
+    """Schedules one job's task set onto a fixed executor group."""
+
+    def __init__(self, costs: SchedulerCosts | None = None) -> None:
+        self.costs = costs if costs is not None else SchedulerCosts()
+
+    def run_job(
+        self,
+        tasks: Sequence[Task],
+        executors: Sequence[Executor],
+        network: NetworkModel,
+        clock: SimClock,
+        timeline: Timeline,
+        broadcasts: Sequence[Broadcast] = (),
+        fault_plan: FaultPlan = NO_FAULTS,
+        functional: bool = True,
+    ) -> JobStats:
+        """Run all tasks; advances ``clock`` to job completion.
+
+        Returns per-task results ordered by ``split``.
+        """
+        alive = [ex for ex in executors if not ex.is_dead]
+        if not alive:
+            raise JobFailedError("no alive executors")
+        t0 = clock.now
+        stats = JobStats(tasks=len(tasks))
+
+        # ------------------------------------------------------- broadcasts
+        ready0 = t0
+        worker_ids = {ex.worker_id for ex in alive}
+        for bc in broadcasts:
+            missing = worker_ids - bc.nodes_seeded
+            if not missing or bc.nbytes == 0:
+                continue
+            dt = network.broadcast_time(bc.nbytes, len(missing), bittorrent=True)
+            timeline.record(Phase.BROADCAST, ready0, ready0 + dt, resource="cluster",
+                            label=f"broadcast-{bc.id}")
+            bc.nodes_seeded |= missing
+            stats.broadcast_s += dt
+            ready0 += dt
+
+        # -------------------------------------------- launch + scatter + run
+        driver_cursor = ready0
+        nic_cursor = ready0
+        results: list[TaskResult] = []
+        for task in tasks:
+            launch_start = driver_cursor
+            driver_cursor += self.costs.task_launch_s
+            timeline.record(Phase.SCHEDULING, launch_start, driver_cursor,
+                            resource="driver", label=f"launch-{task.task_id}")
+            ready = driver_cursor
+            if task.input_bytes > 0:
+                x0 = max(ready, nic_cursor)
+                dt = network.lan_transfer_time(task.input_bytes)
+                nic_cursor = x0 + dt
+                timeline.record(Phase.INTRA_TRANSFER, x0, nic_cursor,
+                                resource="driver-nic", label=f"scatter-{task.task_id}")
+                ready = nic_cursor
+            result = self._run_one(task, executors, ready, timeline,
+                                   fault_plan, functional, stats)
+            results.append(result)
+
+        # ---------------------------------------------------------- collect
+        collect_cursor = nic_cursor
+        for res in sorted(results, key=lambda r: (r.end, r.task.task_id)):
+            if res.task.output_bytes > 0:
+                c0 = max(res.end, collect_cursor)
+                dt = network.lan_transfer_time(res.task.output_bytes)
+                collect_cursor = c0 + dt
+                timeline.record(Phase.COLLECT, c0, collect_cursor,
+                                resource="driver-nic", label=f"collect-{res.task.task_id}")
+                res.collected_at = collect_cursor
+            else:
+                res.collected_at = res.end
+
+        job_end = max([r.collected_at for r in results], default=ready0)
+        clock.advance_to(max(job_end, clock.now))
+        stats.makespan_s = job_end - t0
+        stats.results = sorted(results, key=lambda r: r.task.split)
+        return stats
+
+    # ------------------------------------------------------------ internals
+    def _run_one(
+        self,
+        task: Task,
+        executors: Sequence[Executor],
+        ready: float,
+        timeline: Timeline,
+        fault_plan: FaultPlan,
+        functional: bool,
+        stats: JobStats,
+    ) -> TaskResult:
+        attempts = 0
+        while attempts < MAX_TASK_FAILURES:
+            attempts += 1
+            ex = self._pick_executor(executors, ready)
+            res = ex.reserve(ready, task.slot_duration_s)
+
+            # Simulated-time death of the worker mid-task.
+            if fault_plan.kills_reservation(ex.worker_id, res.start, res.end):
+                die_at = fault_plan.die_at[ex.worker_id]
+                ex.mark_dead()
+                stats.recomputed_tasks += 1
+                ready = max(ready, die_at + self.costs.failure_detect_s)
+                continue
+
+            # Functional failure injection: the Nth closure on this worker raises.
+            value = None
+            if functional and task.closure is not None:
+                if fault_plan.should_raise(ex.worker_id, ex.tasks_executed + 1):
+                    ex.tasks_executed += 1
+                    ex.mark_dead()
+                    stats.recomputed_tasks += 1
+                    midpoint = res.start + task.slot_duration_s / 2.0
+                    ready = max(ready, midpoint + self.costs.failure_detect_s)
+                    continue
+                try:
+                    value = ex.run_closure(task.closure)
+                except ExecutorLostError:
+                    stats.recomputed_tasks += 1
+                    ready = max(ready, res.end + self.costs.failure_detect_s)
+                    continue
+
+            self._record_task_spans(task, res.start, ex.worker_id, timeline)
+            return TaskResult(task=task, worker_id=ex.worker_id,
+                              start=res.start, end=res.end, value=value,
+                              attempts=attempts)
+        raise JobFailedError(
+            f"task {task.task_id} failed {MAX_TASK_FAILURES} times; aborting job"
+        )
+
+    @staticmethod
+    def _pick_executor(executors: Sequence[Executor], ready: float) -> Executor:
+        best: Executor | None = None
+        best_start = float("inf")
+        for ex in executors:
+            if ex.is_dead:
+                continue
+            est = max(ex.pool.earliest_free(), ready)
+            if est < best_start:
+                best, best_start = ex, est
+        if best is None:
+            raise JobFailedError("all executors are dead")
+        return best
+
+    @staticmethod
+    def _record_task_spans(task: Task, start: float, worker_id: str, timeline: Timeline) -> None:
+        cursor = start
+        for phase, dur in (
+            (Phase.WORKER_DECOMPRESS, task.decompress_s),
+            (Phase.JNI_CALL, task.jni_s),
+            (Phase.COMPUTE, task.compute_s),
+            (Phase.WORKER_COMPRESS, task.compress_s),
+        ):
+            if dur > 0.0:
+                timeline.record(phase, cursor, cursor + dur, resource=worker_id,
+                                label=f"task-{task.task_id}")
+                cursor += dur

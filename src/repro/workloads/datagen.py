@@ -1,0 +1,66 @@
+"""Input generation: dense and sparse float32 data.
+
+"In order to evaluate the impact of the compression on performance, we have
+deliberately executed the benchmarks using two types of input data: sparse
+and dense matrices."  Dense matrices are uniform noise (nearly
+incompressible); sparse ones keep only a small fraction of nonzeros, giving
+gzip its long zero runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Nonzero fraction of the paper-style "sparse" inputs.
+SPARSE_DENSITY = 0.05
+
+
+def random_matrix(n_elements: int, seed: int = 0, lo: float = -1.0, hi: float = 1.0) -> np.ndarray:
+    """A dense linearized float32 matrix of ``n_elements`` values."""
+    if n_elements < 0:
+        raise ValueError(f"negative element count {n_elements!r}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(lo, hi, size=n_elements).astype(np.float32)
+
+
+def sparse_matrix(n_elements: int, density: float = SPARSE_DENSITY, seed: int = 0) -> np.ndarray:
+    """A linearized float32 matrix with ~``density`` nonzero entries."""
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density!r}")
+    rng = np.random.default_rng(seed)
+    out = np.zeros(n_elements, dtype=np.float32)
+    nnz = int(round(n_elements * density))
+    if nnz:
+        idx = rng.choice(n_elements, size=nnz, replace=False)
+        out[idx] = rng.uniform(-1.0, 1.0, size=nnz).astype(np.float32)
+    return out
+
+
+def matrix_for_density(n_elements: int, density: float, seed: int = 0) -> np.ndarray:
+    """Dense when ``density`` ~1, sparse otherwise."""
+    if density >= 0.999:
+        return random_matrix(n_elements, seed=seed)
+    return sparse_matrix(n_elements, density=density, seed=seed)
+
+
+def random_points(
+    n_points: int,
+    seed: int = 0,
+    collinear_fraction: float = 0.2,
+    grid: int = 64,
+) -> np.ndarray:
+    """2-D points for collinear-list, interleaved [x0, y0, x1, y1, ...].
+
+    A fraction of points snaps to a small integer grid so that exactly-
+    collinear triples actually occur (random reals are almost never
+    collinear), mirroring MgBench's integer-coordinate inputs.
+    """
+    if n_points < 0:
+        raise ValueError(f"negative point count {n_points!r}")
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, float(grid), size=(n_points, 2))
+    n_snap = int(round(n_points * collinear_fraction))
+    if n_snap:
+        idx = rng.choice(n_points, size=n_snap, replace=False)
+        pts[idx] = rng.integers(0, grid // 8, size=(n_snap, 2)).astype(float)
+    return pts.astype(np.float32).reshape(-1)

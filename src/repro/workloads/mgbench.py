@@ -1,0 +1,140 @@
+"""MgBench kernels: Mat-mul and Collinear-list.
+
+Collinear-list is the paper's low-communication case: it "processes a much
+smaller amount of data than the other benchmarks, showing that cloud
+offloading scales well when the dataset size stays small according to the
+computation".  It counts exactly-collinear point triples — O(M^3) work over
+a few hundred kilobytes of input — and uses the OpenMP ``reduction(+:...)``
+clause, exercising the reduction path of Eq. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.api import ParallelLoop, TargetRegion
+from repro.workloads.datagen import matrix_for_density, random_points
+
+# ------------------------------------------------------------------- MatMul
+
+
+def _matmul_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    bm = np.asarray(arrays["B"]).reshape(n, n)
+    at = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+    arrays["C"][lo * n : hi * n] = (at @ bm).reshape(-1)
+
+
+def matmul_region(device: str = "CLOUD") -> TargetRegion:
+    """Plain C = A*B — Listing 1 of the paper."""
+    return TargetRegion(
+        name="matmul",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "B"),
+                writes=("C",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) map(from: C[i*N:(i+1)*N])"
+                ),
+                body=_matmul_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2,
+            )
+        ],
+        memory_intensity=1.0,
+    )
+
+
+def matmul_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "B": matrix_for_density(n * n, density, seed + 1),
+        "C": np.zeros(n * n, dtype=np.float32),
+    }
+
+
+def matmul_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a, b = arrays["A"].reshape(n, n), arrays["B"].reshape(n, n)
+    return {"C": (a @ b).astype(np.float32).reshape(-1)}
+
+
+# ----------------------------------------------------------- Collinear-list
+
+
+def _collinear_tile(lo, hi, arrays, scalars):
+    """For each anchor i, count unordered pairs (j < k), both != i, that are
+    collinear with point i.  Every collinear triple is counted exactly three
+    times (once per anchor), keeping each iteration's cost identical — the
+    balanced GPU-style formulation."""
+    m = int(scalars["M"])
+    pts = np.asarray(arrays["points"]).reshape(m, 2).astype(np.float64)
+    count = arrays["count"]
+    total = 0
+    for i in range(lo, hi):
+        d = pts - pts[i]
+        # cross[j, k] = dx_j * dy_k - dy_j * dx_k over ALL pairs.
+        cross = np.outer(d[:, 0], d[:, 1]) - np.outer(d[:, 1], d[:, 0])
+        hits = np.triu(np.abs(cross) < 1e-9, k=1)
+        # Pairs involving i itself are degenerate (d[i] == 0): every pair
+        # (i, k) and (j, i) registers as a hit; subtract them.
+        total += int(hits.sum()) - (m - 1)
+    count[0] += total
+
+
+def collinear_region(device: str = "CLOUD") -> TargetRegion:
+    """Count collinear point triples with a ``reduction(+: count)`` clause."""
+    return TargetRegion(
+        name="collinear",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: points[:2*M]) map(tofrom: count[0:1])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for reduction(+: count)",
+                loop_var="i",
+                trip_count="M",
+                reads=("points",),
+                writes=("count",),
+                body=_collinear_tile,
+                # ~4 flops per (j, k) pair; every anchor scans all pairs.
+                flops_per_iter=lambda i, env: 4.0 * env["M"] ** 2,
+            )
+        ],
+        memory_intensity=0.05,
+    )
+
+
+def collinear_inputs(m: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    """``density`` selects the point distribution seed family only: the
+    benchmark's payload is small either way (the paper's point)."""
+    del density
+    return {
+        "points": random_points(m, seed=seed),
+        "count": np.zeros(1, dtype=np.int64),
+    }
+
+
+def collinear_reference(arrays: Mapping[str, np.ndarray], scalars) -> dict[str, np.ndarray]:
+    """Independent oracle: enumerate unordered triples (i < j < k) and count
+    the collinear ones; the kernel reports each such triple 3 times."""
+    m = int(scalars["M"])
+    pts = arrays["points"].reshape(m, 2).astype(np.float64)
+    triples = 0
+    for i in range(m):
+        for j in range(i + 1, m):
+            dj = pts[j] - pts[i]
+            dk = pts[j + 1 :] - pts[i]
+            cross = dj[0] * dk[:, 1] - dj[1] * dk[:, 0]
+            triples += int((np.abs(cross) < 1e-9).sum())
+    base = int(arrays["count"][0])
+    return {"count": np.array([base + 3 * triples], dtype=np.int64)}

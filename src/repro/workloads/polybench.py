@@ -1,0 +1,436 @@
+"""Polybench kernels (SYRK, SYR2K, COVAR, GEMM, 2MM, 3MM) as target regions.
+
+All kernels follow the paper's conventions: float32, linearized matrices,
+annotated with ``target device(CLOUD)`` + ``map`` pragmas, with the
+partitioning extension on the row-distributed variables.  SYRK, SYR2K and
+COVAR use the rectangular PolyBench/GPU iteration shapes (each row costs the
+same), matching the "previously adapted for the OpenMP accelerator model"
+versions the paper benchmarks and keeping Algorithm 1's static tiles
+balanced.  2MM and
+3MM are regions with *multiple* parallel loops — "successive map-reduce
+transformations within the Spark job" — whose intermediates are region-local
+buffers that never cross the WAN.
+
+COVAR note: the data matrix is stored column-major (``data[j*N+k]`` is
+element (k, j)) so that one column is one contiguous block, which is what
+makes the centering loop partitionable with the paper's contiguous-range
+extension.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.api import ParallelLoop, TargetRegion
+from repro.workloads.datagen import matrix_for_density
+
+# --------------------------------------------------------------------- GEMM
+
+
+def _gemm_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    alpha, beta = scalars["alpha"], scalars["beta"]
+    bm = np.asarray(arrays["B"]).reshape(n, n)
+    at = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+    ct = np.asarray(arrays["C"][lo * n : hi * n]).reshape(hi - lo, n)
+    arrays["C"][lo * n : hi * n] = (alpha * (at @ bm) + beta * ct).reshape(-1)
+
+
+def gemm_region(device: str = "CLOUD") -> TargetRegion:
+    """C = alpha*A*B + beta*C."""
+    return TargetRegion(
+        name="gemm",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], B[:N*N]) map(tofrom: C[:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "B", "C"),
+                writes=("C",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) "
+                    "map(tofrom: C[i*N:(i+1)*N])"
+                ),
+                body=_gemm_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2 + 2.0 * env["N"],
+            )
+        ],
+        memory_intensity=1.0,
+    )
+
+
+def gemm_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "B": matrix_for_density(n * n, density, seed + 1),
+        "C": matrix_for_density(n * n, density, seed + 2),
+    }
+
+
+def gemm_reference(arrays: Mapping[str, np.ndarray], scalars: Mapping[str, float]) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a = arrays["A"].reshape(n, n)
+    b = arrays["B"].reshape(n, n)
+    c = arrays["C"].reshape(n, n)
+    out = scalars["alpha"] * (a @ b) + scalars["beta"] * c
+    return {"C": out.astype(np.float32).reshape(-1)}
+
+
+# --------------------------------------------------------------------- SYRK
+
+
+def _syrk_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    alpha, beta = scalars["alpha"], scalars["beta"]
+    am = np.asarray(arrays["A"]).reshape(n, n)
+    c = arrays["C"]
+    for i in range(lo, hi):
+        row = np.asarray(c[i * n : (i + 1) * n])
+        row[:] = beta * row + alpha * (am @ am[i])
+
+
+def syrk_region(device: str = "CLOUD") -> TargetRegion:
+    """C = alpha*A*A^T + beta*C, full matrix (the PolyBench/GPU form used by
+    accelerator-model adaptations; every row costs the same, so static tiles
+    stay balanced)."""
+    return TargetRegion(
+        name="syrk",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N]) map(tofrom: C[:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "C"),
+                writes=("C",),
+                partition_pragma="omp target data map(tofrom: C[i*N:(i+1)*N])",
+                body=_syrk_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2 + env["N"],
+            )
+        ],
+        memory_intensity=1.0,
+    )
+
+
+def syrk_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "C": matrix_for_density(n * n, density, seed + 1),
+    }
+
+
+def syrk_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a = arrays["A"].reshape(n, n)
+    c0 = arrays["C"].reshape(n, n)
+    alpha, beta = scalars["alpha"], scalars["beta"]
+    out = alpha * (a @ a.T) + beta * c0
+    return {"C": out.astype(np.float32).reshape(-1)}
+
+
+# -------------------------------------------------------------------- SYR2K
+
+
+def _syr2k_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    alpha, beta = scalars["alpha"], scalars["beta"]
+    am = np.asarray(arrays["A"]).reshape(n, n)
+    bm = np.asarray(arrays["B"]).reshape(n, n)
+    c = arrays["C"]
+    for i in range(lo, hi):
+        row = np.asarray(c[i * n : (i + 1) * n])
+        row[:] = beta * row + alpha * (am @ bm[i]) + alpha * (bm @ am[i])
+
+
+def syr2k_region(device: str = "CLOUD") -> TargetRegion:
+    """C = alpha*(A*B^T + B*A^T) + beta*C, full matrix (PolyBench/GPU form)."""
+    return TargetRegion(
+        name="syr2k",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], B[:N*N]) map(tofrom: C[:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "B", "C"),
+                writes=("C",),
+                partition_pragma="omp target data map(tofrom: C[i*N:(i+1)*N])",
+                body=_syr2k_tile,
+                flops_per_iter=lambda i, env: 4.0 * env["N"] ** 2 + 2.0 * env["N"],
+            )
+        ],
+        memory_intensity=1.0,
+    )
+
+
+def syr2k_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "B": matrix_for_density(n * n, density, seed + 1),
+        "C": matrix_for_density(n * n, density, seed + 2),
+    }
+
+
+def syr2k_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a = arrays["A"].reshape(n, n)
+    b = arrays["B"].reshape(n, n)
+    c0 = arrays["C"].reshape(n, n)
+    alpha, beta = scalars["alpha"], scalars["beta"]
+    out = alpha * (a @ b.T) + alpha * (b @ a.T) + beta * c0
+    return {"C": out.astype(np.float32).reshape(-1)}
+
+
+# -------------------------------------------------------------------- COVAR
+
+
+def _covar_center_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    data = arrays["data"]
+    centered = arrays["centered"]
+    cols = np.asarray(data[lo * n : hi * n]).reshape(hi - lo, n)
+    means = cols.mean(axis=1, keepdims=True, dtype=np.float32)
+    centered[lo * n : hi * n] = (cols - means).reshape(-1)
+
+
+def _covar_cov_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    cm = np.asarray(arrays["centered"]).reshape(n, n)
+    cov = arrays["cov"]
+    denom = np.float32(scalars["N"] - 1)
+    for i in range(lo, hi):
+        cov[i * n : (i + 1) * n] = (cm @ cm[i]) / denom
+
+
+def covar_region(device: str = "CLOUD") -> TargetRegion:
+    """Covariance (column-major data layout); each row of cov is computed in
+    full (symmetric entries recomputed rather than mirrored) so rows stay
+    independent and partitionable, as accelerator-model adaptations do."""
+    return TargetRegion(
+        name="covar",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: data[:N*N]) map(from: cov[:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="j",
+                trip_count="N",
+                reads=("data",),
+                writes=("centered",),
+                partition_pragma=(
+                    "omp target data map(to: data[j*N:(j+1)*N]) "
+                    "map(from: centered[j*N:(j+1)*N])"
+                ),
+                body=_covar_center_tile,
+                flops_per_iter=lambda j, env: 2.0 * env["N"],
+            ),
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("centered",),
+                writes=("cov",),
+                partition_pragma="omp target data map(from: cov[i*N:(i+1)*N])",
+                body=_covar_cov_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2 + env["N"],
+            ),
+        ],
+        locals_={"centered": "N*N"},
+        memory_intensity=1.0,
+    )
+
+
+def covar_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "data": matrix_for_density(n * n, density, seed),
+        "cov": np.zeros(n * n, dtype=np.float32),
+    }
+
+
+def covar_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    dm = arrays["data"].reshape(n, n)  # row j is column j of the data
+    cm = (dm - dm.mean(axis=1, keepdims=True, dtype=np.float32)).astype(np.float32)
+    cov = (cm @ cm.T) / np.float32(n - 1)
+    return {"cov": cov.astype(np.float32).reshape(-1)}
+
+
+# ---------------------------------------------------------------------- 2MM
+
+
+def _mm_first_tile(out_name: str, a_name: str, b_name: str, scale_key: str | None):
+    def tile(lo, hi, arrays, scalars):
+        n = int(scalars["N"])
+        bm = np.asarray(arrays[b_name]).reshape(n, n)
+        at = np.asarray(arrays[a_name][lo * n : hi * n]).reshape(hi - lo, n)
+        prod = at @ bm
+        if scale_key is not None:
+            prod = scalars[scale_key] * prod
+        arrays[out_name][lo * n : hi * n] = prod.reshape(-1)
+
+    return tile
+
+
+def _mm2_second_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    cm = np.asarray(arrays["C"]).reshape(n, n)
+    tt = np.asarray(arrays["tmp"][lo * n : hi * n]).reshape(hi - lo, n)
+    dt = np.asarray(arrays["D"][lo * n : hi * n]).reshape(hi - lo, n)
+    arrays["D"][lo * n : hi * n] = (tt @ cm + scalars["beta"] * dt).reshape(-1)
+
+
+def mm2_region(device: str = "CLOUD") -> TargetRegion:
+    """2MM: D = alpha*A*B*C + beta*D via the intermediate tmp = alpha*A*B."""
+    return TargetRegion(
+        name="2mm",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], B[:N*N], C[:N*N]) map(tofrom: D[:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "B"),
+                writes=("tmp",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) "
+                    "map(from: tmp[i*N:(i+1)*N])"
+                ),
+                body=_mm_first_tile("tmp", "A", "B", "alpha"),
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2 + env["N"],
+            ),
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("tmp", "C", "D"),
+                writes=("D",),
+                partition_pragma=(
+                    "omp target data map(to: tmp[i*N:(i+1)*N]) "
+                    "map(tofrom: D[i*N:(i+1)*N])"
+                ),
+                body=_mm2_second_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2 + 2.0 * env["N"],
+            ),
+        ],
+        locals_={"tmp": "N*N"},
+        memory_intensity=1.0,
+    )
+
+
+def mm2_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "B": matrix_for_density(n * n, density, seed + 1),
+        "C": matrix_for_density(n * n, density, seed + 2),
+        "D": matrix_for_density(n * n, density, seed + 3),
+    }
+
+
+def mm2_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a, b = arrays["A"].reshape(n, n), arrays["B"].reshape(n, n)
+    c, d = arrays["C"].reshape(n, n), arrays["D"].reshape(n, n)
+    tmp = (scalars["alpha"] * (a @ b)).astype(np.float32)
+    out = tmp @ c + np.float32(scalars["beta"]) * d
+    return {"D": out.astype(np.float32).reshape(-1)}
+
+
+# ---------------------------------------------------------------------- 3MM
+
+
+def _mm3_third_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    fm = np.asarray(arrays["F"]).reshape(n, n)
+    et = np.asarray(arrays["E"][lo * n : hi * n]).reshape(hi - lo, n)
+    arrays["G"][lo * n : hi * n] = (et @ fm).reshape(-1)
+
+
+def mm3_region(device: str = "CLOUD") -> TargetRegion:
+    """3MM: G = (A*B) * (C*D) via intermediates E and F."""
+    return TargetRegion(
+        name="3mm",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], B[:N*N], C[:N*N], D[:N*N]) map(from: G[:N*N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "B"),
+                writes=("E",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) map(from: E[i*N:(i+1)*N])"
+                ),
+                body=_mm_first_tile("E", "A", "B", None),
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2,
+            ),
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("C", "D"),
+                writes=("F",),
+                partition_pragma=(
+                    "omp target data map(to: C[i*N:(i+1)*N]) map(from: F[i*N:(i+1)*N])"
+                ),
+                body=_mm_first_tile("F", "C", "D", None),
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2,
+            ),
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("E", "F"),
+                writes=("G",),
+                partition_pragma=(
+                    "omp target data map(to: E[i*N:(i+1)*N]) map(from: G[i*N:(i+1)*N])"
+                ),
+                body=_mm3_third_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2,
+            ),
+        ],
+        locals_={"E": "N*N", "F": "N*N"},
+        memory_intensity=1.0,
+    )
+
+
+def mm3_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "B": matrix_for_density(n * n, density, seed + 1),
+        "C": matrix_for_density(n * n, density, seed + 2),
+        "D": matrix_for_density(n * n, density, seed + 3),
+        "G": np.zeros(n * n, dtype=np.float32),
+    }
+
+
+def mm3_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a, b = arrays["A"].reshape(n, n), arrays["B"].reshape(n, n)
+    c, d = arrays["C"].reshape(n, n), arrays["D"].reshape(n, n)
+    e = (a @ b).astype(np.float32)
+    f = (c @ d).astype(np.float32)
+    return {"G": (e @ f).astype(np.float32).reshape(-1)}
+
+
+#: Default Polybench scalar parameters.
+DEFAULT_SCALARS = {"alpha": 1.5, "beta": 1.2}

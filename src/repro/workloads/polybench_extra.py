@@ -1,0 +1,321 @@
+"""Additional Polybench/GPU kernels beyond the paper's benchmark set.
+
+The ompcloud project supported more of Polybench than the six kernels the
+paper evaluates; these four matrix-vector kernels (ATAX, BICG, MVT, GESUMMV)
+exercise corners the paper's set does not: multiple *small* outputs, two
+independent outputs per loop, and regions whose second loop reduces over a
+local produced by the first.  They are registered in
+:data:`EXTRA_WORKLOADS` (suite ``polybench-extra``) and covered by the same
+oracle tests, but do not appear in the Figure 4/5 benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import ParallelLoop, TargetRegion
+from repro.workloads.datagen import matrix_for_density
+from repro.workloads.specs import WorkloadSpec
+
+# ---------------------------------------------------------------------- ATAX
+
+
+def _atax_first_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    x = np.asarray(arrays["x"])
+    rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+    arrays["tmp"][lo:hi] = rows @ x
+
+
+def _atax_second_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    am = np.asarray(arrays["A"]).reshape(n, n)
+    tmp = np.asarray(arrays["tmp"])
+    # y[j] = sum_i A[i][j] * tmp[i] for j in [lo, hi): columns of A.
+    arrays["y"][lo:hi] = am[:, lo:hi].T @ tmp
+
+
+def atax_region(device: str = "CLOUD") -> TargetRegion:
+    """y = A^T (A x): two loops, the second reading the first's local."""
+    return TargetRegion(
+        name="atax",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], x[:N]) map(from: y[:N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "x"),
+                writes=("tmp",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) map(from: tmp[i:i+1])"
+                ),
+                body=_atax_first_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"],
+            ),
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="j",
+                trip_count="N",
+                reads=("A", "tmp"),
+                writes=("y",),
+                partition_pragma="omp target data map(from: y[j:j+1])",
+                body=_atax_second_tile,
+                flops_per_iter=lambda j, env: 2.0 * env["N"],
+            ),
+        ],
+        locals_={"tmp": "N"},
+        memory_intensity=1.0,
+    )
+
+
+def atax_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "x": matrix_for_density(n, 1.0, seed + 1),
+        "y": np.zeros(n, dtype=np.float32),
+    }
+
+
+def atax_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a = arrays["A"].reshape(n, n)
+    tmp = (a @ arrays["x"]).astype(np.float32)
+    return {"y": (a.T @ tmp).astype(np.float32)}
+
+
+# ---------------------------------------------------------------------- BICG
+
+
+def _bicg_q_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    p = np.asarray(arrays["p"])
+    rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+    arrays["q"][lo:hi] = rows @ p
+
+
+def _bicg_s_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    am = np.asarray(arrays["A"]).reshape(n, n)
+    r = np.asarray(arrays["r"])
+    arrays["s"][lo:hi] = am[:, lo:hi].T @ r
+
+
+def bicg_region(device: str = "CLOUD") -> TargetRegion:
+    """BiCG sub-kernel: q = A p and s = A^T r — two independent outputs."""
+    return TargetRegion(
+        name="bicg",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], p[:N], r[:N]) map(from: q[:N], s[:N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "p"),
+                writes=("q",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) map(from: q[i:i+1])"
+                ),
+                body=_bicg_q_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"],
+            ),
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="j",
+                trip_count="N",
+                reads=("A", "r"),
+                writes=("s",),
+                partition_pragma="omp target data map(from: s[j:j+1])",
+                body=_bicg_s_tile,
+                flops_per_iter=lambda j, env: 2.0 * env["N"],
+            ),
+        ],
+        memory_intensity=1.0,
+    )
+
+
+def bicg_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "p": matrix_for_density(n, 1.0, seed + 1),
+        "r": matrix_for_density(n, 1.0, seed + 2),
+        "q": np.zeros(n, dtype=np.float32),
+        "s": np.zeros(n, dtype=np.float32),
+    }
+
+
+def bicg_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a = arrays["A"].reshape(n, n)
+    return {
+        "q": (a @ arrays["p"]).astype(np.float32),
+        "s": (a.T @ arrays["r"]).astype(np.float32),
+    }
+
+
+# ----------------------------------------------------------------------- MVT
+
+
+def _mvt_x1_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    y1 = np.asarray(arrays["y1"])
+    rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+    x1 = arrays["x1"]
+    x1[lo:hi] = np.asarray(x1[lo:hi]) + rows @ y1
+
+
+def _mvt_x2_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    am = np.asarray(arrays["A"]).reshape(n, n)
+    y2 = np.asarray(arrays["y2"])
+    x2 = arrays["x2"]
+    x2[lo:hi] = np.asarray(x2[lo:hi]) + am[:, lo:hi].T @ y2
+
+
+def mvt_region(device: str = "CLOUD") -> TargetRegion:
+    """x1 += A y1; x2 += A^T y2 (tofrom vector outputs)."""
+    return TargetRegion(
+        name="mvt",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], y1[:N], y2[:N]) map(tofrom: x1[:N], x2[:N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "y1", "x1"),
+                writes=("x1",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N]) map(tofrom: x1[i:i+1])"
+                ),
+                body=_mvt_x1_tile,
+                flops_per_iter=lambda i, env: 2.0 * env["N"],
+            ),
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="j",
+                trip_count="N",
+                reads=("A", "y2", "x2"),
+                writes=("x2",),
+                partition_pragma="omp target data map(tofrom: x2[j:j+1])",
+                body=_mvt_x2_tile,
+                flops_per_iter=lambda j, env: 2.0 * env["N"],
+            ),
+        ],
+        memory_intensity=1.0,
+    )
+
+
+def mvt_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "y1": matrix_for_density(n, 1.0, seed + 1),
+        "y2": matrix_for_density(n, 1.0, seed + 2),
+        "x1": matrix_for_density(n, 1.0, seed + 3),
+        "x2": matrix_for_density(n, 1.0, seed + 4),
+    }
+
+
+def mvt_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a = arrays["A"].reshape(n, n)
+    return {
+        "x1": (arrays["x1"] + a @ arrays["y1"]).astype(np.float32),
+        "x2": (arrays["x2"] + a.T @ arrays["y2"]).astype(np.float32),
+    }
+
+
+# ------------------------------------------------------------------- GESUMMV
+
+
+def _gesummv_tile(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    alpha, beta = scalars["alpha"], scalars["beta"]
+    x = np.asarray(arrays["x"])
+    a_rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+    b_rows = np.asarray(arrays["B"][lo * n : hi * n]).reshape(hi - lo, n)
+    arrays["y"][lo:hi] = alpha * (a_rows @ x) + beta * (b_rows @ x)
+
+
+def gesummv_region(device: str = "CLOUD") -> TargetRegion:
+    """y = alpha*A*x + beta*B*x, both matrices row-partitioned."""
+    return TargetRegion(
+        name="gesummv",
+        pragmas=[
+            f"omp target device({device})",
+            "omp map(to: A[:N*N], B[:N*N], x[:N]) map(from: y[:N])",
+        ],
+        loops=[
+            ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=("A", "B", "x"),
+                writes=("y",),
+                partition_pragma=(
+                    "omp target data map(to: A[i*N:(i+1)*N], B[i*N:(i+1)*N]) "
+                    "map(from: y[i:i+1])"
+                ),
+                body=_gesummv_tile,
+                flops_per_iter=lambda i, env: 4.0 * env["N"],
+            )
+        ],
+        memory_intensity=1.0,
+    )
+
+
+def gesummv_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
+    return {
+        "A": matrix_for_density(n * n, density, seed),
+        "B": matrix_for_density(n * n, density, seed + 1),
+        "x": matrix_for_density(n, 1.0, seed + 2),
+        "y": np.zeros(n, dtype=np.float32),
+    }
+
+
+def gesummv_reference(arrays, scalars) -> dict[str, np.ndarray]:
+    n = int(scalars["N"])
+    a = arrays["A"].reshape(n, n)
+    b = arrays["B"].reshape(n, n)
+    out = scalars["alpha"] * (a @ arrays["x"]) + scalars["beta"] * (b @ arrays["x"])
+    return {"y": out.astype(np.float32)}
+
+
+#: Extension workloads: same spec interface, excluded from the figure benches.
+EXTRA_WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            name="atax", figure_panel="-", build_region=atax_region,
+            make_inputs=atax_inputs, reference=atax_reference,
+            size_var="N", paper_size=16384, test_size=48,
+            extra_scalars={}, suite="polybench-extra",
+        ),
+        WorkloadSpec(
+            name="bicg", figure_panel="-", build_region=bicg_region,
+            make_inputs=bicg_inputs, reference=bicg_reference,
+            size_var="N", paper_size=16384, test_size=48,
+            extra_scalars={}, suite="polybench-extra",
+        ),
+        WorkloadSpec(
+            name="mvt", figure_panel="-", build_region=mvt_region,
+            make_inputs=mvt_inputs, reference=mvt_reference,
+            size_var="N", paper_size=16384, test_size=48,
+            extra_scalars={}, suite="polybench-extra",
+        ),
+        WorkloadSpec(
+            name="gesummv", figure_panel="-", build_region=gesummv_region,
+            make_inputs=gesummv_inputs, reference=gesummv_reference,
+            size_var="N", paper_size=16384, test_size=48,
+            extra_scalars={"alpha": 1.5, "beta": 1.2}, suite="polybench-extra",
+        ),
+    )
+}

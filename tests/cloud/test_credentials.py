@@ -1,0 +1,61 @@
+"""Credential validation and redaction."""
+
+import pytest
+
+from repro.cloud.credentials import CredentialError, Credentials
+
+
+def _aws(key_id="AKIA" + "A" * 12, secret="s3cret"):
+    return Credentials(provider="ec2", username="u", access_key_id=key_id, secret_key=secret)
+
+
+def test_valid_aws_credentials_pass():
+    c = _aws()
+    assert c.validated_for("aws") is c
+    assert c.validated_for("ec2") is c
+
+
+def test_aws_requires_secret():
+    with pytest.raises(CredentialError):
+        _aws(secret="").validated_for("aws")
+
+
+def test_aws_requires_key_shape():
+    with pytest.raises(CredentialError):
+        _aws(key_id="NOTAKEY").validated_for("aws")
+    with pytest.raises(CredentialError):
+        _aws(key_id="AKIAlower0000000").validated_for("aws")
+
+
+def test_azure_requires_username_and_key():
+    ok = Credentials(provider="azure", username="acct", secret_key="k")
+    ok.validated_for("azure")
+    with pytest.raises(CredentialError):
+        Credentials(provider="azure", username="", secret_key="k").validated_for("azure")
+    with pytest.raises(CredentialError):
+        Credentials(provider="azure", username="acct").validated_for("hdinsight")
+
+
+def test_private_requires_username_only():
+    Credentials(provider="private", username="me").validated_for("private")
+    with pytest.raises(CredentialError):
+        Credentials(provider="private", username="").validated_for("private")
+
+
+def test_unknown_provider_kind():
+    with pytest.raises(CredentialError):
+        _aws().validated_for("gcp")
+
+
+def test_redacted_masks_secrets():
+    c = _aws(secret="supersecretvalue")
+    red = c.redacted()
+    assert red["secret_key"].startswith("supe")
+    assert "secretvalue" not in red["secret_key"]
+    assert "*" in red["secret_key"]
+    assert red["username"] == "u"
+
+
+def test_redacted_handles_empty_fields():
+    c = Credentials(provider="private", username="me")
+    assert c.redacted()["secret_key"] == ""

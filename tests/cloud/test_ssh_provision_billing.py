@@ -1,0 +1,143 @@
+"""SSH channel, cgcloud-style provisioning and the billing ledger."""
+
+import pytest
+
+from repro.cloud.billing import BillingLedger
+from repro.cloud.credentials import Credentials
+from repro.cloud.ec2 import EC2Provider
+from repro.cloud.provision import ClusterSpec, provision_cluster
+from repro.cloud.ssh import CommandResult, SSHClient, SSHEndpoint, SSHError
+from repro.simtime import SimClock
+
+
+@pytest.fixture
+def creds():
+    return Credentials(
+        provider="ec2", username="ubuntu",
+        access_key_id="AKIA" + "D" * 12, secret_key="sk",
+    )
+
+
+# ----------------------------------------------------------------------- SSH
+def test_ssh_connect_and_exec(creds):
+    ep = SSHEndpoint("driver", authorized_users={"ubuntu"})
+    ep.register_handler("echo", lambda cmd: CommandResult(cmd, 0, stdout="hi"))
+    client = SSHClient(ep, creds)
+    handshake = client.connect()
+    assert handshake > 0
+    result = client.exec_command("echo hi")
+    assert result.ok and result.stdout == "hi"
+    client.close()
+    assert not client.is_connected
+
+
+def test_ssh_unreachable_host(creds):
+    ep = SSHEndpoint("driver", reachable=False)
+    with pytest.raises(SSHError, match="no route"):
+        SSHClient(ep, creds).connect()
+
+
+def test_ssh_rejects_unauthorized_user(creds):
+    ep = SSHEndpoint("driver", authorized_users={"someone-else"})
+    with pytest.raises(SSHError, match="Permission denied"):
+        SSHClient(ep, creds).connect()
+
+
+def test_ssh_exec_before_connect_fails(creds):
+    client = SSHClient(SSHEndpoint("driver"), creds)
+    with pytest.raises(SSHError):
+        client.exec_command("ls")
+
+
+def test_ssh_unknown_command_returns_127(creds):
+    client = SSHClient(SSHEndpoint("driver"), creds)
+    client.connect()
+    result = client.exec_command("frobnicate --now")
+    assert result.exit_status == 127
+    assert "command not found" in result.stderr
+
+
+def test_ssh_context_manager(creds):
+    ep = SSHEndpoint("driver")
+    with SSHClient(ep, creds) as client:
+        assert client.is_connected
+    assert not client.is_connected
+
+
+def test_ssh_command_log(creds):
+    client = SSHClient(SSHEndpoint("driver"), creds)
+    client.connect()
+    client.exec_command("a")
+    client.exec_command("b")
+    assert [r.command for r in client.commands_run] == ["a", "b"]
+
+
+# ----------------------------------------------------------------- provision
+def test_provision_paper_cluster(creds):
+    provider = EC2Provider(credentials=creds)
+    clock = SimClock()
+    cluster = provision_cluster(provider, ClusterSpec(n_workers=16), clock)
+    assert len(cluster.workers) == 16
+    assert cluster.total_physical_cores == 256
+    assert cluster.worker_ram_gb == 60.0
+    assert clock.now == pytest.approx(provider.boot_delay_s)
+    assert all(w.is_usable for w in cluster.workers)
+    assert cluster.driver.is_usable
+
+
+def test_provision_teardown_is_idempotent(creds):
+    provider = EC2Provider(credentials=creds)
+    clock = SimClock()
+    cluster = provision_cluster(provider, ClusterSpec(n_workers=2), clock)
+    cluster.teardown(clock.now + 100.0)
+    cluster.teardown(clock.now + 200.0)  # no error
+    assert cluster.torn_down
+    assert provider.ledger.total_usd() == pytest.approx(3 * 1.68)
+
+
+def test_provision_stop_start_cycle(creds):
+    provider = EC2Provider(credentials=creds)
+    clock = SimClock()
+    cluster = provision_cluster(provider, ClusterSpec(n_workers=2), clock)
+    stopped_at = cluster.stop_all(clock.now + 50.0)
+    assert stopped_at > clock.now
+    up = cluster.start_all(stopped_at + 10.0)
+    assert up == pytest.approx(stopped_at + 10.0 + provider.boot_delay_s)
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(n_workers=0)
+
+
+# -------------------------------------------------------------------- billing
+def test_ledger_totals_and_by_sku():
+    ledger = BillingLedger()
+    ledger.charge("c3.8xlarge", 2.0, 1.68)
+    ledger.charge("c3.8xlarge", 1.0, 1.68)
+    ledger.charge("m4.4xlarge", 1.0, 0.80)
+    assert ledger.total_usd() == pytest.approx(2.0 * 1.68 + 1.68 + 0.80)
+    assert ledger.by_sku()["c3.8xlarge"] == pytest.approx(3 * 1.68)
+
+
+def test_ledger_rejects_negative_charges():
+    ledger = BillingLedger()
+    with pytest.raises(ValueError):
+        ledger.charge("x", -1.0, 1.0)
+    with pytest.raises(ValueError):
+        ledger.charge("x", 1.0, -1.0)
+
+
+def test_ledger_merge():
+    a, b = BillingLedger(), BillingLedger()
+    a.charge("x", 1.0, 1.0)
+    b.charge("y", 1.0, 2.0)
+    merged = a.merged_with(b)
+    assert merged.total_usd() == pytest.approx(3.0)
+
+
+def test_ledger_summary_mentions_total():
+    ledger = BillingLedger()
+    ledger.charge("c3.8xlarge", 17.0, 1.68, note="cluster hour")
+    text = ledger.summary()
+    assert "TOTAL" in text and "c3.8xlarge" in text

@@ -1,0 +1,281 @@
+"""Object stores: S3, HDFS, Azure — shared semantics and specifics."""
+
+import threading
+
+import pytest
+
+from repro.cloud.azure_storage import AzureBlobStore, parse_wasb_uri
+from repro.cloud.credentials import Credentials
+from repro.cloud.hdfs import HDFSStore
+from repro.cloud.s3 import MIN_PART_SIZE, S3Store, parse_s3_uri
+from repro.cloud.storage import (
+    AccessDeniedError,
+    NoSuchObjectError,
+    StorageError,
+)
+
+
+@pytest.fixture
+def creds():
+    return Credentials(
+        provider="ec2",
+        username="ubuntu",
+        access_key_id="AKIA" + "B" * 12,
+        secret_key="sk",
+    )
+
+
+@pytest.fixture
+def s3(creds):
+    return S3Store("test-bucket", credentials=creds)
+
+
+# ------------------------------------------------------------ shared behaviour
+def test_put_get_roundtrip(s3):
+    s3.put("a/b.bin", data=b"hello world")
+    assert s3.get_bytes("a/b.bin") == b"hello world"
+
+
+def test_get_missing_key_raises(s3):
+    with pytest.raises(NoSuchObjectError):
+        s3.get("nope")
+
+
+def test_virtual_object_has_size_but_no_payload(s3):
+    s3.put("big.bin", size=10**9)
+    assert s3.size_of("big.bin") == 10**9
+    with pytest.raises(StorageError):
+        s3.get_bytes("big.bin")
+
+
+def test_put_requires_exactly_one_of_data_or_size(s3):
+    with pytest.raises(ValueError):
+        s3.put("x", data=b"a", size=1)
+    with pytest.raises(ValueError):
+        s3.put("x")
+
+
+def test_delete_removes_object(s3):
+    s3.put("k", data=b"v")
+    s3.delete("k")
+    assert not s3.exists("k")
+    with pytest.raises(NoSuchObjectError):
+        s3.delete("k")
+
+
+def test_list_keys_sorted_with_prefix(s3):
+    for k in ("in/b", "in/a", "out/c"):
+        s3.put(k, data=b"x")
+    assert list(s3.list_keys("in/")) == ["in/a", "in/b"]
+
+
+def test_overwrite_replaces_payload(s3):
+    s3.put("k", data=b"one")
+    s3.put("k", data=b"two")
+    assert s3.get_bytes("k") == b"two"
+
+
+def test_traffic_accounting(s3):
+    s3.put("k", data=b"12345")
+    s3.get("k")
+    s3.get("k")
+    assert s3.bytes_written == 5
+    assert s3.bytes_read == 10
+    assert s3.put_count == 1
+    assert s3.get_count == 2
+
+
+def test_total_bytes_stored(s3):
+    s3.put("a", data=b"123")
+    s3.put("b", size=7)
+    assert s3.total_bytes_stored() == 10
+
+
+def test_read_write_time_scale_with_bytes(s3):
+    small = s3.cluster_read_time(1_000_000)
+    big = s3.cluster_read_time(100_000_000)
+    assert big > small
+    with pytest.raises(ValueError):
+        s3.cluster_read_time(-1)
+
+
+def test_concurrent_puts_are_safe(s3):
+    # The plugin uploads one buffer per thread.
+    errors = []
+
+    def put_many(tid):
+        try:
+            for i in range(50):
+                s3.put(f"t{tid}/k{i}", data=bytes([tid]) * 10)
+        except Exception as e:  # pragma: no cover
+            errors.append(e)
+
+    threads = [threading.Thread(target=put_many, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(list(s3.list_keys())) == 400
+
+
+# ------------------------------------------------------------------- S3 bits
+def test_s3_requires_aws_credentials():
+    store = S3Store("bucket-x")
+    with pytest.raises(AccessDeniedError):
+        store.put("k", data=b"v")
+
+
+def test_s3_rejects_malformed_key_id():
+    bad = Credentials(provider="ec2", username="u", access_key_id="WRONG", secret_key="s")
+    store = S3Store("bucket-x", credentials=bad)
+    with pytest.raises(Exception):
+        store.put("k", data=b"v")
+
+
+def test_s3_bucket_naming_rules():
+    with pytest.raises(ValueError):
+        S3Store("UPPER")
+    with pytest.raises(ValueError):
+        S3Store("ab")
+    with pytest.raises(ValueError):
+        S3Store("a..b")
+
+
+def test_parse_s3_uri():
+    assert parse_s3_uri("s3://bucket/path/key.bin") == ("bucket", "path/key.bin")
+    with pytest.raises(ValueError):
+        parse_s3_uri("http://x/y")
+    with pytest.raises(ValueError):
+        parse_s3_uri("s3:///key")
+
+
+def test_s3_multipart_upload_roundtrip(s3):
+    uid = s3.initiate_multipart("big.bin")
+    part1 = b"a" * MIN_PART_SIZE
+    s3.upload_part(uid, 1, part1)
+    s3.upload_part(uid, 2, b"tail")
+    s3.complete_multipart(uid)
+    assert s3.get_bytes("big.bin") == part1 + b"tail"
+
+
+def test_s3_multipart_rejects_small_middle_parts(s3):
+    uid = s3.initiate_multipart("k")
+    s3.upload_part(uid, 1, b"small")
+    s3.upload_part(uid, 2, b"tail")
+    with pytest.raises(StorageError):
+        s3.complete_multipart(uid)
+
+
+def test_s3_multipart_rejects_gaps(s3):
+    uid = s3.initiate_multipart("k")
+    s3.upload_part(uid, 1, b"a" * MIN_PART_SIZE)
+    s3.upload_part(uid, 3, b"c")
+    with pytest.raises(StorageError):
+        s3.complete_multipart(uid)
+
+
+def test_s3_multipart_abort_discards(s3):
+    uid = s3.initiate_multipart("k")
+    s3.upload_part(uid, 1, b"a" * MIN_PART_SIZE)
+    s3.abort_multipart(uid)
+    with pytest.raises(StorageError):
+        s3.complete_multipart(uid)
+    assert not s3.exists("k")
+
+
+# ------------------------------------------------------------------ HDFS bits
+@pytest.fixture
+def hdfs(creds):
+    return HDFSStore(datanodes=4, block_size=100, replication=3, credentials=creds)
+
+
+def test_hdfs_requires_username():
+    store = HDFSStore()
+    with pytest.raises(AccessDeniedError):
+        store.put("f", data=b"x")
+
+
+def test_hdfs_splits_into_blocks(hdfs):
+    hdfs.put("file", size=250)
+    meta = hdfs.locations("file")
+    assert meta.block_count() == 3  # 100 + 100 + 50
+
+
+def test_hdfs_replicates_each_block(hdfs):
+    hdfs.put("file", size=250)
+    meta = hdfs.locations("file")
+    by_block: dict[int, set[str]] = {}
+    for b in meta.blocks:
+        by_block.setdefault(b.block_id, set()).add(b.datanode)
+    for nodes in by_block.values():
+        assert len(nodes) == 3  # replication factor, distinct nodes
+
+
+def test_hdfs_replication_capped_by_datanodes(creds):
+    store = HDFSStore(datanodes=2, replication=3, credentials=creds)
+    store.put("f", size=10)
+    meta = store.locations("f")
+    nodes = {b.datanode for b in meta.blocks}
+    assert len(nodes) == 2
+
+
+def test_hdfs_locality_speeds_reads(hdfs):
+    hdfs.put("file", size=400)
+    local = hdfs.read_time_from("file", "datanode-0")
+    stranger = hdfs.read_time_from("file", "not-a-datanode")
+    assert local < stranger
+
+
+def test_hdfs_delete_clears_metadata(hdfs):
+    hdfs.put("f", size=10)
+    hdfs.delete("f")
+    with pytest.raises(NoSuchObjectError):
+        hdfs.locations("f")
+
+
+def test_hdfs_usage_is_balanced(hdfs):
+    for i in range(8):
+        hdfs.put(f"f{i}", size=100)
+    usage = hdfs.datanode_usage()
+    # Round-robin primary placement: all nodes hold something.
+    assert all(v > 0 for v in usage.values())
+
+
+def test_hdfs_invalid_parameters(creds):
+    with pytest.raises(ValueError):
+        HDFSStore(datanodes=0, credentials=creds)
+    with pytest.raises(ValueError):
+        HDFSStore(block_size=0, credentials=creds)
+    with pytest.raises(ValueError):
+        HDFSStore(replication=0, credentials=creds)
+
+
+# ----------------------------------------------------------------- Azure bits
+def test_azure_store_roundtrip():
+    creds = Credentials(provider="azure", username="acct", secret_key="key")
+    store = AzureBlobStore("myaccount", "container-1", credentials=creds)
+    store.put("k", data=b"v")
+    assert store.get_bytes("k") == b"v"
+    assert store.uri_for("k") == "wasb://container-1@myaccount/k"
+
+
+def test_azure_requires_credentials():
+    store = AzureBlobStore("myaccount", "container-1")
+    with pytest.raises(AccessDeniedError):
+        store.put("k", data=b"v")
+
+
+def test_azure_naming_rules():
+    with pytest.raises(ValueError):
+        AzureBlobStore("UPPER", "container")
+    with pytest.raises(ValueError):
+        AzureBlobStore("myaccount", "C!")
+
+
+def test_parse_wasb_uri():
+    assert parse_wasb_uri("wasb://cont@acct/a/b") == ("acct", "cont", "a/b")
+    with pytest.raises(ValueError):
+        parse_wasb_uri("wasb://justcontainer/a")
+    with pytest.raises(ValueError):
+        parse_wasb_uri("s3://x/y")

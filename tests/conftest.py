@@ -1,0 +1,48 @@
+"""Shared fixtures for the OmpCloud reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.credentials import Credentials
+from repro.core.config import CloudConfig
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.runtime import OffloadRuntime
+
+
+@pytest.fixture
+def aws_credentials() -> Credentials:
+    """Well-formed (simulated) AWS credentials."""
+    return Credentials(
+        provider="ec2",
+        username="ubuntu",
+        access_key_id="AKIA" + "TESTTESTTEST",
+        secret_key="test-secret-key-material",
+    )
+
+
+@pytest.fixture
+def cloud_config(aws_credentials) -> CloudConfig:
+    """A small but realistic cloud-device configuration."""
+    return CloudConfig(credentials=aws_credentials, n_workers=4, min_compress_size=256)
+
+
+@pytest.fixture
+def cloud_runtime(cloud_config):
+    """An offloading runtime with a 16-core simulated cloud device."""
+    runtime = OffloadRuntime()
+    runtime.register(CloudDevice(cloud_config, physical_cores=16))
+    return runtime
+
+
+def make_cloud_runtime(config: CloudConfig, physical_cores: int = 16, **kwargs) -> OffloadRuntime:
+    """Non-fixture helper for tests that need custom devices."""
+    runtime = OffloadRuntime()
+    runtime.register(CloudDevice(config, physical_cores=physical_cores, **kwargs))
+    return runtime
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,142 @@
+"""Buffers and global-coordinate windows."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import Buffer, OffsetArray, as_window
+
+
+# ------------------------------------------------------------------- Buffer
+def test_real_buffer_from_array():
+    arr = np.arange(10, dtype=np.float32)
+    buf = Buffer("A", data=arr)
+    assert not buf.is_virtual
+    assert buf.length == 10
+    assert buf.nbytes == 40
+    assert buf.require_data() is arr
+
+
+def test_virtual_buffer_from_length():
+    buf = Buffer("A", length=1 << 28, dtype=np.float32)
+    assert buf.is_virtual
+    assert buf.nbytes == (1 << 28) * 4
+    with pytest.raises(ValueError, match="virtual"):
+        buf.require_data()
+
+
+def test_exactly_one_of_data_or_length():
+    with pytest.raises(ValueError):
+        Buffer("A", data=np.zeros(3), length=3)
+    with pytest.raises(ValueError):
+        Buffer("A")
+
+
+def test_buffer_must_be_linearized():
+    with pytest.raises(ValueError, match="linearized"):
+        Buffer("A", data=np.zeros((2, 2)))
+
+
+def test_slice_bytes():
+    buf = Buffer("A", length=100, dtype=np.float64)
+    assert buf.slice_bytes(10, 20) == 80
+    with pytest.raises(IndexError):
+        buf.slice_bytes(90, 110)
+    with pytest.raises(IndexError):
+        buf.slice_bytes(-1, 5)
+
+
+def test_density_validation():
+    Buffer("A", length=4, density=0.5)
+    with pytest.raises(ValueError):
+        Buffer("A", length=4, density=1.5)
+
+
+def test_virtual_buffer_dtype():
+    buf = Buffer("A", length=8, dtype=np.int64)
+    assert buf.itemsize == 8
+
+
+# --------------------------------------------------------------- OffsetArray
+def test_global_indexing_reads_and_writes():
+    local = np.zeros(4, dtype=np.float32)
+    w = OffsetArray(local, offset=10)
+    w[12] = 7.0
+    assert w[12] == 7.0
+    assert local[2] == 7.0
+
+
+def test_global_slices():
+    local = np.arange(5, dtype=np.float32)
+    w = OffsetArray(local, offset=100)
+    assert np.array_equal(w[101:104], np.array([1, 2, 3], dtype=np.float32))
+    w[100:102] = np.array([9, 9], dtype=np.float32)
+    assert local[0] == 9 and local[1] == 9
+
+
+def test_open_ended_slices_cover_window():
+    w = OffsetArray(np.arange(4.0), offset=8)
+    assert np.array_equal(w[8:12], np.arange(4.0))
+    assert len(w) == 4
+    assert w.global_range == (8, 12)
+
+
+def test_slice_views_share_memory():
+    local = np.zeros(4)
+    w = OffsetArray(local, offset=0)
+    view = w[0:2]
+    view[:] = 5.0
+    assert local[0] == 5.0
+
+
+def test_out_of_window_access_rejected():
+    w = OffsetArray(np.zeros(4), offset=10)
+    with pytest.raises(IndexError):
+        _ = w[9]
+    with pytest.raises(IndexError):
+        _ = w[14]
+    with pytest.raises(IndexError):
+        _ = w[9:12]
+    with pytest.raises(IndexError):
+        _ = w[12:15]
+
+
+def test_strided_slices_rejected():
+    w = OffsetArray(np.zeros(4), offset=0)
+    with pytest.raises(IndexError):
+        _ = w[0:4:2]
+
+
+def test_requires_1d():
+    with pytest.raises(ValueError):
+        OffsetArray(np.zeros((2, 2)), offset=0)
+    with pytest.raises(ValueError):
+        OffsetArray(np.zeros(2), offset=-1)
+
+
+def test_as_window():
+    arr = np.arange(10.0)
+    w = as_window(arr, 4, 8)
+    assert w.global_range == (4, 8)
+    w[5] = 50.0
+    assert arr[5] == 50.0
+    plain = as_window(arr, 4, 8, offset_view=False)
+    assert isinstance(plain, np.ndarray)
+
+
+def test_same_body_text_works_windowed_and_whole():
+    """The property the paper's JNI kernels rely on."""
+
+    def body(lo, hi, c, n):
+        for i in range(lo, hi):
+            c[i * n : (i + 1) * n] = i
+
+    n = 4
+    whole = np.zeros(n * n, dtype=np.float32)
+    body(0, n, OffsetArray(whole, 0), n)
+
+    pieces = np.zeros(n * n, dtype=np.float32)
+    for lo, hi in ((0, 2), (2, 4)):
+        local = np.zeros((hi - lo) * n, dtype=np.float32)
+        body(lo, hi, OffsetArray(local, lo * n), n)
+        pieces[lo * n : hi * n] = local
+    assert np.array_equal(whole, pieces)

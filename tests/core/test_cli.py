@@ -1,0 +1,119 @@
+"""CLI surface: python -m repro <command>."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_functional_verifies(capsys):
+    assert main(["run", "matmul", "--cores", "16", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "spark overhead" in out
+
+
+def test_run_modeled_paper_scale(capsys):
+    assert main(["run", "gemm", "--modeled", "--cores", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "modeled" in out
+    assert "host-target communication" in out
+
+
+def test_run_with_custom_size_and_density(capsys):
+    assert main(["run", "syrk", "--size", "32", "--density", "0.05",
+                 "--workers", "2"]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_run_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nope"])
+
+
+def test_figures_subset(capsys):
+    assert main(["figures", "collinear"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4h" in out and "Figure 5h" in out
+    assert "OmpThread" in out
+
+
+def test_figures_unknown_benchmark(capsys):
+    assert main(["figures", "bogus"]) == 2
+
+
+def test_headlines(capsys):
+    assert main(["headlines"]) == 0
+    out = capsys.readouterr().out
+    assert "overhead_spark_16" in out
+    assert "%" in out
+
+
+def test_validate_all(capsys):
+    assert main(["validate"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") == 8
+    assert "FAILED" not in out
+
+
+def test_config_writer(tmp_path, capsys):
+    path = tmp_path / "cloud_rtl.ini"
+    assert main(["config", str(path)]) == 0
+    assert path.exists()
+    from repro.core.config import load_config
+
+    cfg = load_config(path)
+    assert cfg.provider == "ec2"
+
+
+def test_no_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_run_json_output(capsys):
+    assert main(["run", "matmul", "--cores", "16", "--workers", "2", "--json"]) == 0
+    out = capsys.readouterr().out
+    import json
+
+    payload = json.loads(out[out.index("{"):])
+    assert payload["region"] == "matmul"
+    assert payload["tasks_run"] >= 1
+    assert "figure5_stack" in payload
+
+
+def test_run_gantt_output(capsys):
+    assert main(["run", "matmul", "--cores", "16", "--workers", "2",
+                 "--gantt"]) == 0
+    out = capsys.readouterr().out
+    assert "legend:" in out
+
+
+def test_figures_csv_export(tmp_path, capsys):
+    path = tmp_path / "sweep.csv"
+    assert main(["figures", "collinear", "--csv", str(path)]) == 0
+    text = path.read_text()
+    assert text.startswith("workload,cores")
+    # 6 core counts x 2 densities + header
+    assert len(text.strip().splitlines()) == 13
+
+
+def test_calibration_listing(capsys):
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "core_flops" in out
+    assert "contention_ceiling" in out
+
+
+def test_modeled_run_respects_density(capsys):
+    assert main(["run", "gemm", "--modeled", "--cores", "64",
+                 "--density", "0.05"]) == 0
+    sparse_out = capsys.readouterr().out
+    assert main(["run", "gemm", "--modeled", "--cores", "64",
+                 "--density", "1.0"]) == 0
+    dense_out = capsys.readouterr().out
+
+    def wire_mb(text):
+        line = next(l for l in text.splitlines() if "wire" in l)
+        return float(line.split("->")[1].split("MB")[0])
+
+    assert wire_mb(sparse_out) < wire_mb(dense_out) / 2

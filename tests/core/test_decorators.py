@@ -1,0 +1,135 @@
+"""The @omp_kernel decorator front end."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import RegionError
+from repro.core.decorators import OmpKernel, omp_kernel
+
+from tests.conftest import make_cloud_runtime
+
+
+def _make_kernel(**overrides):
+    params = dict(
+        loop_var="i",
+        trip_count="N",
+        partition="omp target data map(to: A[i*N:(i+1)*N]) map(from: C[i*N:(i+1)*N])",
+        reads=("A", "B"),
+        writes=("C",),
+        flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2,
+    )
+    params.update(overrides)
+
+    @omp_kernel(
+        "omp target device(CLOUD)",
+        "omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])",
+        "omp parallel for",
+        **params,
+    )
+    def matmul(lo, hi, arrays, scalars):
+        n = int(scalars["N"])
+        b = np.asarray(arrays["B"]).reshape(n, n)
+        rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+        arrays["C"][lo * n : hi * n] = (rows @ b).reshape(-1)
+
+    return matmul
+
+
+def test_decorator_builds_region():
+    k = _make_kernel()
+    assert isinstance(k, OmpKernel)
+    assert k.region.name == "matmul"
+    assert k.region.device == "CLOUD"
+    assert k.region.loops[0].reads == ("A", "B")
+    assert k.__name__ == "matmul"  # wraps like functools.wraps
+
+
+def test_kernel_remains_callable():
+    k = _make_kernel()
+    n = 4
+    arrays = {
+        "A": np.eye(n, dtype=np.float32).reshape(-1),
+        "B": np.arange(n * n, dtype=np.float32),
+        "C": np.zeros(n * n, dtype=np.float32),
+    }
+    k(0, n, arrays, {"N": n})
+    assert np.array_equal(arrays["C"], arrays["B"])
+
+
+def test_offload_convenience(cloud_config):
+    k = _make_kernel()
+    rt = make_cloud_runtime(cloud_config)
+    n = 32
+    rng = np.random.default_rng(0)
+    a = rng.uniform(-1, 1, n * n).astype(np.float32)
+    b = rng.uniform(-1, 1, n * n).astype(np.float32)
+    c = np.zeros(n * n, dtype=np.float32)
+    report = k.offload(arrays={"A": a, "B": b, "C": c},
+                       scalars={"N": n}, runtime=rt)
+    assert report.device_name == "CLOUD"
+    expected = (a.reshape(n, n) @ b.reshape(n, n)).reshape(-1)
+    assert np.allclose(c, expected, rtol=1e-4)
+
+
+def test_reads_writes_inferred_from_partition(cloud_config):
+    @omp_kernel(
+        "omp target device(CLOUD)",
+        "omp map(to: A[:N]) map(from: C[:N])",
+        "omp parallel for",
+        partition="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+    )
+    def double(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = 2 * np.asarray(arrays["A"][lo:hi])
+
+    assert double.region.loops[0].reads == ("A",)
+    assert double.region.loops[0].writes == ("C",)
+    rt = make_cloud_runtime(cloud_config)
+    a = np.arange(8, dtype=np.float32)
+    c = np.zeros(8, dtype=np.float32)
+    double.offload(arrays={"A": a, "C": c}, scalars={"N": 8}, runtime=rt)
+    assert np.array_equal(c, 2 * a)
+
+
+def test_custom_name():
+    k = _make_kernel(name="custom")
+    assert k.region.name == "custom"
+
+
+def test_reduction_clause_on_loop_pragma(cloud_config):
+    @omp_kernel(
+        "omp target device(CLOUD)",
+        "omp map(to: A[:N]) map(tofrom: s[0:1])",
+        "omp parallel for reduction(+: s)",
+        partition="omp target data map(to: A[i:i+1])",
+        writes=("s",),
+    )
+    def summer(lo, hi, arrays, scalars):
+        arrays["s"][0] += float(np.asarray(arrays["A"][lo:hi]).sum())
+
+    rt = make_cloud_runtime(cloud_config)
+    a = np.ones(20, dtype=np.float32)
+    s = np.zeros(1, dtype=np.float64)
+    summer.offload(arrays={"A": a, "s": s}, scalars={"N": 20}, runtime=rt)
+    assert s[0] == pytest.approx(20.0)
+
+
+def test_missing_parallel_for_rejected():
+    with pytest.raises(RegionError, match="parallel for"):
+        omp_kernel("omp target device(CLOUD)",
+                   "omp map(to: A[:N]) map(from: C[:N])",
+                   reads=("A",), writes=("C",))(lambda *a: None)
+
+
+def test_two_parallel_fors_rejected():
+    with pytest.raises(RegionError, match="exactly one"):
+        omp_kernel("omp target device(CLOUD)",
+                   "omp map(to: A[:N]) map(from: C[:N])",
+                   "omp parallel for", "omp parallel for",
+                   reads=("A",), writes=("C",))(lambda *a: None)
+
+
+def test_missing_access_info_rejected():
+    with pytest.raises(RegionError, match="reads="):
+        omp_kernel("omp target device(CLOUD)",
+                   "omp map(to: A[:N]) map(from: C[:N])",
+                   "omp parallel for")(lambda *a: None)

@@ -1,0 +1,80 @@
+"""Executor heap validation (the Spark OOM the paper's 40 GB heaps avoid)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, TargetRegion, offload
+from repro.core.buffers import ExecutionMode
+from repro.core.codegen import ExecutorOOMError
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.runtime import OffloadRuntime
+from repro.perfmodel.calibration import Calibration
+
+from tests.conftest import make_cloud_runtime
+
+
+def _region(broadcast_b: bool = True):
+    return TargetRegion(
+        name="heavy",
+        pragmas=["omp target device(CLOUD)",
+                 "omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A", "B"), writes=("C",),
+            partition_pragma=(
+                "omp target data map(to: A[i*N:(i+1)*N]"
+                + ("" if broadcast_b else ", B[i*N:(i+1)*N]")
+                + ") map(from: C[i*N:(i+1)*N])"
+            ),
+            flops_per_iter=1.0,
+        )],
+    )
+
+
+def _tiny_heap_runtime(cloud_config, heap_mb=112, cores=32):
+    """Two executors, 16 slots each, with a deliberately small heap.
+
+    At N=4096 the per-task windows are 2 MiB per matrix (32 tasks), so with
+    B *partitioned* each executor holds 16 slots x 6 MiB = 96 MiB — fits —
+    while *broadcasting* B replicates its full 64 MiB onto every executor on
+    top of 16 x 4 MiB of windows = 128 MiB — does not."""
+    rt = OffloadRuntime()
+    dev = CloudDevice(cloud_config, physical_cores=cores)
+    for ex in dev.cluster.executors:
+        ex.heap_bytes = heap_mb * 1024 * 1024
+    rt.register(dev)
+    return rt
+
+
+def test_big_broadcast_overflows_small_heap(cloud_config):
+    rt = _tiny_heap_runtime(cloud_config)
+    with pytest.raises(ExecutorOOMError, match="spark.executor.memory"):
+        offload(_region(), scalars={"N": 4096}, runtime=rt,
+                mode=ExecutionMode.MODELED)
+
+
+def test_partitioning_b_fits_the_same_heap(cloud_config):
+    rt = _tiny_heap_runtime(cloud_config)
+    report = offload(_region(broadcast_b=False), scalars={"N": 4096}, runtime=rt,
+                     mode=ExecutionMode.MODELED)
+    assert report.tasks_run > 0  # split windows, nothing replicated
+
+
+def test_default_heap_fits_paper_scale(cloud_config):
+    from dataclasses import replace
+
+    rt = make_cloud_runtime(replace(cloud_config, n_workers=16),
+                            physical_cores=256)
+    report = offload(_region(), scalars={"N": 16384}, runtime=rt,
+                     mode=ExecutionMode.MODELED)
+    assert report.tasks_run >= 256  # 40 GB heaps hold 1 GiB broadcasts fine
+
+
+def test_oom_message_is_actionable(cloud_config):
+    rt = _tiny_heap_runtime(cloud_config)
+    with pytest.raises(ExecutorOOMError) as exc:
+        offload(_region(), scalars={"N": 4096}, runtime=rt,
+                mode=ExecutionMode.MODELED)
+    msg = str(exc.value)
+    assert "partition more variables" in msg
+    assert "slots" in msg

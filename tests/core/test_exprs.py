@@ -1,0 +1,72 @@
+"""Bound-expression parser/evaluator."""
+
+import pytest
+
+from repro.core.exprs import ExprError, parse_expr
+
+
+@pytest.mark.parametrize(
+    "src,env,expected",
+    [
+        ("0", {}, 0),
+        ("42", {}, 42),
+        ("N", {"N": 7}, 7),
+        ("i*N", {"i": 3, "N": 10}, 30),
+        ("(i+1)*N", {"i": 3, "N": 10}, 40),
+        ("i*N+(N-1)", {"i": 2, "N": 5}, 14),
+        ("2*M", {"M": 9}, 18),
+        ("N*N", {"N": 4}, 16),
+        ("1+2*3", {}, 7),
+        ("(1+2)*3", {}, 9),
+        ("10-3-2", {}, 5),  # left associative
+        ("-i+5", {"i": 2}, 3),
+        ("--3", {}, 3),
+        ("100/7", {}, 14),  # C truncation
+        ("7%3", {}, 1),
+        ("N/2*2", {"N": 9}, 8),
+    ],
+)
+def test_eval(src, env, expected):
+    assert parse_expr(src).eval(env) == expected
+
+
+def test_c_division_truncates_toward_zero():
+    assert parse_expr("0-7").eval({}) == -7
+    assert parse_expr("(0-7)/2").eval({}) == -3  # C: -3, Python floor: -4
+    assert parse_expr("(0-7)%2").eval({}) == -1  # sign follows dividend
+
+
+def test_division_by_zero():
+    with pytest.raises(ExprError):
+        parse_expr("1/0").eval({})
+    with pytest.raises(ExprError):
+        parse_expr("1%N").eval({"N": 0})
+
+
+def test_unbound_variable():
+    with pytest.raises(ExprError, match="unbound"):
+        parse_expr("i*N").eval({"i": 1})
+
+
+def test_variables_collects_names():
+    assert parse_expr("i*N + (j-1)").variables() == {"i", "N", "j"}
+    assert parse_expr("42").variables() == set()
+
+
+@pytest.mark.parametrize("bad", ["", "1+", "*3", "(1+2", "1+2)", "a b", "1..2", "i**2"])
+def test_malformed_expressions(bad):
+    with pytest.raises(ExprError):
+        parse_expr(bad)
+
+
+def test_roundtrip_through_str():
+    e = parse_expr("i*N+(i+1)*2")
+    again = parse_expr(str(e))
+    env = {"i": 5, "N": 13}
+    assert e.eval(env) == again.eval(env)
+
+
+def test_whitespace_insensitive():
+    assert parse_expr(" i * N ").eval({"i": 2, "N": 3}) == parse_expr("i*N").eval(
+        {"i": 2, "N": 3}
+    )

@@ -1,0 +1,117 @@
+"""Extension features: colocated driver execution, default-device routines."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, TargetRegion, offload
+from repro.core.buffers import ExecutionMode
+from repro.core.device import DeviceError
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.runtime import DEVICE_HOST, OffloadRuntime
+
+from tests.conftest import make_cloud_runtime
+
+
+def _region(device_clause: bool = True):
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = np.asarray(arrays["A"][lo:hi]) + 1
+
+    pragmas = ["omp map(to: A[:N]) map(from: C[:N])"]
+    if device_clause:
+        pragmas.insert(0, "omp target device(CLOUD)")
+    else:
+        pragmas.insert(0, "omp target")
+    return TargetRegion(
+        name="incr",
+        pragmas=pragmas,
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body, flops_per_iter=1.0,
+        )],
+    )
+
+
+# ---------------------------------------------------------------- colocated
+def test_colocated_removes_host_comm_overhead(cloud_config):
+    """Section III-D: running from the driver node removes the WAN cost."""
+    n = 1 << 22  # 16 MiB buffers at modeled scale
+
+    def run(colocated):
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(cloud_config, physical_cores=16,
+                                colocated=colocated))
+        return offload(_region(), scalars={"N": n}, runtime=rt,
+                       mode=ExecutionMode.MODELED)
+
+    from repro.simtime import Phase
+
+    remote = run(False)
+    local = run(True)
+    # The WAN transfer disappears entirely; gzip for storage staging remains.
+    assert local.timeline.busy(Phase.HOST_UPLOAD) < 0.05 * remote.timeline.busy(Phase.HOST_UPLOAD)
+    assert local.timeline.busy(Phase.HOST_DOWNLOAD) < 0.05 * remote.timeline.busy(Phase.HOST_DOWNLOAD)
+    assert local.host_comm_s < 0.4 * remote.host_comm_s
+    # The Spark job itself is unchanged.
+    assert local.spark_job_s == pytest.approx(remote.spark_job_s, rel=0.01)
+
+
+def test_colocated_still_functionally_correct(cloud_config):
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(cloud_config, physical_cores=16, colocated=True))
+    a = np.arange(64, dtype=np.float32)
+    c = np.zeros(64, dtype=np.float32)
+    offload(_region(), arrays={"A": a, "C": c}, scalars={"N": 64}, runtime=rt)
+    assert np.array_equal(c, a + 1)
+
+
+# ------------------------------------------------------------ default device
+def test_default_device_is_host():
+    rt = OffloadRuntime()
+    assert rt.get_default_device() == DEVICE_HOST
+
+
+def test_set_default_device_routes_clauseless_regions(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    rt.set_default_device("CLOUD")
+    assert rt.get_default_device() == 1
+    a = np.arange(16, dtype=np.float32)
+    c = np.zeros(16, dtype=np.float32)
+    report = offload(_region(device_clause=False), arrays={"A": a, "C": c},
+                     scalars={"N": 16}, runtime=rt)
+    assert report.device_name == "CLOUD"
+    assert np.array_equal(c, a + 1)
+
+
+def test_set_default_device_by_id(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    rt.set_default_device(1)
+    assert rt.get_default_device() == 1
+    rt.set_default_device(DEVICE_HOST)
+    assert rt.get_default_device() == DEVICE_HOST
+
+
+def test_set_default_device_unknown_rejected():
+    rt = OffloadRuntime()
+    with pytest.raises(DeviceError):
+        rt.set_default_device("GPU")
+    with pytest.raises(DeviceError):
+        rt.set_default_device(7)
+
+
+def test_explicit_clause_beats_default(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    rt.set_default_device("CLOUD")
+    region = _region()  # explicit device(CLOUD)
+    # Change the pragma to HOST explicitly.
+    host_region = TargetRegion(
+        name="incr-host",
+        pragmas=["omp target device(HOST)", "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=region.loops,
+    )
+    a = np.arange(8, dtype=np.float32)
+    c = np.zeros(8, dtype=np.float32)
+    report = offload(host_region, arrays={"A": a, "C": c}, scalars={"N": 8},
+                     runtime=rt)
+    assert report.device_name == "HOST"

@@ -1,0 +1,176 @@
+"""OpenMP pragma parser: the dialect of Listings 1-2."""
+
+import pytest
+
+from repro.core.lexer import tokenize
+from repro.core.omp_ast import (
+    MapType,
+    ParallelForConstruct,
+    TargetConstruct,
+    TargetDataConstruct,
+    UnsupportedConstruct,
+)
+from repro.core.parser import DirectiveError, parse_pragma
+
+
+# --------------------------------------------------------------------- lexer
+def test_tokenize_basic():
+    assert [t.text for t in tokenize("omp target device(CLOUD)")] == [
+        "omp", "target", "device", "(", "CLOUD", ")",
+    ]
+
+
+def test_tokenize_sections():
+    texts = [t.text for t in tokenize("map(to: A[i*N:(i+1)*N])")]
+    assert texts == ["map", "(", "to", ":", "A", "[", "i", "*", "N", ":",
+                     "(", "i", "+", "1", ")", "*", "N", "]", ")"]
+
+
+def test_tokenize_rejects_garbage():
+    from repro.core.lexer import LexError
+
+    with pytest.raises(LexError):
+        tokenize("omp target @device")
+
+
+# ------------------------------------------------------------------ listing 1
+def test_listing1_target_device():
+    p = parse_pragma("#pragma omp target device(CLOUD)")
+    assert isinstance(p, TargetConstruct)
+    assert p.device == "CLOUD"
+    assert p.maps == ()
+
+
+def test_listing1_map_pragma():
+    p = parse_pragma("#pragma omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])")
+    assert isinstance(p, TargetConstruct)
+    tos = p.map_items(MapType.TO)
+    froms = p.map_items(MapType.FROM)
+    assert [i.name for i in tos] == ["A", "B"]
+    assert [i.name for i in froms] == ["C"]
+    # Empty lower bound means 0.
+    assert tos[0].lower is None
+    assert tos[0].upper.eval({"N": 4}) == 16
+
+
+def test_listing1_parallel_for():
+    p = parse_pragma("#pragma omp parallel for")
+    assert isinstance(p, ParallelForConstruct)
+    assert p.reductions == ()
+
+
+# ------------------------------------------------------------------ listing 2
+def test_listing2_partition_pragma():
+    p = parse_pragma(
+        "#pragma omp target data map(to: A[i*N:(i+1)*N]) map(from: C[i*N:(i+1)*N])"
+    )
+    assert isinstance(p, TargetDataConstruct)
+    a = p.map_items(MapType.TO)[0]
+    assert a.name == "A"
+    assert a.lower.eval({"i": 3, "N": 10}) == 30
+    assert a.upper.eval({"i": 3, "N": 10}) == 40
+    assert a.is_loop_dependent
+
+
+# -------------------------------------------------------------------- clauses
+def test_device_by_number():
+    p = parse_pragma("omp target device(1)")
+    assert p.device == "1"
+
+
+def test_map_tofrom():
+    p = parse_pragma("omp target map(tofrom: C[0:N])")
+    item = p.map_items(MapType.TOFROM)[0]
+    assert item.name == "C"
+    assert MapType.TOFROM.is_input and MapType.TOFROM.is_output
+
+
+def test_bare_variable_maps_whole_object():
+    p = parse_pragma("omp target map(to: scalar)")
+    item = p.map_items()[0]
+    assert not item.has_section
+    assert str(item) == "scalar"
+
+
+def test_reduction_plus():
+    p = parse_pragma("omp parallel for reduction(+: count)")
+    assert p.reductions[0].op == "+"
+    assert p.reductions[0].variables == ("count",)
+
+
+def test_reduction_max_and_multiple_vars():
+    p = parse_pragma("omp parallel for reduction(max: a, b)")
+    assert p.reductions[0].op == "max"
+    assert p.reductions[0].variables == ("a", "b")
+
+
+def test_reduction_unknown_op():
+    with pytest.raises(DirectiveError):
+        parse_pragma("omp parallel for reduction(avg: x)")
+
+
+def test_schedule_clause():
+    p = parse_pragma("omp parallel for schedule(static, 4)")
+    assert p.schedule.kind == "static"
+    assert p.schedule.chunk == 4
+
+
+def test_schedule_unknown_kind():
+    with pytest.raises(DirectiveError):
+        parse_pragma("omp parallel for schedule(magic)")
+
+
+def test_num_threads():
+    p = parse_pragma("omp parallel for num_threads(8)")
+    assert p.num_threads == 8
+
+
+def test_combined_target_parallel_for():
+    result = parse_pragma("omp target parallel for map(to: x[0:N]) reduction(+: s)")
+    assert isinstance(result, tuple)
+    target, pf = result
+    assert isinstance(target, TargetConstruct)
+    assert isinstance(pf, ParallelForConstruct)
+    assert target.map_items()[0].name == "x"
+    assert pf.reductions[0].variables == ("s",)
+
+
+# ---------------------------------------------------- rejected synchronization
+@pytest.mark.parametrize("directive", ["atomic", "flush", "barrier", "critical", "master"])
+def test_sync_directives_parse_as_unsupported(directive):
+    p = parse_pragma(f"omp {directive}")
+    assert isinstance(p, UnsupportedConstruct)
+    assert p.name == directive
+
+
+# ------------------------------------------------------------------ malformed
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "omp",
+        "omp simd",
+        "omp target map(sideways: A[0:N])",
+        "omp target map(to: A[0:])",
+        "omp target map(to: )",
+        "omp target device()",
+        "omp parallel for extra(1)",
+        "omp target nonsense(2)",
+        "omp parallel for trailing junk",
+        "acc parallel loop",
+    ],
+)
+def test_malformed_pragmas_rejected(bad):
+    with pytest.raises(DirectiveError):
+        parse_pragma(bad)
+
+
+def test_pragma_prefix_optional():
+    a = parse_pragma("#pragma omp target device(CLOUD)")
+    b = parse_pragma("omp target device(CLOUD)")
+    assert a.device == b.device == "CLOUD"
+
+
+def test_map_clause_str_roundtrip():
+    p = parse_pragma("omp target map(to: A[i*N:(i+1)*N], B[:N])")
+    text = str(p.maps[0])
+    assert "to" in text and "A" in text and "B" in text

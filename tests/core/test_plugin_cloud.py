@@ -1,0 +1,164 @@
+"""Cloud plugin behaviours: staging, compression threshold, SSH submission,
+instance management, reports."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, TargetRegion, offload
+from repro.core.buffers import ExecutionMode
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.runtime import OffloadRuntime
+from repro.simtime import Phase
+from repro.spark.serialization import JavaArrayLimitError
+
+from tests.conftest import make_cloud_runtime
+
+
+def _copy_region(device="CLOUD"):
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = np.asarray(arrays["A"][lo:hi])
+
+    return TargetRegion(
+        name="copy",
+        pragmas=[f"omp target device({device})",
+                 "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body, flops_per_iter=2.0,
+        )],
+    )
+
+
+def _run(runtime, n=64, dtype=np.float32):
+    a = np.arange(n, dtype=dtype)
+    c = np.zeros(n, dtype=dtype)
+    report = offload(_copy_region(), arrays={"A": a, "C": c},
+                     scalars={"N": n}, runtime=runtime)
+    return a, c, report
+
+
+def test_inputs_staged_to_storage(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    dev = rt.device("CLOUD")
+    _run(rt)
+    keys = list(dev.storage.list_keys())
+    assert any("in/A" in k for k in keys)
+    assert any("out/C" in k for k in keys)
+
+
+def test_small_buffers_skip_compression(cloud_config):
+    # min_compress_size = 256 in the fixture; 64 floats = 256 bytes... use 32.
+    rt = make_cloud_runtime(cloud_config)
+    dev = rt.device("CLOUD")
+    a, c, report = _run(rt, n=32)
+    key = next(k for k in dev.storage.list_keys() if "in/A" in k)
+    assert dev.storage.size_of(key) == 128  # stored raw
+
+
+def test_large_buffers_gzip(cloud_config):
+    cfg = replace(cloud_config, min_compress_size=64)
+    rt = make_cloud_runtime(cfg)
+    dev = rt.device("CLOUD")
+    # Zero-filled input compresses dramatically.
+    a = np.zeros(1024, dtype=np.float32)
+    c = np.zeros(1024, dtype=np.float32)
+    offload(_copy_region(), arrays={"A": a, "C": c}, scalars={"N": 1024}, runtime=rt)
+    key = next(k for k in dev.storage.list_keys() if "in/A" in k)
+    assert dev.storage.size_of(key) < 4096
+    assert np.array_equal(c, a)
+
+
+def test_compression_disabled_by_config(cloud_config):
+    cfg = replace(cloud_config, compression=False, min_compress_size=0)
+    rt = make_cloud_runtime(cfg)
+    dev = rt.device("CLOUD")
+    a = np.zeros(1024, dtype=np.float32)
+    c = np.zeros(1024, dtype=np.float32)
+    offload(_copy_region(), arrays={"A": a, "C": c}, scalars={"N": 1024}, runtime=rt)
+    key = next(k for k in dev.storage.list_keys() if "in/A" in k)
+    assert dev.storage.size_of(key) == 4096
+
+
+def test_report_milestones_consistent(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    _, _, report = _run(rt)
+    assert report.full_s == pytest.approx(report.host_comm_s + report.spark_job_s)
+    assert report.spark_job_s >= report.computation_s >= 0
+    assert report.tasks_run >= 1
+    stack = report.figure5_stack()
+    assert sum(stack.values()) == pytest.approx(report.full_s)
+
+
+def test_spark_submit_goes_over_ssh(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    dev = rt.device("CLOUD")
+    _run(rt)
+    prefixes = [p for p, _ in dev.endpoint._handlers]
+    assert prefixes.count("spark-submit") == 1
+    _run(rt)  # re-registration replaces, never stacks stale jobs
+    prefixes = [p for p, _ in dev.endpoint._handlers]
+    assert prefixes.count("spark-submit") == 1
+
+
+def test_offload_report_traffic_counts(cloud_config):
+    cfg = replace(cloud_config, compression=False, min_compress_size=0)
+    rt = make_cloud_runtime(cfg)
+    a, c, report = _run(rt, n=256)
+    assert report.bytes_up_raw == 1024  # A only (C is output-only)
+    assert report.bytes_up_wire == 1024
+    assert report.bytes_down_raw == 1024
+    assert report.timeline.busy(Phase.HOST_UPLOAD) > 0
+    assert report.timeline.busy(Phase.HOST_DOWNLOAD) > 0
+
+
+def test_jvm_array_limit_enforced(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    region = _copy_region()
+    with pytest.raises(JavaArrayLimitError):
+        offload(region, scalars={"N": 2**30}, runtime=rt,
+                mode=ExecutionMode.MODELED)
+
+
+def test_modeled_mode_stages_virtual_objects(cloud_config):
+    rt = make_cloud_runtime(cloud_config, physical_cores=32)
+    dev = rt.device("CLOUD")
+    report = offload(_copy_region(), scalars={"N": 1 << 20}, runtime=rt,
+                     mode=ExecutionMode.MODELED)
+    key = next(k for k in dev.storage.list_keys() if "in/A" in k)
+    obj = dev.storage.get(key)
+    assert obj.is_virtual
+    assert report.computation_s > 0
+
+
+def test_instance_management_starts_and_stops(cloud_config):
+    cfg = replace(cloud_config, manage_instances=True, n_workers=2)
+    rt = make_cloud_runtime(cfg, physical_cores=16)
+    dev = rt.device("CLOUD")
+    _, _, report = _run(rt)
+    assert dev._provisioned is not None
+    states = {i.state.value for i in [dev._provisioned.driver, *dev._provisioned.workers]}
+    assert states == {"stopped"}
+    assert report.billed_usd > 0  # pay-as-you-go: billed for the offload hour
+
+
+def test_successive_offloads_reuse_device(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    _run(rt)
+    a, c, report = _run(rt)
+    assert np.array_equal(c, a)
+    assert report.tasks_run >= 1
+
+
+def test_report_json_roundtrip(cloud_config):
+    import json
+
+    rt = make_cloud_runtime(cloud_config)
+    _, _, report = _run(rt)
+    payload = json.loads(report.to_json())
+    assert payload["device"] == "CLOUD"
+    assert payload["full_s"] == pytest.approx(report.full_s)
+    assert sum(payload["figure5_stack"].values()) == pytest.approx(report.full_s)

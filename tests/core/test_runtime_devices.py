@@ -1,0 +1,176 @@
+"""Offloading runtime: device table, dispatch, host fallback, data envs."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, TargetRegion, offload, omp_get_num_devices
+from repro.core.data_env import DataEnvError, DataEnvironment
+from repro.core.buffers import Buffer
+from repro.core.device import DeviceError
+from repro.core.omp_ast import MapType
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.plugin_host import HostDevice
+from repro.core.runtime import DEVICE_HOST, OffloadRuntime
+
+from tests.conftest import make_cloud_runtime
+
+
+def _double_region(device="CLOUD"):
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = 2 * np.asarray(arrays["A"][lo:hi])
+
+    return TargetRegion(
+        name="double",
+        pragmas=[f"omp target device({device})",
+                 "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body,
+        )],
+    )
+
+
+# --------------------------------------------------------------- device table
+def test_host_is_device_zero():
+    rt = OffloadRuntime()
+    assert isinstance(rt.device(DEVICE_HOST), HostDevice)
+    assert rt.num_devices() == 0  # host does not count
+
+
+def test_register_assigns_ids(cloud_config):
+    rt = OffloadRuntime()
+    dev = CloudDevice(cloud_config)
+    assert rt.register(dev) == 1
+    assert rt.num_devices() == 1
+    assert rt.device("CLOUD") is dev
+    assert rt.device(1) is dev
+
+
+def test_unknown_device_lookup():
+    rt = OffloadRuntime()
+    with pytest.raises(DeviceError):
+        rt.device(5)
+    with pytest.raises(DeviceError):
+        rt.device("GPU")
+
+
+def test_omp_get_num_devices_helper(cloud_config):
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(cloud_config))
+    assert omp_get_num_devices(rt) == 1
+
+
+def test_default_runtime_singleton():
+    OffloadRuntime.reset_default()
+    a = OffloadRuntime.default()
+    b = OffloadRuntime.default()
+    assert a is b
+    OffloadRuntime.reset_default()
+
+
+# ------------------------------------------------------------------- dispatch
+def test_device_clause_routes_to_cloud(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    a = np.arange(8, dtype=np.float32)
+    c = np.zeros(8, dtype=np.float32)
+    report = offload(_double_region("CLOUD"), arrays={"A": a, "C": c},
+                     scalars={"N": 8}, runtime=rt)
+    assert report.device_name == "CLOUD"
+    assert np.array_equal(c, 2 * a)
+
+
+def test_unknown_device_name_degrades_to_host():
+    rt = OffloadRuntime()
+    a = np.arange(4, dtype=np.float32)
+    c = np.zeros(4, dtype=np.float32)
+    report = offload(_double_region("GPU"), arrays={"A": a, "C": c},
+                     scalars={"N": 4}, runtime=rt)
+    assert report.device_name == "HOST"
+    assert np.array_equal(c, 2 * a)
+
+
+def test_numeric_device_selector(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    a = np.arange(4, dtype=np.float32)
+    c = np.zeros(4, dtype=np.float32)
+    report = offload(_double_region("1"), arrays={"A": a, "C": c},
+                     scalars={"N": 4}, runtime=rt)
+    assert report.device_name == "CLOUD"
+
+
+def test_unreachable_cloud_falls_back_to_host(cloud_config):
+    """Figure 1: 'if the cloud is not available the computation is performed
+    locally'."""
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(cloud_config, reachable=False))
+    a = np.arange(4, dtype=np.float32)
+    c = np.zeros(4, dtype=np.float32)
+    report = offload(_double_region("CLOUD"), arrays={"A": a, "C": c},
+                     scalars={"N": 4}, runtime=rt)
+    assert report.device_name == "HOST"
+    assert rt.fallbacks == 1
+    assert np.array_equal(c, 2 * a)
+
+
+def test_bad_storage_credentials_fall_back(cloud_config):
+    from dataclasses import replace
+
+    from repro.cloud.credentials import Credentials
+
+    bad = replace(cloud_config, credentials=Credentials(provider="ec2", username="u"))
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(bad))
+    a = np.arange(4, dtype=np.float32)
+    c = np.zeros(4, dtype=np.float32)
+    report = offload(_double_region("CLOUD"), arrays={"A": a, "C": c},
+                     scalars={"N": 4}, runtime=rt)
+    assert report.device_name == "HOST"
+
+
+# ----------------------------------------------------------------- data envs
+def test_data_env_refcounting():
+    env = DataEnvironment("dev")
+    buf = Buffer("A", length=4)
+    e1 = env.begin(buf, MapType.TO)
+    e2 = env.begin(buf, MapType.TO)
+    assert e1 is e2
+    assert e1.ref_count == 2
+    assert env.end("A") is None  # still referenced
+    assert env.end("A") is e1  # last release returns the entry
+    assert len(env) == 0
+
+
+def test_data_env_type_promotion():
+    env = DataEnvironment("dev")
+    buf = Buffer("A", length=4)
+    env.begin(buf, MapType.TO)
+    entry = env.begin(buf, MapType.FROM)
+    assert entry.map_type == MapType.TOFROM
+
+
+def test_data_env_rejects_rebinding():
+    env = DataEnvironment("dev")
+    env.begin(Buffer("A", length=4), MapType.TO)
+    with pytest.raises(DataEnvError):
+        env.begin(Buffer("A", length=8), MapType.TO)
+
+
+def test_data_env_unknown_lookup():
+    env = DataEnvironment("dev")
+    with pytest.raises(DataEnvError):
+        env.end("nope")
+    with pytest.raises(DataEnvError):
+        env.lookup("nope")
+
+
+def test_cloud_offload_balances_data_env(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    dev = rt.device("CLOUD")
+    a = np.arange(4, dtype=np.float32)
+    c = np.zeros(4, dtype=np.float32)
+    offload(_double_region("CLOUD"), arrays={"A": a, "C": c},
+            scalars={"N": 4}, runtime=rt)
+    assert len(dev.env) == 0  # all mappings released
+    assert dev.env.begun == dev.env.ended

@@ -1,0 +1,167 @@
+"""Scanning annotated C source — the paper's listings, verbatim."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import offload
+from repro.core.source_scan import (
+    SourceScanError,
+    region_from_source,
+    scan_source,
+)
+
+from tests.conftest import make_cloud_runtime
+
+LISTING_1 = """
+void MatMul(float *A, float *B, float *C) {
+  // Offload code fragment to the cloud
+  #pragma omp target device(CLOUD)
+  #pragma omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])
+  // Parallelize loop iterations on the cluster
+  #pragma omp parallel for
+  for(int i=0; i < N; ++i)
+    for (int j = 0; j < N; ++j)
+      C[i * N + j] = 0;
+      for (int k = 0; k < N; ++k)
+        C[i * N + j] += A[i * N + k] * B[k * N + j];
+  // Resulted matrix 'C' is available locally
+}
+"""
+
+LISTING_2 = """
+#pragma omp target device(CLOUD)
+#pragma omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])
+#pragma omp parallel for
+for(int i=0; i < N; ++i)
+#pragma omp target data map(to: A[i*N:(i+1)*N]) map(from: C[i*N:(i+1)*N])
+  for (int j = 0; j < N; ++j)
+    C[i * N + j] = 0;
+    for (int k = 0; k < N; ++k)
+      C[i * N + j] += A[i * N + k] * B[k * N + j];
+"""
+
+TWO_LOOP_SOURCE = """
+#pragma omp target device(CLOUD)
+#pragma omp map(to: A[:N*N], B[:N*N], C[:N*N]) map(tofrom: D[:N*N])
+#pragma omp parallel for
+for (int i = 0; i < N; ++i)
+#pragma omp target data map(to: A[i*N:(i+1)*N]) map(from: tmp[i*N:(i+1)*N])
+  ;
+#pragma omp parallel for
+for (int i = 0; i < N; ++i)
+#pragma omp target data map(to: tmp[i*N:(i+1)*N]) map(tofrom: D[i*N:(i+1)*N])
+  ;
+"""
+
+
+def test_listing1_scans():
+    regions = scan_source(LISTING_1)
+    assert len(regions) == 1
+    r = regions[0]
+    assert r.device == "CLOUD"
+    assert len(r.loops) == 1
+    loop = r.loops[0]
+    assert loop.loop_var == "i"
+    assert loop.trip_count == "N"
+    assert loop.partition_pragma is None
+
+
+def test_listing2_scans_with_partitioning():
+    regions = scan_source(LISTING_2)
+    loop = regions[0].loops[0]
+    assert loop.partition_pragma is not None
+    assert "A[i*N:(i+1)*N]" in loop.partition_pragma.replace(" ", "")
+
+
+def test_inner_loops_are_not_offload_targets():
+    # j and k loops have no 'parallel for' pragma -> only i is scanned.
+    regions = scan_source(LISTING_1)
+    assert [l.loop_var for l in regions[0].loops] == ["i"]
+
+
+def test_two_loop_region():
+    regions = scan_source(TWO_LOOP_SOURCE)
+    assert len(regions) == 1
+    assert [l.loop_var for l in regions[0].loops] == ["i", "i"]
+    assert all(l.partition_pragma for l in regions[0].loops)
+
+
+def test_unsupported_directive_rejected():
+    bad = LISTING_2.replace("#pragma omp parallel for",
+                            "#pragma omp parallel for\n#pragma omp critical")
+    with pytest.raises(SourceScanError, match="III-D"):
+        scan_source(bad)
+
+
+def test_parallel_for_outside_region_rejected():
+    with pytest.raises(SourceScanError, match="outside"):
+        scan_source("#pragma omp parallel for\nfor (int i = 0; i < N; ++i) ;")
+
+
+def test_region_without_loops_is_dropped():
+    assert scan_source("#pragma omp target device(CLOUD)") == []
+
+
+def test_listing2_runs_end_to_end(cloud_config):
+    """The paper's Listing 2, parsed from C text, offloaded, verified."""
+
+    def matmul_tile(lo, hi, arrays, scalars):
+        n = int(scalars["N"])
+        b = np.asarray(arrays["B"]).reshape(n, n)
+        rows = np.asarray(arrays["A"][lo * n : hi * n]).reshape(hi - lo, n)
+        arrays["C"][lo * n : hi * n] = (rows @ b).reshape(-1)
+
+    region = region_from_source(
+        LISTING_2, name="listing2",
+        bodies=matmul_tile,
+        reads={"i": ("A", "B")},
+        writes={"i": ("C",)},
+    )
+    assert region.device == "CLOUD"
+    n = 40
+    rng = np.random.default_rng(2)
+    a = rng.uniform(-1, 1, n * n).astype(np.float32)
+    b = rng.uniform(-1, 1, n * n).astype(np.float32)
+    c = np.zeros(n * n, dtype=np.float32)
+    rt = make_cloud_runtime(cloud_config)
+    offload(region, arrays={"A": a, "B": b, "C": c}, scalars={"N": n}, runtime=rt)
+    expected = (a.reshape(n, n) @ b.reshape(n, n)).reshape(-1)
+    assert np.allclose(c, expected, rtol=1e-4)
+
+
+def test_access_inferred_from_partition_pragma():
+    region = region_from_source(
+        LISTING_2, name="inferred",
+        bodies=lambda lo, hi, arrays, scalars: None,
+    )
+    loop = region.loops[0]
+    assert loop.reads == ("A",)
+    assert loop.writes == ("C",)
+
+
+def test_single_body_for_multi_loop_rejected():
+    with pytest.raises(SourceScanError, match="single-loop"):
+        region_from_source(
+            TWO_LOOP_SOURCE, name="x",
+            bodies=lambda lo, hi, arrays, scalars: None,
+            locals_={"tmp": "N*N"},
+        )
+
+
+def test_multiple_regions_rejected_by_region_from_source():
+    two = LISTING_2 + "\n" + LISTING_2
+    with pytest.raises(SourceScanError, match="exactly one"):
+        region_from_source(two, name="x")
+
+
+def test_for_header_variants():
+    src = """
+#pragma omp target device(CLOUD)
+#pragma omp map(to: x[:M]) map(from: y[:M])
+#pragma omp parallel for
+for (int k = 0; k < 2*M; k++) ;
+"""
+    regions = scan_source(src)
+    loop = regions[0].loops[0]
+    assert loop.loop_var == "k"
+    assert loop.trip_count == "2*M"

@@ -1,0 +1,135 @@
+"""Edge cases across the whole pipeline: degenerate sizes, dtypes, scalars."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, RegionError, TargetRegion, offload
+from repro.core.buffers import ExecutionMode
+
+from tests.conftest import make_cloud_runtime
+
+
+def _copy_region(dtype_note=""):
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = np.asarray(arrays["A"][lo:hi])
+
+    return TargetRegion(
+        name=f"edgecopy{dtype_note}",
+        pragmas=["omp target device(CLOUD)", "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body,
+        )],
+    )
+
+
+def test_zero_iterations(cloud_config):
+    """N = 0: nothing to compute, nothing to break."""
+    rt = make_cloud_runtime(cloud_config)
+    a = np.zeros(0, dtype=np.float32)
+    c = np.zeros(0, dtype=np.float32)
+    report = offload(_copy_region(), arrays={"A": a, "C": c},
+                     scalars={"N": 0}, runtime=rt)
+    assert report.tasks_run == 0
+
+
+def test_single_iteration(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    a = np.array([42.0], dtype=np.float32)
+    c = np.zeros(1, dtype=np.float32)
+    report = offload(_copy_region(), arrays={"A": a, "C": c},
+                     scalars={"N": 1}, runtime=rt)
+    assert c[0] == 42.0
+    assert report.tasks_run == 1
+
+
+def test_fewer_iterations_than_cores(cloud_config):
+    rt = make_cloud_runtime(cloud_config, physical_cores=64)
+    n = 5
+    a = np.arange(n, dtype=np.float32)
+    c = np.zeros(n, dtype=np.float32)
+    report = offload(_copy_region(), arrays={"A": a, "C": c},
+                     scalars={"N": n}, runtime=rt)
+    assert np.array_equal(c, a)
+    assert report.tasks_run == n  # one iteration per task, no empty tiles
+
+
+def test_float64_buffers(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    a = np.linspace(0, 1, 32, dtype=np.float64)
+    c = np.zeros(32, dtype=np.float64)
+    offload(_copy_region("f64"), arrays={"A": a, "C": c},
+            scalars={"N": 32}, runtime=rt)
+    assert np.array_equal(c, a)
+
+
+def test_int64_buffers(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    a = np.arange(32, dtype=np.int64) * 7
+    c = np.zeros(32, dtype=np.int64)
+    offload(_copy_region("i64"), arrays={"A": a, "C": c},
+            scalars={"N": 32}, runtime=rt)
+    assert np.array_equal(c, a)
+
+
+def test_mixed_dtypes_across_buffers(cloud_config):
+    def body(lo, hi, arrays, scalars):
+        arrays["counts"][lo:hi] = (np.asarray(arrays["vals"][lo:hi]) > 0).astype(np.int32)
+
+    region = TargetRegion(
+        name="mixed",
+        pragmas=["omp target device(CLOUD)",
+                 "omp map(to: vals[:N]) map(from: counts[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("vals",), writes=("counts",),
+            partition_pragma="omp target data map(to: vals[i:i+1]) map(from: counts[i:i+1])",
+            body=body,
+        )],
+    )
+    rt = make_cloud_runtime(cloud_config)
+    vals = np.array([-1, 2, -3, 4] * 8, dtype=np.float32)
+    counts = np.zeros(32, dtype=np.int32)
+    offload(region, arrays={"vals": vals, "counts": counts},
+            scalars={"N": 32}, runtime=rt)
+    assert np.array_equal(counts, (vals > 0).astype(np.int32))
+
+
+def test_float_scalars_flow_through(cloud_config):
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = scalars["scale"] * np.asarray(arrays["A"][lo:hi])
+
+    region = TargetRegion(
+        name="scaled",
+        pragmas=["omp target device(CLOUD)", "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body,
+        )],
+    )
+    rt = make_cloud_runtime(cloud_config)
+    a = np.ones(16, dtype=np.float32)
+    c = np.zeros(16, dtype=np.float32)
+    offload(region, arrays={"A": a, "C": c},
+            scalars={"N": 16, "scale": 2.5}, runtime=rt)
+    assert np.allclose(c, 2.5)
+
+
+def test_negative_trip_count_rejected(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    a = np.zeros(4, dtype=np.float32)
+    c = np.zeros(4, dtype=np.float32)
+    with pytest.raises(RegionError, match="negative trip count"):
+        offload(_copy_region(), arrays={"A": a, "C": c},
+                scalars={"N": -4}, runtime=rt)
+
+
+def test_modeled_zero_iterations(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    report = offload(_copy_region(), scalars={"N": 0}, runtime=rt,
+                     mode=ExecutionMode.MODELED)
+    assert report.computation_s == 0.0

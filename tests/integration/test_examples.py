@@ -1,0 +1,70 @@
+"""Every example stays runnable: import and execute each main()."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None, monkeypatch=None):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    if monkeypatch is not None and argv is not None:
+        monkeypatch.setattr(sys, "argv", [str(path), *argv])
+    runpy.run_path(str(path), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "result verified" in out
+
+
+def test_partitioned_matmul(capsys):
+    _run("partitioned_matmul.py")
+    out = capsys.readouterr().out
+    assert "agree bit-for-bit" in out
+    assert "paper scale" in out
+
+
+def test_iot_sensor_analytics(capsys):
+    _run("iot_sensor_analytics.py")
+    out = capsys.readouterr().out
+    assert "most correlated sensor pairs" in out
+    assert "estimated EC2 bill" in out
+
+
+def test_multi_cloud_portability(capsys):
+    _run("multi_cloud_portability.py")
+    out = capsys.readouterr().out
+    assert "EC2 + S3" in out and "Azure HDInsight" in out and "private + HDFS" in out
+
+
+def test_iterative_pipeline(capsys):
+    _run("iterative_pipeline.py")
+    out = capsys.readouterr().out
+    assert "converged to lambda" in out
+
+
+def test_paper_figures_single_panel(capsys, monkeypatch):
+    _run("paper_figures.py", argv=["collinear"], monkeypatch=monkeypatch)
+    out = capsys.readouterr().out
+    assert "Figure 4h" in out
+    assert "Section IV headline numbers" in out
+
+
+def test_fault_tolerance_example(capsys):
+    _run("fault_tolerance.py")
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
+    assert "recomputed" in out
+
+
+def test_annotated_c_source_example(capsys):
+    _run("annotated_c_source.py")
+    out = capsys.readouterr().out
+    assert "parsed from the paper's C text" in out
+    assert "verified" in out

@@ -1,0 +1,97 @@
+"""Fault tolerance end to end: workers die, results do not change.
+
+The paper gets fault tolerance "transparently" from Spark's lineage; these
+tests kill workers both functionally (a closure raises) and in simulated time
+(a node dies mid-wave) and verify every benchmark still produces the oracle
+result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import offload
+from repro.core.buffers import ExecutionMode
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.runtime import OffloadRuntime
+from repro.spark.faults import FaultPlan
+from repro.spark.scheduler import JobFailedError
+from repro.workloads import WORKLOADS
+
+from tests.conftest import make_cloud_runtime
+
+
+def _run_with_fault(name, fault_plan, cloud_config, cores=64, workers=4):
+    spec = WORKLOADS[name]
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(cloud_config, physical_cores=cores,
+                            fault_plan=fault_plan))
+    scalars = spec.scalars(spec.test_size)
+    arrays = spec.inputs(spec.test_size, density=1.0, seed=5)
+    expected = spec.reference({k: v.copy() for k, v in arrays.items()}, scalars)
+    report = offload(spec.build_region("CLOUD"), arrays=arrays,
+                     scalars=scalars, runtime=rt)
+    for key, want in expected.items():
+        assert np.allclose(arrays[key], want, rtol=3e-5, atol=1e-4), (name, key)
+    return report
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_every_benchmark_survives_functional_worker_loss(name, cloud_config):
+    report = _run_with_fault(name, FaultPlan(fail_task_number={"worker-0": 1}),
+                             cloud_config)
+    assert report.tasks_recomputed >= 1
+
+
+def test_two_workers_lost(cloud_config):
+    plan = FaultPlan(fail_task_number={"worker-0": 1, "worker-1": 2})
+    report = _run_with_fault("gemm", plan, cloud_config)
+    assert report.tasks_recomputed >= 2
+
+
+def test_simulated_time_death_reschedules(cloud_config):
+    """A node dies mid-wave in simulated time (modeled run): surviving nodes
+    absorb the lost tasks and the makespan grows."""
+    spec = WORKLOADS["gemm"]
+
+    def run(plan):
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(cloud_config, physical_cores=64,
+                                fault_plan=plan))
+        return offload(spec.build_region("CLOUD"), scalars=spec.scalars(),
+                       runtime=rt, mode=ExecutionMode.MODELED)
+
+    healthy = run(FaultPlan())
+    # Kill worker-0 one simulated minute into the run.
+    hurt = run(FaultPlan(die_at={"worker-0": 60.0}))
+    assert hurt.tasks_recomputed >= 1
+    assert hurt.spark_job_s > healthy.spark_job_s
+
+
+def test_losing_every_worker_fails_the_job(cloud_config):
+    plan = FaultPlan(die_at={f"worker-{i}": 0.5 for i in range(4)})
+    spec = WORKLOADS["matmul"]
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(cloud_config, physical_cores=64, fault_plan=plan))
+    with pytest.raises(JobFailedError):
+        offload(spec.build_region("CLOUD"), scalars=spec.scalars(),
+                runtime=rt, mode=ExecutionMode.MODELED)
+
+
+def test_recovery_is_transparent_to_results(cloud_config):
+    """Same inputs, with and without failures: identical output bits."""
+    spec = WORKLOADS["syr2k"]
+    scalars = spec.scalars(spec.test_size)
+    base = spec.inputs(spec.test_size, density=1.0, seed=8)
+
+    def run(plan):
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(cloud_config, physical_cores=64, fault_plan=plan))
+        arrays = {k: v.copy() for k, v in base.items()}
+        offload(spec.build_region("CLOUD"), arrays=arrays, scalars=scalars,
+                runtime=rt)
+        return arrays
+
+    clean = run(FaultPlan())
+    faulty = run(FaultPlan(fail_task_number={"worker-1": 1}))
+    for key in base:
+        assert np.array_equal(clean[key], faulty[key]), key

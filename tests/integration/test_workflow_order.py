@@ -1,0 +1,96 @@
+"""Figure 1's workflow, step by step, read back from the recorded timeline.
+
+The paper's eight steps: (1) device init from the configuration, (2) inputs
+sent to cloud storage, (3) driver reads them, (4) iterations distributed to
+the workers, (5) workers compute, (6) outputs collected by the driver,
+(7) written to cloud storage, (8) read back by the local program.  Every step
+leaves phases in the timeline; this test checks they happen, and happen in
+order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, TargetRegion, offload
+from repro.simtime import Phase
+
+from tests.conftest import make_cloud_runtime
+
+
+@pytest.fixture
+def report(cloud_config):
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = np.asarray(arrays["A"][lo:hi]) + 1
+
+    region = TargetRegion(
+        name="workflow",
+        pragmas=["omp target device(CLOUD)", "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body, flops_per_iter=1e7,
+        )],
+    )
+    rt = make_cloud_runtime(cloud_config, physical_cores=32)
+    a = np.arange(512, dtype=np.float32)
+    c = np.zeros(512, dtype=np.float32)
+    rep = offload(region, arrays={"A": a, "C": c}, scalars={"N": 512}, runtime=rt)
+    assert np.array_equal(c, a + 1)
+    return rep
+
+
+def _first(report, phase):
+    starts = [s.start for s in report.timeline.spans if s.phase == phase]
+    assert starts, f"phase {phase} never happened"
+    return min(starts)
+
+
+def _last(report, phase):
+    return max(s.end for s in report.timeline.spans if s.phase == phase)
+
+
+def test_all_workflow_phases_present(report):
+    for phase in (Phase.HOST_UPLOAD, Phase.CLUSTER_INIT, Phase.STORAGE_READ,
+                  Phase.SCHEDULING, Phase.INTRA_TRANSFER, Phase.COMPUTE,
+                  Phase.COLLECT, Phase.RECONSTRUCT, Phase.STORAGE_WRITE,
+                  Phase.HOST_DOWNLOAD):
+        assert any(s.phase == phase for s in report.timeline.spans), phase
+
+
+def test_step_order_matches_figure_1(report):
+    # (2) upload -> (3) driver read -> (4) distribute -> (5) compute
+    # -> (6) collect -> (7) storage write -> (8) download.
+    assert _last(report, Phase.HOST_UPLOAD) <= _first(report, Phase.STORAGE_READ)
+    assert _last(report, Phase.STORAGE_READ) <= _first(report, Phase.SCHEDULING)
+    assert _first(report, Phase.SCHEDULING) <= _first(report, Phase.COMPUTE)
+    assert _first(report, Phase.COMPUTE) <= _first(report, Phase.COLLECT)
+    assert _last(report, Phase.COLLECT) <= _first(report, Phase.STORAGE_WRITE) + 1e-9
+    assert _last(report, Phase.STORAGE_WRITE) <= _first(report, Phase.HOST_DOWNLOAD)
+
+
+def test_distribution_precedes_each_tasks_compute(report):
+    """Step 4 before step 5, per worker: no compute span starts before the
+    scatter that feeds it finished (scatter serializes on the driver NIC)."""
+    first_compute = _first(report, Phase.COMPUTE)
+    first_scatter = _first(report, Phase.INTRA_TRANSFER)
+    assert first_scatter <= first_compute
+
+
+def test_workers_actually_overlap(report):
+    computes = [s for s in report.timeline.spans if s.phase == Phase.COMPUTE]
+    workers = {s.resource for s in computes}
+    assert len(workers) >= 2  # the cluster, not one straggler, did the work
+    # At least two compute spans overlap in time (true parallelism).
+    overlapping = any(
+        a is not b and a.start < b.end and b.start < a.end
+        for a in computes for b in computes
+    )
+    assert overlapping
+
+
+def test_milestones_partition_the_wall_clock(report):
+    assert report.full_s == pytest.approx(
+        report.host_comm_s + report.spark_job_s
+    )
+    assert report.spark_job_s >= report.computation_s

@@ -1,0 +1,106 @@
+"""ASCII Gantt rendering."""
+
+import pytest
+
+from repro.metrics.gantt import PHASE_GLYPHS, render_gantt
+from repro.simtime import Phase, Timeline
+
+
+def _tl():
+    tl = Timeline()
+    tl.record(Phase.HOST_UPLOAD, 0.0, 4.0, resource="host")
+    tl.record(Phase.COMPUTE, 4.0, 9.0, resource="worker-0")
+    tl.record(Phase.COMPUTE, 4.0, 10.0, resource="worker-1")
+    tl.record(Phase.HOST_DOWNLOAD, 10.0, 12.0, resource="host")
+    return tl
+
+
+def test_every_phase_has_a_glyph():
+    for phase in Phase:
+        assert phase in PHASE_GLYPHS
+    glyphs = list(PHASE_GLYPHS.values())
+    assert len(set(glyphs)) == len(glyphs)  # distinct
+
+
+def test_rows_per_resource_in_first_activity_order():
+    text = render_gantt(_tl(), width=40)
+    lines = text.splitlines()
+    assert lines[1].startswith("host")
+    assert lines[2].startswith("worker-0")
+    assert lines[3].startswith("worker-1")
+
+
+def test_glyph_placement_tracks_time():
+    text = render_gantt(_tl(), width=48)
+    host_row = next(l for l in text.splitlines() if l.startswith("host"))
+    chart = host_row.split("  ", 1)[1]
+    # Upload occupies the left third, download the right sixth.
+    assert "U" in chart[:20]
+    assert "D" in chart[-12:]
+    assert "M" not in chart  # compute never shows on the host row
+
+
+def test_idle_time_is_dots():
+    text = render_gantt(_tl(), width=40)
+    w0 = next(l for l in text.splitlines() if l.startswith("worker-0"))
+    assert w0.split("  ", 1)[1].startswith(".")
+
+
+def test_legend_lists_only_present_phases():
+    text = render_gantt(_tl(), width=40)
+    legend = text.splitlines()[-1]
+    assert "M=compute" in legend
+    assert "B=broadcast" not in legend
+
+
+def test_empty_timeline():
+    assert render_gantt(Timeline()) == "(empty timeline)"
+
+
+def test_row_folding():
+    tl = Timeline()
+    for i in range(30):
+        tl.record(Phase.COMPUTE, 0.0, 1.0, resource=f"w{i}")
+    text = render_gantt(tl, width=20, max_rows=5)
+    assert "(+25 more resource rows)" in text
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        render_gantt(_tl(), width=5)
+
+
+def test_real_offload_timeline_renders():
+    from repro.metrics.figures import run_point
+
+    pt = run_point("matmul", cores=16, density=1.0, size=2048)
+    text = render_gantt(pt.report.timeline, width=60, max_rows=6)
+    assert "host" in text and "driver" in text
+    assert "M" in text  # compute happened somewhere
+
+
+def test_gantt_never_crashes_on_random_timelines():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    phases = list(Phase)
+
+    @given(spans=st.lists(
+        st.tuples(
+            st.sampled_from(phases),
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=100),
+            st.sampled_from(["host", "driver", "worker-0", "", "w1"]),
+        ),
+        max_size=40,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def check(spans):
+        tl = Timeline()
+        for phase, a, b, res in spans:
+            lo, hi = sorted((a, b))
+            tl.record(phase, lo, hi, resource=res)
+        text = render_gantt(tl, width=30, max_rows=4)
+        assert isinstance(text, str) and text
+
+    check()

@@ -1,0 +1,56 @@
+"""Golden-value guards on the calibrated model.
+
+EXPERIMENTS.md quotes specific measured numbers; these tests pin them (with
+a small tolerance) so any change to the calibration, the scheduler or the
+cost models that moves the published results is caught and EXPERIMENTS.md is
+updated deliberately, not silently invalidated.
+"""
+
+import pytest
+
+from repro.metrics.figures import headline_numbers, run_point
+
+GOLDEN_HEADLINES = {
+    "overhead_computation_16": 0.032,
+    "overhead_spark_16": 0.099,
+    "overhead_full_16": 0.179,
+    "syrk_overhead_8": 0.051,
+    "syrk_overhead_256": 0.546,
+    "s3mm_computation_256": 146.5,
+    "s3mm_spark_256": 82.6,
+    "s3mm_full_256": 67.7,
+    "s2mm_full_256": 58.6,
+}
+
+
+@pytest.fixture(scope="module")
+def headlines():
+    return headline_numbers()
+
+
+@pytest.mark.parametrize("key,expected", sorted(GOLDEN_HEADLINES.items()))
+def test_headline_golden(headlines, key, expected):
+    assert headlines[key] == pytest.approx(expected, rel=0.02), (
+        f"{key} moved from its EXPERIMENTS.md value; recalibrate deliberately "
+        f"and update the docs"
+    )
+
+
+def test_gemm_256_dense_breakdown_golden():
+    pt = run_point("gemm", 256, 1.0)
+    assert pt.report.host_comm_s == pytest.approx(154.0, rel=0.02)
+    assert pt.report.computation_s == pytest.approx(61.0, rel=0.03)
+    assert pt.report.spark_overhead_s == pytest.approx(90.0, rel=0.05)
+
+
+def test_collinear_golden():
+    pt = run_point("collinear", 8, 1.0)
+    assert pt.report.full_s / 60.0 == pytest.approx(12.9, rel=0.03)
+    assert pt.report.host_comm_s < 1.0
+
+
+def test_determinism_same_point_twice():
+    a = run_point("syr2k", 64, 0.05)
+    b = run_point("syr2k", 64, 0.05)
+    assert a.report.full_s == b.report.full_s
+    assert a.report.computation_s == b.report.computation_s

@@ -1,0 +1,134 @@
+"""Experiment drivers: Figure 4/5 series shapes and the reporting helpers.
+
+These run at reduced problem size (N=2048, M=2000) so the whole module stays
+fast; the shape assertions are scale-free.  The full paper-scale assertions
+live in benchmarks/.
+"""
+
+import pytest
+
+from repro.metrics.costs import experiment_cost
+from repro.metrics.figures import (
+    ExperimentPoint,
+    figure4_series,
+    figure5_series,
+    headline_numbers,
+    run_point,
+)
+from repro.metrics.tables import format_percent, format_table
+
+SMALL_N = 2048
+SMALL_CORES = (8, 16, 64)
+
+
+def test_run_point_speedups_ordering():
+    pt = run_point("gemm", cores=64, density=1.0, size=SMALL_N)
+    assert isinstance(pt, ExperimentPoint)
+    # Figure 4's invariant: computation >= spark >= full.
+    assert pt.speedup_computation >= pt.speedup_spark >= pt.speedup_full > 0
+
+
+def test_figure4_rows_structure():
+    rows = figure4_series("gemm", cores=SMALL_CORES, size=SMALL_N)
+    assert [r.cores for r in rows] == list(SMALL_CORES)
+    assert rows[0].omp_thread is not None  # 8 cores has the thread reference
+    assert rows[2].omp_thread is None  # 64 cores has not
+    for r in rows:
+        assert r.cloud_computation >= r.cloud_spark >= r.cloud_full
+
+
+def test_figure4_speedups_grow_with_cores():
+    rows = figure4_series("matmul", cores=SMALL_CORES, size=SMALL_N)
+    comp = [r.cloud_computation for r in rows]
+    assert comp == sorted(comp)
+    spark = [r.cloud_spark for r in rows]
+    assert spark == sorted(spark)
+
+
+def test_figure5_rows_structure():
+    rows = figure5_series("gemm", cores=SMALL_CORES, size=SMALL_N)
+    assert len(rows) == 2 * len(SMALL_CORES)  # sparse + dense
+    labels = {r.density_label for r in rows}
+    assert labels == {"sparse", "dense"}
+    for r in rows:
+        assert r.total_s == pytest.approx(
+            r.host_comm_s + r.spark_overhead_s + r.computation_s
+        )
+
+
+def test_figure5_computation_shrinks_overheads_do_not():
+    rows = [r for r in figure5_series("gemm", cores=SMALL_CORES, size=SMALL_N)
+            if r.density_label == "dense"]
+    comps = [r.computation_s for r in rows]
+    assert comps == sorted(comps, reverse=True)
+    # Host communication is core-count independent.
+    hosts = [r.host_comm_s for r in rows]
+    assert max(hosts) - min(hosts) < 0.05 * max(hosts)
+
+
+def test_figure5_dense_costs_more_than_sparse():
+    rows = figure5_series("gemm", cores=(16,), size=SMALL_N)
+    sparse = next(r for r in rows if r.density_label == "sparse")
+    dense = next(r for r in rows if r.density_label == "dense")
+    assert dense.host_comm_s > 2 * sparse.host_comm_s
+    # Computation is data-type independent (paper: "the variation is
+    # negligible for the computation time").
+    assert dense.computation_s == pytest.approx(sparse.computation_s, rel=0.05)
+
+
+def test_headline_numbers_keys_present():
+    h = headline_numbers(size=SMALL_N)
+    for key in (
+        "overhead_computation_16", "overhead_spark_16", "overhead_full_16",
+        "syrk_overhead_8", "syrk_overhead_256",
+        "collinear_overhead_8", "collinear_overhead_256",
+        "s3mm_computation_256", "s3mm_spark_256", "s3mm_full_256",
+        "runtime_8_min", "runtime_8_max",
+    ):
+        assert key in h
+    assert h["overhead_computation_16"] < h["overhead_spark_16"] < h["overhead_full_16"]
+    assert h["syrk_overhead_8"] < h["syrk_overhead_256"]
+    assert h["collinear_overhead_8"] < h["collinear_overhead_256"]
+    assert h["collinear_overhead_256"] < h["syrk_overhead_256"]
+
+
+# -------------------------------------------------------------------- tables
+def test_format_table_alignment():
+    text = format_table(["name", "x"], [["gemm", 1.5], ["syrk", 10.25]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "gemm" in text and "10.25" in text
+    # All rows share the same width.
+    assert len(set(len(l) for l in lines[1:])) == 1
+
+
+def test_format_table_none_as_dash():
+    text = format_table(["a"], [[None]])
+    assert "-" in text.splitlines()[-1]
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_percent():
+    assert format_percent(0.136) == "13.6%"
+
+
+# --------------------------------------------------------------------- costs
+def test_experiment_cost_paper_cluster():
+    est = experiment_cost(duration_s=3000.0)  # 50 min -> 1 billed hour
+    assert est.n_instances == 17
+    assert est.hours_billed == 1.0
+    assert est.total_usd == pytest.approx(17 * 1.68)
+
+
+def test_experiment_cost_rounds_hours_up():
+    est = experiment_cost(duration_s=3700.0, n_workers=1)
+    assert est.hours_billed == 2.0
+
+
+def test_experiment_cost_validation():
+    with pytest.raises(ValueError):
+        experiment_cost(-1.0)

@@ -1,0 +1,52 @@
+"""Parameter-sweep utility."""
+
+import pytest
+
+from repro.metrics.sweep import SweepRow, cheapest_point, fastest_point, sweep, to_csv
+
+SMALL = dict(size=2048)
+
+
+def test_sweep_grid_shape():
+    rows = sweep(["gemm", "syrk"], (8, 16), densities=(1.0, 0.05), **SMALL)
+    assert len(rows) == 2 * 2 * 2
+    assert {r.workload for r in rows} == {"gemm", "syrk"}
+    assert {r.cores for r in rows} == {8, 16}
+
+
+def test_sweep_rows_self_consistent():
+    rows = sweep(["matmul"], (8, 64), **SMALL)
+    for r in rows:
+        assert r.full_s >= r.spark_s >= r.computation_s > 0
+        assert r.speedup_computation >= r.speedup_spark >= r.speedup_full
+        assert r.cost_usd > 0
+
+
+def test_speedups_grow_with_cores():
+    rows = sweep(["matmul"], (8, 256), **SMALL)
+    assert rows[1].speedup_full > rows[0].speedup_full
+
+
+def test_csv_roundtrip():
+    rows = sweep(["collinear"], (8,), **SMALL)
+    text = to_csv(rows)
+    lines = text.strip().splitlines()
+    assert lines[0] == ",".join(SweepRow.FIELDS)
+    assert len(lines) == 2
+    cells = lines[1].split(",")
+    assert cells[0] == "collinear"
+    assert int(cells[1]) == 8
+
+
+def test_cheapest_and_fastest():
+    rows = sweep(["gemm"], (8, 256), **SMALL)
+    assert fastest_point(rows).cores == 256
+    cheapest = cheapest_point(rows)
+    assert cheapest.cost_usd == min(r.cost_usd for r in rows)
+
+
+def test_empty_selection_errors():
+    with pytest.raises(ValueError):
+        cheapest_point([])
+    with pytest.raises(ValueError):
+        fastest_point([])

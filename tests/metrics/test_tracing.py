@@ -1,0 +1,75 @@
+"""Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.metrics.tracing import to_chrome_trace, write_chrome_trace
+from repro.simtime import Phase, Timeline
+
+
+def _tl():
+    tl = Timeline()
+    tl.record(Phase.HOST_UPLOAD, 0.0, 1.5, resource="host", label="upload-A")
+    tl.record(Phase.COMPUTE, 2.0, 5.0, resource="worker-0")
+    return tl
+
+
+def test_structure():
+    trace = to_chrome_trace(_tl())
+    assert "traceEvents" in trace
+    kinds = {e["ph"] for e in trace["traceEvents"]}
+    assert kinds == {"M", "X"}
+
+
+def test_spans_become_complete_events():
+    events = [e for e in to_chrome_trace(_tl())["traceEvents"] if e["ph"] == "X"]
+    assert len(events) == 2
+    upload = next(e for e in events if e["name"] == "upload-A")
+    assert upload["ts"] == pytest.approx(0.0)
+    assert upload["dur"] == pytest.approx(1.5e6)  # seconds -> microseconds
+    assert upload["cat"] == "host-target communication"
+
+
+def test_resources_become_named_tracks():
+    meta = [e for e in to_chrome_trace(_tl())["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"]
+    names = {e["args"]["name"] for e in meta}
+    assert names == {"host", "worker-0"}
+    tids = {e["tid"] for e in meta}
+    assert len(tids) == 2
+
+
+def test_unlabeled_span_uses_phase_name():
+    events = [e for e in to_chrome_trace(_tl())["traceEvents"] if e["ph"] == "X"]
+    compute = next(e for e in events if e["tid"] != 0 or e["name"] == "compute")
+    assert compute["args"]["phase"] == "compute"
+
+
+def test_write_roundtrip(tmp_path):
+    path = write_chrome_trace(_tl(), str(tmp_path / "t.json"))
+    loaded = json.loads(open(path).read())
+    assert loaded["displayTimeUnit"] == "ms"
+    assert len(loaded["traceEvents"]) >= 4
+
+
+def test_real_offload_trace(tmp_path):
+    from repro.metrics.figures import run_point
+
+    pt = run_point("matmul", cores=16, density=1.0, size=2048)
+    trace = to_chrome_trace(pt.report.timeline)
+    events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(events) > 20
+    cats = {e["cat"] for e in events}
+    assert "computation" in cats and "spark overhead" in cats
+
+
+def test_cli_trace_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "run.trace.json"
+    assert main(["run", "matmul", "--cores", "16", "--workers", "2",
+                 "--trace", str(path)]) == 0
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["traceEvents"]

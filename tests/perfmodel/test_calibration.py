@@ -1,0 +1,63 @@
+"""Calibration invariants: the constant set stays self-consistent."""
+
+import dataclasses
+
+import pytest
+
+from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def test_default_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_CALIBRATION.core_flops = 1.0  # type: ignore[misc]
+
+
+def test_paper_cluster_shape():
+    cal = DEFAULT_CALIBRATION
+    assert cal.worker_vcpus == 32  # c3.8xlarge
+    assert cal.task_cpus == 2  # spark.task.cpus=2
+    assert cal.worker_task_slots == 16  # one task per physical core
+
+
+def test_links_build_and_are_ordered():
+    cal = DEFAULT_CALIBRATION
+    wan, lan = cal.wan_link(), cal.lan_link()
+    assert lan.capacity_bps > 10 * wan.capacity_bps  # datacenter >> internet
+    assert wan.latency_s > 10 * lan.latency_s
+    assert wan.stream_cap_bps is not None
+    assert wan.stream_cap_bps < wan.capacity_bps  # parallel streams help
+
+
+def test_compression_regimes_ordered():
+    cal = DEFAULT_CALIBRATION
+    assert cal.sparse_ratio < cal.dense_ratio
+    assert cal.sparse_compress_bps > cal.dense_compress_bps
+    assert cal.sparse_decompress_bps > cal.dense_decompress_bps
+
+
+def test_jni_loss_matches_paper_scale():
+    # "just 1.8%" — the constant is literal.
+    assert DEFAULT_CALIBRATION.jni_efficiency_loss == pytest.approx(0.018)
+
+
+def test_worker_path_is_slowest_byte_path():
+    # JVM per-task byte churn < driver ByteArray handling < storage streams.
+    cal = DEFAULT_CALIBRATION
+    assert cal.worker_byte_bps < cal.driver_byte_bps
+    assert cal.driver_byte_bps < cal.storage_read_bps * 2
+
+
+def test_custom_calibration_overrides():
+    cal = Calibration(core_flops=2e9, contention_ceiling=0.0)
+    assert cal.core_flops == 2e9
+    assert cal.contention_ceiling == 0.0
+    # Links still build.
+    cal.wan_link()
+    cal.lan_link()
+
+
+def test_overhead_constants_positive():
+    cal = DEFAULT_CALIBRATION
+    for field in ("task_launch_s", "job_setup_s", "jni_call_s",
+                  "instance_boot_s", "instance_stop_s"):
+        assert getattr(cal, field) > 0

@@ -1,0 +1,107 @@
+"""Property tests: expression evaluator vs Python semantics, compression
+round-trips, JVM-style size parsing."""
+
+import zlib
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.exprs import parse_expr
+from repro.perfmodel.compression import gzip_compress, gzip_decompress, measure_ratio
+
+
+# ------------------------------------------------------- expression evaluator
+@st.composite
+def expr_trees(draw, depth=0):
+    """Random (source-text, python-eval) pairs over +, -, * with vars i, N."""
+    if depth > 3 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            v = draw(st.integers(min_value=0, max_value=99))
+            return str(v), v
+        name = draw(st.sampled_from(["i", "N", "M"]))
+        return name, name
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    ls, lv = draw(expr_trees(depth=depth + 1))
+    rs, rv = draw(expr_trees(depth=depth + 1))
+    return f"({ls}{op}{rs})", (op, lv, rv)
+
+
+def _py_eval(tree, env):
+    if isinstance(tree, int):
+        return tree
+    if isinstance(tree, str):
+        return env[tree]
+    op, l, r = tree
+    lv, rv = _py_eval(l, env), _py_eval(r, env)
+    return {"+": lv + rv, "-": lv - rv, "*": lv * rv}[op]
+
+
+@given(
+    pair=expr_trees(),
+    i=st.integers(min_value=0, max_value=1000),
+    n=st.integers(min_value=0, max_value=1000),
+    m=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=200)
+def test_expression_evaluator_matches_python(pair, i, n, m):
+    src, tree = pair
+    env = {"i": i, "N": n, "M": m}
+    assert parse_expr(src).eval(env) == _py_eval(tree, env)
+
+
+@given(
+    pair=expr_trees(),
+    i=st.integers(min_value=0, max_value=100),
+    n=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=100)
+def test_expression_str_roundtrip(pair, i, n):
+    src, _ = pair
+    e = parse_expr(src)
+    env = {"i": i, "N": n, "M": 7}
+    assert parse_expr(str(e)).eval(env) == e.eval(env)
+
+
+@given(a=st.integers(min_value=-500, max_value=500),
+       b=st.integers(min_value=-500, max_value=500))
+def test_c_division_identity(a, b):
+    """C99: a == (a/b)*b + a%b, with truncation toward zero."""
+    assume(b != 0)
+    env = {"a": a, "b": b}
+    # Feed through Neg for negative literals (the grammar has no signed nums).
+    q = parse_expr("a/b").eval(env)
+    r = parse_expr("a%b").eval(env)
+    assert q * b + r == a
+    assert abs(q) == abs(a) // abs(b)
+
+
+# ------------------------------------------------------------- compression
+@given(data=st.binary(max_size=5000))
+@settings(max_examples=100)
+def test_gzip_roundtrip(data):
+    assert gzip_decompress(gzip_compress(data)) == data
+
+
+@given(data=st.binary(min_size=1, max_size=2000))
+@settings(max_examples=50)
+def test_measured_ratio_matches_real_deflate(data):
+    assert measure_ratio(data) == len(zlib.compress(data, 1)) / len(data)
+
+
+@given(
+    n=st.integers(min_value=16, max_value=4096),
+    density_pct=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40)
+def test_sparser_data_never_compresses_worse(n, density_pct):
+    """Monotonicity that justifies the dense/sparse cost models: zeroing more
+    of an array cannot (materially) hurt the deflate ratio."""
+    rng = np.random.default_rng(n)
+    arr = rng.uniform(-1, 1, n).astype(np.float32)
+    sparse = arr.copy()
+    kill = rng.random(n) >= density_pct / 100.0
+    sparse[kill] = 0.0
+    # Tolerance for container overhead on tiny inputs.
+    assert measure_ratio(sparse.tobytes()) <= measure_ratio(arr.tobytes()) + 0.05

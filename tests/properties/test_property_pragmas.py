@@ -1,0 +1,108 @@
+"""Property tests on the directive parser: randomly generated pragmas parse
+back to exactly the structure that generated them."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.omp_ast import MapType, TargetConstruct, TargetDataConstruct
+from repro.core.parser import parse_pragma
+
+idents = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+    # Avoid collisions with grammar keywords.
+    lambda s: s not in {
+        "omp", "target", "data", "map", "to", "from", "tofrom", "alloc",
+        "device", "parallel", "for", "reduction", "schedule", "num_threads",
+        "pragma", "static", "dynamic", "guided", "max", "min",
+        "atomic", "flush", "barrier", "critical", "master",
+    }
+)
+
+
+@st.composite
+def sections(draw):
+    """A random array section ``[lb:ub]`` plus its expected bound values."""
+    env = {"i": draw(st.integers(0, 50)), "N": draw(st.integers(1, 50))}
+    coeff = draw(st.integers(1, 9))
+    off = draw(st.integers(0, 9))
+    lower_src = draw(st.sampled_from(["", "0", "i*N", f"i*{coeff}", f"(i+{off})*N"]))
+    upper_src = draw(st.sampled_from(
+        ["N", "N*N", "(i+1)*N", f"{coeff}*N+{off}", f"(i+1)*{coeff}"]
+    ))
+    return lower_src, upper_src, env
+
+
+@st.composite
+def map_clauses(draw):
+    map_type = draw(st.sampled_from(["to", "from", "tofrom"]))
+    n_items = draw(st.integers(1, 4))
+    names = draw(st.lists(idents, min_size=n_items, max_size=n_items, unique=True))
+    items = []
+    for name in names:
+        if draw(st.booleans()):
+            items.append((name, draw(sections())))
+        else:
+            items.append((name, None))
+    return map_type, items
+
+
+def _render(map_type, items):
+    parts = []
+    for name, section in items:
+        if section is None:
+            parts.append(name)
+        else:
+            lower_src, upper_src, _env = section
+            parts.append(f"{name}[{lower_src}:{upper_src}]")
+    return f"map({map_type}: {', '.join(parts)})"
+
+
+@given(clauses=st.lists(map_clauses(), min_size=1, max_size=3))
+@settings(max_examples=120, deadline=None)
+def test_target_map_roundtrip(clauses):
+    src = "omp target " + " ".join(_render(mt, items) for mt, items in clauses)
+    parsed = parse_pragma(src)
+    assert isinstance(parsed, TargetConstruct)
+    assert len(parsed.maps) == len(clauses)
+    for clause, (map_type, items) in zip(parsed.maps, clauses):
+        assert clause.map_type == MapType(map_type)
+        assert [i.name for i in clause.items] == [n for n, _ in items]
+        for item, (_name, section) in zip(clause.items, items):
+            if section is None:
+                assert not item.has_section
+            else:
+                lower_src, upper_src, env = section
+                expected_lower = eval(lower_src, {}, dict(env)) if lower_src else 0
+                expected_upper = eval(upper_src, {}, dict(env))
+                got_lower = item.lower.eval(env) if item.lower is not None else 0
+                assert got_lower == expected_lower
+                assert item.upper.eval(env) == expected_upper
+
+
+@given(clauses=st.lists(map_clauses(), min_size=1, max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_target_data_roundtrip(clauses):
+    src = "omp target data " + " ".join(_render(mt, items) for mt, items in clauses)
+    parsed = parse_pragma(src)
+    assert isinstance(parsed, TargetDataConstruct)
+    total_items = sum(len(items) for _, items in clauses)
+    assert len(parsed.map_items()) == total_items
+
+
+@given(device=idents, clauses=st.lists(map_clauses(), min_size=0, max_size=2))
+@settings(max_examples=60, deadline=None)
+def test_device_clause_roundtrip(device, clauses):
+    src = (f"omp target device({device}) "
+           + " ".join(_render(mt, items) for mt, items in clauses))
+    parsed = parse_pragma(src.strip())
+    assert parsed.device == device
+    assert len(parsed.maps) == len(clauses)
+
+
+@given(op=st.sampled_from(["+", "*", "max", "min", "|", "&", "^"]),
+       names=st.lists(idents, min_size=1, max_size=3, unique=True))
+@settings(max_examples=60, deadline=None)
+def test_reduction_roundtrip(op, names):
+    src = f"omp parallel for reduction({op}: {', '.join(names)})"
+    parsed = parse_pragma(src)
+    assert parsed.reductions[0].op == op
+    assert parsed.reductions[0].variables == tuple(names)

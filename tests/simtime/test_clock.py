@@ -1,0 +1,67 @@
+"""SimClock: monotonicity and forking."""
+
+import pytest
+
+from repro.simtime import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_accumulates():
+    clk = SimClock()
+    clk.advance(1.5)
+    clk.advance(2.5)
+    assert clk.now == pytest.approx(4.0)
+
+
+def test_advance_returns_new_time():
+    clk = SimClock(1.0)
+    assert clk.advance(2.0) == pytest.approx(3.0)
+
+
+def test_advance_zero_is_allowed():
+    clk = SimClock(3.0)
+    assert clk.advance(0.0) == 3.0
+
+
+def test_negative_advance_rejected():
+    clk = SimClock()
+    with pytest.raises(ValueError):
+        clk.advance(-0.1)
+
+
+def test_advance_to_jumps_forward():
+    clk = SimClock()
+    clk.advance_to(10.0)
+    assert clk.now == 10.0
+
+
+def test_advance_to_same_time_is_noop():
+    clk = SimClock(7.0)
+    clk.advance_to(7.0)
+    assert clk.now == 7.0
+
+
+def test_advance_to_past_rejected():
+    clk = SimClock(5.0)
+    with pytest.raises(ValueError):
+        clk.advance_to(4.999)
+
+
+def test_fork_is_independent():
+    clk = SimClock(2.0)
+    fork = clk.fork()
+    fork.advance(10.0)
+    assert clk.now == 2.0
+    assert fork.now == 12.0

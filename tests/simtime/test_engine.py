@@ -1,0 +1,114 @@
+"""EventEngine: ordering, cancellation, run-until semantics."""
+
+import pytest
+
+from repro.simtime import EventEngine
+
+
+def test_events_fire_in_time_order():
+    eng = EventEngine()
+    fired = []
+    eng.schedule_at(3.0, lambda: fired.append("c"))
+    eng.schedule_at(1.0, lambda: fired.append("a"))
+    eng.schedule_at(2.0, lambda: fired.append("b"))
+    eng.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_times_fire_in_scheduling_order():
+    eng = EventEngine()
+    fired = []
+    for label in "abc":
+        eng.schedule_at(1.0, lambda l=label: fired.append(l))
+    eng.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    eng = EventEngine()
+    seen = []
+    eng.schedule_at(4.5, lambda: seen.append(eng.clock.now))
+    eng.run()
+    assert seen == [4.5]
+    assert eng.clock.now == 4.5
+
+
+def test_schedule_after_uses_relative_delay():
+    eng = EventEngine()
+    eng.clock.advance(2.0)
+    ev = eng.schedule_after(3.0, lambda: None)
+    assert ev.time == pytest.approx(5.0)
+
+
+def test_scheduling_in_the_past_rejected():
+    eng = EventEngine()
+    eng.clock.advance(10.0)
+    with pytest.raises(ValueError):
+        eng.schedule_at(9.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    eng = EventEngine()
+    with pytest.raises(ValueError):
+        eng.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    eng = EventEngine()
+    fired = []
+    ev = eng.schedule_at(1.0, lambda: fired.append("x"))
+    ev.cancel()
+    eng.run()
+    assert fired == []
+    assert eng.events_run == 0
+
+
+def test_events_can_schedule_more_events():
+    eng = EventEngine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        eng.schedule_after(1.0, lambda: fired.append("second"))
+
+    eng.schedule_at(1.0, first)
+    eng.run()
+    assert fired == ["first", "second"]
+    assert eng.clock.now == pytest.approx(2.0)
+
+
+def test_run_until_stops_before_later_events():
+    eng = EventEngine()
+    fired = []
+    eng.schedule_at(1.0, lambda: fired.append("a"))
+    eng.schedule_at(10.0, lambda: fired.append("b"))
+    eng.run(until=5.0)
+    assert fired == ["a"]
+    assert eng.clock.now == 5.0
+    eng.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_when_no_events():
+    eng = EventEngine()
+    eng.run(until=7.0)
+    assert eng.clock.now == 7.0
+
+
+def test_event_budget_guards_against_runaway():
+    eng = EventEngine()
+
+    def rearm():
+        eng.schedule_after(0.1, rearm)
+
+    eng.schedule_at(0.0, rearm)
+    with pytest.raises(RuntimeError):
+        eng.run(max_events=100)
+
+
+def test_pending_counts_non_cancelled():
+    eng = EventEngine()
+    eng.schedule_at(1.0, lambda: None)
+    ev = eng.schedule_at(2.0, lambda: None)
+    ev.cancel()
+    assert eng.pending() == 1

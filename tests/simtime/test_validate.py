@@ -1,0 +1,101 @@
+"""Timeline invariant checker, unit level and against real offloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import offload
+from repro.core.buffers import ExecutionMode
+from repro.simtime import Phase, Timeline
+from repro.simtime.validate import (
+    ResourceLimits,
+    TimelineInvariantError,
+    check_timeline,
+    max_concurrency,
+)
+from repro.workloads import WORKLOADS
+
+from tests.conftest import make_cloud_runtime
+
+
+def test_max_concurrency_counts_overlaps():
+    tl = Timeline()
+    tl.record(Phase.COMPUTE, 0.0, 2.0, resource="w")
+    tl.record(Phase.COMPUTE, 1.0, 3.0, resource="w")
+    tl.record(Phase.COMPUTE, 2.5, 4.0, resource="w")
+    assert max_concurrency(list(tl.spans)) == 2
+
+
+def test_touching_spans_do_not_overlap():
+    tl = Timeline()
+    tl.record(Phase.COMPUTE, 0.0, 1.0, resource="w")
+    tl.record(Phase.COMPUTE, 1.0, 2.0, resource="w")
+    assert max_concurrency(list(tl.spans)) == 1
+
+
+def test_zero_duration_spans_ignored():
+    tl = Timeline()
+    tl.record(Phase.SCHEDULING, 1.0, 1.0, resource="d")
+    assert max_concurrency(list(tl.spans)) == 0
+
+
+def test_serial_resource_violation_detected():
+    tl = Timeline()
+    tl.record(Phase.SCHEDULING, 0.0, 2.0, resource="driver")
+    tl.record(Phase.RECONSTRUCT, 1.0, 3.0, resource="driver")
+    with pytest.raises(TimelineInvariantError, match="serial"):
+        check_timeline(tl, ResourceLimits(serial={"driver"}))
+
+
+def test_bounded_resource_violation_detected():
+    tl = Timeline()
+    for k in range(3):
+        tl.record(Phase.COMPUTE, 0.0, 1.0, resource="worker-0")
+    limits = ResourceLimits(bounded={"worker-0": 2})
+    with pytest.raises(TimelineInvariantError, match="limit 2"):
+        check_timeline(tl, limits)
+
+
+def test_unknown_resources_unconstrained():
+    tl = Timeline()
+    for _ in range(10):
+        tl.record(Phase.BROADCAST, 0.0, 1.0, resource="cluster")
+    check_timeline(tl, ResourceLimits(serial={"driver"}))  # no error
+
+
+def test_negative_time_rejected():
+    tl = Timeline()
+    tl.record(Phase.COMPUTE, -1.0, 0.5, resource="w")
+    with pytest.raises(TimelineInvariantError, match="before t=0"):
+        check_timeline(tl, ResourceLimits())
+
+
+def test_real_functional_offload_is_physical(cloud_config):
+    spec = WORKLOADS["gemm"]
+    rt = make_cloud_runtime(cloud_config, physical_cores=32)
+    dev = rt.device("CLOUD")
+    scalars = spec.scalars(spec.test_size)
+    arrays = spec.inputs(spec.test_size, seed=3)
+    report = offload(spec.build_region("CLOUD"), arrays=arrays,
+                     scalars=scalars, runtime=rt)
+    limits = ResourceLimits.for_cluster(
+        slots_per_worker=dev.cluster.executors[0].task_slots,
+        n_workers=dev.cluster.active_worker_nodes,
+    )
+    check_timeline(report.timeline, limits)
+
+
+@pytest.mark.parametrize("name", ["3mm", "collinear", "syrk"])
+def test_modeled_paper_scale_offloads_are_physical(name, cloud_config):
+    from dataclasses import replace
+
+    spec = WORKLOADS[name]
+    rt = make_cloud_runtime(replace(cloud_config, n_workers=16),
+                            physical_cores=256)
+    dev = rt.device("CLOUD")
+    report = offload(spec.build_region("CLOUD"), scalars=spec.scalars(),
+                     runtime=rt, mode=ExecutionMode.MODELED)
+    limits = ResourceLimits.for_cluster(
+        slots_per_worker=dev.cluster.executors[0].task_slots,
+        n_workers=dev.cluster.active_worker_nodes,
+    )
+    check_timeline(report.timeline, limits)

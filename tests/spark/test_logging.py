@@ -1,0 +1,103 @@
+"""Spark log streaming (the verbose=true feature of the plugin)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, TargetRegion, offload
+from repro.spark import SparkCluster, SparkContext
+from repro.spark.logging import LogRecord, SparkLog
+
+from tests.conftest import make_cloud_runtime
+
+
+def test_log_records_and_format():
+    log = SparkLog()
+    log.info(1.5, "DAGScheduler", "hello")
+    log.warn(2.0, "Executor", "lost worker")
+    assert len(log) == 2
+    lines = list(log.lines())
+    assert "DAGScheduler" in lines[0] and "hello" in lines[0]
+    assert "WARN" in lines[1]
+
+
+def test_log_filter_by_component():
+    log = SparkLog()
+    log.info(0.0, "A", "x")
+    log.info(0.0, "B", "y")
+    assert len(list(log.lines("A"))) == 1
+
+
+def test_log_sinks_stream_live():
+    captured = []
+    log = SparkLog()
+    log.sinks.append(captured.append)
+    log.info(0.0, "C", "streamed")
+    assert captured and "streamed" in captured[0]
+
+
+def test_context_logs_job_lifecycle():
+    sc = SparkContext(cluster=SparkCluster(n_workers=2))
+    sc.parallelize([1, 2, 3]).collect()
+    messages = [r.message for r in sc.log.records]
+    assert any("Submitting job" in m for m in messages)
+    assert any("finished" in m for m in messages)
+
+
+def test_offload_populates_job_log(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    dev = rt.device("CLOUD")
+
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = np.asarray(arrays["A"][lo:hi])
+
+    region = TargetRegion(
+        name="logcopy",
+        pragmas=["omp target device(CLOUD)", "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body,
+        )],
+    )
+    a = np.arange(16, dtype=np.float32)
+    c = np.zeros(16, dtype=np.float32)
+    offload(region, arrays={"A": a, "C": c}, scalars={"N": 16}, runtime=rt)
+    messages = [r.message for r in dev.sc.log.records]
+    assert any("OmpCloud job for region 'logcopy'" in m for m in messages)
+    assert any("split=['A']" in m for m in messages)
+
+
+def test_verbose_config_prints_log(cloud_config, capsys):
+    rt = make_cloud_runtime(replace(cloud_config, verbose=True))
+
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = np.asarray(arrays["A"][lo:hi])
+
+    region = TargetRegion(
+        name="verbosecopy",
+        pragmas=["omp target device(CLOUD)", "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body,
+        )],
+    )
+    a = np.arange(8, dtype=np.float32)
+    c = np.zeros(8, dtype=np.float32)
+    offload(region, arrays={"A": a, "C": c}, scalars={"N": 8}, runtime=rt)
+    out = capsys.readouterr().out
+    assert "Submitting map stage" in out
+    assert "verbosecopy" in out
+
+
+def test_log_timestamps_are_simulated():
+    sc = SparkContext(cluster=SparkCluster(n_workers=2))
+    sc.parallelize([1]).collect()
+    sc.parallelize([1]).collect()
+    times = [r.time for r in sc.log.records]
+    assert times == sorted(times)
+    assert times[-1] > 0.0  # simulated seconds, not wall-clock epoch

@@ -1,0 +1,152 @@
+"""RDDs: transformations, actions, laziness, lineage, caching."""
+
+import pytest
+
+from repro.spark import SparkCluster, SparkContext
+from repro.spark.rdd import lineage_depth
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(cluster=SparkCluster(n_workers=2))
+
+
+def test_parallelize_collect_roundtrip(sc):
+    data = list(range(100))
+    assert sc.parallelize(data).collect() == data
+
+
+def test_parallelize_respects_num_slices(sc):
+    rdd = sc.parallelize(list(range(10)), num_slices=3)
+    assert rdd.num_partitions == 3
+    parts = [rdd.compute(i) for i in range(3)]
+    assert [len(p) for p in parts] == [4, 3, 3]
+    assert [x for p in parts for x in p] == list(range(10))
+
+
+def test_parallelize_more_slices_than_elements(sc):
+    rdd = sc.parallelize([1, 2], num_slices=5)
+    assert rdd.collect() == [1, 2]
+
+
+def test_map_preserves_order(sc):
+    out = sc.parallelize(list(range(20))).map(lambda x: x * 3).collect()
+    assert out == [x * 3 for x in range(20)]
+
+
+def test_filter(sc):
+    out = sc.parallelize(list(range(20))).filter(lambda x: x % 2 == 0).collect()
+    assert out == list(range(0, 20, 2))
+
+
+def test_flat_map(sc):
+    out = sc.parallelize([1, 2, 3], num_slices=2).flat_map(lambda x: [x] * x).collect()
+    assert out == [1, 2, 2, 3, 3, 3]
+
+
+def test_map_partitions(sc):
+    rdd = sc.parallelize(list(range(10)), num_slices=2)
+    out = rdd.map_partitions(lambda part: [sum(part)]).collect()
+    assert out == [sum(range(5)), sum(range(5, 10))]
+
+
+def test_map_partitions_with_index(sc):
+    rdd = sc.parallelize(list(range(6)), num_slices=3)
+    out = rdd.map_partitions_with_index(lambda i, part: [(i, len(part))]).collect()
+    assert out == [(0, 2), (1, 2), (2, 2)]
+
+
+def test_zip_with_index(sc):
+    rdd = sc.parallelize(["a", "b", "c", "d"], num_slices=3)
+    assert rdd.zip_with_index().collect() == [("a", 0), ("b", 1), ("c", 2), ("d", 3)]
+
+
+def test_glom(sc):
+    rdd = sc.parallelize(list(range(4)), num_slices=2)
+    assert rdd.glom().collect() == [[0, 1], [2, 3]]
+
+
+def test_chained_transformations(sc):
+    out = (
+        sc.parallelize(list(range(30)), num_slices=4)
+        .map(lambda x: x + 1)
+        .filter(lambda x: x % 3 == 0)
+        .map(lambda x: -x)
+        .collect()
+    )
+    assert out == [-x for x in range(1, 31) if x % 3 == 0]
+
+
+def test_count(sc):
+    assert sc.parallelize(list(range(17))).count() == 17
+
+
+def test_reduce(sc):
+    assert sc.parallelize(list(range(1, 11)), num_slices=3).reduce(lambda a, b: a + b) == 55
+
+
+def test_reduce_non_commutative_order(sc):
+    # String concat: partition-then-driver order must preserve sequence.
+    out = sc.parallelize(list("abcdef"), num_slices=3).reduce(lambda a, b: a + b)
+    assert out == "abcdef"
+
+
+def test_reduce_empty_rdd_raises(sc):
+    with pytest.raises(ValueError):
+        sc.parallelize([], num_slices=1).reduce(lambda a, b: a + b)
+
+
+def test_take(sc):
+    rdd = sc.parallelize(list(range(100)), num_slices=10)
+    assert rdd.take(7) == list(range(7))
+
+
+def test_laziness_transformations_do_not_execute(sc):
+    calls = []
+    sc.parallelize([1, 2, 3]).map(lambda x: calls.append(x))
+    assert calls == []  # no action, no execution
+
+
+def test_lineage_recompute_is_deterministic(sc):
+    rdd = sc.parallelize(list(range(10)), num_slices=2).map(lambda x: x * x)
+    first = rdd.compute(0)
+    second = rdd.compute(0)  # recompute from lineage
+    assert first == second == [0, 1, 4, 9, 16]
+
+
+def test_lineage_depth(sc):
+    rdd = sc.parallelize([1]).map(lambda x: x).filter(bool).map(str)
+    assert lineage_depth(rdd) == 3
+
+
+def test_cache_computes_once(sc):
+    calls = []
+
+    def trace(x):
+        calls.append(x)
+        return x
+
+    rdd = sc.parallelize(list(range(4)), num_slices=1).map(trace).cache()
+    rdd.collect()
+    rdd.collect()
+    assert len(calls) == 4  # second collect served from cache
+
+
+def test_unpersist_recomputes(sc):
+    calls = []
+    rdd = sc.parallelize([1, 2], num_slices=1).map(lambda x: calls.append(x) or x).cache()
+    rdd.collect()
+    rdd.unpersist()
+    rdd.collect()
+    assert len(calls) == 4
+
+
+def test_compute_out_of_range_partition(sc):
+    rdd = sc.parallelize([1, 2, 3], num_slices=2)
+    with pytest.raises(IndexError):
+        rdd.compute(2)
+
+
+def test_invalid_num_slices(sc):
+    with pytest.raises(ValueError):
+        sc.parallelize([1], num_slices=0)

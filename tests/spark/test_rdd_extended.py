@@ -1,0 +1,95 @@
+"""Extended RDD surface: union, zip, keyed operations."""
+
+import pytest
+
+from repro.spark import SparkCluster, SparkContext
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(cluster=SparkCluster(n_workers=2))
+
+
+# --------------------------------------------------------------------- union
+def test_union_concatenates(sc):
+    a = sc.parallelize([1, 2, 3], num_slices=2)
+    b = sc.parallelize([4, 5], num_slices=2)
+    u = a.union(b)
+    assert u.num_partitions == 4
+    assert u.collect() == [1, 2, 3, 4, 5]
+
+
+def test_union_is_lazy_and_transformable(sc):
+    a = sc.parallelize([1, 2], num_slices=1)
+    b = sc.parallelize([3], num_slices=1)
+    assert a.union(b).map(lambda x: x * 10).collect() == [10, 20, 30]
+
+
+def test_union_with_self(sc):
+    a = sc.parallelize([1, 2], num_slices=1)
+    assert a.union(a).collect() == [1, 2, 1, 2]
+
+
+# ----------------------------------------------------------------------- zip
+def test_zip_pairs_elements(sc):
+    a = sc.parallelize([1, 2, 3, 4], num_slices=2)
+    b = sc.parallelize(list("abcd"), num_slices=2)
+    assert a.zip(b).collect() == [(1, "a"), (2, "b"), (3, "c"), (4, "d")]
+
+
+def test_zip_requires_same_partition_count(sc):
+    a = sc.parallelize([1, 2], num_slices=1)
+    b = sc.parallelize([1, 2], num_slices=2)
+    with pytest.raises(ValueError, match="same number of partitions"):
+        a.zip(b)
+
+
+def test_zip_requires_same_partition_sizes(sc):
+    a = sc.parallelize([1, 2, 3], num_slices=2)
+    b = sc.parallelize([1, 2], num_slices=2)
+    z = a.zip(b)
+    with pytest.raises(ValueError, match="elements"):
+        z.collect()
+
+
+# --------------------------------------------------------------- keyed pairs
+def test_key_by_and_map_values(sc):
+    rdd = sc.parallelize(["apple", "avocado", "banana"], num_slices=2)
+    keyed = rdd.key_by(lambda s: s[0]).map_values(len)
+    assert keyed.collect() == [("a", 5), ("a", 7), ("b", 6)]
+
+
+def test_reduce_by_key(sc):
+    pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+    rdd = sc.parallelize(pairs, num_slices=3)
+    out = rdd.reduce_by_key(lambda x, y: x + y).collect_as_map()
+    assert out == {"a": 4, "b": 7, "c": 4}
+
+
+def test_reduce_by_key_single_occurrences(sc):
+    rdd = sc.parallelize([("x", 1), ("y", 2)], num_slices=2)
+    assert rdd.reduce_by_key(lambda a, b: a + b).collect_as_map() == {"x": 1, "y": 2}
+
+
+def test_reduce_by_key_result_is_an_rdd(sc):
+    rdd = sc.parallelize([("k", i) for i in range(10)], num_slices=4)
+    reduced = rdd.reduce_by_key(lambda a, b: a + b)
+    assert reduced.map(lambda kv: kv[1] * 2).collect() == [90]
+
+
+def test_word_count_pipeline(sc):
+    """The canonical Spark program, end to end on the substrate."""
+    text = ["the quick brown fox", "the lazy dog", "the fox"]
+    counts = (
+        sc.parallelize(text, num_slices=2)
+        .flat_map(str.split)
+        .map(lambda w: (w, 1))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect_as_map()
+    )
+    assert counts == {"the": 3, "quick": 1, "brown": 1, "fox": 2, "lazy": 1, "dog": 1}
+
+
+def test_collect_as_map(sc):
+    rdd = sc.parallelize([("a", 1), ("b", 2)], num_slices=1)
+    assert rdd.collect_as_map() == {"a": 1, "b": 2}

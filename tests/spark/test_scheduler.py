@@ -1,0 +1,169 @@
+"""TaskScheduler: waves, launch serialization, broadcast charging, failures."""
+
+import pytest
+
+from repro.cloud.network import Link, NetworkModel
+from repro.simtime import Phase, SimClock, Timeline
+from repro.spark.broadcast import Broadcast
+from repro.spark.executor import Executor
+from repro.spark.faults import FaultPlan
+from repro.spark.scheduler import (
+    JobFailedError,
+    SchedulerCosts,
+    Task,
+    TaskScheduler,
+)
+
+
+def _net():
+    return NetworkModel(
+        wan=Link(capacity_bps=1e6, latency_s=0.0),
+        lan=Link(capacity_bps=1e9, latency_s=0.0),
+    )
+
+
+def _run(tasks, executors, broadcasts=(), fault_plan=FaultPlan(), costs=None):
+    sched = TaskScheduler(costs or SchedulerCosts(task_launch_s=0.0))
+    clock = SimClock()
+    timeline = Timeline()
+    stats = sched.run_job(
+        tasks, executors, _net(), clock, timeline,
+        broadcasts=broadcasts, fault_plan=fault_plan, functional=True,
+    )
+    return stats, clock, timeline
+
+
+def _tasks(n, duration=1.0, fn=None):
+    return [
+        Task(task_id=i, split=i, compute_s=duration,
+             closure=(lambda i=i: [fn(i)] if fn else [i]))
+        for i in range(n)
+    ]
+
+
+def test_one_wave_on_enough_slots():
+    ex = Executor("w0", vcpus=8, task_cpus=2)  # 4 slots
+    stats, clock, _ = _run(_tasks(4), [ex])
+    assert stats.makespan_s == pytest.approx(1.0)
+
+
+def test_two_waves_when_oversubscribed():
+    ex = Executor("w0", vcpus=4, task_cpus=2)  # 2 slots
+    stats, _, _ = _run(_tasks(4), [ex])
+    assert stats.makespan_s == pytest.approx(2.0)
+
+
+def test_results_ordered_by_split():
+    ex = Executor("w0", vcpus=8, task_cpus=2)
+    stats, _, _ = _run(_tasks(6), [ex])
+    assert [r.task.split for r in stats.results] == list(range(6))
+    assert [r.value for r in stats.results] == [[i] for i in range(6)]
+
+
+def test_tasks_spread_across_executors():
+    exs = [Executor(f"w{i}", vcpus=2, task_cpus=2) for i in range(4)]
+    stats, _, _ = _run(_tasks(4), exs)
+    assert {r.worker_id for r in stats.results} == {"w0", "w1", "w2", "w3"}
+    assert stats.makespan_s == pytest.approx(1.0)
+
+
+def test_launch_overhead_serializes_on_driver():
+    ex = Executor("w0", vcpus=64, task_cpus=2)  # 32 slots, one wave
+    costs = SchedulerCosts(task_launch_s=0.1)
+    stats, _, timeline = _run(_tasks(10), [ex], costs=costs)
+    # Last task cannot start before 10 launches (1s) have been issued.
+    assert stats.makespan_s == pytest.approx(10 * 0.1 + 1.0)
+    assert timeline.busy(Phase.SCHEDULING) == pytest.approx(1.0)
+
+
+def test_broadcast_charged_once_per_job():
+    ex = Executor("w0", vcpus=8, task_cpus=2)
+    bc = Broadcast(value=b"x", nbytes=10_000_000)
+    stats, _, timeline = _run(_tasks(2), [ex], broadcasts=(bc,))
+    assert stats.broadcast_s > 0
+    assert timeline.busy(Phase.BROADCAST) == pytest.approx(stats.broadcast_s)
+    assert "w0" in bc.nodes_seeded
+
+
+def test_broadcast_not_recharged_for_seeded_nodes():
+    ex = Executor("w0", vcpus=8, task_cpus=2)
+    bc = Broadcast(value=b"x", nbytes=10_000_000)
+    bc.nodes_seeded.add("w0")
+    stats, _, _ = _run(_tasks(2), [ex], broadcasts=(bc,))
+    assert stats.broadcast_s == 0.0
+
+
+def test_input_bytes_flow_through_driver_nic():
+    ex = Executor("w0", vcpus=8, task_cpus=2)
+    tasks = [
+        Task(task_id=i, split=i, compute_s=0.0, input_bytes=10**9, closure=lambda: [])
+        for i in range(2)
+    ]
+    _, _, timeline = _run(tasks, [ex])
+    # 2 GB over a 1 GB/s NIC: the scatters serialize to ~2 s.
+    assert timeline.busy(Phase.INTRA_TRANSFER) == pytest.approx(2.0, rel=0.01)
+
+
+def test_collect_bytes_recorded():
+    ex = Executor("w0", vcpus=8, task_cpus=2)
+    tasks = [Task(task_id=0, split=0, compute_s=0.0, output_bytes=5 * 10**8,
+                  closure=lambda: [1])]
+    _, _, timeline = _run(tasks, [ex])
+    assert timeline.busy(Phase.COLLECT) == pytest.approx(0.5, rel=0.01)
+
+
+def test_phase_spans_match_task_structure():
+    ex = Executor("w0", vcpus=2, task_cpus=2)
+    tasks = [Task(task_id=0, split=0, compute_s=2.0, jni_s=0.5,
+                  decompress_s=0.25, compress_s=0.25, closure=lambda: [1])]
+    _, _, timeline = _run(tasks, [ex])
+    assert timeline.busy(Phase.COMPUTE) == pytest.approx(2.0)
+    assert timeline.busy(Phase.JNI_CALL) == pytest.approx(0.5)
+    assert timeline.busy(Phase.WORKER_DECOMPRESS) == pytest.approx(0.25)
+    assert timeline.busy(Phase.WORKER_COMPRESS) == pytest.approx(0.25)
+
+
+def test_simulated_worker_death_triggers_rerun():
+    exs = [Executor("w0", vcpus=2, task_cpus=2), Executor("w1", vcpus=2, task_cpus=2)]
+    plan = FaultPlan(die_at={"w0": 0.5})
+    stats, _, _ = _run(_tasks(2, duration=1.0), exs, fault_plan=plan)
+    assert stats.recomputed_tasks >= 1
+    assert all(r.worker_id == "w1" for r in stats.results)
+    assert [r.value for r in stats.results] == [[0], [1]]
+
+
+def test_functional_failure_injection_recovers():
+    exs = [Executor("w0", vcpus=2, task_cpus=2), Executor("w1", vcpus=2, task_cpus=2)]
+    plan = FaultPlan(fail_task_number={"w0": 1})
+    stats, _, _ = _run(_tasks(4), exs, fault_plan=plan)
+    assert stats.recomputed_tasks == 1
+    assert [r.value for r in stats.results] == [[i] for i in range(4)]
+    assert exs[0].is_dead
+
+
+def test_all_executors_dead_fails_job():
+    ex = Executor("w0", vcpus=2, task_cpus=2)
+    plan = FaultPlan(die_at={"w0": 0.1})
+    with pytest.raises(JobFailedError):
+        _run(_tasks(2), [ex], fault_plan=plan)
+
+
+def test_empty_executor_list_fails():
+    with pytest.raises(JobFailedError):
+        _run(_tasks(1), [])
+
+
+def test_clock_advances_to_job_end():
+    ex = Executor("w0", vcpus=2, task_cpus=2)
+    _, clock, _ = _run(_tasks(3, duration=2.0), [ex])
+    assert clock.now == pytest.approx(6.0)
+
+
+def test_modeled_mode_skips_closures():
+    ran = []
+    ex = Executor("w0", vcpus=2, task_cpus=2)
+    tasks = [Task(task_id=0, split=0, compute_s=1.0, closure=lambda: ran.append(1))]
+    sched = TaskScheduler(SchedulerCosts(task_launch_s=0.0))
+    stats = sched.run_job(tasks, [ex], _net(), SimClock(), Timeline(), functional=False)
+    assert ran == []
+    assert stats.makespan_s == pytest.approx(1.0)

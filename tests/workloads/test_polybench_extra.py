@@ -1,0 +1,78 @@
+"""Extension kernels (ATAX, BICG, MVT, GESUMMV) against their oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import offload
+from repro.core.runtime import OffloadRuntime
+from repro.workloads.polybench_extra import EXTRA_WORKLOADS
+
+from tests.conftest import make_cloud_runtime
+
+ALL = sorted(EXTRA_WORKLOADS)
+
+
+def _verify(spec, device, cloud_config, density=1.0, size=None):
+    size = size if size is not None else spec.test_size
+    scalars = spec.scalars(size)
+    arrays = spec.inputs(size, density=density, seed=17)
+    expected = spec.reference({k: v.copy() for k, v in arrays.items()}, scalars)
+    runtime = (OffloadRuntime() if device == "HOST"
+               else make_cloud_runtime(cloud_config, physical_cores=16))
+    offload(spec.build_region(device), arrays=arrays, scalars=scalars,
+            runtime=runtime)
+    for key, want in expected.items():
+        assert np.allclose(arrays[key], want, rtol=3e-5, atol=1e-4), key
+    return arrays
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("density", [1.0, 0.05])
+def test_cloud_matches_reference(name, density, cloud_config):
+    _verify(EXTRA_WORKLOADS[name], "CLOUD", cloud_config, density=density)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_host_matches_reference(name, cloud_config):
+    _verify(EXTRA_WORKLOADS[name], "HOST", cloud_config)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_host_and_cloud_agree(name, cloud_config):
+    spec = EXTRA_WORKLOADS[name]
+    host = _verify(spec, "HOST", cloud_config)
+    cloud = _verify(spec, "CLOUD", cloud_config)
+    for key in host:
+        # float32 matvecs over different tile shapes round differently;
+        # both sides already matched the float64-free oracle above.
+        assert np.allclose(host[key], cloud[key], rtol=3e-5, atol=1e-4), key
+
+
+def test_bicg_outputs_are_independent(cloud_config):
+    """q and s come from different loops with different partitionings."""
+    spec = EXTRA_WORKLOADS["bicg"]
+    arrays = _verify(spec, "CLOUD", cloud_config)
+    assert not np.allclose(arrays["q"], arrays["s"])
+
+
+def test_mvt_tofrom_vectors_accumulate(cloud_config):
+    """MVT's x1/x2 are tofrom: the original values must survive the round
+    trip and be accumulated into, not overwritten."""
+    spec = EXTRA_WORKLOADS["mvt"]
+    n = spec.test_size
+    scalars = spec.scalars(n)
+    arrays = spec.inputs(n, seed=4)
+    x1_before = arrays["x1"].copy()
+    rt = make_cloud_runtime(cloud_config, physical_cores=16)
+    offload(spec.build_region("CLOUD"), arrays=arrays, scalars=scalars, runtime=rt)
+    a = arrays["A"].reshape(n, n)
+    assert np.allclose(arrays["x1"], x1_before + a @ arrays["y1"], rtol=3e-5, atol=1e-4)
+
+
+def test_extra_suite_is_separate():
+    for spec in EXTRA_WORKLOADS.values():
+        assert spec.suite == "polybench-extra"
+        assert spec.figure_panel == "-"
+    from repro.workloads import WORKLOADS
+
+    assert not set(EXTRA_WORKLOADS) & set(WORKLOADS)

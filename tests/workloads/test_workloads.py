@@ -1,0 +1,141 @@
+"""Workload kernels: every benchmark against its independent oracle, on both
+the host device and the cloud device, dense and sparse."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import offload
+from repro.core.runtime import OffloadRuntime
+from repro.workloads import WORKLOADS
+from repro.workloads.datagen import (
+    SPARSE_DENSITY,
+    matrix_for_density,
+    random_matrix,
+    random_points,
+    sparse_matrix,
+)
+
+from tests.conftest import make_cloud_runtime
+
+ALL = sorted(WORKLOADS)
+
+
+def _run_device(spec, device, arrays, scalars, cloud_config=None):
+    region = spec.build_region(device=device)
+    if device == "HOST":
+        runtime = OffloadRuntime()
+    else:
+        runtime = make_cloud_runtime(cloud_config, physical_cores=16)
+    offload(region, arrays=arrays, scalars=scalars, runtime=runtime)
+    return arrays
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("density", [1.0, SPARSE_DENSITY])
+def test_cloud_matches_reference(name, density, cloud_config):
+    spec = WORKLOADS[name]
+    scalars = spec.scalars(spec.test_size)
+    arrays = spec.inputs(spec.test_size, density=density, seed=11)
+    expected = spec.reference({k: v.copy() for k, v in arrays.items()}, scalars)
+    _run_device(spec, "CLOUD", arrays, scalars, cloud_config)
+    for key, want in expected.items():
+        assert np.allclose(arrays[key], want, rtol=3e-5, atol=1e-4), key
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_host_matches_reference(name):
+    spec = WORKLOADS[name]
+    scalars = spec.scalars(spec.test_size)
+    arrays = spec.inputs(spec.test_size, density=1.0, seed=7)
+    expected = spec.reference({k: v.copy() for k, v in arrays.items()}, scalars)
+    _run_device(spec, "HOST", arrays, scalars)
+    for key, want in expected.items():
+        assert np.allclose(arrays[key], want, rtol=3e-5, atol=1e-4), key
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_host_and_cloud_agree(name, cloud_config):
+    spec = WORKLOADS[name]
+    scalars = spec.scalars(spec.test_size)
+    base = spec.inputs(spec.test_size, density=1.0, seed=23)
+    host = {k: v.copy() for k, v in base.items()}
+    cloud = {k: v.copy() for k, v in base.items()}
+    _run_device(spec, "HOST", host, scalars)
+    _run_device(spec, "CLOUD", cloud, scalars, cloud_config)
+    for key in base:
+        assert np.allclose(host[key], cloud[key], rtol=1e-5, atol=1e-6), key
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_different_sizes(name, cloud_config):
+    spec = WORKLOADS[name]
+    for size in (spec.test_size // 2, spec.test_size + 5):
+        scalars = spec.scalars(size)
+        arrays = spec.inputs(size, density=1.0, seed=2)
+        expected = spec.reference({k: v.copy() for k, v in arrays.items()}, scalars)
+        _run_device(spec, "CLOUD", arrays, scalars, cloud_config)
+        for key, want in expected.items():
+            assert np.allclose(arrays[key], want, rtol=3e-5, atol=1e-4), (name, size)
+
+
+def test_collinear_counts_are_multiples_of_three(cloud_config):
+    spec = WORKLOADS["collinear"]
+    scalars = spec.scalars(30)
+    arrays = spec.inputs(30, seed=3)
+    _run_device(spec, "CLOUD", arrays, scalars, cloud_config)
+    assert int(arrays["count"][0]) % 3 == 0
+    assert int(arrays["count"][0]) > 0  # snapped grid points guarantee hits
+
+
+def test_workload_registry_covers_the_paper():
+    assert set(WORKLOADS) == {
+        "syrk", "syr2k", "covar", "gemm", "2mm", "3mm", "matmul", "collinear",
+    }
+    panels = {spec.figure_panel for spec in WORKLOADS.values()}
+    assert len(panels) == 8  # each benchmark owns one figure panel
+    assert {spec.suite for spec in WORKLOADS.values()} == {"polybench", "mgbench"}
+
+
+def test_paper_scale_sizes():
+    for name, spec in WORKLOADS.items():
+        if spec.size_var == "N":
+            # 1 GiB float32 matrices.
+            assert spec.paper_size ** 2 * 4 == 1 << 30
+        else:
+            assert spec.paper_size * 8 < 1 << 20  # collinear data stays small
+
+
+# ---------------------------------------------------------------- generators
+def test_random_matrix_dense_and_deterministic():
+    a = random_matrix(1000, seed=4)
+    b = random_matrix(1000, seed=4)
+    assert np.array_equal(a, b)
+    assert a.dtype == np.float32
+    assert np.count_nonzero(a) > 990
+
+
+def test_sparse_matrix_density():
+    m = sparse_matrix(10_000, density=0.05, seed=1)
+    nnz = np.count_nonzero(m)
+    assert 400 <= nnz <= 600
+
+
+def test_matrix_for_density_switches():
+    dense = matrix_for_density(1000, 1.0, seed=0)
+    sparse = matrix_for_density(1000, 0.05, seed=0)
+    assert np.count_nonzero(sparse) < np.count_nonzero(dense) / 2
+
+
+def test_random_points_interleaved_shape():
+    pts = random_points(100, seed=0)
+    assert pts.shape == (200,)
+    assert pts.dtype == np.float32
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        random_matrix(-1)
+    with pytest.raises(ValueError):
+        sparse_matrix(10, density=2.0)
+    with pytest.raises(ValueError):
+        random_points(-1)
