@@ -78,6 +78,7 @@ class ObjectStore(abc.ABC):
         self.get_count = 0
         self._fail_puts = 0
         self._fail_gets = 0
+        self._fail_metas = 0
 
     # -------------------------------------------------------------- security
     @abc.abstractmethod
@@ -142,6 +143,7 @@ class ObjectStore(abc.ABC):
 
     def size_of(self, key: str) -> int:
         with self._lock:
+            self._maybe_fail_meta("HEAD")
             try:
                 return self._objects[key].size
             except KeyError:
@@ -149,7 +151,16 @@ class ObjectStore(abc.ABC):
 
     def exists(self, key: str) -> bool:
         with self._lock:
+            self._maybe_fail_meta("EXISTS")
             return key in self._objects
+
+    def _maybe_fail_meta(self, op: str) -> None:
+        """Consume one armed metadata failure (caller holds the lock)."""
+        if self._fail_metas > 0:
+            self._fail_metas -= 1
+            raise TransientStorageError(
+                f"{self.name}: transient {op} failure (injected)"
+            )
 
     def delete(self, key: str, credentials: Credentials | None = None) -> None:
         self._authorize(credentials)
@@ -171,13 +182,15 @@ class ObjectStore(abc.ABC):
         with self._lock:
             return sum(o.size for o in self._objects.values())
 
-    def inject_failures(self, puts: int = 0, gets: int = 0) -> None:
-        """Arm the next ``puts``/``gets`` operations to fail transiently."""
-        if puts < 0 or gets < 0:
+    def inject_failures(self, puts: int = 0, gets: int = 0, metas: int = 0) -> None:
+        """Arm the next ``puts``/``gets``/``metas`` operations to fail
+        transiently (``metas`` covers the metadata ops ``size_of``/``exists``)."""
+        if puts < 0 or gets < 0 or metas < 0:
             raise ValueError("failure counts must be non-negative")
         with self._lock:
             self._fail_puts += puts
             self._fail_gets += gets
+            self._fail_metas += metas
 
     # ---------------------------------------------------------- cost queries
     def cluster_read_time(self, nbytes: int) -> float:

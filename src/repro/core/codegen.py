@@ -35,6 +35,7 @@ from repro.core.tiling import Tile, tile_by_chunk, tile_iterations, untiled
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perfmodel.compression import CompressionModel, gzip_compress, gzip_decompress, model_for_density
 from repro.perfmodel.compute import ComputeModel
+from repro.resilience import RetryPolicy, retry_call
 from repro.simtime.timeline import Phase
 from repro.spark.context import SparkContext
 from repro.spark.driver import TaskCosts
@@ -106,6 +107,7 @@ class SparkJobGenerator:
         fault_plan: FaultPlan = NO_FAULTS,
         host_compression: bool = True,
         min_compress_size: int | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.region = region
         self.scalars = dict(scalars)
@@ -120,6 +122,7 @@ class SparkJobGenerator:
             min_compress_size if min_compress_size is not None
             else calibration.min_compress_size
         )
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.compute_model = ComputeModel(calibration)
         self._driver_arrays: dict[str, np.ndarray | None] = {}
         self._buffer_info: dict[str, Buffer] = {}
@@ -160,19 +163,16 @@ class SparkJobGenerator:
     def _storage_retry(self, op_name: str, fn, *args, **kwargs):
         """Driver-side storage access with Hadoop-client-style retries;
         backoff is charged to the simulated clock."""
-        last: TransientStorageError | None = None
-        for attempt in range(3):
-            try:
-                return fn(*args, **kwargs)
-            except TransientStorageError as e:
-                last = e
-                delay = 0.5 * (2 ** attempt)
-                self.sc.log.warn(self.sc.clock.now, "HadoopRDD",
-                                 f"{op_name} failed transiently ({e}); "
-                                 f"retrying in {delay:.1f}s")
-                self.sc.clock.advance(delay)
-        assert last is not None
-        raise last
+
+        def on_retry(failure: int, delay: float, exc: BaseException) -> None:
+            self.sc.log.warn(self.sc.clock.now, "HadoopRDD",
+                             f"{op_name} failed transiently ({exc}); "
+                             f"retrying in {delay:.1f}s")
+            self.sc.clock.advance(delay)
+
+        return retry_call(self.retry_policy, fn, *args,
+                          retry_on=(TransientStorageError,),
+                          op_name=op_name, on_retry=on_retry, **kwargs)
 
     def staged_compressed(self, buf: Buffer) -> bool:
         """Whether the plugin gzip'd this buffer when staging it (the same
@@ -184,7 +184,7 @@ class SparkJobGenerator:
         for name in self.region.input_names:
             buf = buffers[name]
             key = input_keys[name]
-            wire = storage.size_of(key)
+            wire = self._storage_retry("HEAD", storage.size_of, key)
             codec = self._codec_for(buf)
             dt = storage.cluster_read_time(wire)
             if self.staged_compressed(buf):

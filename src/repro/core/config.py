@@ -69,6 +69,21 @@ class CloudConfig:
     #: Host-target data caching (the paper's future work, implemented here):
     #: inputs whose content is already staged are not re-uploaded.
     cache: bool = False
+    # --- Resilience ([Resilience] section) ---
+    #: Attempts per storage/SSH/provisioning operation (first try included).
+    retry_attempts: int = 3
+    #: First backoff delay; doubles each retry (exponential, capped).
+    retry_base_delay_s: float = 0.5
+    #: Cap on a single backoff delay.
+    retry_max_delay_s: float = 30.0
+    #: Deterministic jitter fraction in [0, 1): delay *= 1 +/- jitter.
+    retry_jitter: float = 0.0
+    #: Times a failed/lost Spark job is resubmitted over a fresh SSH session.
+    max_resubmissions: int = 2
+    #: Consecutive device failures before the circuit breaker trips open.
+    breaker_threshold: int = 3
+    #: Simulated seconds the breaker stays open before a half-open probe.
+    breaker_reset_s: float = 300.0
 
     def __post_init__(self) -> None:
         if self.provider not in _VALID_PROVIDERS:
@@ -83,6 +98,23 @@ class CloudConfig:
             raise ConfigError(f"workers must be >= 1, got {self.n_workers}")
         if self.min_compress_size < 0:
             raise ConfigError(f"min_compress_size must be >= 0, got {self.min_compress_size}")
+        if self.retry_attempts < 1:
+            raise ConfigError(f"retry_attempts must be >= 1, got {self.retry_attempts}")
+        if self.max_resubmissions < 0:
+            raise ConfigError(f"max_resubmissions must be >= 0, got {self.max_resubmissions}")
+        if self.breaker_threshold < 1:
+            raise ConfigError(f"breaker_threshold must be >= 1, got {self.breaker_threshold}")
+
+    def retry_policy(self) -> "RetryPolicy":
+        """The uniform :class:`~repro.resilience.RetryPolicy` for this device."""
+        from repro.resilience import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.retry_attempts,
+            base_delay_s=self.retry_base_delay_s,
+            max_delay_s=self.retry_max_delay_s,
+            jitter=self.retry_jitter,
+        )
 
 
 def load_config(path: str | os.PathLike[str]) -> CloudConfig:
@@ -99,6 +131,7 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
     spark = cp["Spark"] if cp.has_section("Spark") else {}
     storage = cp["Storage"] if cp.has_section("Storage") else {}
     offload = cp["Offload"] if cp.has_section("Offload") else {}
+    resil = cp["Resilience"] if cp.has_section("Resilience") else {}
 
     provider = offload.get("provider", "ec2").lower()
     creds = _credentials_from(cp, provider, spark.get("user", "ubuntu"))
@@ -106,8 +139,15 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
     try:
         n_workers = int(spark.get("workers", "16"))
         min_sz = int(offload.get("min_compress_size", str(1 << 20)))
+        retry_attempts = int(resil.get("retry_attempts", "3"))
+        max_resubmissions = int(resil.get("max_resubmissions", "2"))
+        breaker_threshold = int(resil.get("breaker_threshold", "3"))
+        retry_base = float(resil.get("retry_base_delay_s", "0.5"))
+        retry_max = float(resil.get("retry_max_delay_s", "30.0"))
+        retry_jitter = float(resil.get("retry_jitter", "0.0"))
+        breaker_reset = float(resil.get("breaker_reset_s", "300.0"))
     except ValueError as e:
-        raise ConfigError(f"non-integer value in {p}: {e}") from e
+        raise ConfigError(f"non-numeric value in {p}: {e}") from e
 
     return CloudConfig(
         provider=provider,
@@ -123,6 +163,13 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
         manage_instances=_parse_bool(offload.get("manage_instances", "false")),
         verbose=_parse_bool(offload.get("verbose", "false")),
         cache=_parse_bool(offload.get("cache", "false")),
+        retry_attempts=retry_attempts,
+        retry_base_delay_s=retry_base,
+        retry_max_delay_s=retry_max,
+        retry_jitter=retry_jitter,
+        max_resubmissions=max_resubmissions,
+        breaker_threshold=breaker_threshold,
+        breaker_reset_s=breaker_reset,
     )
 
 
@@ -179,6 +226,15 @@ def write_example_config(path: str | os.PathLike[str], provider: str = "ec2") ->
             "manage_instances": "false",
             "verbose": "false",
             "cache": "false",
+        },
+        "Resilience": {
+            "retry_attempts": "3",
+            "retry_base_delay_s": "0.5",
+            "retry_max_delay_s": "30.0",
+            "retry_jitter": "0.0",
+            "max_resubmissions": "2",
+            "breaker_threshold": "3",
+            "breaker_reset_s": "300.0",
         },
     }
     cp = configparser.ConfigParser()

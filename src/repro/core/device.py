@@ -58,6 +58,12 @@ class Device(abc.ABC):
                  mode: ExecutionMode) -> None:
         """Copy outputs back to the host and tear down the environment."""
 
+    def abort(self, region: TargetRegion):
+        """Tear down after a failed offload attempt (called by the runtime
+        before it degrades to host execution).  Returns the partial report
+        of the failed attempt when the device kept one, else None."""
+        return None
+
     # ------------------------------------------------------------- execution
     @abc.abstractmethod
     def execute(

@@ -17,7 +17,9 @@ plugin against the simulated substrates:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import threading
 from typing import Mapping, Union
 
 import numpy as np
@@ -32,7 +34,7 @@ from repro.cloud.provider import CloudProvider
 from repro.cloud.credentials import Credentials
 from repro.cloud.provision import ClusterSpec, ProvisionedCluster, provision_cluster
 from repro.cloud.s3 import S3Store
-from repro.cloud.ssh import SSHClient, SSHEndpoint, CommandResult
+from repro.cloud.ssh import SSHClient, SSHEndpoint, SSHError, CommandResult
 from repro.cloud.storage import ObjectStore, StorageError, TransientStorageError
 from repro.core.api import TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode
@@ -45,12 +47,13 @@ from repro.core.staging_cache import CacheKey, StagingCache
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perfmodel.comm import HostCommModel, TransferPlan
 from repro.perfmodel.compression import gzip_compress, gzip_decompress, model_for_density
+from repro.resilience import CircuitBreaker, RetryPolicy, retry_call
 from repro.simtime.clock import SimClock
 from repro.simtime.timeline import Phase, Timeline
 from repro.spark.cluster import SparkCluster, WorkerShape
 from repro.spark.context import SparkContext
 from repro.spark.faults import NO_FAULTS, FaultPlan
-from repro.spark.scheduler import SchedulerCosts
+from repro.spark.scheduler import JobFailedError, SchedulerCosts
 
 
 class CloudDevice(Device):
@@ -118,12 +121,44 @@ class CloudDevice(Device):
         self._pending: dict[str, object] = {}
         #: Host-target data cache (paper future work; enabled via config).
         self.stage_cache = StagingCache(enabled=config.cache)
-        #: Transient-failure retries: attempts per storage operation and the
-        #: base backoff (exponential), charged to simulated time.
-        self.storage_retries = 3
-        self.retry_backoff_s = 0.5
+        #: One uniform policy for every retryable operation (storage PUT/GET/
+        #: HEAD, SSH connects, provisioning); backoff is simulated time.
+        self.retry_policy: RetryPolicy = config.retry_policy()
+        #: Trips open after K consecutive offload failures; while open,
+        #: :meth:`is_available` is False and the runtime degrades to the host.
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            reset_after_s=config.breaker_reset_s,
+        )
+        # Offload-level fault injection armed from the (immutable) plan.
+        self._ssh_faults_left = fault_plan.ssh_connect_failures
+        self._submit_faults_left = fault_plan.spark_submit_failures
+        # Backoff accumulated by concurrent staging threads, flushed to the
+        # simulated clock once staging completes.
         self._pending_backoff_s = 0.0
-        self._backoff_lock = __import__("threading").Lock()
+        self._pending_retries = 0
+        self._backoff_lock = threading.Lock()
+
+    # --------------------------------------------------- legacy retry knobs
+    @property
+    def storage_retries(self) -> int:
+        """Attempts per storage operation (compat alias for the policy)."""
+        return self.retry_policy.max_attempts
+
+    @storage_retries.setter
+    def storage_retries(self, attempts: int) -> None:
+        self.retry_policy = dataclasses.replace(
+            self.retry_policy, max_attempts=int(attempts))
+
+    @property
+    def retry_backoff_s(self) -> float:
+        """Base backoff delay (compat alias for the policy)."""
+        return self.retry_policy.base_delay_s
+
+    @retry_backoff_s.setter
+    def retry_backoff_s(self, delay: float) -> None:
+        self.retry_policy = dataclasses.replace(
+            self.retry_policy, base_delay_s=float(delay))
 
     # --------------------------------------------------------------- set-up
     def _storage_from_config(self) -> ObjectStore:
@@ -158,12 +193,28 @@ class CloudDevice(Device):
                 n_workers=self.config.n_workers,
                 authorized_users=(self.config.spark_user,),
             )
-            self._provisioned = provision_cluster(self._provider, spec, self.clock,
-                                                  driver_hostname=self.config.spark_driver)
+
+            def on_retry(failure: int, delay: float, exc: BaseException) -> None:
+                self.sc.log.warn(self.clock.now, "CloudPlugin",
+                                 f"cluster provisioning failed ({exc}); "
+                                 f"retrying in {delay:.1f}s")
+                self.clock.advance(delay)
+
+            from repro.cloud.provider import ProviderError
+
+            self._provisioned = retry_call(
+                self.retry_policy, provision_cluster,
+                self._provider, spec, self.clock,
+                driver_hostname=self.config.spark_driver,
+                retry_on=(ProviderError,), op_name="provision",
+                on_retry=on_retry,
+            )
             self.endpoint = self._provisioned.ssh_endpoint
 
     def is_available(self) -> bool:
         if not self._reachable:
+            return False
+        if self.breaker.is_open(self.clock.now):
             return False
         try:
             self.storage.check_access(self.config.credentials)
@@ -178,6 +229,9 @@ class CloudDevice(Device):
         report = OffloadReport(region_name=region.name, device_name=self.name,
                                mode=mode.value)
         timeline = report.timeline
+        # Registered up front so a failed data_begin can still be aborted
+        # (and its retry accounting preserved) by the runtime.
+        self._pending = {"report": report}
 
         mgmt_start = self.clock.now
         if self.config.manage_instances:
@@ -195,7 +249,12 @@ class CloudDevice(Device):
                                              or buf.is_virtual):
                 ckey = CacheKey.for_buffer(buf)
                 cached = self.stage_cache.lookup(ckey)
-                if cached is not None and self.storage.exists(cached):
+                try:
+                    cache_hit = cached is not None and self._with_retries(
+                        "EXISTS", self.storage.exists, cached)
+                except TransientStorageError:
+                    cache_hit = False  # degrade to a re-stage, not a failure
+                if cache_hit:
                     # Already staged with identical content: reuse in place.
                     input_keys[name] = cached
                     self.stage_cache.credit_saved(buf.nbytes)
@@ -210,8 +269,16 @@ class CloudDevice(Device):
             input_keys[name] = key
             plans.append(TransferPlan(name, buf.nbytes, model_for_density(buf.density)))
             to_stage.append((buf, key, ckey))
-        wire_sizes = self._stage_inputs(to_stage, mode)
-        self._charge_retry_backoff()
+        try:
+            wire_sizes = self._stage_inputs(to_stage, mode)
+        except TransientStorageError as e:
+            self._charge_retry_backoff(report)
+            self.breaker.record_failure(self.clock.now)
+            raise DeviceError(
+                f"staging inputs to {self.storage.name} failed after "
+                f"{self.retry_policy.max_attempts} attempt(s): {e}"
+            ) from e
+        self._charge_retry_backoff(report)
         for name in region.output_names:
             if name not in input_keys:
                 self.env.begin(buffers[name], region.map_type_of(name) or MapType.FROM)
@@ -246,29 +313,37 @@ class CloudDevice(Device):
         }
 
     def _with_retries(self, op_name: str, fn, *args, **kwargs):
-        """Run a storage operation, retrying transient failures with
-        exponential backoff (thread-safe; the backoff is charged to the
-        simulated clock once staging completes)."""
-        last: TransientStorageError | None = None
-        for attempt in range(self.storage_retries):
-            try:
-                return fn(*args, **kwargs)
-            except TransientStorageError as e:
-                last = e
-                delay = self.retry_backoff_s * (2 ** attempt)
-                with self._backoff_lock:
-                    self._pending_backoff_s += delay
-                self.sc.log.warn(self.clock.now, "CloudPlugin",
-                                 f"{op_name} failed transiently ({e}); "
-                                 f"retrying in {delay:.1f}s")
-        assert last is not None
-        raise last
+        """Run a storage operation under :attr:`retry_policy` (thread-safe;
+        the backoff is charged to the simulated clock once staging
+        completes, via :meth:`_charge_retry_backoff`)."""
 
-    def _charge_retry_backoff(self) -> None:
+        def on_retry(failure: int, delay: float, exc: BaseException) -> None:
+            with self._backoff_lock:
+                self._pending_backoff_s += delay
+                self._pending_retries += 1
+            self.sc.log.warn(self.clock.now, "CloudPlugin",
+                             f"{op_name} failed transiently ({exc}); "
+                             f"retrying in {delay:.1f}s")
+
+        return retry_call(self.retry_policy, fn, *args,
+                          retry_on=(TransientStorageError,),
+                          op_name=op_name, on_retry=on_retry, **kwargs)
+
+    def _charge_retry_backoff(self, report: OffloadReport | None = None) -> None:
+        """Flush accumulated backoff to the simulated clock and, when a
+        report is given, into its observability counters + timeline."""
         with self._backoff_lock:
             delay, self._pending_backoff_s = self._pending_backoff_s, 0.0
+            n_retries, self._pending_retries = self._pending_retries, 0
         if delay > 0.0:
+            t0 = self.clock.now
             self.clock.advance(delay)
+            if report is not None:
+                report.timeline.record(Phase.RETRY_BACKOFF, t0, self.clock.now,
+                                       resource="host", label="storage-backoff")
+        if report is not None:
+            report.retries += n_retries
+            report.backoff_s += delay
 
     def _stage_inputs(
         self, to_stage: list[tuple[Buffer, str, "CacheKey | None"]], mode: ExecutionMode
@@ -318,25 +393,34 @@ class CloudDevice(Device):
 
         plans = []
         wire_sizes = []
-        for name in region.output_names:
-            buf = buffers[name]
-            plans.append(TransferPlan(name, buf.nbytes, model_for_density(buf.density)))
-            key = out_keys.get(name)
-            if key is None:
-                continue
-            wire_sizes.append(self.storage.size_of(key))
-            if mode == ExecutionMode.FUNCTIONAL:
-                payload = self._with_retries(
-                    "GET", self.storage.get_bytes, key,
-                    credentials=self.config.credentials)
-                self._charge_retry_backoff()
-                if key.endswith(".gz"):
-                    payload = gzip_decompress(payload)
-                buf.require_data()[:] = np.frombuffer(payload, dtype=buf.dtype)
-                if self.stage_cache.enabled:
-                    # The result now lives both on the host and in storage;
-                    # re-offloading it later is a cache hit (no re-upload).
-                    self.stage_cache.record(CacheKey.for_bytes(payload), key)
+        try:
+            for name in region.output_names:
+                buf = buffers[name]
+                plans.append(TransferPlan(name, buf.nbytes, model_for_density(buf.density)))
+                key = out_keys.get(name)
+                if key is None:
+                    continue
+                wire_sizes.append(self._with_retries("HEAD", self.storage.size_of, key))
+                if mode == ExecutionMode.FUNCTIONAL:
+                    payload = self._with_retries(
+                        "GET", self.storage.get_bytes, key,
+                        credentials=self.config.credentials)
+                    self._charge_retry_backoff(report)
+                    if key.endswith(".gz"):
+                        payload = gzip_decompress(payload)
+                    buf.require_data()[:] = np.frombuffer(payload, dtype=buf.dtype)
+                    if self.stage_cache.enabled:
+                        # The result now lives both on the host and in storage;
+                        # re-offloading it later is a cache hit (no re-upload).
+                        self.stage_cache.record(CacheKey.for_bytes(payload), key)
+        except TransientStorageError as e:
+            self._charge_retry_backoff(report)
+            self.breaker.record_failure(self.clock.now)
+            raise DeviceError(
+                f"downloading results from {self.storage.name} failed after "
+                f"{self.retry_policy.max_attempts} attempt(s): {e}"
+            ) from e
+        self._charge_retry_backoff(report)
 
         if plans and wire_sizes:
             cost = self.comm.download(plans)
@@ -365,7 +449,9 @@ class CloudDevice(Device):
             billed_before = self._provider.ledger.total_usd() if self._provider else 0.0
             self._provisioned.stop_all(self.clock.now)
             if self._provider is not None:
-                report.billed_usd = self._provider.ledger.total_usd() - billed_before
+                # Accumulate: a mid-run spot replacement may already have
+                # billed its reclaimed predecessor.
+                report.billed_usd += self._provider.ledger.total_usd() - billed_before
         report.instance_mgmt_s += self.clock.now - mgmt_start
         self._pending["done"] = True
 
@@ -386,48 +472,213 @@ class CloudDevice(Device):
         report: OffloadReport = self._pending["report"]  # type: ignore[assignment]
         input_keys: dict[str, str] = self._pending["input_keys"]  # type: ignore[assignment]
         key_prefix: str = self._pending["key_prefix"]  # type: ignore[assignment]
+        timeline = report.timeline
 
-        gen = SparkJobGenerator(
-            region, scalars, self.sc,
-            calibration=self.cal, mode=mode, tiling=self.tiling,
-            intra_compression=self.intra_compression, fault_plan=self.fault_plan,
-            host_compression=self.config.compression,
-            min_compress_size=self.config.min_compress_size,
-        )
-
-        def handler(command: str) -> CommandResult:
-            job_report = gen.run(buffers, self.storage, input_keys, key_prefix)
-            self._pending["job_report"] = job_report
-            return CommandResult(command=command, exit_status=0,
-                                 stdout=f"job finished in {job_report.job_s:.1f}s")
-
-        self.endpoint.register_handler("spark-submit", handler)
         ssh_creds = Credentials(
             provider=self.config.provider,
             username=self.config.spark_user,
             ssh_key_path=self.config.credentials.ssh_key_path,
         )
-        ssh = SSHClient(self.endpoint, ssh_creds)
-        handshake = ssh.connect()
-        self.clock.advance(handshake)
-        result = ssh.exec_command(
-            f"spark-submit --class org.ompcloud.Job ompcloud-{region.name}.jar "
-            f"--cores {self.cluster.total_physical_cores}"
-        )
-        ssh.close()
-        if not result.ok:
+        # The staged inputs are an implicit checkpoint: a resubmitted job
+        # re-reads them from storage, so nothing is re-uploaded over the WAN.
+        max_submissions = 1 + self.config.max_resubmissions
+        job_report: SparkJobReport | None = None
+        last_error = ""
+        for submission in range(1, max_submissions + 1):
+            if submission > 1:
+                report.resubmissions += 1
+                delay = self.retry_policy.delay_for(
+                    submission - 1, key=f"resubmit-{region.name}")
+                t0 = self.clock.now
+                self.clock.advance(delay)
+                report.backoff_s += delay
+                timeline.record(Phase.RESUBMIT, t0, self.clock.now,
+                                resource="host", label=f"resubmit-{submission - 1}")
+                self.sc.log.warn(self.clock.now, "CloudPlugin",
+                                 f"spark-submit failed ({last_error}); resubmitting "
+                                 f"({submission - 1}/{self.config.max_resubmissions})")
+            # Replace any spot instance reclaimed while the previous
+            # submission was running, so the retried job has a full cluster.
+            self._recover_preempted(report)
+            self._install_job_handler(region, buffers, scalars, mode,
+                                      input_keys, key_prefix)
+            try:
+                result = self._submit_once(region, ssh_creds, report)
+            except SSHError as e:
+                last_error = str(e)
+                continue
+            if result.ok:
+                job_report = self._pending.pop("job_report")  # type: ignore[assignment]
+                break
+            last_error = result.stderr or f"exit status {result.exit_status}"
+
+        if job_report is None:
+            self.breaker.record_failure(self.clock.now)
             raise DeviceError(
-                f"spark-submit failed on {self.config.spark_driver}: {result.stderr}"
+                f"spark-submit failed on {self.config.spark_driver} after "
+                f"{max_submissions} submission(s): {last_error}"
             )
+        # A preemption during the final (successful) run still costs a
+        # replacement before the cluster is whole again.
+        self._recover_preempted(report)
+        self.breaker.record_success()
         if self.config.verbose:
             for line in self.sc.log.lines():
                 print(line)
 
-        job_report: SparkJobReport = self._pending["job_report"]  # type: ignore[assignment]
         self._pending["output_keys"] = job_report.output_keys
         report.spark_job_s = job_report.job_s
         report.computation_s = job_report.computation_s
         report.tasks_run = job_report.tasks_run
         report.tasks_recomputed = job_report.tasks_recomputed
         report.timeline.extend(self.sc.timeline)
+        return report
+
+    def _install_job_handler(self, region, buffers, scalars, mode,
+                             input_keys, key_prefix) -> None:
+        """Register the driver-side ``spark-submit`` handler.  Each call
+        installs a *fresh* job (generator state is per-submission); the
+        handler reports infrastructure failures as non-zero exits while
+        deterministic user errors (codegen, OOM) propagate unchanged."""
+
+        def handler(command: str) -> CommandResult:
+            if self.fault_plan.driver_lost(self.clock.now):
+                return CommandResult(command=command, exit_status=255,
+                                     stderr=f"Connection to "
+                                            f"{self.config.spark_driver} lost")
+            if self._submit_faults_left > 0:
+                self._submit_faults_left -= 1
+                return CommandResult(command=command, exit_status=1,
+                                     stderr="spark-submit: transient submission "
+                                            "failure (injected)")
+            gen = SparkJobGenerator(
+                region, scalars, self.sc,
+                calibration=self.cal, mode=mode, tiling=self.tiling,
+                intra_compression=self.intra_compression,
+                fault_plan=self.fault_plan,
+                host_compression=self.config.compression,
+                min_compress_size=self.config.min_compress_size,
+                retry_policy=self.retry_policy,
+            )
+            try:
+                job_report = gen.run(buffers, self.storage, input_keys, key_prefix)
+            except (JobFailedError, TransientStorageError) as e:
+                return CommandResult(command=command, exit_status=1,
+                                     stderr=f"{type(e).__name__}: {e}")
+            if self.fault_plan.driver_lost(self.clock.now):
+                # The job ran, but the driver died before reporting back:
+                # its results are lost with it.
+                return CommandResult(command=command, exit_status=255,
+                                     stderr=f"Connection to "
+                                            f"{self.config.spark_driver} lost")
+            self._pending["job_report"] = job_report
+            return CommandResult(command=command, exit_status=0,
+                                 stdout=f"job finished in {job_report.job_s:.1f}s")
+
+        self.endpoint.register_handler("spark-submit", handler)
+
+    def _submit_once(self, region: TargetRegion, ssh_creds: Credentials,
+                     report: OffloadReport) -> CommandResult:
+        """One submission over a fresh SSH session; the connect itself is
+        retried under the policy (flaky channels are the common case)."""
+        ssh = SSHClient(self.endpoint, ssh_creds)
+
+        def connect() -> float:
+            if self.fault_plan.driver_lost(self.clock.now):
+                raise SSHError(
+                    f"ssh: connect to host {self.config.spark_driver}: "
+                    f"no route to host"
+                )
+            if self._ssh_faults_left > 0:
+                self._ssh_faults_left -= 1
+                raise SSHError(
+                    f"ssh: connect to host {self.config.spark_driver}: "
+                    f"connection reset by peer"
+                )
+            return ssh.connect()
+
+        def on_retry(failure: int, delay: float, exc: BaseException) -> None:
+            self.sc.log.warn(self.clock.now, "CloudPlugin",
+                             f"SSH connect failed ({exc}); "
+                             f"retrying in {delay:.1f}s")
+            t0 = self.clock.now
+            self.clock.advance(delay)
+            report.retries += 1
+            report.backoff_s += delay
+            report.timeline.record(Phase.RETRY_BACKOFF, t0, self.clock.now,
+                                   resource="host", label="ssh-backoff")
+
+        handshake = retry_call(
+            self.retry_policy, connect, retry_on=(SSHError,),
+            op_name=f"ssh-{self.config.spark_driver}", on_retry=on_retry,
+        )
+        self.clock.advance(handshake)
+        try:
+            return ssh.exec_command(
+                f"spark-submit --class org.ompcloud.Job ompcloud-{region.name}.jar "
+                f"--cores {self.cluster.total_physical_cores}"
+            )
+        finally:
+            ssh.close()
+
+    def _recover_preempted(self, report: OffloadReport) -> None:
+        """Detect spot instances EC2 reclaimed, bill them, and provision
+        replacement workers (new identity) so later jobs see a full cluster."""
+        if not self.fault_plan.preempt_at:
+            return
+        timeline = report.timeline
+        for ex in list(self.cluster.executors):
+            t = self.fault_plan.preempt_at.get(ex.worker_id)
+            if t is None or self.clock.now < t:
+                continue
+            timeline.record(Phase.PREEMPTION, t, self.clock.now,
+                            resource=ex.worker_id, label="spot-reclaimed")
+            self.sc.log.warn(self.clock.now, "CloudPlugin",
+                             f"spot instance backing {ex.worker_id} was "
+                             f"reclaimed; provisioning a replacement")
+            t0 = self.clock.now
+            if self._provisioned is not None and self._provider is not None:
+                idx = self.cluster.executors.index(ex)
+                inst = (self._provisioned.workers[idx]
+                        if idx < len(self._provisioned.workers) else None)
+                billed_before = self._provider.ledger.total_usd()
+                if inst is not None and inst.state.value == "running":
+                    # A spot instance cannot be reclaimed before it is up.
+                    when = max(t, inst.running_since or t)
+                    self._provider.terminate(inst.instance_id, when)
+                repl = self._provider.launch(self.config.instance_type, t0,
+                                             count=1, tags={"role": "worker",
+                                                            "spot": "replacement"})
+                up = self._provider.wait_running(repl, t0)
+                self.clock.advance_to(max(up, self.clock.now))
+                if inst is not None:
+                    self._provisioned.workers[idx] = repl[0]
+                report.billed_usd += self._provider.ledger.total_usd() - billed_before
+            else:
+                # Unmanaged cluster: the replacement still takes one boot.
+                boot = (self._provider.boot_delay_s if self._provider is not None
+                        else EC2Provider.boot_delay_s)
+                self.clock.advance(boot)
+            timeline.record(Phase.RECOVERY, t0, self.clock.now,
+                            resource=ex.worker_id, label="spot-replace")
+            self.cluster.replace_executor(ex.worker_id, now=self.clock.now)
+            report.preemptions += 1
+
+    def abort(self, region: TargetRegion) -> OffloadReport | None:
+        """Tear down a failed offload: close the data environment, flush any
+        accumulated backoff, park managed instances, and hand the partial
+        report (with its recovery counters) back to the runtime."""
+        report = self._pending.get("report")
+        report = report if isinstance(report, OffloadReport) else None
+        for name in {i.name for c in region.maps for i in c.items}:
+            if self.env.is_mapped(name):
+                self.env.end(name)
+        self._charge_retry_backoff(report)
+        if self.config.manage_instances and self._provisioned is not None:
+            self._provisioned.stop_all(self.clock.now)
+        if report is not None:
+            now = self.clock.now
+            report.timeline.record(Phase.FALLBACK, now, now, resource="host",
+                                   label=f"fallback-{region.name}")
+        self._pending = {}
         return report

@@ -45,6 +45,11 @@ class OffloadReport:
     tasks_run: int = 0
     tasks_recomputed: int = 0
     fell_back_to_host: bool = False
+    # Resilience: recovery work performed during the offload.
+    retries: int = 0
+    backoff_s: float = 0.0
+    resubmissions: int = 0
+    preemptions: int = 0
     # Pay-as-you-go accounting when the plugin manages instances.
     billed_usd: float = 0.0
     instance_mgmt_s: float = 0.0
@@ -93,6 +98,11 @@ class OffloadReport:
             "bytes_down_wire": self.bytes_down_wire,
             "tasks_run": self.tasks_run,
             "tasks_recomputed": self.tasks_recomputed,
+            "fell_back_to_host": self.fell_back_to_host,
+            "retries": self.retries,
+            "backoff_s": self.backoff_s,
+            "resubmissions": self.resubmissions,
+            "preemptions": self.preemptions,
             "billed_usd": self.billed_usd,
             "cache_hits": self.cache_hits,
             "cache_bytes_saved": self.cache_bytes_saved,
@@ -116,6 +126,13 @@ class OffloadReport:
             f"  up: {self.bytes_up_raw / 1e6:.1f} MB raw -> {self.bytes_up_wire / 1e6:.1f} MB wire; "
             f"down: {self.bytes_down_raw / 1e6:.1f} MB raw -> {self.bytes_down_wire / 1e6:.1f} MB wire"
         )
+        if self.retries or self.resubmissions or self.preemptions:
+            lines.append(
+                f"  recovery: {self.retries} retries ({self.backoff_s:.2f} s backoff), "
+                f"{self.resubmissions} resubmissions, {self.preemptions} preemptions"
+            )
+        if self.fell_back_to_host:
+            lines.append("  fell back to host execution")
         if self.billed_usd:
             lines.append(f"  billed: ${self.billed_usd:.2f}")
         return "\n".join(lines)

@@ -14,6 +14,7 @@ to the host when the device reports itself unavailable.
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping, Union
 
 from repro.core.api import TargetRegion
@@ -87,15 +88,52 @@ class OffloadRuntime:
         default device (``omp_set_default_device``; initially the host) when
         absent.  An unavailable device (cloud unreachable, bad
         credentials...) silently falls back to host execution, matching the
-        dynamic-offloading behaviour of Figure 1, step 1.
+        dynamic-offloading behaviour of Figure 1, step 1.  A device that
+        *fails mid-offload* — retries and resubmissions exhausted, raising
+        :class:`DeviceError` — degrades the same way, with a warning: the
+        region reruns on the host and the merged report records the failed
+        attempt's recovery counters.
         """
         self.offloads += 1
         dev = self._select_device(region)
         dev.initialize()
+        degraded = False
         if not dev.is_available():
             self.fallbacks += 1
+            degraded = dev is not self.host
             dev = self.host
             dev.initialize()
+        if dev is self.host:
+            report = self._run_on(dev, region, buffers, scalars, mode)
+            if degraded:
+                report.fell_back_to_host = True
+            return report
+        try:
+            return self._run_on(dev, region, buffers, scalars, mode)
+        except DeviceError as exc:
+            failed = dev.abort(region)
+            warnings.warn(
+                f"offload of {region.name!r} to {dev.name} failed ({exc}); "
+                f"falling back to host execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.fallbacks += 1
+            host = self.host
+            host.initialize()
+            report = self._run_on(host, region, buffers, scalars, mode)
+            report.fell_back_to_host = True
+            if failed is not None:
+                # Preserve what the failed attempt cost and recorded.
+                report.retries += failed.retries
+                report.backoff_s += failed.backoff_s
+                report.resubmissions += failed.resubmissions
+                report.preemptions += failed.preemptions
+                report.timeline.extend(failed.timeline)
+            return report
+
+    @staticmethod
+    def _run_on(dev: Device, region: TargetRegion, buffers, scalars, mode):
         dev.data_begin(buffers, region, mode)
         try:
             report = dev.execute(region, buffers, scalars, mode)

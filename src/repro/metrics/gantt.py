@@ -31,6 +31,11 @@ PHASE_GLYPHS: dict[Phase, str] = {
     Phase.COLLECT: "c",
     Phase.RECONSTRUCT: "r",
     Phase.JNI_CALL: "j",
+    Phase.RETRY_BACKOFF: "~",
+    Phase.RESUBMIT: "!",
+    Phase.PREEMPTION: "X",
+    Phase.RECOVERY: "+",
+    Phase.FALLBACK: "F",
     Phase.COMPUTE: "M",
 }
 

@@ -34,6 +34,12 @@ class Phase(enum.Enum):
     COLLECT = "collect"
     RECONSTRUCT = "reconstruct"
     JNI_CALL = "jni_call"
+    # Recovery activity (retries, job resubmission, spot replacement...).
+    RETRY_BACKOFF = "retry_backoff"
+    RESUBMIT = "resubmit"
+    PREEMPTION = "preemption"
+    RECOVERY = "recovery"
+    FALLBACK = "fallback"
     # The useful work.
     COMPUTE = "compute"
 
@@ -64,6 +70,13 @@ _BUCKET_OF: dict[Phase, str] = {
     Phase.COLLECT: BUCKET_SPARK,
     Phase.RECONSTRUCT: BUCKET_SPARK,
     Phase.JNI_CALL: BUCKET_SPARK,
+    # Recovery phases: backoff is charged on the host side of the channel;
+    # resubmission/preemption handling is cluster-side overhead.
+    Phase.RETRY_BACKOFF: BUCKET_HOST_COMM,
+    Phase.RESUBMIT: BUCKET_SPARK,
+    Phase.PREEMPTION: BUCKET_SPARK,
+    Phase.RECOVERY: BUCKET_SPARK,
+    Phase.FALLBACK: BUCKET_HOST_COMM,
     Phase.COMPUTE: BUCKET_COMPUTE,
 }
 

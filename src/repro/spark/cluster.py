@@ -107,6 +107,26 @@ class SparkCluster:
             if not ex.is_dead:
                 ex.pool.reset(self.clock.now)
 
+    def replace_executor(self, worker_id: str, now: float | None = None) -> Executor:
+        """Swap in a fresh executor for a lost worker (spot replacement).
+
+        The replacement keeps the node's shape but gets a new identity
+        (``worker-3`` becomes ``worker-3+1``) — a replacement spot instance
+        is a new machine, so fault plans targeting the old id do not apply
+        to it.  Its slots are free from ``now`` on.
+        """
+        when = self.clock.now if now is None else now
+        for i, ex in enumerate(self.executors):
+            if ex.worker_id == worker_id:
+                base, _, gen = worker_id.partition("+")
+                new_id = f"{base}+{int(gen or 0) + 1}"
+                fresh = Executor(worker_id=new_id, vcpus=ex.vcpus,
+                                 task_cpus=ex.task_cpus, heap_bytes=ex.heap_bytes)
+                fresh.pool.reset(when)
+                self.executors[i] = fresh
+                return fresh
+        raise ValueError(f"no executor {worker_id!r} in this cluster")
+
     @classmethod
     def for_physical_cores(
         cls,

@@ -1,46 +1,110 @@
-"""Fault injection for the Spark substrate.
+"""Fault injection for the Spark substrate and the offload pipeline.
 
 RDD fault tolerance is one of the features OmpCloud gets "transparently" from
 Spark, so the reproduction must be able to kill workers and show the job still
 completes with identical results.  A :class:`FaultPlan` describes the
 failures; the scheduler consults it both in simulated scheduling (a worker
 dies at a simulated instant) and in functional runs (a worker's Nth task
-raises).
+raises).  Beyond worker loss, a plan also covers the infrastructure faults
+the cloud plugin must survive: EC2 spot preemption, a flaky or lost SSH
+channel to the driver, and ``spark-submit`` runs that exit non-zero.
+
+Plans are immutable: the shared :data:`NO_FAULTS` default is safe to pass to
+any number of devices, and the mapping fields reject accidental mutation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
 
 
-@dataclass
+@dataclass(frozen=True, eq=False)
 class FaultPlan:
-    """Planned executor failures.
+    """Planned failures, all keyed in simulated time.
 
-    ``die_at`` maps worker id -> simulated time after which the worker serves
-    nothing; ``fail_task_number`` maps worker id -> 1-based index of the task
-    execution on that worker that raises (functional mode).
+    Worker-level (recovered by lineage recomputation inside the job):
+
+    * ``die_at`` maps worker id -> simulated time after which the worker
+      serves nothing;
+    * ``preempt_at`` maps worker id -> the instant EC2 reclaims the spot
+      instance.  Scheduling-wise a preemption is a death, but the plugin
+      additionally detects it, bills the instance, and provisions a
+      replacement worker;
+    * ``fail_task_number`` maps worker id -> 1-based index of the task
+      execution on that worker that raises (functional mode).
+
+    Offload-level (recovered by retry, resubmission, or host fallback):
+
+    * ``ssh_connect_failures`` — the first N SSH connects from the plugin
+      fail transiently (connection reset);
+    * ``spark_submit_failures`` — the first N ``spark-submit`` runs exit
+      non-zero before doing any work;
+    * ``driver_dies_at`` — from this instant on the Spark driver node is
+      gone: connects fail and in-flight jobs are lost.
     """
 
-    die_at: dict[str, float] = field(default_factory=dict)
-    fail_task_number: dict[str, int] = field(default_factory=dict)
+    die_at: Mapping[str, float] = field(default_factory=dict)
+    fail_task_number: Mapping[str, int] = field(default_factory=dict)
+    preempt_at: Mapping[str, float] = field(default_factory=dict)
+    ssh_connect_failures: int = 0
+    spark_submit_failures: int = 0
+    driver_dies_at: float | None = None
+
+    def __post_init__(self) -> None:
+        # Freeze the mappings: the shared NO_FAULTS default must be immune
+        # to accidental mutation by any device that holds it.
+        object.__setattr__(self, "die_at", MappingProxyType(dict(self.die_at)))
+        object.__setattr__(self, "fail_task_number",
+                           MappingProxyType(dict(self.fail_task_number)))
+        object.__setattr__(self, "preempt_at",
+                           MappingProxyType(dict(self.preempt_at)))
+        if self.ssh_connect_failures < 0:
+            raise ValueError("ssh_connect_failures must be >= 0")
+        if self.spark_submit_failures < 0:
+            raise ValueError("spark_submit_failures must be >= 0")
+
+    # ----------------------------------------------------------- worker loss
+    def death_time(self, worker_id: str) -> float | None:
+        """When this worker stops serving (plain death or spot preemption)."""
+        t_die = self.die_at.get(worker_id)
+        t_pre = self.preempt_at.get(worker_id)
+        if t_die is None:
+            return t_pre
+        if t_pre is None:
+            return t_die
+        return min(t_die, t_pre)
 
     def is_dead(self, worker_id: str, when: float) -> bool:
-        t = self.die_at.get(worker_id)
+        t = self.death_time(worker_id)
         return t is not None and when >= t
 
     def kills_reservation(self, worker_id: str, start: float, end: float) -> bool:
-        """True when the worker dies before the reservation completes."""
-        t = self.die_at.get(worker_id)
-        return t is not None and t < end
+        """True when the worker dies *during* ``[start, end)``.
+
+        A worker already dead before ``start`` never received the
+        reservation; the scheduler filters those with :meth:`is_dead` before
+        handing out work.
+        """
+        t = self.death_time(worker_id)
+        return t is not None and start <= t < end
 
     def should_raise(self, worker_id: str, task_number: int) -> bool:
         return self.fail_task_number.get(worker_id) == task_number
 
+    # ------------------------------------------------------------- channel
+    def driver_lost(self, when: float) -> bool:
+        """Whether the Spark driver node is gone at simulated time ``when``."""
+        return self.driver_dies_at is not None and when >= self.driver_dies_at
+
     @property
     def empty(self) -> bool:
-        return not self.die_at and not self.fail_task_number
+        return (not self.die_at and not self.fail_task_number
+                and not self.preempt_at and self.ssh_connect_failures == 0
+                and self.spark_submit_failures == 0
+                and self.driver_dies_at is None)
 
 
-#: A plan with no failures, shared default.
+#: A plan with no failures, shared (and safely immutable) default.
 NO_FAULTS = FaultPlan()

@@ -194,12 +194,21 @@ class TaskScheduler:
             ex = self._pick_executor(executors, ready)
             res = ex.reserve(ready, task.slot_duration_s)
 
+            # Worker already gone (death or spot preemption) before the task
+            # could start: it never receives the reservation.  Blacklist and
+            # reschedule; no work was lost, so nothing is recomputed.
+            death = fault_plan.death_time(ex.worker_id)
+            if death is not None and death < res.start:
+                ex.mark_dead()
+                ready = max(ready, death + self.costs.failure_detect_s)
+                attempts -= 1  # not a task failure, only a placement miss
+                continue
+
             # Simulated-time death of the worker mid-task.
             if fault_plan.kills_reservation(ex.worker_id, res.start, res.end):
-                die_at = fault_plan.die_at[ex.worker_id]
                 ex.mark_dead()
                 stats.recomputed_tasks += 1
-                ready = max(ready, die_at + self.costs.failure_detect_s)
+                ready = max(ready, death + self.costs.failure_detect_s)
                 continue
 
             # Functional failure injection: the Nth closure on this worker raises.

@@ -1,0 +1,115 @@
+"""SSH-channel failures end to end: retry, resubmit, then fall back to host.
+
+The plugin submits jobs "through SSH connection"; these tests break that
+channel in every way the simulator models — unreachable driver, rejected
+user, flaky connects, non-zero ``spark-submit`` exits — and assert the
+offload either recovers transparently or degrades to bit-exact host
+execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, TargetRegion, offload
+from repro.spark.faults import FaultPlan
+
+from tests.conftest import make_cloud_runtime
+
+
+def _region():
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = np.asarray(arrays["A"][lo:hi]) * 3 + 1
+
+    return TargetRegion(
+        name="sshcopy",
+        pragmas=["omp target device(CLOUD)", "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body,
+        )],
+    )
+
+
+def _offload(rt, n=32):
+    a = np.arange(n, dtype=np.float32)
+    c = np.zeros(n, dtype=np.float32)
+    report = offload(_region(), arrays={"A": a, "C": c},
+                     scalars={"N": n}, runtime=rt)
+    assert np.array_equal(c, 3 * a + 1), "results must be bit-exact"
+    return report
+
+
+# ------------------------------------------------------------- hard failures
+def test_unreachable_driver_falls_back_to_host(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    dev = rt.device("CLOUD")
+    dev.endpoint.reachable = False
+    with pytest.warns(RuntimeWarning, match="falling back to host"):
+        report = _offload(rt)
+    assert report.fell_back_to_host
+    assert report.device_name == "HOST"
+    # Every submission retried its connect under the policy before giving up.
+    assert report.retries >= dev.retry_policy.max_attempts - 1
+    assert report.resubmissions == dev.config.max_resubmissions
+    assert report.backoff_s > 0.0
+
+
+def test_wrong_spark_user_falls_back_to_host(cloud_config):
+    rt = make_cloud_runtime(cloud_config)
+    dev = rt.device("CLOUD")
+    dev.endpoint.authorized_users = {"somebody-else"}
+    with pytest.warns(RuntimeWarning, match="falling back to host"):
+        report = _offload(rt)
+    assert report.fell_back_to_host
+    assert report.retries >= 1
+
+
+def test_persistent_submit_failure_falls_back_to_host(cloud_config):
+    plan = FaultPlan(spark_submit_failures=99)
+    rt = make_cloud_runtime(cloud_config, fault_plan=plan)
+    with pytest.warns(RuntimeWarning, match="falling back to host"):
+        report = _offload(rt)
+    assert report.fell_back_to_host
+    # First submission plus every allowed resubmission was attempted.
+    assert report.resubmissions == rt.device("CLOUD").config.max_resubmissions
+
+
+# -------------------------------------------------------- transient recovery
+def test_flaky_connects_are_retried_without_resubmission(cloud_config):
+    plan = FaultPlan(ssh_connect_failures=2)
+    rt = make_cloud_runtime(cloud_config, fault_plan=plan)
+    dev = rt.device("CLOUD")
+    t0 = dev.clock.now
+    report = _offload(rt)
+    assert not report.fell_back_to_host
+    assert report.retries == 2
+    assert report.resubmissions == 0
+    assert report.backoff_s == pytest.approx(1.5)  # 0.5 + 1.0 simulated s
+    assert dev.clock.now - t0 >= report.backoff_s
+
+
+def test_failed_submission_is_resubmitted_without_reupload(cloud_config):
+    plan = FaultPlan(spark_submit_failures=1)
+    rt = make_cloud_runtime(cloud_config, fault_plan=plan)
+    dev = rt.device("CLOUD")
+    report = _offload(rt)
+    assert not report.fell_back_to_host
+    assert report.resubmissions == 1
+    assert report.tasks_run > 0
+    # The staged inputs were reused: one PUT per input + one per output only.
+    healthy_rt = make_cloud_runtime(cloud_config)
+    healthy = _offload(healthy_rt)
+    assert report.bytes_up_wire == healthy.bytes_up_wire
+    assert dev.storage.put_count == healthy_rt.device("CLOUD").storage.put_count
+
+
+def test_driver_loss_mid_offload_falls_back(cloud_config):
+    """The driver node dies at a simulated instant: in-flight work is lost,
+    resubmissions cannot reach the host, the runtime degrades."""
+    plan = FaultPlan(driver_dies_at=0.0)
+    rt = make_cloud_runtime(cloud_config, fault_plan=plan)
+    with pytest.warns(RuntimeWarning, match="falling back to host"):
+        report = _offload(rt)
+    assert report.fell_back_to_host
+    assert report.device_name == "HOST"

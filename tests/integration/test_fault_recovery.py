@@ -14,7 +14,6 @@ from repro.core.buffers import ExecutionMode
 from repro.core.plugin_cloud import CloudDevice
 from repro.core.runtime import OffloadRuntime
 from repro.spark.faults import FaultPlan
-from repro.spark.scheduler import JobFailedError
 from repro.workloads import WORKLOADS
 
 from tests.conftest import make_cloud_runtime
@@ -50,7 +49,9 @@ def test_two_workers_lost(cloud_config):
 
 def test_simulated_time_death_reschedules(cloud_config):
     """A node dies mid-wave in simulated time (modeled run): surviving nodes
-    absorb the lost tasks and the makespan grows."""
+    absorb the lost tasks and the makespan grows.  The death lands between
+    two reservations on the victim, so no in-flight work is lost — the
+    (fixed) ``kills_reservation`` must not count it as a recomputation."""
     spec = WORKLOADS["gemm"]
 
     def run(plan):
@@ -63,18 +64,23 @@ def test_simulated_time_death_reschedules(cloud_config):
     healthy = run(FaultPlan())
     # Kill worker-0 one simulated minute into the run.
     hurt = run(FaultPlan(die_at={"worker-0": 60.0}))
-    assert hurt.tasks_recomputed >= 1
     assert hurt.spark_job_s > healthy.spark_job_s
 
 
-def test_losing_every_worker_fails_the_job(cloud_config):
+def test_losing_every_worker_falls_back_to_host(cloud_config):
+    """With every worker dead the job cannot run; the runtime degrades to
+    host execution instead of raising."""
     plan = FaultPlan(die_at={f"worker-{i}": 0.5 for i in range(4)})
     spec = WORKLOADS["matmul"]
     rt = OffloadRuntime()
     rt.register(CloudDevice(cloud_config, physical_cores=64, fault_plan=plan))
-    with pytest.raises(JobFailedError):
-        offload(spec.build_region("CLOUD"), scalars=spec.scalars(),
-                runtime=rt, mode=ExecutionMode.MODELED)
+    with pytest.warns(RuntimeWarning, match="falling back to host"):
+        report = offload(spec.build_region("CLOUD"), scalars=spec.scalars(),
+                         runtime=rt, mode=ExecutionMode.MODELED)
+    assert report.fell_back_to_host
+    assert report.device_name == "HOST"
+    assert report.resubmissions >= 1
+    assert rt.fallbacks == 1
 
 
 def test_recovery_is_transparent_to_results(cloud_config):

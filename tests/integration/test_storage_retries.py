@@ -72,12 +72,19 @@ def test_download_survives_transient_get_failures(cloud_config):
     assert report.tasks_run > 0
 
 
-def test_persistent_failure_eventually_raises(cloud_config):
+def test_persistent_failure_falls_back_to_host(cloud_config):
+    """When the retry budget is exhausted the offload degrades to host
+    execution (results still correct) instead of raising."""
     rt = make_cloud_runtime(cloud_config)
     dev = rt.device("CLOUD")
     dev.storage.inject_failures(puts=99)
-    with pytest.raises(TransientStorageError):
-        _offload(rt)
+    with pytest.warns(RuntimeWarning, match="falling back to host"):
+        report = _offload(rt)
+    assert report.fell_back_to_host
+    assert report.device_name == "HOST"
+    assert report.retries >= dev.retry_policy.max_attempts - 1
+    assert report.backoff_s > 0.0
+    assert rt.fallbacks == 1
 
 
 def test_retry_budget_is_configurable(cloud_config):

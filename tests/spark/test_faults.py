@@ -1,0 +1,84 @@
+"""FaultPlan semantics: death windows, immutability, offload-level faults."""
+
+import dataclasses
+
+import pytest
+
+from repro.spark.faults import NO_FAULTS, FaultPlan
+
+
+# ------------------------------------------------- kills_reservation (fixed)
+def test_kills_reservation_only_inside_the_window():
+    """Regression: a worker dead *before* the reservation starts never ran
+    the task, so nothing is recomputed — the old implementation ignored
+    ``start`` and counted every reservation ending after the death."""
+    plan = FaultPlan(die_at={"w": 5.0})
+    assert plan.kills_reservation("w", 4.0, 6.0)       # dies mid-task
+    assert plan.kills_reservation("w", 5.0, 6.0)       # dies at launch
+    assert not plan.kills_reservation("w", 6.0, 10.0)  # already dead at start
+    assert not plan.kills_reservation("w", 0.0, 5.0)   # finished just in time
+    assert not plan.kills_reservation("other", 0.0, 99.0)
+
+
+def test_is_dead_uses_earliest_death():
+    plan = FaultPlan(die_at={"w": 8.0}, preempt_at={"w": 3.0})
+    assert plan.death_time("w") == 3.0
+    assert not plan.is_dead("w", 2.9)
+    assert plan.is_dead("w", 3.0)
+    assert plan.death_time("x") is None
+
+
+def test_preemption_alone_counts_as_death():
+    plan = FaultPlan(preempt_at={"spot": 12.0})
+    assert plan.death_time("spot") == 12.0
+    assert plan.kills_reservation("spot", 10.0, 15.0)
+    assert not plan.empty
+
+
+# ----------------------------------------------------------------- immutability
+def test_no_faults_is_immutable():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        NO_FAULTS.driver_dies_at = 1.0
+    with pytest.raises(TypeError):
+        NO_FAULTS.die_at["worker-0"] = 0.0
+    with pytest.raises(TypeError):
+        NO_FAULTS.preempt_at["worker-0"] = 0.0
+    with pytest.raises(TypeError):
+        NO_FAULTS.fail_task_number["worker-0"] = 1
+    assert NO_FAULTS.empty
+
+
+def test_plan_snapshots_its_input_dicts():
+    source = {"w": 1.0}
+    plan = FaultPlan(die_at=source)
+    source["w"] = 99.0  # later mutation of the caller's dict is invisible
+    assert plan.die_at["w"] == 1.0
+
+
+# ----------------------------------------------------------- offload-level
+def test_driver_loss_is_permanent_from_t():
+    plan = FaultPlan(driver_dies_at=30.0)
+    assert not plan.driver_lost(29.9)
+    assert plan.driver_lost(30.0)
+    assert plan.driver_lost(1e9)
+    assert not plan.empty
+    assert NO_FAULTS.driver_lost(1e9) is False
+
+
+def test_channel_fault_counts_validate():
+    with pytest.raises(ValueError):
+        FaultPlan(ssh_connect_failures=-1)
+    with pytest.raises(ValueError):
+        FaultPlan(spark_submit_failures=-2)
+    plan = FaultPlan(ssh_connect_failures=2, spark_submit_failures=1)
+    assert not plan.empty
+
+
+def test_empty_covers_every_field():
+    assert FaultPlan().empty
+    assert not FaultPlan(die_at={"w": 1.0}).empty
+    assert not FaultPlan(fail_task_number={"w": 1}).empty
+    assert not FaultPlan(preempt_at={"w": 1.0}).empty
+    assert not FaultPlan(ssh_connect_failures=1).empty
+    assert not FaultPlan(spark_submit_failures=1).empty
+    assert not FaultPlan(driver_dies_at=0.0).empty
