@@ -33,6 +33,7 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
 results.
 """
 
+from repro.analysis import AnalysisError, AnalysisReport, verify_region
 from repro.core import (
     Buffer,
     omp_kernel,
@@ -58,6 +59,9 @@ from repro.workloads import WORKLOADS
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "verify_region",
     "Buffer",
     "CloudConfig",
     "CloudDevice",

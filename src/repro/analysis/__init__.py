@@ -1,0 +1,56 @@
+"""Static offload verifier: map-clause, dataflow, partition and race checks.
+
+Public surface::
+
+    from repro.analysis import verify_region, AnalysisReport, Severity
+
+    report = verify_region(region, scalars={"N": 1024})
+    if not report.ok:
+        print(report.render())
+
+``repro lint`` (CLI) and the runtime's strict mode (``[Analysis]`` config
+section / ``offload(..., strict=True)``) are thin wrappers over this module.
+The diagnostic catalogue lives in ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.dataflow import BodyAccess, analyze_body
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    Span,
+    json_report,
+)
+from repro.analysis.mapcheck import check_dataflow, check_maps
+from repro.analysis.partition_check import check_partitions
+from repro.analysis.races import check_races
+from repro.analysis.verifier import (
+    enforce_strict,
+    probe_envs,
+    verify_python_file,
+    verify_region,
+    verify_source,
+)
+
+__all__ = [
+    "CODES",
+    "AnalysisError",
+    "AnalysisReport",
+    "BodyAccess",
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "analyze_body",
+    "check_dataflow",
+    "check_maps",
+    "check_partitions",
+    "check_races",
+    "enforce_strict",
+    "json_report",
+    "probe_envs",
+    "verify_python_file",
+    "verify_region",
+    "verify_source",
+]

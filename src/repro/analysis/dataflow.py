@@ -1,0 +1,309 @@
+"""Kernel dataflow: what a tile body actually reads and writes.
+
+Tile bodies are plain Python functions ``body(lo, hi, arrays, scalars)``.
+This pass recovers their array accesses statically: it parses the body
+source (``inspect.getsource`` + :mod:`ast`) and tracks
+
+* direct accesses — ``arrays["C"][lo*n:hi*n] = ...`` is a write of ``C``,
+  ``arrays["A"][k]`` in an expression is a read of ``A``;
+* aliases — ``c = arrays["C"]; row = np.asarray(c[lo:hi]); row[:] = ...``
+  still writes ``C``, because NumPy pass-through constructors (``asarray``,
+  ``reshape``, ``astype``, ...) keep views onto the mapped buffer;
+* closure-resolved keys — factory-made tiles (``arrays[out_name]`` with
+  ``out_name`` captured from an enclosing scope) resolve through
+  ``inspect.getclosurevars``.
+
+The result is *evidence*, not proof: an access the pass observes definitely
+happens, but opaque calls receiving a mapped array make the summary
+incomplete (``complete=False``), and the verifier then skips the checks that
+reason from absence (phantom-access).  Bodies whose source is unavailable
+(builtins, C extensions, interactively defined functions) yield
+``source_available=False`` and the dataflow checks are skipped entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+#: NumPy constructors that return views (or value-preserving copies) of their
+#: first argument: aliasing flows through them.
+_PASSTHROUGH_FUNCS = frozenset({"asarray", "ascontiguousarray"})
+#: ndarray methods that alias (or value-preserve) the receiver.
+_PASSTHROUGH_METHODS = frozenset({"reshape", "astype", "view", "ravel"})
+#: ndarray methods that only read the receiver.
+_READONLY_METHODS = frozenset({
+    "mean", "sum", "min", "max", "std", "var", "item", "tolist", "copy",
+    "dot", "all", "any", "nonzero", "argmax", "argmin", "trace", "round",
+})
+#: numpy-namespace functions that only read their array arguments.
+_READONLY_NP_FUNCS = frozenset({
+    "asarray", "ascontiguousarray", "abs", "outer", "triu", "tril", "dot",
+    "matmul", "allclose", "sqrt", "exp", "log", "minimum", "maximum",
+    "where", "sum", "mean", "sign", "count_nonzero", "float32", "float64",
+    "int32", "int64", "zeros_like", "ones_like", "cross",
+})
+#: builtins that cannot mutate an ndarray argument.
+_READONLY_BUILTINS = frozenset({
+    "int", "float", "bool", "len", "range", "abs", "min", "max", "sum",
+    "round", "enumerate", "zip", "print", "sorted", "reversed",
+})
+
+
+@dataclass(frozen=True)
+class BodyAccess:
+    """Observed accesses of one tile body."""
+
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+    scalar_reads: frozenset[str] = frozenset()
+    #: Human-readable reasons the summary may be incomplete.
+    limits: tuple[str, ...] = ()
+    source_available: bool = True
+
+    @property
+    def complete(self) -> bool:
+        return self.source_available and not self.limits
+
+
+class _Unresolved:
+    """Sentinel: an access whose array name could not be determined."""
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+
+class _Flow(ast.NodeVisitor):
+    def __init__(
+        self,
+        arrays_param: str,
+        scalars_param: str,
+        consts: dict[str, object],
+    ) -> None:
+        self.arrays_param = arrays_param
+        self.scalars_param = scalars_param
+        self.consts = consts  # closure/global constants for dynamic keys
+        self.reads: set[str] = set()
+        self.writes: set[str] = set()
+        self.scalar_reads: set[str] = set()
+        self.limits: list[str] = []
+        self.aliases: dict[str, str] = {}
+        self._suppress_reads = 0
+
+    # ----------------------------------------------------------- resolution
+    def _limit(self, reason: str) -> None:
+        if reason not in self.limits:
+            self.limits.append(reason)
+
+    def _key_of(self, node: ast.expr) -> Union[str, _Unresolved, None]:
+        """The string key of an ``arrays[...]`` subscript."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                return node.value
+            return _Unresolved(f"non-string array key {node.value!r}")
+        if isinstance(node, ast.Name):
+            value = self.consts.get(node.id)
+            if isinstance(value, str):
+                return value
+            return _Unresolved(f"array key {node.id!r} is not a resolvable constant")
+        return _Unresolved("computed array key")
+
+    def _root(self, node: ast.expr) -> Union[str, _Unresolved, None]:
+        """The mapped-array name an expression aliases, if any."""
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.value, ast.Name) and node.value.id == self.arrays_param:
+                return self._key_of(node.slice)
+            return self._root(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _PASSTHROUGH_METHODS:
+                    return self._root(func.value)
+                if func.attr in _PASSTHROUGH_FUNCS and node.args:
+                    return self._root(node.args[0])
+            elif isinstance(func, ast.Name) and func.id in _PASSTHROUGH_FUNCS and node.args:
+                return self._root(node.args[0])
+            return None
+        return None
+
+    # ------------------------------------------------------------ statements
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            target = node.targets[0]
+            root = self._root(node.value)
+            if isinstance(root, str):
+                # Pure aliasing: no element is read until the alias is used.
+                self.aliases[target.id] = root
+                self._suppress_reads += 1
+                self.visit(node.value)
+                self._suppress_reads -= 1
+                return
+            if isinstance(root, _Unresolved):
+                self._limit(root.reason)
+            self.aliases.pop(target.id, None)
+            self.visit(node.value)
+            return
+        self.visit(node.value)
+        for target in node.targets:
+            self._store(target)
+
+    def _store(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Subscript):
+            root = self._root(target.value)
+            if isinstance(root, str):
+                self.writes.add(root)
+            elif isinstance(root, _Unresolved):
+                self._limit(root.reason)
+            elif (isinstance(target.value, ast.Name)
+                  and target.value.id == self.arrays_param):
+                self._limit("store through a computed arrays[...] key")
+            self.visit(target.slice)
+        elif isinstance(target, ast.Name):
+            self.aliases.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store(elt)
+        elif isinstance(target, ast.Starred):
+            self._store(target.value)
+        elif isinstance(target, ast.Attribute):
+            root = self._root(target.value)
+            if isinstance(root, str):
+                self._limit(f"attribute store on mapped array {root!r}")
+            self.visit(target.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        target = node.target
+        if isinstance(target, ast.Subscript):
+            root = self._root(target.value)
+            if isinstance(root, str):
+                self.reads.add(root)
+                self.writes.add(root)
+            elif isinstance(root, _Unresolved):
+                self._limit(root.reason)
+            self.visit(target.slice)
+        elif isinstance(target, ast.Name):
+            root = self.aliases.get(target.id)
+            if root is not None:
+                # In-place update through a view writes the mapped buffer.
+                self.reads.add(root)
+                self.writes.add(root)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self._store(node.target)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    # ----------------------------------------------------------- expressions
+    def visit_Name(self, node: ast.Name) -> None:
+        if not isinstance(node.ctx, ast.Load):
+            return
+        if node.id in self.aliases:
+            if not self._suppress_reads:
+                self.reads.add(self.aliases[node.id])
+        elif node.id == self.arrays_param:
+            # The whole dict escaping (e.g. helper(arrays)) defeats analysis.
+            self._limit("the arrays mapping is used opaquely")
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == self.arrays_param:
+            if isinstance(node.ctx, ast.Load) and not self._suppress_reads:
+                key = self._key_of(node.slice)
+                if isinstance(key, str):
+                    self.reads.add(key)
+                elif isinstance(key, _Unresolved):
+                    self._limit(key.reason)
+            self.visit(node.slice)
+            return
+        if isinstance(node.value, ast.Name) and node.value.id == self.scalars_param:
+            key = self._key_of(node.slice)
+            if isinstance(key, str):
+                self.scalar_reads.add(key)
+            self.visit(node.slice)
+            return
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        opaque: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            if func.attr not in (_PASSTHROUGH_METHODS | _READONLY_METHODS
+                                 | _READONLY_NP_FUNCS | _PASSTHROUGH_FUNCS):
+                opaque = func.attr
+        elif isinstance(func, ast.Name):
+            if func.id not in (_READONLY_BUILTINS | _PASSTHROUGH_FUNCS):
+                opaque = func.id
+        else:
+            opaque = "<computed function>"
+        if opaque is not None:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                root = self._root(arg)
+                if isinstance(root, str):
+                    # The callee sees the buffer: definitely a read, possibly
+                    # a write we cannot see.
+                    self.reads.add(root)
+                    self._limit(
+                        f"mapped array {root!r} passed to opaque call {opaque}()"
+                    )
+        self.generic_visit(node)
+
+
+def _param_names(fn: Callable[..., object]) -> tuple[str, str]:
+    try:
+        params = list(inspect.signature(fn).parameters)
+    except (TypeError, ValueError):
+        return "arrays", "scalars"
+    arrays = params[2] if len(params) > 2 else "arrays"
+    scalars = params[3] if len(params) > 3 else "scalars"
+    return arrays, scalars
+
+
+def _constants_of(fn: Callable[..., object]) -> dict[str, object]:
+    try:
+        cv = inspect.getclosurevars(fn)
+    except TypeError:
+        return {}
+    consts: dict[str, object] = dict(cv.globals)
+    consts.update(cv.nonlocals)
+    return consts
+
+
+def _body_statements(tree: ast.Module) -> Optional[list[ast.stmt]]:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node.body
+    return None
+
+
+def analyze_body(fn: Callable[..., object]) -> BodyAccess:
+    """Statically summarize the array accesses of one tile body."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return BodyAccess(
+            source_available=False,
+            limits=("kernel body source is unavailable",),
+        )
+    statements = _body_statements(tree)
+    if statements is None:
+        return BodyAccess(
+            source_available=False,
+            limits=("kernel body is not a plain function definition",),
+        )
+    arrays_param, scalars_param = _param_names(fn)
+    flow = _Flow(arrays_param, scalars_param, _constants_of(fn))
+    for stmt in statements:
+        flow.visit(stmt)
+    return BodyAccess(
+        reads=frozenset(flow.reads),
+        writes=frozenset(flow.writes),
+        scalar_reads=frozenset(flow.scalar_reads),
+        limits=tuple(flow.limits),
+    )

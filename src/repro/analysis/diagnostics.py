@@ -1,0 +1,227 @@
+"""Structured diagnostics for the offload verifier.
+
+The verifier reports findings the way a compiler front end does: every
+problem is a :class:`Diagnostic` with a stable code (``OMP121``), a severity,
+a :class:`Span` locating it inside the region, a human message and an
+optional fix-it hint, rendered clang-style::
+
+    matmul:loop(i): error: OMP121 partition-overlap: output partitions of
+    'C' overlap: iteration 0 writes [0, 96) but iteration 1 starts at 48
+        hint: make per-iteration output slices disjoint, e.g. C[i*N:(i+1)*N]
+
+Codes are grouped by pass: ``OMP10x`` map-clause lint, ``OMP11x`` kernel
+dataflow cross-checks, ``OMP12x`` symbolic partition checks, ``OMP13x``
+race/DOALL checks, ``OMP19x`` analysis limits.  The full catalogue with
+failing and passing examples lives in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; the integer value doubles as the lint exit code."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def word(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: Union[str, "Severity"]) -> "Severity":
+        if isinstance(name, Severity):
+            return name
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.word for s in cls]}"
+            ) from None
+
+
+#: code -> (default severity, kebab-case slug).  Stable across releases:
+#: codes are append-only, never renumbered.
+CODES: dict[str, tuple[Severity, str]] = {
+    "OMP100": (Severity.ERROR, "malformed-region"),
+    "OMP101": (Severity.ERROR, "unmapped-array"),
+    "OMP102": (Severity.ERROR, "write-lost"),
+    "OMP103": (Severity.WARNING, "dead-map"),
+    "OMP104": (Severity.WARNING, "wide-map"),
+    "OMP105": (Severity.ERROR, "read-before-write"),
+    "OMP111": (Severity.ERROR, "undeclared-read"),
+    "OMP112": (Severity.ERROR, "undeclared-write"),
+    "OMP113": (Severity.WARNING, "phantom-access"),
+    "OMP121": (Severity.ERROR, "partition-overlap"),
+    "OMP122": (Severity.WARNING, "partition-gap"),
+    "OMP123": (Severity.ERROR, "partition-nonmonotone"),
+    "OMP124": (Severity.ERROR, "partition-out-of-bounds"),
+    "OMP125": (Severity.ERROR, "partition-direction-mismatch"),
+    "OMP131": (Severity.ERROR, "unpartitioned-output-race"),
+    "OMP132": (Severity.ERROR, "loop-carried-dependence"),
+    "OMP190": (Severity.NOTE, "analysis-limit"),
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """Where a diagnostic points: a region, optionally one of its loops and
+    the clause text it is about (the closest thing to file:line this
+    in-memory directive AST has)."""
+
+    region: str
+    loop: Optional[str] = None
+    clause: Optional[str] = None
+
+    def __str__(self) -> str:
+        out = self.region
+        if self.loop is not None:
+            out += f":loop({self.loop})"
+        return out
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding."""
+
+    code: str
+    severity: Severity
+    span: Span
+    message: str
+    hint: Optional[str] = None
+
+    @classmethod
+    def make(
+        cls,
+        code: str,
+        span: Span,
+        message: str,
+        hint: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> "Diagnostic":
+        if code not in CODES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        default, _slug = CODES[code]
+        return cls(
+            code=code,
+            severity=severity if severity is not None else default,
+            span=span,
+            message=message,
+            hint=hint,
+        )
+
+    @property
+    def slug(self) -> str:
+        return CODES[self.code][1]
+
+    def render(self) -> str:
+        lines = [f"{self.span}: {self.severity.word}: {self.code} {self.slug}: {self.message}"]
+        if self.span.clause:
+            lines.append(f"    {self.span.clause}")
+        if self.hint:
+            lines.append(f"    hint: {self.hint}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "slug": self.slug,
+            "severity": self.severity.word,
+            "region": self.span.region,
+            "loop": self.span.loop,
+            "clause": self.span.clause,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+class AnalysisReport:
+    """Accumulated diagnostics of one verification run."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: list[Diagnostic] = list(diagnostics)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    @property
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    @property
+    def max_severity(self) -> Severity:
+        """Worst severity present; NOTE when the report is clean."""
+        if not self.diagnostics:
+            return Severity.NOTE
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """Lint exit code: 0 clean/notes, 1 warnings, 2 errors."""
+        return int(self.max_severity)
+
+    @property
+    def ok(self) -> bool:
+        """No warnings or errors (notes are informational)."""
+        return self.max_severity == Severity.NOTE
+
+    def at_least(self, threshold: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= threshold]
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        parts = [d.render() for d in
+                 sorted(self.diagnostics, key=lambda d: (-int(d.severity), d.code, str(d.span)))]
+        errors = sum(1 for d in self.diagnostics if d.severity == Severity.ERROR)
+        warnings = sum(1 for d in self.diagnostics if d.severity == Severity.WARNING)
+        notes = sum(1 for d in self.diagnostics if d.severity == Severity.NOTE)
+        parts.append(f"{errors} error(s), {warnings} warning(s), {notes} note(s)")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            json_report("lint", self.ok, [d.to_dict() for d in self.diagnostics]),
+            indent=2,
+        )
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AnalysisReport({len(self.diagnostics)} diagnostics, max={self.max_severity.word})"
+
+
+class AnalysisError(Exception):
+    """Strict mode rejected a region before offloading it."""
+
+    def __init__(self, report: AnalysisReport, region_name: str) -> None:
+        self.report = report
+        self.region_name = region_name
+        blocking = report.at_least(Severity.WARNING)
+        super().__init__(
+            f"region {region_name!r} failed static verification "
+            f"({len(blocking)} finding(s)):\n{report.render()}"
+        )
+
+
+def json_report(tool: str, ok: bool, items: list[dict[str, object]]) -> dict[str, object]:
+    """The machine-readable report shape shared by ``repro lint --json`` and
+    ``repro validate --json`` so CI consumes one format."""
+    return {"tool": tool, "ok": ok, "items": items}

@@ -1,0 +1,201 @@
+"""Pass 3 — symbolic partition checking (Eq. 1-3 against Eq. 8-10).
+
+The indexed/``bitor`` output merge of Eq. 8-10 is only sound when the
+per-iteration output slices declared by the partitioning extension are
+*disjoint*; the contiguous-block scatter of Algorithm 1 additionally needs
+the bounds *monotone* in the loop variable, and staging needs them *in
+bounds* of the mapped extent.  Full coverage is not required for
+correctness, but a gap means part of a ``from`` variable is never produced.
+
+Bounds are :class:`~repro.core.exprs.Expr` trees over the loop variable and
+problem-size scalars.  The checker evaluates them over the concrete probe
+environments chosen by the verifier (the provided ``scalars`` when they bind
+every free variable, small synthetic sizes otherwise) and over a boundary
+sample of iterations — adjacent pairs at both ends of the iteration space —
+which decides disjointness/monotonicity exactly for the affine bounds the
+paper's dialect uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.analysis.diagnostics import Diagnostic, Span
+from repro.core.api import ParallelLoop, RegionError, TargetRegion
+from repro.core.exprs import ExprError
+from repro.core.partition import PartitionError, PartitionSpec
+
+#: Deduplicating sink: (diagnostic, loop_var, variable name).
+_Emit = Callable[["Diagnostic", str, str], None]
+
+
+def _sample_iterations(n: int, edge: int = 17) -> list[int]:
+    """Iterations to evaluate: everything when small, both ends when large."""
+    if n <= 2 * edge:
+        return list(range(n))
+    return list(range(edge)) + list(range(n - edge, n))
+
+
+def _adjacent_pairs(iters: list[int]) -> list[tuple[int, int]]:
+    return [(a, b) for a, b in zip(iters, iters[1:]) if b == a + 1]
+
+
+def check_partitions(
+    region: TargetRegion,
+    envs: list[Mapping[str, int]],
+) -> list[Diagnostic]:
+    """Run the symbolic partition checks under each probe environment,
+    deduplicating findings by (code, loop, variable)."""
+    out: list[Diagnostic] = []
+    seen: set[tuple[str, str, str]] = set()
+
+    def emit(diag: Diagnostic, loop_var: str, name: str) -> None:
+        key = (diag.code, loop_var, name)
+        if key not in seen:
+            seen.add(key)
+            out.append(diag)
+
+    for loop in region.loops:
+        for name, spec in loop.partitions.items():
+            _check_direction(region, loop, name, spec, emit)
+        for env in envs:
+            _check_loop_under_env(region, loop, env, emit)
+    return out
+
+
+def _check_direction(
+    region: TargetRegion,
+    loop: ParallelLoop,
+    name: str,
+    spec: PartitionSpec,
+    emit: "_Emit",
+) -> None:
+    """OMP125: the partition's map type must agree with the region's."""
+    if name in region.locals_:
+        return  # locals live on the cluster; any direction is meaningful
+    region_mt = region.map_type_of(name)
+    if region_mt is None:
+        return  # unmapped: OMP101 territory
+    span = Span(region.name, loop=loop.loop_var,
+                clause=f"target data map({spec.map_type.value}: {name}[...])")
+    if spec.map_type.is_output and not region_mt.is_output:
+        emit(Diagnostic.make(
+            "OMP125", span,
+            f"partition maps {name!r} as an output ({spec.map_type.value}) "
+            f"but the region maps it {region_mt.value}-only: the merged "
+            f"result is discarded",
+            hint=f"map(from:/tofrom: {name}) on the region",
+        ), loop.loop_var, name)
+    elif spec.map_type.is_input and not region_mt.is_input:
+        emit(Diagnostic.make(
+            "OMP125", span,
+            f"partition stages {name!r} as an input ({spec.map_type.value}) "
+            f"but the region maps it {region_mt.value}-only: workers receive "
+            f"uninitialized data",
+            hint=f"map(to:/tofrom: {name}) on the region",
+        ), loop.loop_var, name)
+
+
+def _check_loop_under_env(
+    region: TargetRegion,
+    loop: ParallelLoop,
+    env: Mapping[str, int],
+    emit: "_Emit",
+) -> None:
+    try:
+        n = loop.trip_count_value(env)
+    except (ExprError, RegionError):
+        return  # probe env does not bind the trip count; verifier noted it
+    if n <= 0:
+        return
+    iters = _sample_iterations(n)
+    for name, spec in loop.partitions.items():
+        if not spec.is_partitioned:
+            continue  # constant slices are the race pass's concern (OMP131)
+        _check_spec(region, loop, name, spec, env, n, iters, emit)
+
+
+def _check_spec(
+    region: TargetRegion,
+    loop: ParallelLoop,
+    name: str,
+    spec: PartitionSpec,
+    env: Mapping[str, int],
+    n: int,
+    iters: list[int],
+    emit: "_Emit",
+) -> None:
+    span = Span(region.name, loop=loop.loop_var,
+                clause=f"target data map({spec.map_type.value}: "
+                       f"{name}[{spec.lower}:{spec.upper}])")
+    env_note = ", ".join(f"{k}={env[k]}" for k in sorted(env))
+    bounds: dict[int, tuple[int, int]] = {}
+    for i in iters:
+        try:
+            bounds[i] = spec.element_range(i, env)
+        except PartitionError as exc:
+            emit(Diagnostic.make(
+                "OMP124", span,
+                f"partition bounds of {name!r} are invalid: {exc} "
+                f"[{env_note}]",
+                hint="bounds must satisfy 0 <= lower <= upper",
+            ), loop.loop_var, name)
+            return
+        except ExprError:
+            return  # unbound scalar under this probe env
+
+    for a, b in _adjacent_pairs(iters):
+        lo_a, hi_a = bounds[a]
+        lo_b, hi_b = bounds[b]
+        if lo_b < lo_a or hi_b < hi_a:
+            emit(Diagnostic.make(
+                "OMP123", span,
+                f"partition bounds of {name!r} are not monotone in "
+                f"{loop.loop_var!r}: iteration {a} owns [{lo_a}, {hi_a}) but "
+                f"iteration {b} owns [{lo_b}, {hi_b}) [{env_note}]",
+                hint="Algorithm 1's contiguous-block scatter needs "
+                     "nondecreasing bounds",
+            ), loop.loop_var, name)
+            return
+        if spec.map_type.is_output:
+            if lo_b < hi_a:
+                emit(Diagnostic.make(
+                    "OMP121", span,
+                    f"output partitions of {name!r} overlap: iteration {a} "
+                    f"writes [{lo_a}, {hi_a}) but iteration {b} starts at "
+                    f"{lo_b} [{env_note}]",
+                    hint="overlapping 'from' slices race in the indexed "
+                         "merge of Eq. 8-10; make them disjoint",
+                ), loop.loop_var, name)
+                return
+            if lo_b > hi_a:
+                emit(Diagnostic.make(
+                    "OMP122", span,
+                    f"output partitions of {name!r} leave a gap: iteration "
+                    f"{a} ends at {hi_a} but iteration {b} starts at {lo_b}; "
+                    f"elements in between are never produced [{env_note}]",
+                    hint="cover the output contiguously or shrink the map",
+                ), loop.loop_var, name)
+
+    try:
+        extent = region.declared_length(name, env)
+    except (RegionError, ExprError):
+        return  # no statically-declared extent to check against
+    first_lo = bounds[iters[0]][0]
+    last_hi = bounds[iters[-1]][1]
+    if first_lo < 0 or last_hi > extent:
+        emit(Diagnostic.make(
+            "OMP124", span,
+            f"partitions of {name!r} reach [{first_lo}, {last_hi}) but the "
+            f"mapped extent is [0, {extent}) [{env_note}]",
+            hint="widen the map or fix the partition bounds",
+        ), loop.loop_var, name)
+        return
+    if spec.map_type.is_output and (first_lo != 0 or last_hi != extent):
+        emit(Diagnostic.make(
+            "OMP122", span,
+            f"output partitions of {name!r} cover [{first_lo}, {last_hi}) "
+            f"of the mapped extent [0, {extent}); the rest is never "
+            f"produced [{env_note}]",
+            hint="cover the full output or narrow the map section",
+        ), loop.loop_var, name)

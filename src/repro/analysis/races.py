@@ -1,0 +1,60 @@
+"""Pass 4 — DOALL/race detection.
+
+The paper's execution model turns each ``parallel for`` into an RDD of
+independent iteration tiles: workers never see each other's stores, and the
+driver merges only the slices each iteration *declared* it owns (Eq. 8-10).
+A loop is therefore only offloadable when every written variable is either
+
+* partitioned by the loop variable (each iteration owns a disjoint slice),
+* a declared ``reduction`` scalar (the driver combines per-tile partials), or
+* region-local scratch that no later loop consumes.
+
+Anything else is a race by construction: with no partition, every tile
+writes the *whole* buffer and the indexed merge keeps an arbitrary winner
+(OMP131); if the loop also *reads* the same buffer, iterations consume
+values produced by other iterations, i.e. a loop-carried dependence the
+DOALL model cannot honor at all (OMP132).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Span
+from repro.core.api import TargetRegion
+
+
+def check_races(region: TargetRegion) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for loop in region.loops:
+        red = set(loop.reduction_vars)
+        span = Span(region.name, loop=loop.loop_var)
+        for name in loop.writes:
+            if name in red:
+                continue
+            spec = loop.partitions.get(name)
+            if spec is not None and spec.is_partitioned:
+                continue  # disjointness itself is pass 3's job
+            map_type = region.map_type_of(name)
+            merged = (name in region.locals_
+                      or (map_type is not None and map_type.is_output))
+            if not merged:
+                continue  # result never merged back: OMP102 already fires
+            if name in loop.reads:
+                out.append(Diagnostic.make(
+                    "OMP132", span,
+                    f"loop reads and writes {name!r} with no partition over "
+                    f"{loop.loop_var!r}: iterations depend on each other's "
+                    f"stores, which the independent-tile model cannot honor",
+                    hint=f"partition {name!r} by {loop.loop_var!r}, or use a "
+                         f"reduction({name}) clause if it is a combiner",
+                ))
+            else:
+                out.append(Diagnostic.make(
+                    "OMP131", span,
+                    f"{name!r} is written by every iteration but not "
+                    f"partitioned over {loop.loop_var!r}: the merge keeps an "
+                    f"arbitrary tile's copy",
+                    hint=f"add target data map(from: {name}[lo(i):hi(i)]) "
+                         f"with {loop.loop_var!r}-dependent bounds, or a "
+                         f"reduction clause",
+                ))
+    return out

@@ -1,0 +1,254 @@
+"""Verifier driver: run all passes over a region, a source file, or a module.
+
+This is the engine behind ``repro lint`` and the runtime's strict mode.  It
+stitches the four passes together:
+
+1. map-clause lint (:func:`repro.analysis.mapcheck.check_maps`),
+2. kernel dataflow cross-checks (:func:`repro.analysis.mapcheck.check_dataflow`),
+3. symbolic partition checks (:func:`repro.analysis.partition_check.check_partitions`),
+4. DOALL/race detection (:func:`repro.analysis.races.check_races`),
+
+and owns the *probe environments*: the partition pass needs concrete values
+for the problem-size scalars appearing in the bounds.  When the caller
+supplies ``scalars`` that bind every free variable (the strict-mode path —
+the real sizes of the offload about to run), those are used; otherwise the
+verifier synthesizes several small, mutually distinct sizes so that
+accidental equalities at one size do not mask an overlap at another.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.analysis.diagnostics import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    Span,
+)
+from repro.analysis.mapcheck import check_dataflow, check_maps
+from repro.analysis.partition_check import check_partitions
+from repro.analysis.races import check_races
+from repro.core.api import ParallelLoop, RegionError, TargetRegion
+from repro.core.decorators import OmpKernel
+from repro.core.exprs import ExprError, parse_expr
+from repro.core.source_scan import SourceScanError, _infer_access, scan_source
+
+#: Synthetic problem sizes used when the caller's scalars do not bind every
+#: free variable of the partition bounds.  Several distinct, coprime-ish
+#: values so a coincidence at one size cannot hide an overlap.
+_PROBE_SIZES = (6, 7, 16)
+
+
+def _free_variables(region: TargetRegion) -> set[str]:
+    """Scalar names the region's bounds/extents/trip counts depend on."""
+    loop_vars = {loop.loop_var for loop in region.loops}
+    names: set[str] = set()
+    for loop in region.loops:
+        if isinstance(loop.trip_count, str):
+            try:
+                names |= parse_expr(loop.trip_count).variables()
+            except ExprError:
+                pass
+        for spec in loop.partitions.values():
+            for bound in (spec.lower, spec.upper):
+                if bound is not None:
+                    names |= bound.variables()
+    for clause in region.maps:
+        for item in clause.items:
+            for bound in (item.lower, item.upper):
+                if bound is not None:
+                    names |= bound.variables()
+    for decl in region.locals_.values():
+        if isinstance(decl, str):
+            try:
+                names |= parse_expr(decl).variables()
+            except ExprError:
+                pass
+    return names - loop_vars
+
+
+def probe_envs(
+    region: TargetRegion,
+    scalars: Optional[Mapping[str, Union[int, float]]] = None,
+) -> list[dict[str, int]]:
+    """Concrete environments for the partition pass."""
+    provided: dict[str, int] = {}
+    for key, value in (scalars or {}).items():
+        try:
+            as_int = int(value)
+        except (TypeError, ValueError):
+            continue
+        if as_int == value:
+            provided[key] = as_int
+    free = _free_variables(region)
+    if free <= provided.keys():
+        return [provided]
+    envs: list[dict[str, int]] = []
+    for base in _PROBE_SIZES:
+        # Distinct per-variable values so N == M coincidences do not occur.
+        env = {name: base + 2 * j for j, name in enumerate(sorted(free))}
+        env.update(provided)
+        envs.append(env)
+    return envs
+
+
+def verify_region(
+    region: TargetRegion,
+    scalars: Optional[Mapping[str, Union[int, float]]] = None,
+    *,
+    usage_reliable: bool = True,
+) -> AnalysisReport:
+    """Run every pass over one region.
+
+    ``usage_reliable=False`` marks regions whose declared access sets were
+    *inferred* (source-scanned C with no explicit ``reads=``/``writes=``):
+    the checks that reason from a declaration's absence are skipped.
+    """
+    report = AnalysisReport()
+    report.extend(check_maps(region, usage_reliable=usage_reliable))
+    for loop in region.loops:
+        report.extend(check_dataflow(region, loop))
+    report.extend(check_partitions(region, probe_envs(region, scalars)))
+    report.extend(check_races(region))
+    return report
+
+
+def enforce_strict(
+    region: TargetRegion,
+    scalars: Optional[Mapping[str, Union[int, float]]] = None,
+    fail_on: Union[str, Severity] = "error",
+) -> AnalysisReport:
+    """Strict-mode gate: verify and raise :class:`AnalysisError` when the
+    report contains findings at or above ``fail_on``.
+
+    Called by the runtime *before* any data leaves the host, so a broken
+    region costs zero upload dollars.
+    """
+    threshold = Severity.from_name(fail_on)
+    if threshold == Severity.NOTE:
+        threshold = Severity.WARNING  # notes are informational, never fatal
+    report = verify_region(region, scalars)
+    if report.at_least(threshold):
+        raise AnalysisError(report, region.name)
+    return report
+
+
+# --------------------------------------------------------------- file fronts
+def verify_source(text: str, name: str = "<source>") -> AnalysisReport:
+    """Lint annotated C source text (the ``source_scan`` dialect).
+
+    Bodies are not available at scan time, so the dataflow pass degrades to
+    notes; access sets come from the partition pragmas
+    (``usage_reliable=False``)."""
+    report = AnalysisReport()
+    try:
+        scanned = scan_source(text)
+    except SourceScanError as exc:
+        report.add(Diagnostic.make("OMP100", Span(name), str(exc)))
+        return report
+    if not scanned:
+        report.add(Diagnostic.make(
+            "OMP190", Span(name),
+            "no offloadable target regions found in the source",
+        ))
+        return report
+    for index, sr in enumerate(scanned):
+        region_name = f"{name}#{index}" if len(scanned) > 1 else name
+        loops: list[ParallelLoop] = []
+        broken = False
+        for sl in sr.loops:
+            reads, writes = _infer_access(sl)
+            if sl.partition_pragma is None and not reads and not writes:
+                report.add(Diagnostic.make(
+                    "OMP100", Span(region_name, loop=sl.loop_var),
+                    f"loop over {sl.loop_var!r} has neither a partition "
+                    f"pragma nor inferable reads/writes; the runtime cannot "
+                    f"tell which variables each iteration owns",
+                    hint="add a 'target data map(...)' partition pragma "
+                         "inside the loop, or pass explicit reads=/writes=",
+                ))
+            try:
+                loops.append(ParallelLoop(
+                    pragma=sl.pragma,
+                    loop_var=sl.loop_var,
+                    trip_count=sl.trip_count,
+                    reads=reads,
+                    writes=writes,
+                    partition_pragma=sl.partition_pragma,
+                ))
+            except RegionError as exc:
+                report.add(Diagnostic.make(
+                    "OMP100", Span(region_name, loop=sl.loop_var), str(exc)))
+                broken = True
+        if broken:
+            continue
+        try:
+            region = TargetRegion(
+                name=region_name, pragmas=sr.pragmas, loops=loops)
+        except RegionError as exc:
+            report.add(Diagnostic.make("OMP100", Span(region_name), str(exc)))
+            continue
+        report.extend(
+            verify_region(region, usage_reliable=False).diagnostics)
+    return report
+
+
+def _collect_regions(namespace: Mapping[str, object]) -> list[TargetRegion]:
+    regions: list[TargetRegion] = []
+    seen: set[int] = set()
+    for value in namespace.values():
+        region: Optional[TargetRegion] = None
+        if isinstance(value, OmpKernel):
+            region = value.region
+        elif isinstance(value, TargetRegion):
+            region = value
+        if region is not None and id(region) not in seen:
+            seen.add(id(region))
+            regions.append(region)
+    return regions
+
+
+def verify_python_file(
+    path: Union[str, Path],
+    scalars: Optional[Mapping[str, Union[int, float]]] = None,
+) -> AnalysisReport:
+    """Lint a Python module: execute it (with ``__name__`` set to
+    ``"__repro_lint__"`` so ``if __name__ == "__main__"`` blocks stay inert)
+    and verify every module-level :class:`TargetRegion` / ``@omp_kernel``."""
+    path = Path(path)
+    report = AnalysisReport()
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        report.add(Diagnostic.make("OMP100", Span(path.name), str(exc)))
+        return report
+    # Execute inside a real, registered module object: decorators like
+    # @dataclass resolve globals through sys.modules[cls.__module__].
+    module = types.ModuleType("__repro_lint__")
+    module.__file__ = str(path)
+    sys.modules["__repro_lint__"] = module
+    try:
+        exec(compile(source, str(path), "exec"), module.__dict__)
+    except Exception as exc:  # noqa: BLE001 - arbitrary user module
+        report.add(Diagnostic.make(
+            "OMP100", Span(path.name),
+            f"module failed to execute: {type(exc).__name__}: {exc}",
+        ))
+        return report
+    finally:
+        sys.modules.pop("__repro_lint__", None)
+    regions = _collect_regions(module.__dict__)
+    if not regions:
+        report.add(Diagnostic.make(
+            "OMP190", Span(path.name),
+            "no module-level TargetRegion or @omp_kernel objects to lint",
+        ))
+        return report
+    for region in regions:
+        report.extend(verify_region(region, scalars).diagnostics)
+    return report

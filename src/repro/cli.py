@@ -7,6 +7,8 @@ Commands:
 * ``figures [benchmark ...]`` — regenerate Figure 4 / Figure 5 tables;
 * ``headlines`` — the Section-IV paper-vs-measured table;
 * ``validate`` — run every workload functionally against its NumPy oracle;
+* ``lint`` — statically verify offload regions (map clauses, dataflow,
+  partitions, races) and exit with the worst severity found;
 * ``config <path>`` — write an example cloud_rtl.ini.
 """
 
@@ -66,8 +68,22 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also export the full sweep grid as CSV")
 
     sub.add_parser("headlines", help="Section-IV paper-vs-measured numbers")
-    sub.add_parser("validate", help="verify every kernel against its oracle")
+    validate = sub.add_parser("validate",
+                              help="verify every kernel against its oracle")
+    validate.add_argument("--json", action="store_true",
+                          help="machine-readable per-workload report")
     sub.add_parser("calibration", help="print the performance-model constants")
+
+    lint = sub.add_parser(
+        "lint", help="statically verify offload regions (see docs/ANALYSIS.md)")
+    lint.add_argument("targets", nargs="+",
+                      help="benchmark name, 'all', a Python module (.py), or "
+                           "annotated C source")
+    lint.add_argument("--json", action="store_true",
+                      help="emit diagnostics as JSON")
+    lint.add_argument("--size", type=int, default=None,
+                      help="problem size for benchmark targets "
+                           "(default: test size)")
 
     config = sub.add_parser("config", help="write an example cloud_rtl.ini")
     config.add_argument("path")
@@ -160,8 +176,12 @@ def _cmd_headlines() -> int:
     return 0
 
 
-def _cmd_validate() -> int:
-    failures = 0
+def _cmd_validate(args) -> int:
+    import json
+
+    from repro.analysis import json_report
+
+    items: list[dict[str, object]] = []
     for name, spec in sorted(WORKLOADS.items()):
         runtime = OffloadRuntime()
         runtime.register(CloudDevice(demo_config(n_workers=4), physical_cores=16))
@@ -172,9 +192,58 @@ def _cmd_validate() -> int:
                 runtime=runtime)
         ok = all(np.allclose(arrays[k], v, rtol=3e-5, atol=1e-4)
                  for k, v in expected.items())
-        print(f"{name:10s} {'OK' if ok else 'FAILED'}")
-        failures += 0 if ok else 1
-    return 1 if failures else 0
+        max_err = max(
+            (float(np.max(np.abs(arrays[k] - v))) for k, v in expected.items()),
+            default=0.0,
+        )
+        items.append({"name": name, "ok": ok, "max_abs_error": max_err})
+        if not args.json:
+            print(f"{name:10s} {'OK' if ok else 'FAILED'}")
+    all_ok = all(bool(item["ok"]) for item in items)
+    if args.json:
+        print(json.dumps(json_report("validate", all_ok, items), indent=2))
+    return 0 if all_ok else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        AnalysisReport,
+        verify_python_file,
+        verify_region,
+        verify_source,
+    )
+
+    targets: list[str] = []
+    for target in args.targets:
+        if target == "all":
+            targets.extend(sorted(WORKLOADS))
+        else:
+            targets.append(target)
+
+    report = AnalysisReport()
+    for target in targets:
+        if target in WORKLOADS:
+            spec = WORKLOADS[target]
+            size = args.size if args.size is not None else spec.test_size
+            part = verify_region(spec.build_region("CLOUD"), spec.scalars(size))
+        elif target.endswith(".py"):
+            part = verify_python_file(target)
+        else:
+            try:
+                with open(target) as fh:
+                    text = fh.read()
+            except OSError as exc:
+                print(f"cannot read lint target {target!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+            part = verify_source(text, name=target)
+        report.extend(part.diagnostics)
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def _cmd_calibration() -> int:
@@ -201,7 +270,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "headlines":
         return _cmd_headlines()
     if args.command == "validate":
-        return _cmd_validate()
+        return _cmd_validate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "calibration":
         return _cmd_calibration()
     if args.command == "config":

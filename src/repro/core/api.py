@@ -53,7 +53,7 @@ from repro.core.omp_ast import (
     TargetDataConstruct,
     UnsupportedConstruct,
 )
-from repro.core.parser import DirectiveError, parse_pragma
+from repro.core.parser import parse_pragma
 from repro.core.partition import PartitionSpec, spec_from_map_item
 
 #: body(lo, hi, arrays, scalars) -> None, writing into the output arrays.
@@ -288,17 +288,28 @@ def offload(
     lengths: Mapping[str, int] | None = None,
     densities: Mapping[str, float] | None = None,
     mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
+    strict: bool = False,
 ):
     """Execute a target region through the offloading runtime.
 
     Functional mode takes real ``arrays``; modeled mode takes ``lengths`` (and
     optional ``densities``) instead.  Returns the device's
     :class:`~repro.core.plugin_cloud.OffloadReport`.
+
+    ``strict=True`` runs the static verifier (:mod:`repro.analysis`) against
+    the region and the actual ``scalars`` first, raising
+    :class:`~repro.analysis.AnalysisError` before any buffer is even built;
+    the per-device ``[Analysis]`` configuration enables the same gate
+    runtime-wide.
     """
     from repro.core.runtime import OffloadRuntime
 
     rt = runtime if runtime is not None else OffloadRuntime.default()
     scalars = dict(scalars or {})
+    if strict:
+        from repro.analysis import enforce_strict
+
+        enforce_strict(region, scalars)
     buffers: dict[str, Buffer] = {}
     names = {i.name for c in region.maps for i in c.items}
     if mode == ExecutionMode.FUNCTIONAL:

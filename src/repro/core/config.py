@@ -84,8 +84,19 @@ class CloudConfig:
     breaker_threshold: int = 3
     #: Simulated seconds the breaker stays open before a half-open probe.
     breaker_reset_s: float = 300.0
+    # --- Static verification ([Analysis] section) ---
+    #: Run the offload verifier on every region before any data is uploaded
+    #: and refuse to offload regions with blocking findings.
+    analysis_strict: bool = False
+    #: Lowest severity that blocks a strict offload: "warning" or "error".
+    analysis_fail_on: str = "error"
 
     def __post_init__(self) -> None:
+        if self.analysis_fail_on not in ("note", "warning", "error"):
+            raise ConfigError(
+                f"analysis_fail_on must be 'note', 'warning' or 'error', "
+                f"got {self.analysis_fail_on!r}"
+            )
         if self.provider not in _VALID_PROVIDERS:
             raise ConfigError(
                 f"unknown provider {self.provider!r}; expected one of {_VALID_PROVIDERS}"
@@ -132,6 +143,7 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
     storage = cp["Storage"] if cp.has_section("Storage") else {}
     offload = cp["Offload"] if cp.has_section("Offload") else {}
     resil = cp["Resilience"] if cp.has_section("Resilience") else {}
+    analysis = cp["Analysis"] if cp.has_section("Analysis") else {}
 
     provider = offload.get("provider", "ec2").lower()
     creds = _credentials_from(cp, provider, spark.get("user", "ubuntu"))
@@ -170,6 +182,8 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
         max_resubmissions=max_resubmissions,
         breaker_threshold=breaker_threshold,
         breaker_reset_s=breaker_reset,
+        analysis_strict=_parse_bool(analysis.get("strict", "false")),
+        analysis_fail_on=analysis.get("fail_on", "error").strip().lower(),
     )
 
 
@@ -235,6 +249,10 @@ def write_example_config(path: str | os.PathLike[str], provider: str = "ec2") ->
             "max_resubmissions": "2",
             "breaker_threshold": "3",
             "breaker_reset_s": "300.0",
+        },
+        "Analysis": {
+            "strict": "false",
+            "fail_on": "error",
         },
     }
     cp = configparser.ConfigParser()

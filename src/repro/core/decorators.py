@@ -53,6 +53,13 @@ class OmpKernel:
         surface as :func:`repro.core.api.offload`."""
         return _offload(self.region, **kwargs)
 
+    def lint(self, scalars=None):
+        """Run the static verifier over the bound region; returns the
+        :class:`~repro.analysis.AnalysisReport`."""
+        from repro.analysis import verify_region
+
+        return verify_region(self.region, scalars)
+
 
 def omp_kernel(
     *pragmas: str,

@@ -93,6 +93,14 @@ class OffloadRuntime:
         :class:`DeviceError` — degrades the same way, with a warning: the
         region reruns on the host and the merged report records the failed
         attempt's recovery counters.
+
+        When the selected device's configuration enables strict analysis
+        (``[Analysis] strict = true``), the static verifier runs here —
+        after device selection, before any data movement — and a region
+        with blocking findings raises
+        :class:`~repro.analysis.AnalysisError` without uploading a byte.
+        Verification failure is deliberately *not* a :class:`DeviceError`:
+        a broken region is broken on the host too, so no fallback.
         """
         self.offloads += 1
         dev = self._select_device(region)
@@ -103,6 +111,7 @@ class OffloadRuntime:
             degraded = dev is not self.host
             dev = self.host
             dev.initialize()
+        self._enforce_strict(dev, region, scalars)
         if dev is self.host:
             report = self._run_on(dev, region, buffers, scalars, mode)
             if degraded:
@@ -131,6 +140,16 @@ class OffloadRuntime:
                 report.preemptions += failed.preemptions
                 report.timeline.extend(failed.timeline)
             return report
+
+    @staticmethod
+    def _enforce_strict(dev: Device, region: TargetRegion, scalars) -> None:
+        config = getattr(dev, "config", None)
+        if config is None or not getattr(config, "analysis_strict", False):
+            return
+        from repro.analysis import enforce_strict
+
+        enforce_strict(region, scalars,
+                       fail_on=getattr(config, "analysis_fail_on", "error"))
 
     @staticmethod
     def _run_on(dev: Device, region: TargetRegion, buffers, scalars, mode):

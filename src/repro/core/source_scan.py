@@ -161,6 +161,18 @@ def region_from_source(
         loop_reads = (reads or {}).get(sl.loop_var)
         loop_writes = (writes or {}).get(sl.loop_var)
         if loop_reads is None or loop_writes is None:
+            if sl.partition_pragma is None:
+                # Nothing to infer from: without access sets the runtime
+                # would silently ship *no* data and the kernel would compute
+                # on garbage.  Refuse loudly instead.
+                raise SourceScanError(
+                    f"loop over {sl.loop_var!r} has no partition pragma and "
+                    f"no explicit reads=/writes=; cannot infer which "
+                    f"variables the kernel touches — pass "
+                    f"reads={{{sl.loop_var!r}: (...)}} and "
+                    f"writes={{{sl.loop_var!r}: (...)}}, or add a "
+                    f"'target data map(...)' pragma inside the loop"
+                )
             inferred_r, inferred_w = _infer_access(sl)
             loop_reads = loop_reads if loop_reads is not None else inferred_r
             loop_writes = loop_writes if loop_writes is not None else inferred_w

@@ -10,7 +10,7 @@ model charges one BitTorrent distribution per job that reads it.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Generic, TypeVar
+from typing import Generic, TypeVar
 
 T = TypeVar("T")
 

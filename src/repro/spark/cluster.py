@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cloud.network import Link, NetworkModel, default_lan, default_wan
+from repro.cloud.network import NetworkModel, default_lan, default_wan
 from repro.simtime.clock import SimClock
 from repro.spark.conf import SparkConf
 from repro.spark.executor import Executor

@@ -1,0 +1,178 @@
+"""Seeded-defect corpus: for every diagnostic code, a region that triggers
+it and a minimally-changed region that lints clean of it.
+
+Bodies are defined at module level of a real file so the dataflow pass can
+recover their source with ``inspect.getsource``.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import ParallelLoop, TargetRegion
+
+SCALARS = {"N": 8}
+
+_N2_MAPS = "omp map(to: A[0:N*N]) map(from: C[0:N*N])"
+_GOOD_PART = "omp target data map(from: C[i*N:(i+1)*N])"
+
+
+def tile_copy(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    a = arrays["A"]
+    c = arrays["C"]
+    for i in range(lo, hi):
+        c[i * n:(i + 1) * n] = a[i * n:(i + 1) * n]
+
+
+def tile_reads_unmapped_b(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    c = arrays["C"]
+    b = arrays["B"]
+    for i in range(lo, hi):
+        c[i * n:(i + 1) * n] = b[i * n:(i + 1) * n]
+
+
+def tile_reads_a_undeclared(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    arrays["C"][lo * n:hi * n] = arrays["A"][lo * n:hi * n]
+
+
+def tile_writes_c_undeclared(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    arrays["C"][lo * n:hi * n] = 1.0 + 0 * arrays["A"][lo * n:hi * n]
+
+
+def tile_ignores_a(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    arrays["C"][lo * n:hi * n] = 1.0
+
+
+def make_region(
+    name="fixture",
+    pragmas=("omp target device(CLOUD)", _N2_MAPS),
+    reads=("A",),
+    writes=("C",),
+    partition=_GOOD_PART,
+    body=tile_copy,
+    loop_pragma="omp parallel for",
+    locals_=None,
+    trip_count="N",
+):
+    return TargetRegion(
+        name=name,
+        pragmas=list(pragmas),
+        loops=[ParallelLoop(
+            pragma=loop_pragma,
+            loop_var="i",
+            trip_count=trip_count,
+            reads=tuple(reads),
+            writes=tuple(writes),
+            partition_pragma=partition,
+            body=body,
+        )],
+        locals_=locals_,
+    )
+
+
+def clean_region(name="fixture"):
+    """The canonical clean region: every pass is satisfied."""
+    return make_region(name=name)
+
+
+# --------------------------------------------------------------------------
+# code -> (bad region factory, clean counterpart factory).  The clean side
+# differs from the bad side only in the defect under test.
+CASES = {
+    "OMP101": (
+        lambda: make_region(body=tile_reads_unmapped_b),
+        lambda: make_region(
+            pragmas=("omp target device(CLOUD)",
+                     "omp map(to: B[0:N*N]) map(from: C[0:N*N])"),
+            reads=("B",), body=tile_reads_unmapped_b),
+    ),
+    "OMP102": (
+        lambda: make_region(
+            pragmas=("omp target device(CLOUD)",
+                     "omp map(to: A[0:N*N], C[0:N*N])"),
+            partition=None, body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP103": (
+        lambda: make_region(
+            pragmas=("omp target device(CLOUD)",
+                     _N2_MAPS + " map(to: D[0:N])"),
+            body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP104": (
+        lambda: make_region(
+            pragmas=("omp target device(CLOUD)",
+                     "omp map(tofrom: A[0:N*N]) map(from: C[0:N*N])"),
+            body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP105": (
+        lambda: make_region(
+            pragmas=("omp target device(CLOUD)",
+                     "omp map(to: A[0:N*N]) map(from: C[0:N*N], T[0:N*N])"),
+            reads=("A", "T"), writes=("C",), body=None),
+        lambda: make_region(
+            pragmas=("omp target device(CLOUD)",
+                     "omp map(to: A[0:N*N], T[0:N*N]) map(from: C[0:N*N])"),
+            reads=("A", "T"), writes=("C",), body=None),
+    ),
+    "OMP111": (
+        lambda: make_region(reads=(), body=tile_reads_a_undeclared),
+        lambda: make_region(body=tile_reads_a_undeclared),
+    ),
+    "OMP112": (
+        lambda: make_region(writes=(), body=tile_writes_c_undeclared),
+        lambda: make_region(body=tile_writes_c_undeclared),
+    ),
+    "OMP113": (
+        lambda: make_region(body=tile_ignores_a),
+        lambda: make_region(reads=(), body=tile_ignores_a),
+    ),
+    "OMP121": (
+        lambda: make_region(
+            partition="omp target data map(from: C[i*N:(i+2)*N])", body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP122": (
+        lambda: make_region(
+            partition="omp target data map(from: C[i*N:i*N+1])", body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP123": (
+        lambda: make_region(
+            partition="omp target data map(from: C[(N-i-1)*N:(N-i)*N])",
+            body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP124": (
+        lambda: make_region(
+            partition="omp target data map(from: C[i*N+5:(i+1)*N+5])",
+            body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP125": (
+        lambda: make_region(
+            partition="omp target data map(to: C[i*N:(i+1)*N])", body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP131": (
+        lambda: make_region(partition=None, body=None),
+        lambda: make_region(body=None),
+    ),
+    "OMP132": (
+        lambda: make_region(
+            pragmas=("omp target device(CLOUD)",
+                     "omp map(to: A[0:N*N]) map(tofrom: C[0:N*N])"),
+            reads=("A", "C"), partition=None, body=None),
+        lambda: make_region(
+            pragmas=("omp target device(CLOUD)",
+                     "omp map(to: A[0:N*N]) map(tofrom: C[0:N*N])"),
+            reads=("A", "C"),
+            partition="omp target data map(tofrom: C[i*N:(i+1)*N])",
+            body=None),
+    ),
+}

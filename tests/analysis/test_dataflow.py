@@ -1,0 +1,113 @@
+"""The AST dataflow pass: aliasing, closure keys, opacity limits."""
+
+import numpy as np
+
+from repro.analysis import analyze_body
+
+
+def test_direct_subscript_accesses():
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = arrays["A"][lo:hi] + 1.0
+
+    access = analyze_body(body)
+    assert access.reads == {"A"}
+    assert access.writes == {"C"}
+    assert access.complete
+
+
+def test_alias_chain_through_numpy_views():
+    def body(lo, hi, arrays, scalars):
+        c = arrays["C"]
+        row = np.asarray(c[lo:hi]).reshape(-1)
+        row[:] = 0.0
+
+    access = analyze_body(body)
+    assert access.writes == {"C"}
+    assert "C" not in access.reads  # pure alias creation is not a read
+    assert access.complete
+
+
+def test_augmented_assignment_reads_and_writes():
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] += arrays["A"][lo:hi]
+
+    access = analyze_body(body)
+    assert access.reads == {"A", "C"}
+    assert access.writes == {"C"}
+
+
+def test_closure_resolved_dynamic_keys():
+    out_name = "C2"
+
+    def make(in_name):
+        def body(lo, hi, arrays, scalars):
+            arrays[out_name][lo:hi] = arrays[in_name][lo:hi]
+        return body
+
+    access = analyze_body(make("A2"))
+    assert access.reads == {"A2"}
+    assert access.writes == {"C2"}
+    assert access.complete
+
+
+def test_scalar_reads_are_tracked_separately():
+    def body(lo, hi, arrays, scalars):
+        n = int(scalars["N"])
+        arrays["C"][lo * n:hi * n] = float(scalars["alpha"])
+
+    access = analyze_body(body)
+    assert access.scalar_reads == {"N", "alpha"}
+    assert access.reads == set()
+
+
+def test_opaque_call_makes_summary_incomplete_but_keeps_read():
+    def helper(x):
+        x[:] = 1  # invisible to the analyzer
+
+    def body(lo, hi, arrays, scalars):
+        c = arrays["C"]
+        helper(c)
+
+    access = analyze_body(body)
+    assert "C" in access.reads  # conservative: the callee sees the buffer
+    assert not access.complete
+    assert any("opaque call helper()" in reason for reason in access.limits)
+
+
+def test_escaping_arrays_mapping_is_a_limit():
+    def consume(mapping):
+        pass
+
+    def body(lo, hi, arrays, scalars):
+        consume(arrays)
+
+    access = analyze_body(body)
+    assert not access.complete
+    assert any("opaquely" in reason for reason in access.limits)
+
+
+def test_readonly_numpy_calls_stay_complete():
+    def body(lo, hi, arrays, scalars):
+        a = arrays["A"]
+        arrays["C"][lo:hi] = np.sqrt(np.abs(a[lo:hi]))
+
+    access = analyze_body(body)
+    assert access.reads == {"A"}
+    assert access.writes == {"C"}
+    assert access.complete
+
+
+def test_unavailable_source_degrades_gracefully():
+    access = analyze_body(len)
+    assert not access.source_available
+    assert not access.complete
+    assert access.reads == frozenset()
+
+
+def test_custom_parameter_names_are_respected():
+    def body(lo, hi, bufs, env):
+        bufs["C"][lo:hi] = env["N"]
+
+    access = analyze_body(body)
+    assert access.writes == {"C"}
+    assert access.scalar_reads == {"N"}

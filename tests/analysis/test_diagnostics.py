@@ -1,0 +1,103 @@
+"""The diagnostics data model: codes, severities, rendering, reports."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    Span,
+)
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "ANALYSIS.md"
+
+
+def _diag(code="OMP101", **kw):
+    return Diagnostic.make(code, Span("r", loop="i"), "message", **kw)
+
+
+def test_severity_orders_and_doubles_as_exit_code():
+    assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+    assert int(Severity.ERROR) == 2
+    assert Severity.WARNING.word == "warning"
+
+
+def test_severity_from_name_round_trips_and_rejects():
+    assert Severity.from_name("error") is Severity.ERROR
+    assert Severity.from_name(" Warning ") is Severity.WARNING
+    assert Severity.from_name(Severity.NOTE) is Severity.NOTE
+    with pytest.raises(ValueError, match="unknown severity"):
+        Severity.from_name("fatal")
+
+
+def test_make_rejects_unknown_code():
+    with pytest.raises(ValueError, match="OMP999"):
+        Diagnostic.make("OMP999", Span("r"), "nope")
+
+
+def test_make_uses_catalogue_default_severity():
+    assert _diag("OMP101").severity is Severity.ERROR
+    assert _diag("OMP103").severity is Severity.WARNING
+    assert _diag("OMP190").severity is Severity.NOTE
+    assert _diag("OMP103", severity=Severity.ERROR).severity is Severity.ERROR
+
+
+def test_render_is_clang_style():
+    d = Diagnostic.make("OMP121", Span("matmul", loop="i", clause="map(...)"),
+                        "slices overlap", hint="make them disjoint")
+    text = d.render()
+    lines = text.splitlines()
+    assert lines[0] == ("matmul:loop(i): error: OMP121 partition-overlap: "
+                        "slices overlap")
+    assert "    map(...)" in lines
+    assert "    hint: make them disjoint" in lines
+
+
+def test_report_aggregation_and_exit_codes():
+    r = AnalysisReport()
+    assert r.ok and r.exit_code == 0 and r.max_severity is Severity.NOTE
+    r.add(_diag("OMP190"))
+    assert r.ok and r.exit_code == 0  # notes do not fail a lint
+    r.add(_diag("OMP113"))
+    assert not r.ok and r.exit_code == 1
+    r.add(_diag("OMP101"))
+    assert r.exit_code == 2
+    assert r.has("OMP101") and not r.has("OMP102")
+    assert len(r.by_code("OMP190")) == 1
+    assert [d.code for d in r.at_least(Severity.WARNING)] == ["OMP113", "OMP101"]
+    assert "1 error(s), 1 warning(s), 1 note(s)" in r.render()
+
+
+def test_report_json_shape_is_shared_format():
+    r = AnalysisReport([_diag()])
+    payload = json.loads(r.to_json())
+    assert payload["tool"] == "lint"
+    assert payload["ok"] is False
+    assert payload["items"][0]["code"] == "OMP101"
+    assert payload["items"][0]["slug"] == "unmapped-array"
+    assert payload["items"][0]["region"] == "r"
+
+
+def test_analysis_error_carries_report_and_renders():
+    report = AnalysisReport([_diag("OMP121")])
+    err = AnalysisError(report, "matmul")
+    assert err.report is report
+    assert "matmul" in str(err) and "OMP121" in str(err)
+
+
+def test_every_code_is_documented_in_analysis_md():
+    text = DOCS.read_text()
+    for code, (_sev, slug) in CODES.items():
+        assert code in text, f"{code} missing from docs/ANALYSIS.md"
+        assert slug in text, f"slug {slug!r} missing from docs/ANALYSIS.md"
+
+
+def test_code_numbering_matches_pass_grouping():
+    for code, (sev, slug) in CODES.items():
+        assert code.startswith("OMP") and code[3:].isdigit()
+        assert slug == slug.lower() and " " not in slug

@@ -1,0 +1,77 @@
+"""CLI surface: python -m repro lint / validate --json."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+LINT_DEMO = str(REPO / "examples" / "lint_demo.py")
+
+
+def test_lint_single_benchmark_clean(capsys):
+    assert main(["lint", "gemm"]) == 0
+    assert "no diagnostics" in capsys.readouterr().out
+
+
+def test_lint_all_benchmarks_clean(capsys):
+    assert main(["lint", "all"]) == 0
+    assert "no diagnostics" in capsys.readouterr().out
+
+
+def test_lint_broken_python_module_exits_2(capsys):
+    assert main(["lint", LINT_DEMO]) == 2
+    out = capsys.readouterr().out
+    assert "OMP101" in out and "OMP121" in out
+    assert "error(s)" in out
+
+
+def test_lint_json_output_is_machine_readable(capsys):
+    assert main(["lint", LINT_DEMO, "--json"]) == 2
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "lint"
+    assert payload["ok"] is False
+    codes = {item["code"] for item in payload["items"]}
+    assert {"OMP101", "OMP121"} <= codes
+
+
+def test_lint_c_source_file(tmp_path, capsys):
+    src = tmp_path / "listing.c"
+    src.write_text(
+        "#pragma omp target device(CLOUD)\n"
+        "#pragma omp map(to: A[:N*N]) map(from: C[:N*N])\n"
+        "#pragma omp parallel for\n"
+        "for (int i = 0; i < N; ++i)\n"
+        "#pragma omp target data map(to: A[i*N:(i+1)*N])"
+        " map(from: C[i*N:(i+2)*N])\n"
+        "  ;\n"
+    )
+    assert main(["lint", str(src)]) == 2
+    assert "OMP121" in capsys.readouterr().out
+
+
+def test_lint_unreadable_target_is_usage_error(capsys):
+    assert main(["lint", "/no/such/file.c"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_lint_mixed_targets_worst_severity_wins(capsys):
+    assert main(["lint", "gemm", LINT_DEMO]) == 2
+
+
+def test_validate_json_shares_report_shape(capsys):
+    assert main(["validate", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "validate"
+    assert payload["ok"] is True
+    names = [item["name"] for item in payload["items"]]
+    assert names == sorted(names) and "gemm" in names
+    for item in payload["items"]:
+        assert item["ok"] is True
+        assert item["max_abs_error"] >= 0.0
+
+
+def test_validate_plain_output_unchanged(capsys):
+    assert main(["validate"]) == 0
+    out = capsys.readouterr().out
+    assert "gemm" in out and "OK" in out and "{" not in out

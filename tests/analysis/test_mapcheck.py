@@ -1,0 +1,65 @@
+"""Pass 1 and 2: map-clause lint and dataflow cross-checks on the corpus."""
+
+import pytest
+
+from repro.analysis import Severity, check_dataflow, check_maps, verify_region
+from tests.analysis.fixtures import CASES, SCALARS, clean_region, make_region
+
+MAP_CODES = ["OMP102", "OMP103", "OMP104", "OMP105"]
+FLOW_CODES = ["OMP101", "OMP111", "OMP112", "OMP113"]
+
+
+@pytest.mark.parametrize("code", MAP_CODES + FLOW_CODES)
+def test_bad_fixture_fires_and_clean_fixture_does_not(code):
+    bad, clean = CASES[code]
+    assert verify_region(bad(), SCALARS).has(code)
+    assert not verify_region(clean(), SCALARS).has(code)
+
+
+def test_check_maps_alone_covers_map_codes():
+    for code in MAP_CODES:
+        bad, _clean = CASES[code]
+        diags = check_maps(bad())
+        assert any(d.code == code for d in diags), code
+
+
+def test_check_dataflow_alone_covers_flow_codes():
+    for code in FLOW_CODES:
+        bad, _clean = CASES[code]
+        region = bad()
+        diags = check_dataflow(region, region.loops[0])
+        assert any(d.code == code for d in diags), code
+
+
+def test_usage_reliable_false_suppresses_absence_checks():
+    bad103, _ = CASES["OMP103"]
+    bad104, _ = CASES["OMP104"]
+    assert not any(d.code == "OMP103" for d in check_maps(bad103(), usage_reliable=False))
+    assert not any(d.code == "OMP104" for d in check_maps(bad104(), usage_reliable=False))
+    # Presence-based checks survive: a written to-only map is still an error.
+    bad102, _ = CASES["OMP102"]
+    assert any(d.code == "OMP102" for d in check_maps(bad102(), usage_reliable=False))
+
+
+def test_reduction_vars_count_as_declared_access():
+    region = make_region(
+        pragmas=("omp target device(CLOUD)",
+                 "omp map(to: A[0:N*N]) map(tofrom: count[0:1])"),
+        loop_pragma="omp parallel for reduction(+: count)",
+        reads=("A",), writes=(), partition=None, body=None,
+    )
+    diags = check_maps(region)
+    # count is implicitly read+written by the reduction: no dead/wide map,
+    # and no OMP131 from the race pass either (checked in test_races).
+    assert not any(d.code in ("OMP103", "OMP104", "OMP102") for d in diags)
+
+
+def test_missing_body_yields_note_not_error():
+    region = make_region(body=None)
+    diags = check_dataflow(region, region.loops[0])
+    assert [d.code for d in diags] == ["OMP190"]
+    assert diags[0].severity is Severity.NOTE
+
+
+def test_canonical_clean_region_is_diagnostic_free():
+    assert verify_region(clean_region(), SCALARS).diagnostics == []

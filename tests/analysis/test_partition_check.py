@@ -1,0 +1,83 @@
+"""Pass 3: symbolic partition checks on the corpus and probe environments."""
+
+import pytest
+
+from repro.analysis import check_partitions, probe_envs, verify_region
+from tests.analysis.fixtures import CASES, SCALARS, make_region
+
+PART_CODES = ["OMP121", "OMP122", "OMP123", "OMP124", "OMP125"]
+
+
+@pytest.mark.parametrize("code", PART_CODES)
+def test_bad_fixture_fires_and_clean_fixture_does_not(code):
+    bad, clean = CASES[code]
+    assert verify_region(bad(), SCALARS).has(code)
+    assert not verify_region(clean(), SCALARS).has(code)
+
+
+def test_check_partitions_pinpoints_the_clause():
+    bad, _ = CASES["OMP121"]
+    region = bad()
+    diags = check_partitions(region, probe_envs(region, SCALARS))
+    (d,) = [d for d in diags if d.code == "OMP121"]
+    assert d.span.loop == "i"
+    assert "C[" in (d.span.clause or "")
+    assert "iteration 0" in d.message
+
+
+def test_findings_are_deduplicated_across_probe_envs():
+    bad, _ = CASES["OMP121"]
+    region = bad()
+    # No scalars: the verifier probes several synthetic sizes.
+    envs = probe_envs(region, None)
+    assert len(envs) > 1
+    diags = check_partitions(region, envs)
+    assert len([d for d in diags if d.code == "OMP121"]) == 1
+
+
+def test_probe_envs_prefer_caller_scalars_when_complete():
+    region = make_region(body=None)
+    assert probe_envs(region, {"N": 48}) == [{"N": 48}]
+
+
+def test_probe_envs_synthesize_missing_sizes():
+    region = make_region(body=None)
+    envs = probe_envs(region, None)
+    assert len(envs) >= 2
+    assert all("N" in env for env in envs)
+    sizes = {env["N"] for env in envs}
+    assert len(sizes) > 1  # distinct sizes, so coincidences cannot hide bugs
+
+
+def test_large_trip_counts_sample_both_ends():
+    # An overlap that only exists at the *last* iteration pair: bounds are
+    # disjoint except the final slice reaches one element too far back.
+    region = make_region(
+        partition="omp target data map(from: C[i*M:(i+1)*M])",
+        trip_count="N",
+        pragmas=("omp target device(CLOUD)",
+                 "omp map(to: A[0:N*M]) map(from: C[0:N*M-1])"),
+        body=None,
+    )
+    report = verify_region(region, {"N": 500, "M": 4})
+    # 500 iterations is far beyond the exhaustive window; the boundary
+    # sample must still reach iteration 499 and catch the out-of-bounds end.
+    assert report.has("OMP124")
+
+
+def test_partition_of_local_buffer_skips_direction_check():
+    region = make_region(
+        pragmas=("omp target device(CLOUD)", "omp map(to: A[0:N*N])"),
+        reads=("A",), writes=("tmp",),
+        partition="omp target data map(from: tmp[i*N:(i+1)*N])",
+        locals_={"tmp": "N*N"},
+        body=None,
+    )
+    report = verify_region(region, SCALARS)
+    assert not report.has("OMP125")
+    assert not report.has("OMP121")
+
+
+def test_zero_or_negative_sizes_do_not_crash():
+    region = make_region(body=None)
+    assert check_partitions(region, [{"N": 0}]) == []

@@ -1,0 +1,53 @@
+"""Pass 4: DOALL/race detection."""
+
+from repro.analysis import check_races, verify_region
+from tests.analysis.fixtures import CASES, SCALARS, make_region
+
+
+def test_unpartitioned_output_fires_omp131():
+    bad, clean = CASES["OMP131"]
+    assert verify_region(bad(), SCALARS).has("OMP131")
+    assert not verify_region(clean(), SCALARS).has("OMP131")
+
+
+def test_read_write_without_partition_is_loop_carried():
+    bad, clean = CASES["OMP132"]
+    report = verify_region(bad(), SCALARS)
+    assert report.has("OMP132")
+    assert not report.has("OMP131")  # 132 subsumes 131 for the same variable
+    assert not verify_region(clean(), SCALARS).has("OMP132")
+
+
+def test_reduction_scalar_is_exempt():
+    region = make_region(
+        pragmas=("omp target device(CLOUD)",
+                 "omp map(to: A[0:N*N]) map(tofrom: count[0:1])"),
+        loop_pragma="omp parallel for reduction(+: count)",
+        reads=("A",), writes=(), partition=None, body=None,
+    )
+    assert check_races(region) == []
+
+
+def test_to_only_write_is_omp102s_job_not_a_race():
+    bad102, _ = CASES["OMP102"]
+    diags = check_races(bad102())
+    assert not any(d.code in ("OMP131", "OMP132") for d in diags)
+
+
+def test_local_scratch_written_without_partition_races():
+    region = make_region(
+        pragmas=("omp target device(CLOUD)", "omp map(to: A[0:N*N])"),
+        reads=("A",), writes=("tmp",), partition=None,
+        locals_={"tmp": "N*N"}, body=None,
+    )
+    diags = check_races(region)
+    assert any(d.code == "OMP131" for d in diags)
+
+
+def test_constant_partition_does_not_count_as_partitioned():
+    # A slice that does not depend on the loop variable: every iteration
+    # still owns the same elements, so it races.
+    region = make_region(
+        partition="omp target data map(from: C[0:N])", body=None)
+    diags = check_races(region)
+    assert any(d.code == "OMP131" for d in diags)

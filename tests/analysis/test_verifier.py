@@ -1,0 +1,109 @@
+"""The verifier driver: workloads, source lint, module lint, strict gate."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    enforce_strict,
+    verify_python_file,
+    verify_region,
+    verify_source,
+)
+from repro.workloads import WORKLOADS
+from tests.analysis.fixtures import CASES, SCALARS, clean_region
+
+REPO = Path(__file__).resolve().parents[2]
+
+GOOD_C = """
+#pragma omp target device(CLOUD)
+#pragma omp map(to: A[:N*N], B[:N*N]) map(from: C[:N*N])
+#pragma omp parallel for
+for (int i = 0; i < N; ++i)
+#pragma omp target data map(to: A[i*N:(i+1)*N]) map(from: C[i*N:(i+1)*N])
+  ;
+"""
+
+OVERLAPPING_C = GOOD_C.replace("map(from: C[i*N:(i+1)*N])",
+                               "map(from: C[i*N:(i+2)*N])")
+
+UNPARTITIONED_C = """
+#pragma omp target device(CLOUD)
+#pragma omp map(to: A[:N*N]) map(from: C[:N*N])
+#pragma omp parallel for
+for (int i = 0; i < N; ++i)
+  ;
+"""
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_every_shipped_workload_lints_clean(name):
+    spec = WORKLOADS[name]
+    report = verify_region(spec.build_region("CLOUD"),
+                           spec.scalars(spec.test_size))
+    assert report.exit_code == 0, f"{name}:\n{report.render()}"
+
+
+def test_verify_source_clean_listing():
+    report = verify_source(GOOD_C, name="listing2")
+    assert report.exit_code == 0
+
+
+def test_verify_source_catches_overlap():
+    report = verify_source(OVERLAPPING_C, name="listing2")
+    assert report.has("OMP121")
+    assert report.exit_code == 2
+
+
+def test_verify_source_flags_missing_access_info_as_omp100():
+    report = verify_source(UNPARTITIONED_C, name="listing1")
+    assert report.has("OMP100")
+
+
+def test_verify_source_no_regions_is_a_note():
+    report = verify_source("int main(void) { return 0; }", name="plain.c")
+    assert report.has("OMP190")
+    assert report.exit_code == 0
+
+
+def test_verify_source_bad_pragma_is_omp100():
+    report = verify_source(GOOD_C.replace("parallel for", "critical"),
+                           name="bad")
+    assert report.has("OMP100")
+
+
+def test_verify_python_file_finds_broken_demo_region():
+    report = verify_python_file(REPO / "examples" / "lint_demo.py")
+    assert report.has("OMP101")
+    assert report.has("OMP121")
+    assert report.exit_code == 2
+
+
+def test_verify_python_file_without_regions_is_a_note():
+    report = verify_python_file(REPO / "src" / "repro" / "resilience.py")
+    assert report.has("OMP190")
+    assert report.exit_code == 0
+
+
+def test_verify_python_file_missing_path_is_omp100():
+    report = verify_python_file(REPO / "no" / "such" / "module.py")
+    assert report.has("OMP100")
+
+
+def test_enforce_strict_raises_on_errors_only_by_default():
+    bad121, _ = CASES["OMP121"]
+    with pytest.raises(AnalysisError) as err:
+        enforce_strict(bad121(), SCALARS)
+    assert err.value.report.has("OMP121")
+
+    bad113, _ = CASES["OMP113"]  # warning-level defect
+    report = enforce_strict(bad113(), SCALARS)  # fail_on="error": passes
+    assert report.has("OMP113")
+    with pytest.raises(AnalysisError):
+        enforce_strict(bad113(), SCALARS, fail_on="warning")
+
+
+def test_enforce_strict_passes_clean_region():
+    report = enforce_strict(clean_region(), SCALARS, fail_on="warning")
+    assert report.ok

@@ -165,3 +165,26 @@ for (int k = 0; k < 2*M; k++) ;
     loop = regions[0].loops[0]
     assert loop.loop_var == "k"
     assert loop.trip_count == "2*M"
+
+
+def test_missing_access_info_raises_instead_of_silent_empty():
+    # LISTING_1 has no partition pragma; without explicit reads=/writes=
+    # there is nothing to infer from.  This used to silently produce a
+    # region with empty access sets that shipped no data at all.
+    with pytest.raises(SourceScanError, match="reads=.*writes="):
+        region_from_source(LISTING_1, name="matmul")
+
+
+def test_explicit_access_info_still_accepted_without_partition():
+    region = region_from_source(
+        LISTING_1, name="matmul",
+        reads={"i": ("A", "B")}, writes={"i": ("C",)},
+    )
+    assert region.loops[0].reads == ("A", "B")
+    assert region.loops[0].writes == ("C",)
+
+
+def test_partition_pragma_still_infers_access_info():
+    region = region_from_source(LISTING_2, name="matmul")
+    assert region.loops[0].reads == ("A",)
+    assert region.loops[0].writes == ("C",)

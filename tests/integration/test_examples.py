@@ -63,6 +63,14 @@ def test_fault_tolerance_example(capsys):
     assert "recomputed" in out
 
 
+def test_lint_demo_example(capsys):
+    _run("lint_demo.py")
+    out = capsys.readouterr().out
+    assert "OMP101" in out
+    assert "OMP121" in out
+    assert "AnalysisError" in out
+
+
 def test_annotated_c_source_example(capsys):
     _run("annotated_c_source.py")
     out = capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""Property tests for the bound-expression language.
+
+Three families of invariants over :mod:`repro.core.exprs`:
+
+* C99 arithmetic — ``/`` truncates toward zero (oracle:
+  ``math.trunc(Fraction(a, b))``, which Python's ``//`` gets wrong for mixed
+  signs) and ``%`` satisfies the C identity ``a == (a/b)*b + a%b`` with the
+  sign following the dividend;
+* round-tripping — ``parse_expr(str(e))`` evaluates identically to ``e`` on
+  any environment, and ``str`` is a fixed point of the round-trip;
+* ``variables()`` completeness — evaluation succeeds with exactly the
+  reported variables bound, and removing any one of them raises
+  :class:`ExprError`.
+"""
+
+import math
+from fractions import Fraction
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core.exprs import BinOp, Expr, ExprError, Neg, Num, Var, _c_div, _c_mod, parse_expr
+
+ints = st.integers(min_value=-10**6, max_value=10**6)
+nonzero = ints.filter(lambda v: v != 0)
+
+_names = st.sampled_from(["i", "j", "N", "M", "n_rows", "_k"])
+
+
+def _exprs() -> st.SearchStrategy[Expr]:
+    return st.recursive(
+        st.integers(min_value=0, max_value=999).map(Num) | _names.map(Var),
+        lambda children: st.builds(
+            BinOp, st.sampled_from("+-*/%"), children, children
+        ) | children.map(Neg),
+        max_leaves=25,
+    )
+
+
+def _env_for(e: Expr) -> st.SearchStrategy[dict[str, int]]:
+    return st.fixed_dictionaries(
+        {name: st.integers(min_value=-50, max_value=50) for name in e.variables()}
+    )
+
+
+# ------------------------------------------------------------ C99 arithmetic
+@given(ints, nonzero)
+def test_c_div_truncates_toward_zero(a, b):
+    assert _c_div(a, b) == math.trunc(Fraction(a, b))
+
+
+@given(ints, nonzero)
+def test_c_mod_identity_and_sign(a, b):
+    # C99 6.5.5: (a/b)*b + a%b == a, remainder's sign follows the dividend.
+    r = _c_mod(a, b)
+    assert _c_div(a, b) * b + r == a
+    assert r == 0 or (r > 0) == (a > 0)
+    assert abs(r) < abs(b)
+
+
+@given(st.sampled_from([(-7, 2, -3), (7, -2, -3), (-7, -2, 3), (7, 2, 3)]))
+def test_c_div_differs_from_python_floor_div(case):
+    # Pinned witnesses: Python // floors (-7 // 2 == -4), C truncates (-3).
+    a, b, want = case
+    assert _c_div(a, b) == want
+
+
+# --------------------------------------------------------------- round-trips
+@given(_exprs().flatmap(lambda e: st.tuples(st.just(e), _env_for(e))))
+def test_parse_str_roundtrip_evaluates_identically(case):
+    e, env = case
+    try:
+        want = e.eval(env)
+    except ExprError:  # division by zero inside the random tree
+        assume(False)
+    back = parse_expr(str(e))
+    assert back.eval(env) == want
+    assert back.variables() == e.variables()
+
+
+@given(_exprs())
+def test_str_is_roundtrip_fixed_point(e):
+    printed = str(e)
+    assert str(parse_expr(printed)) == printed
+
+
+# ------------------------------------------------------------- variables()
+@given(_exprs().flatmap(lambda e: st.tuples(st.just(e), _env_for(e))))
+def test_variables_are_sufficient(case):
+    e, env = case
+    assert set(env) == e.variables()
+    try:
+        result = e.eval(env)
+    except ExprError as exc:
+        assert "division by zero" in str(exc)
+    else:
+        assert isinstance(result, int)
+
+
+@given(_exprs().flatmap(lambda e: st.tuples(st.just(e), _env_for(e))))
+def test_every_reported_variable_is_necessary(case):
+    e, env = case
+    try:
+        e.eval(env)
+    except ExprError:
+        assume(False)  # only probe trees that evaluate cleanly
+    for name in e.variables():
+        short = {k: v for k, v in env.items() if k != name}
+        try:
+            e.eval(short)
+        except ExprError as exc:
+            assert name in str(exc) or "division by zero" in str(exc)
+        else:
+            raise AssertionError(
+                f"eval succeeded with reported variable {name!r} unbound"
+            )
