@@ -9,6 +9,9 @@ Commands:
 * ``validate`` — run every workload functionally against its NumPy oracle;
 * ``lint`` — statically verify offload regions (map clauses, dataflow,
   partitions, races) and exit with the worst severity found;
+* ``bench`` — run paper benchmarks under instrumentation, write
+  ``BENCH_<name>.json`` and optionally fail on milestone regressions
+  (``--compare``; see docs/OBSERVABILITY.md);
 * ``config <path>`` — write an example cloud_rtl.ini.
 """
 
@@ -84,6 +87,33 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--size", type=int, default=None,
                       help="problem size for benchmark targets "
                            "(default: test size)")
+
+    bench = sub.add_parser(
+        "bench", help="instrumented benchmark runs + regression check")
+    bench.add_argument("targets", nargs="*",
+                       help="benchmark names or 'all' (default: from the "
+                            "--compare baseline, else all)")
+    bench.add_argument("--cores", type=int, default=32,
+                       help="physical cores granted to the job (default 32)")
+    bench.add_argument("--workers", type=int, default=16,
+                       help="worker nodes in the cluster (default 16)")
+    bench.add_argument("--size", type=int, default=None,
+                       help="problem size N/M (default: paper size, or test "
+                            "size with --quick)")
+    bench.add_argument("--density", type=float, default=1.0,
+                       help="input nonzero density (1.0 dense, 0.05 sparse)")
+    bench.add_argument("--quick", action="store_true",
+                       help="test-size runs (what the CI bench job executes)")
+    bench.add_argument("--out", metavar="DIR", default=".",
+                       help="directory for BENCH_<name>.json (default: .)")
+    bench.add_argument("--json", action="store_true",
+                       help="also print each payload to stdout")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="BENCH_*.json file or directory of them; exit "
+                            "non-zero when a milestone regresses past the "
+                            "threshold")
+    bench.add_argument("--threshold", type=float, default=0.10,
+                       help="relative regression threshold (default 0.10)")
 
     config = sub.add_parser("config", help="write an example cloud_rtl.ini")
     config.add_argument("path")
@@ -246,6 +276,70 @@ def _cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _cmd_bench(args) -> int:
+    import json
+    import os
+
+    from repro.obs.bench import (
+        bench_filename,
+        compare,
+        load_bench,
+        run_benchmark,
+        write_bench,
+    )
+
+    # Baselines: one file, or a directory of BENCH_<name>.json.
+    baselines: dict[str, dict] = {}
+    if args.compare:
+        if os.path.isdir(args.compare):
+            for entry in sorted(os.listdir(args.compare)):
+                if entry.startswith("BENCH_") and entry.endswith(".json"):
+                    payload = load_bench(os.path.join(args.compare, entry))
+                    baselines[str(payload["benchmark"])] = payload
+        else:
+            payload = load_bench(args.compare)
+            baselines[str(payload["benchmark"])] = payload
+
+    names: list[str] = []
+    for target in args.targets:
+        names.extend(sorted(WORKLOADS) if target == "all" else [target])
+    if not names:
+        names = sorted(baselines) if baselines else sorted(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            print(f"unknown benchmark {name!r}; known: {sorted(WORKLOADS)}",
+                  file=sys.stderr)
+            return 2
+
+    os.makedirs(args.out, exist_ok=True)
+    regressions = []
+    for name in names:
+        payload = run_benchmark(name, cores=args.cores, n_workers=args.workers,
+                                density=args.density, size=args.size,
+                                quick=args.quick)
+        path = write_bench(payload, args.out)
+        ms = payload["milestones"]
+        print(f"{name:10s} full {ms['full_s']:12.3f} s   "
+              f"spark {ms['spark_job_s']:12.3f} s   "
+              f"computation {ms['computation_s']:12.3f} s   -> {path}")
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        baseline = baselines.get(name)
+        if baseline is not None:
+            found = compare(baseline, payload, threshold=args.threshold)
+            for reg in found:
+                print(f"REGRESSION: {reg.describe()}", file=sys.stderr)
+            regressions.extend(found)
+        elif baselines:
+            print(f"note: no baseline {bench_filename(name)} to compare "
+                  f"against", file=sys.stderr)
+    if regressions:
+        print(f"{len(regressions)} milestone regression(s) above "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_calibration() -> int:
     import dataclasses
 
@@ -273,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "calibration":
         return _cmd_calibration()
     if args.command == "config":

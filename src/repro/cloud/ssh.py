@@ -10,9 +10,10 @@ remote exit status.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.cloud.credentials import Credentials
+from repro.obs.events import SSHConnect, get_bus
 
 
 class SSHError(Exception):
@@ -85,14 +86,21 @@ class SSHClient:
 
     def connect(self) -> float:
         """Establish the session; returns the simulated handshake duration."""
-        if not self._endpoint.reachable:
-            raise SSHError(f"ssh: connect to host {self._endpoint.hostname}: no route to host")
+        host = self._endpoint.hostname
         user = self._credentials.username
-        if self._endpoint.authorized_users and user not in self._endpoint.authorized_users:
-            raise SSHError(
-                f"ssh: {user}@{self._endpoint.hostname}: Permission denied (publickey)"
-            )
+        try:
+            if not self._endpoint.reachable:
+                raise SSHError(f"ssh: connect to host {host}: no route to host")
+            if self._endpoint.authorized_users and user not in self._endpoint.authorized_users:
+                raise SSHError(
+                    f"ssh: {user}@{host}: Permission denied (publickey)"
+                )
+        except SSHError as exc:
+            get_bus().emit(SSHConnect(resource=host, host=host, user=user,
+                                      ok=False, error=str(exc)))
+            raise
         self._connected = True
+        get_bus().emit(SSHConnect(resource=host, host=host, user=user, ok=True))
         return self.handshake_s
 
     def exec_command(self, command: str) -> CommandResult:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.cloud.credentials import Credentials
+from repro.obs.events import StorageOp, get_bus
 
 
 class StorageError(Exception):
@@ -79,6 +80,18 @@ class ObjectStore(abc.ABC):
         self._fail_puts = 0
         self._fail_gets = 0
         self._fail_metas = 0
+        #: Optional simulated clock for event timestamps; the cloud plugin
+        #: wires its own clock in so StorageOp events line up with the run.
+        self.clock = None
+
+    def _emit_op(self, op: str, key: str, nbytes: int = 0) -> None:
+        """Publish one completed operation (called outside :attr:`_lock` —
+        subscribers may be arbitrary code and must not deadlock us)."""
+        get_bus().emit(StorageOp(
+            time=self.clock.now if self.clock is not None else 0.0,
+            resource=self.name, store=self.name, op=op, key=key,
+            nbytes=nbytes,
+        ))
 
     # -------------------------------------------------------------- security
     @abc.abstractmethod
@@ -113,6 +126,7 @@ class ObjectStore(abc.ABC):
             self._objects[key] = obj
             self.bytes_written += obj.size
             self.put_count += 1
+        self._emit_op("PUT", key, obj.size)
         return obj
 
     def get(self, key: str, credentials: Credentials | None = None) -> StoredObject:
@@ -130,7 +144,8 @@ class ObjectStore(abc.ABC):
                 raise NoSuchObjectError(f"{self.name}: no object {key!r}") from None
             self.bytes_read += obj.size
             self.get_count += 1
-            return obj
+        self._emit_op("GET", key, obj.size)
+        return obj
 
     def get_bytes(self, key: str, credentials: Credentials | None = None) -> bytes:
         """Fetch the payload of a real object; error on virtual objects."""
@@ -145,14 +160,18 @@ class ObjectStore(abc.ABC):
         with self._lock:
             self._maybe_fail_meta("HEAD")
             try:
-                return self._objects[key].size
+                size = self._objects[key].size
             except KeyError:
                 raise NoSuchObjectError(f"{self.name}: no object {key!r}") from None
+        self._emit_op("HEAD", key, size)
+        return size
 
     def exists(self, key: str) -> bool:
         with self._lock:
             self._maybe_fail_meta("EXISTS")
-            return key in self._objects
+            found = key in self._objects
+        self._emit_op("EXISTS", key)
+        return found
 
     def _maybe_fail_meta(self, op: str) -> None:
         """Consume one armed metadata failure (caller holds the lock)."""

@@ -43,13 +43,24 @@ from repro.core.config import CloudConfig
 from repro.core.device import Device, DeviceError
 from repro.core.omp_ast import MapType
 from repro.core.report import OffloadReport
+from repro.obs.events import (
+    BreakerOpen,
+    CacheHit,
+    MapDownload,
+    MapUpload,
+    Preemption,
+    Recovery,
+    Resubmit,
+    SparkSubmit,
+    get_bus,
+)
 from repro.core.staging_cache import CacheKey, StagingCache
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perfmodel.comm import HostCommModel, TransferPlan
 from repro.perfmodel.compression import gzip_compress, gzip_decompress, model_for_density
 from repro.resilience import CircuitBreaker, RetryPolicy, retry_call
 from repro.simtime.clock import SimClock
-from repro.simtime.timeline import Phase, Timeline
+from repro.simtime.timeline import Phase
 from repro.spark.cluster import SparkCluster, WorkerShape
 from repro.spark.context import SparkContext
 from repro.spark.faults import NO_FAULTS, FaultPlan
@@ -103,6 +114,8 @@ class CloudDevice(Device):
             fault_plan=fault_plan,
         )
         self.storage = storage if storage is not None else self._storage_from_config()
+        # Storage events carry this device's simulated time.
+        self.storage.clock = self.clock
         self.comm = HostCommModel(
             calibration, network=self.network,
             compress=config.compression, parallel_streams=parallel_streams,
@@ -207,7 +220,7 @@ class CloudDevice(Device):
                 self._provider, spec, self.clock,
                 driver_hostname=self.config.spark_driver,
                 retry_on=(ProviderError,), op_name="provision",
-                on_retry=on_retry,
+                on_retry=on_retry, now=lambda: self.clock.now,
             )
             self.endpoint = self._provisioned.ssh_endpoint
 
@@ -260,6 +273,10 @@ class CloudDevice(Device):
                     self.stage_cache.credit_saved(buf.nbytes)
                     report.cache_hits += 1
                     report.cache_bytes_saved += buf.nbytes
+                    get_bus().emit(CacheHit(time=self.clock.now,
+                                            resource=self.storage.name,
+                                            buffer=name,
+                                            bytes_saved=buf.nbytes))
                     continue
             else:
                 ckey = None
@@ -273,7 +290,7 @@ class CloudDevice(Device):
             wire_sizes = self._stage_inputs(to_stage, mode)
         except TransientStorageError as e:
             self._charge_retry_backoff(report)
-            self.breaker.record_failure(self.clock.now)
+            self._record_breaker_failure()
             raise DeviceError(
                 f"staging inputs to {self.storage.name} failed after "
                 f"{self.retry_policy.max_attempts} attempt(s): {e}"
@@ -304,6 +321,12 @@ class CloudDevice(Device):
             report.host_comm_up_s = self.clock.now - t0
             report.bytes_up_raw = sum(p.nbytes for p in plans)
             report.bytes_up_wire = sum(wire_sizes)
+            bus = get_bus()
+            for plan, wire in zip(plans, wire_sizes):
+                bus.emit(MapUpload(time=self.clock.now, resource="host",
+                                   buffer=plan.name, bytes_raw=plan.nbytes,
+                                   bytes_wire=wire, start=t1,
+                                   end=self.clock.now))
 
         self._pending = {
             "report": report,
@@ -311,6 +334,15 @@ class CloudDevice(Device):
             "key_prefix": key_prefix,
             "buffers": dict(buffers),
         }
+
+    def _record_breaker_failure(self) -> None:
+        """Count one offload-level failure; announce a fresh breaker trip."""
+        was_open = self.breaker.is_open(self.clock.now)
+        self.breaker.record_failure(self.clock.now)
+        if not was_open and self.breaker.is_open(self.clock.now):
+            get_bus().emit(BreakerOpen(
+                time=self.clock.now, resource=self.name, device=self.name,
+                consecutive_failures=self.breaker.consecutive_failures))
 
     def _with_retries(self, op_name: str, fn, *args, **kwargs):
         """Run a storage operation under :attr:`retry_policy` (thread-safe;
@@ -327,7 +359,8 @@ class CloudDevice(Device):
 
         return retry_call(self.retry_policy, fn, *args,
                           retry_on=(TransientStorageError,),
-                          op_name=op_name, on_retry=on_retry, **kwargs)
+                          op_name=op_name, on_retry=on_retry,
+                          now=lambda: self.clock.now, **kwargs)
 
     def _charge_retry_backoff(self, report: OffloadReport | None = None) -> None:
         """Flush accumulated backoff to the simulated clock and, when a
@@ -393,6 +426,7 @@ class CloudDevice(Device):
 
         plans = []
         wire_sizes = []
+        downloads: list[tuple[str, int, int]] = []
         try:
             for name in region.output_names:
                 buf = buffers[name]
@@ -400,7 +434,9 @@ class CloudDevice(Device):
                 key = out_keys.get(name)
                 if key is None:
                     continue
-                wire_sizes.append(self._with_retries("HEAD", self.storage.size_of, key))
+                wire = self._with_retries("HEAD", self.storage.size_of, key)
+                wire_sizes.append(wire)
+                downloads.append((name, buf.nbytes, wire))
                 if mode == ExecutionMode.FUNCTIONAL:
                     payload = self._with_retries(
                         "GET", self.storage.get_bytes, key,
@@ -415,7 +451,7 @@ class CloudDevice(Device):
                         self.stage_cache.record(CacheKey.for_bytes(payload), key)
         except TransientStorageError as e:
             self._charge_retry_backoff(report)
-            self.breaker.record_failure(self.clock.now)
+            self._record_breaker_failure()
             raise DeviceError(
                 f"downloading results from {self.storage.name} failed after "
                 f"{self.retry_policy.max_attempts} attempt(s): {e}"
@@ -439,6 +475,12 @@ class CloudDevice(Device):
             report.host_comm_down_s = self.clock.now - t0
             report.bytes_down_raw = sum(p.nbytes for p in plans)
             report.bytes_down_wire = sum(wire_sizes)
+            bus = get_bus()
+            for name, raw, wire in downloads:
+                bus.emit(MapDownload(time=self.clock.now, resource="host",
+                                     buffer=name, bytes_raw=raw,
+                                     bytes_wire=wire, start=t0,
+                                     end=self.clock.now))
 
         for name in {i.name for c in region.maps for i in c.items}:
             if self.env.is_mapped(name):
@@ -484,12 +526,16 @@ class CloudDevice(Device):
         max_submissions = 1 + self.config.max_resubmissions
         job_report: SparkJobReport | None = None
         last_error = ""
+        bus = get_bus()
         for submission in range(1, max_submissions + 1):
             if submission > 1:
                 report.resubmissions += 1
                 delay = self.retry_policy.delay_for(
                     submission - 1, key=f"resubmit-{region.name}")
                 t0 = self.clock.now
+                bus.emit(Resubmit(time=t0, resource="host",
+                                  region=region.name, submission=submission,
+                                  delay_s=delay))
                 self.clock.advance(delay)
                 report.backoff_s += delay
                 timeline.record(Phase.RESUBMIT, t0, self.clock.now,
@@ -506,14 +552,23 @@ class CloudDevice(Device):
                 result = self._submit_once(region, ssh_creds, report)
             except SSHError as e:
                 last_error = str(e)
+                bus.emit(SparkSubmit(time=self.clock.now, resource="host",
+                                     region=region.name, submission=submission,
+                                     ok=False, error=last_error))
                 continue
+            bus.emit(SparkSubmit(
+                time=self.clock.now, resource="host", region=region.name,
+                submission=submission, ok=result.ok,
+                error="" if result.ok else (result.stderr
+                                            or f"exit status {result.exit_status}"),
+            ))
             if result.ok:
                 job_report = self._pending.pop("job_report")  # type: ignore[assignment]
                 break
             last_error = result.stderr or f"exit status {result.exit_status}"
 
         if job_report is None:
-            self.breaker.record_failure(self.clock.now)
+            self._record_breaker_failure()
             raise DeviceError(
                 f"spark-submit failed on {self.config.spark_driver} after "
                 f"{max_submissions} submission(s): {last_error}"
@@ -611,6 +666,7 @@ class CloudDevice(Device):
         handshake = retry_call(
             self.retry_policy, connect, retry_on=(SSHError,),
             op_name=f"ssh-{self.config.spark_driver}", on_retry=on_retry,
+            now=lambda: self.clock.now,
         )
         self.clock.advance(handshake)
         try:
@@ -633,6 +689,8 @@ class CloudDevice(Device):
                 continue
             timeline.record(Phase.PREEMPTION, t, self.clock.now,
                             resource=ex.worker_id, label="spot-reclaimed")
+            get_bus().emit(Preemption(time=t, resource=ex.worker_id,
+                                      worker=ex.worker_id))
             self.sc.log.warn(self.clock.now, "CloudPlugin",
                              f"spot instance backing {ex.worker_id} was "
                              f"reclaimed; provisioning a replacement")
@@ -661,6 +719,9 @@ class CloudDevice(Device):
                 self.clock.advance(boot)
             timeline.record(Phase.RECOVERY, t0, self.clock.now,
                             resource=ex.worker_id, label="spot-replace")
+            get_bus().emit(Recovery(time=self.clock.now, resource=ex.worker_id,
+                                    worker=ex.worker_id,
+                                    duration_s=self.clock.now - t0))
             self.cluster.replace_executor(ex.worker_id, now=self.clock.now)
             report.preemptions += 1
 

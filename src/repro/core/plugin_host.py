@@ -18,6 +18,7 @@ from repro.core.buffers import Buffer, ExecutionMode
 from repro.core.device import Device, DeviceError
 from repro.core.omp_ast import REDUCTION_OPS, MapType
 from repro.core.report import OffloadReport
+from repro.obs.events import TaskEnd, TaskStart, get_bus
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perfmodel.compute import ComputeModel
 
@@ -63,6 +64,11 @@ class HostDevice(Device):
         seq = self.compute_model.sequential_time(total_flops)
         report.computation_s = seq
         report.spark_job_s = seq  # no cluster: the "job" is the computation
+        # The host runs the whole region as one sequential "task".
+        bus = get_bus()
+        bus.emit(TaskStart(time=0.0, resource="host", task_id=0, worker="host"))
+        bus.emit(TaskEnd(time=seq, resource="host", task_id=0, worker="host",
+                         duration_s=seq))
         return report
 
     # -------------------------------------------------------------- internals

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.simtime.timeline import (
     BUCKET_COMPUTE,
     BUCKET_HOST_COMM,
+    BUCKET_RESILIENCE,
     BUCKET_SPARK,
     Timeline,
 )
@@ -62,10 +63,17 @@ class OffloadReport:
         return self.host_comm_up_s + self.host_comm_down_s
 
     @property
+    def resilience_s(self) -> float:
+        """Wall time charged to fault recovery (retry/resubmission backoff)."""
+        return self.backoff_s
+
+    @property
     def full_s(self) -> float:
         """OmpCloud-full: offload wall time, instance management excluded
-        (the paper's timings start from a provisioned cluster)."""
-        return self.host_comm_s + self.spark_job_s
+        (the paper's timings start from a provisioned cluster).  Backoff
+        spent on retries and resubmissions is wall time the user waits
+        through, so it is part of the full milestone."""
+        return self.host_comm_s + self.spark_job_s + self.resilience_s
 
     @property
     def spark_overhead_s(self) -> float:
@@ -73,12 +81,20 @@ class OffloadReport:
         return max(0.0, self.spark_job_s - self.computation_s)
 
     def figure5_stack(self) -> dict[str, float]:
-        """The three stacked components of Figure 5, summing to ``full_s``."""
-        return {
+        """The stacked components of Figure 5, summing to ``full_s``.
+
+        Fault-free offloads keep the paper's three buckets; when a fault
+        plan charged recovery time, a fourth ``resilience`` component
+        appears so the stack still sums to the observed wall time.
+        """
+        stack = {
             BUCKET_HOST_COMM: self.host_comm_s,
             BUCKET_SPARK: self.spark_overhead_s,
             BUCKET_COMPUTE: self.computation_s,
         }
+        if self.resilience_s > 0.0:
+            stack[BUCKET_RESILIENCE] = self.resilience_s
+        return stack
 
     def to_dict(self) -> dict:
         """Flat, JSON-serializable view (timeline summarized per bucket)."""

@@ -20,6 +20,7 @@ from typing import Mapping, Union
 from repro.core.api import TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode
 from repro.core.device import Device, DeviceError
+from repro.obs.events import Fallback, TargetBegin, TargetEnd, get_bus
 
 #: Reserved device id for the initial (host) device, as in OpenMP.
 DEVICE_HOST = 0
@@ -101,7 +102,37 @@ class OffloadRuntime:
         :class:`~repro.analysis.AnalysisError` without uploading a byte.
         Verification failure is deliberately *not* a :class:`DeviceError`:
         a broken region is broken on the host too, so no fallback.
+
+        Observability: every offload runs inside an
+        :meth:`~repro.obs.events.EventBus.offload_scope`, so each event any
+        layer emits below this frame carries the offload's correlation id.
+        The runtime itself emits ``TargetBegin``/``TargetEnd`` (the OMPT
+        target callbacks) and ``Fallback`` at both degradation sites.
         """
+        bus = get_bus()
+        with bus.offload_scope(region.name):
+            try:
+                report = self._target(region, buffers, scalars, mode, bus)
+            except BaseException:
+                bus.emit(TargetEnd(region=region.name, ok=False))
+                raise
+            bus.emit(TargetEnd(
+                time=report.timeline.spans[-1].end if len(report.timeline) else 0.0,
+                resource=report.device_name,
+                region=region.name,
+                device=report.device_name,
+                ok=True,
+                fell_back=report.fell_back_to_host,
+                full_s=report.full_s,
+            ))
+            return report
+
+    @staticmethod
+    def _device_now(dev: Device) -> float:
+        clock = getattr(dev, "clock", None)
+        return clock.now if clock is not None else 0.0
+
+    def _target(self, region, buffers, scalars, mode, bus):
         self.offloads += 1
         dev = self._select_device(region)
         dev.initialize()
@@ -109,9 +140,17 @@ class OffloadRuntime:
         if not dev.is_available():
             self.fallbacks += 1
             degraded = dev is not self.host
+            unavailable = dev.name
             dev = self.host
             dev.initialize()
+            if degraded:
+                bus.emit(Fallback(time=self._device_now(dev), resource="host",
+                                  region=region.name, device=unavailable,
+                                  reason="device unavailable"))
         self._enforce_strict(dev, region, scalars)
+        bus.emit(TargetBegin(time=self._device_now(dev), resource=dev.name,
+                             region=region.name, device=dev.name,
+                             mode=mode.value))
         if dev is self.host:
             report = self._run_on(dev, region, buffers, scalars, mode)
             if degraded:
@@ -128,6 +167,9 @@ class OffloadRuntime:
                 stacklevel=2,
             )
             self.fallbacks += 1
+            bus.emit(Fallback(time=self._device_now(dev), resource="host",
+                              region=region.name, device=dev.name,
+                              reason=str(exc)))
             host = self.host
             host.initialize()
             report = self._run_on(host, region, buffers, scalars, mode)

@@ -1,0 +1,65 @@
+"""Runtime observability: event bus, metrics, derived views, benchmarks.
+
+See ``docs/OBSERVABILITY.md`` for the event catalogue, metric names,
+exposition format and bench JSON schema.
+"""
+
+from repro.obs.bench import (
+    REGRESSION_MILESTONES,
+    SCHEMA,
+    Regression,
+    bench_filename,
+    compare,
+    load_bench,
+    run_benchmark,
+    write_bench,
+)
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_TYPES,
+    Event,
+    EventBus,
+    get_bus,
+    set_bus,
+    use_bus,
+)
+from repro.obs.metrics_registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.subscribers import (
+    DerivedReport,
+    MetricsSubscriber,
+    ReportBuilder,
+    SparkLogSink,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_TYPES",
+    "Event",
+    "EventBus",
+    "get_bus",
+    "set_bus",
+    "use_bus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "DerivedReport",
+    "MetricsSubscriber",
+    "ReportBuilder",
+    "SparkLogSink",
+    "REGRESSION_MILESTONES",
+    "SCHEMA",
+    "Regression",
+    "bench_filename",
+    "compare",
+    "load_bench",
+    "run_benchmark",
+    "write_bench",
+]

@@ -1,0 +1,177 @@
+"""Benchmark harness: instrumented paper runs with a regression check.
+
+``repro bench <name>`` runs one paper workload as a modeled offload under a
+history-keeping :class:`~repro.obs.events.EventBus` with a
+:class:`~repro.obs.subscribers.MetricsSubscriber` attached, and writes
+``BENCH_<name>.json``::
+
+    {
+      "schema": "repro-bench/1",
+      "benchmark": "mm",
+      "params": {"cores": 32, "workers": 16, "density": 1.0, "size": 4000},
+      "milestones": {"full_s": ..., "spark_job_s": ..., "computation_s": ...},
+      "events": {"target_begin": 1, "map_upload": 3, ...},
+      "metrics": { ... MetricsRegistry.snapshot() ... }
+    }
+
+Modeled offloads are bit-deterministic (simulated clock, no wall-clock
+entropy), so a baseline file can be committed and CI can fail hard on any
+milestone that grows more than ``threshold`` (default 10 %) — see
+:func:`compare`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.obs.events import EventBus, use_bus
+from repro.obs.metrics_registry import MetricsRegistry
+from repro.obs.subscribers import MetricsSubscriber
+
+SCHEMA = "repro-bench/1"
+
+#: Milestones checked by :func:`compare` — all "lower is better" times.
+REGRESSION_MILESTONES = (
+    "full_s",
+    "spark_job_s",
+    "computation_s",
+    "host_comm_s",
+    "spark_overhead_s",
+)
+
+#: Absolute slack (simulated seconds) below which a milestone never counts as
+#: regressed — keeps near-zero components from tripping on rounding.
+ABS_SLACK_S = 1e-6
+
+
+def run_benchmark(
+    name: str,
+    cores: int = 32,
+    n_workers: int = 16,
+    density: float = 1.0,
+    size: int | None = None,
+    quick: bool = False,
+) -> dict[str, object]:
+    """One instrumented modeled offload of ``name``; returns the payload.
+
+    ``quick`` shrinks the problem to the workload's test size — same code
+    paths, seconds of runtime, still fully deterministic — which is what the
+    CI bench job runs on every push.
+    """
+    from repro.metrics.figures import run_point
+    from repro.workloads.specs import WORKLOADS
+
+    spec = WORKLOADS[name]
+    actual_size = size if size is not None else (
+        spec.test_size if quick else spec.paper_size)
+
+    bus = EventBus(keep_history=True)
+    registry = MetricsRegistry()
+    MetricsSubscriber(registry).attach(bus)
+    with use_bus(bus):
+        point = run_point(name, cores, density=density, size=actual_size,
+                          n_workers=n_workers)
+    rep = point.report
+    milestones = {
+        "full_s": rep.full_s,
+        "spark_job_s": rep.spark_job_s,
+        "computation_s": rep.computation_s,
+        "host_comm_s": rep.host_comm_s,
+        "spark_overhead_s": rep.spark_overhead_s,
+        "backoff_s": rep.backoff_s,
+        "sequential_s": point.sequential_s,
+        "speedup_full": point.speedup_full,
+        "speedup_spark": point.speedup_spark,
+        "speedup_computation": point.speedup_computation,
+        "bytes_up_wire": rep.bytes_up_wire,
+        "bytes_down_wire": rep.bytes_down_wire,
+    }
+    return {
+        "schema": SCHEMA,
+        "benchmark": name,
+        "params": {
+            "cores": cores,
+            "workers": n_workers,
+            "density": density,
+            "size": actual_size,
+            "mode": "modeled",
+            "quick": quick,
+        },
+        "milestones": milestones,
+        "events": bus.counts(),
+        "metrics": registry.snapshot(),
+    }
+
+
+def bench_filename(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+def write_bench(payload: dict[str, object], out_dir: str = ".") -> str:
+    """Write ``BENCH_<benchmark>.json`` under ``out_dir``; returns the path."""
+    path = os.path.join(out_dir, bench_filename(str(payload["benchmark"])))
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: str) -> dict[str, object]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {payload.get('schema')!r}, expected {SCHEMA!r}")
+    return payload
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One milestone that grew past the threshold vs the baseline."""
+
+    benchmark: str
+    milestone: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        return (f"{self.benchmark}: {self.milestone} regressed "
+                f"{self.baseline:.6g} -> {self.current:.6g} "
+                f"({(self.ratio - 1.0) * 100.0:+.1f}%)")
+
+
+def compare(
+    baseline: dict[str, object],
+    current: dict[str, object],
+    threshold: float = 0.10,
+) -> list[Regression]:
+    """Milestones in ``current`` more than ``threshold`` above ``baseline``.
+
+    Only the time milestones in :data:`REGRESSION_MILESTONES` gate —
+    speedups and byte counts are informational.  An empty list means no
+    regression.  Comparing different benchmarks is a usage error.
+    """
+    b_name = baseline.get("benchmark")
+    c_name = current.get("benchmark")
+    if b_name != c_name:
+        raise ValueError(f"benchmark mismatch: baseline {b_name!r} vs "
+                         f"current {c_name!r}")
+    base_ms = baseline.get("milestones", {})
+    cur_ms = current.get("milestones", {})
+    assert isinstance(base_ms, dict) and isinstance(cur_ms, dict)
+    out: list[Regression] = []
+    for key in REGRESSION_MILESTONES:
+        if key not in base_ms or key not in cur_ms:
+            continue
+        b = float(base_ms[key])
+        c = float(cur_ms[key])
+        if c > b * (1.0 + threshold) and c - b > ABS_SLACK_S:
+            out.append(Regression(benchmark=str(c_name), milestone=key,
+                                  baseline=b, current=c))
+    return out

@@ -1,0 +1,431 @@
+"""OMPT-style event bus: the runtime's live instrumentation plane.
+
+LLVM's OpenMP runtime exposes OMPT callbacks (``ompt_callback_target``,
+``ompt_callback_target_data_op``, ...) so tools can watch an offload without
+forking the runtime.  This module is the equivalent for the OmpCloud
+reproduction: every layer of the stack — the offload runtime, the cloud and
+host plugins, the resilience machinery, the Spark driver/scheduler/executors,
+storage and SSH — emits small, typed, timestamped :class:`Event` records onto
+one :class:`EventBus`.  Subscribers turn the stream into metrics
+(:mod:`repro.obs.metrics_registry`), derived reports and timelines
+(:mod:`repro.obs.subscribers`), Perfetto traces, or benchmark milestones
+(:mod:`repro.obs.bench`).
+
+Correlation: the runtime opens an *offload scope* per target-region offload
+(:meth:`EventBus.offload_scope`); every event emitted while the scope is
+active is stamped with the scope's correlation id (``"<region>#<seq>"``) and
+a ``parent_id`` pointing at the offload's root span — so a retry deep inside
+the storage layer can be traced back to the exact ``TargetBegin`` it served,
+and to the Spark resubmission it triggered.
+
+Emission is deliberately cheap: with no subscribers and history disabled
+(the default process-wide bus), :meth:`EventBus.emit` is a lock-free early
+return, so the instrumented hot paths cost nothing when nobody is watching.
+
+All timestamps are *simulated* seconds from the emitting layer's
+:class:`~repro.simtime.clock.SimClock`; layers without a clock stamp 0.0.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Callable, ClassVar, Iterable, Iterator
+
+#: Registry of every concrete event type, keyed by its ``kind`` string.
+EVENT_TYPES: dict[str, type["Event"]] = {}
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base record of one runtime happening.
+
+    ``kind`` is a class-level discriminator (stable, snake_case); the
+    correlation triple (``correlation_id``, ``span_id``, ``parent_id``) is
+    stamped by the bus at emission time — emitters never fill it themselves.
+    """
+
+    kind: ClassVar[str] = "event"
+
+    time: float = 0.0
+    resource: str = ""
+    correlation_id: str = ""
+    span_id: int = 0
+    parent_id: int = 0
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if "kind" not in cls.__dict__:
+            raise TypeError(f"{cls.__name__} must define a class-level 'kind'")
+        if cls.kind in EVENT_TYPES:
+            raise TypeError(f"duplicate event kind {cls.kind!r}")
+        EVENT_TYPES[cls.kind] = cls
+
+    def to_dict(self) -> dict[str, object]:
+        """Flat JSON-serializable view, ``kind`` included."""
+        out: dict[str, object] = {"kind": self.kind}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+# --------------------------------------------------------------- the catalogue
+@dataclass(frozen=True)
+class TargetBegin(Event):
+    """``__tgt_target`` entered: one offload starts (OMPT: target begin)."""
+
+    kind: ClassVar[str] = "target_begin"
+    region: str = ""
+    device: str = ""
+    mode: str = ""
+
+
+@dataclass(frozen=True)
+class TargetEnd(Event):
+    """The offload returned (or raised: ``ok=False``)."""
+
+    kind: ClassVar[str] = "target_end"
+    region: str = ""
+    device: str = ""
+    ok: bool = True
+    fell_back: bool = False
+    full_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class MapUpload(Event):
+    """One mapped input buffer staged host -> device storage."""
+
+    kind: ClassVar[str] = "map_upload"
+    buffer: str = ""
+    bytes_raw: int = 0
+    bytes_wire: int = 0
+    start: float = 0.0
+    end: float = 0.0
+
+
+@dataclass(frozen=True)
+class MapDownload(Event):
+    """One mapped output buffer brought device storage -> host."""
+
+    kind: ClassVar[str] = "map_download"
+    buffer: str = ""
+    bytes_raw: int = 0
+    bytes_wire: int = 0
+    start: float = 0.0
+    end: float = 0.0
+
+
+@dataclass(frozen=True)
+class CacheHit(Event):
+    """A staged-input cache hit: the upload was skipped entirely."""
+
+    kind: ClassVar[str] = "cache_hit"
+    buffer: str = ""
+    bytes_saved: int = 0
+
+
+@dataclass(frozen=True)
+class SparkSubmit(Event):
+    """One ``spark-submit`` attempt over SSH (success or failure)."""
+
+    kind: ClassVar[str] = "spark_submit"
+    region: str = ""
+    submission: int = 1
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class Resubmit(Event):
+    """A failed/lost Spark job is being resubmitted after a delay."""
+
+    kind: ClassVar[str] = "resubmit"
+    region: str = ""
+    submission: int = 1
+    delay_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobStart(Event):
+    """The Spark driver accepted a job and built its task set."""
+
+    kind: ClassVar[str] = "job_start"
+    job_id: int = 0
+    tasks: int = 0
+
+
+@dataclass(frozen=True)
+class JobEnd(Event):
+    """The job's last result was collected."""
+
+    kind: ClassVar[str] = "job_end"
+    job_id: int = 0
+    makespan_s: float = 0.0
+    tasks_recomputed: int = 0
+
+
+@dataclass(frozen=True)
+class TaskStart(Event):
+    """One task began executing on a worker (``time`` = slot start)."""
+
+    kind: ClassVar[str] = "task_start"
+    task_id: int = 0
+    worker: str = ""
+
+
+@dataclass(frozen=True)
+class TaskEnd(Event):
+    """The task finished (``time`` = slot end)."""
+
+    kind: ClassVar[str] = "task_end"
+    task_id: int = 0
+    worker: str = ""
+    duration_s: float = 0.0
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class Retry(Event):
+    """A transient failure is being retried under a RetryPolicy."""
+
+    kind: ClassVar[str] = "retry"
+    op: str = ""
+    attempt: int = 1
+    delay_s: float = 0.0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class Preemption(Event):
+    """A spot instance backing a worker was reclaimed by the provider."""
+
+    kind: ClassVar[str] = "preemption"
+    worker: str = ""
+
+
+@dataclass(frozen=True)
+class Recovery(Event):
+    """A replacement worker came up for a preempted one."""
+
+    kind: ClassVar[str] = "recovery"
+    worker: str = ""
+    duration_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class Fallback(Event):
+    """The runtime degraded an offload to host execution."""
+
+    kind: ClassVar[str] = "fallback"
+    region: str = ""
+    device: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class BreakerOpen(Event):
+    """The device circuit breaker tripped open."""
+
+    kind: ClassVar[str] = "breaker_open"
+    device: str = ""
+    consecutive_failures: int = 0
+
+
+@dataclass(frozen=True)
+class ExecutorLost(Event):
+    """An executor died (fault injection, preemption, task crash)."""
+
+    kind: ClassVar[str] = "executor_lost"
+    worker: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class StorageOp(Event):
+    """One object-store operation completed (PUT/GET/HEAD/EXISTS)."""
+
+    kind: ClassVar[str] = "storage_op"
+    store: str = ""
+    op: str = ""
+    key: str = ""
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class SSHConnect(Event):
+    """An SSH session handshake (``ok=False`` for refused/unauthorized)."""
+
+    kind: ClassVar[str] = "ssh_connect"
+    host: str = ""
+    user: str = ""
+    ok: bool = True
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class LogEvent(Event):
+    """One SparkLog record, mirrored onto the bus."""
+
+    kind: ClassVar[str] = "log"
+    level: str = "INFO"
+    component: str = ""
+    message: str = ""
+
+
+#: Every event kind the runtime can emit (the coverage test asserts each one
+#: is exercised at least once).
+EVENT_KINDS: frozenset[str] = frozenset(EVENT_TYPES)
+
+Subscriber = Callable[[Event], None]
+
+
+@dataclass
+class _Scope:
+    correlation_id: str
+    root_span: int = 0
+
+
+class EventBus:
+    """Typed publish/subscribe hub with per-offload correlation stamping.
+
+    Thread-safe: the cloud plugin stages buffers from one thread each, and
+    their storage/retry events land on the same bus.  ``keep_history=True``
+    additionally records every emitted event (tests, derived views, traces);
+    the process-default bus keeps no history so long-lived processes do not
+    accumulate memory.
+    """
+
+    def __init__(self, keep_history: bool = False) -> None:
+        self._subs: list[tuple[Subscriber, frozenset[str] | None]] = []
+        self._history: list[Event] | None = [] if keep_history else None
+        self._lock = threading.Lock()
+        self._span_seq = itertools.count(1)
+        self._corr_seq = itertools.count(1)
+        self._scopes: list[_Scope] = []
+
+    # ------------------------------------------------------------ subscribers
+    def subscribe(
+        self,
+        fn: Subscriber,
+        kinds: Iterable[str] | None = None,
+    ) -> Callable[[], None]:
+        """Register ``fn`` for ``kinds`` (all kinds when None).  Returns an
+        unsubscribe callable."""
+        want = None if kinds is None else frozenset(kinds)
+        if want is not None:
+            unknown = want - EVENT_KINDS
+            if unknown:
+                raise ValueError(f"unknown event kinds: {sorted(unknown)}")
+        entry = (fn, want)
+        with self._lock:
+            self._subs.append(entry)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if entry in self._subs:
+                    self._subs.remove(entry)
+
+        return unsubscribe
+
+    # --------------------------------------------------------------- emission
+    def emit(self, event: Event) -> Event | None:
+        """Stamp correlation ids onto ``event`` and deliver it.
+
+        Returns the stamped event, or None when nothing is listening (the
+        fast path skips stamping entirely)."""
+        with self._lock:
+            if not self._subs and self._history is None:
+                return None
+            scope = self._scopes[-1] if self._scopes else None
+            span_id = next(self._span_seq)
+            parent = 0
+            corr = event.correlation_id
+            if scope is not None:
+                corr = corr or scope.correlation_id
+                if isinstance(event, TargetBegin) and scope.root_span == 0:
+                    scope.root_span = span_id
+                    parent = (self._scopes[-2].root_span
+                              if len(self._scopes) > 1 else 0)
+                else:
+                    parent = scope.root_span
+            stamped = replace(event, correlation_id=corr, span_id=span_id,
+                              parent_id=parent)
+            if self._history is not None:
+                self._history.append(stamped)
+            subs = list(self._subs)
+        for fn, want in subs:
+            if want is None or stamped.kind in want:
+                fn(stamped)
+        return stamped
+
+    @contextmanager
+    def offload_scope(self, name: str) -> Iterator[str]:
+        """Open a correlation scope for one offload of region ``name``.
+
+        Yields the correlation id.  Scopes nest (a host fallback inside a
+        cloud offload keeps the outer id as its parent span)."""
+        with self._lock:
+            corr = f"{name}#{next(self._corr_seq)}"
+            self._scopes.append(_Scope(correlation_id=corr))
+        try:
+            yield corr
+        finally:
+            with self._lock:
+                self._scopes.pop()
+
+    def current_correlation(self) -> str:
+        """The innermost active correlation id ('' outside any scope)."""
+        with self._lock:
+            return self._scopes[-1].correlation_id if self._scopes else ""
+
+    # ---------------------------------------------------------------- history
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """Recorded events (empty when history is disabled)."""
+        with self._lock:
+            return tuple(self._history) if self._history is not None else ()
+
+    def events_of(self, *kinds: str) -> list[Event]:
+        return [e for e in self.events if e.kind in kinds]
+
+    def counts(self) -> dict[str, int]:
+        """Recorded events per kind (sorted by kind for stable output)."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._history is not None:
+                self._history.clear()
+
+
+#: Process-wide default bus (history off: zero-cost until someone subscribes).
+_default_bus = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The process-wide bus every instrumented layer emits to."""
+    return _default_bus
+
+
+def set_bus(bus: EventBus) -> EventBus:
+    """Swap the process-wide bus; returns the previous one."""
+    global _default_bus
+    old = _default_bus
+    _default_bus = bus
+    return old
+
+
+@contextmanager
+def use_bus(bus: EventBus) -> Iterator[EventBus]:
+    """Temporarily install ``bus`` as the process-wide bus."""
+    old = set_bus(bus)
+    try:
+        yield bus
+    finally:
+        set_bus(old)

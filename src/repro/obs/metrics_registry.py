@@ -1,0 +1,320 @@
+"""Counters, gauges and histograms with a Prometheus text exposition.
+
+The registry is deliberately small and dependency-free: metric names follow
+the Prometheus data model (``[a-zA-Z_:][a-zA-Z0-9_:]*``), label values are
+free-form, histograms use cumulative ``le`` buckets, and
+:meth:`MetricsRegistry.to_prometheus` renders the standard text format::
+
+    # HELP repro_bytes_up_total Raw bytes staged host -> device storage.
+    # TYPE repro_bytes_up_total counter
+    repro_bytes_up_total{buffer="A"} 4.194304e+06
+
+Everything is deterministic — metric families and label sets are emitted in
+sorted order — so exposition output and :meth:`MetricsRegistry.snapshot`
+dictionaries diff cleanly across runs, which the benchmark-regression
+harness (:mod:`repro.obs.bench`) relies on.
+
+Time units are *simulated* seconds throughout, matching the rest of the
+reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from typing import Iterable, Mapping
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Cumulative upper bounds for duration histograms (simulated seconds).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.02, 0.1, 0.5, 1.0, 5.0, 20.0, 60.0, 300.0, 1800.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+class MetricError(Exception):
+    """Bad metric name, label, or kind mismatch."""
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise MetricError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = key + extra
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """Prometheus number formatting: integers without a trailing .0."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """One metric family: a name plus per-labelset values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    # Subclasses implement: _sample_lines(), _snapshot_values()
+
+    def exposition(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines.extend(self._sample_lines())
+        return lines
+
+    def _sample_lines(self) -> list[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _snapshot_values(self) -> list[dict[str, object]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, object]:
+        return {"kind": self.kind, "help": self.help,
+                "values": self._snapshot_values()}
+
+
+class Counter(Metric):
+    """Monotonically increasing count (bytes moved, retries, tasks run)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def _sample_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [f"{self.name}{_render_labels(k)} {_fmt(v)}" for k, v in items]
+
+    def _snapshot_values(self) -> list[dict[str, object]]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [{"labels": dict(k), "value": v} for k, v in items]
+
+
+class Gauge(Metric):
+    """A value that goes up and down (in-flight tasks, active workers)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def _sample_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [f"{self.name}{_render_labels(k)} {_fmt(v)}" for k, v in items]
+
+    def _snapshot_values(self) -> list[dict[str, object]]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [{"labels": dict(k), "value": v} for k, v in items]
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Distribution with cumulative ``le`` buckets (task/offload durations)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help)
+        bounds = sorted(set(float(b) for b in buckets))
+        if not bounds:
+            raise MetricError(f"histogram {name} needs at least one bucket")
+        self.buckets: tuple[float, ...] = tuple(bounds)
+        self._states: dict[LabelKey, _HistogramState] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = _HistogramState(len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.bucket_counts[i] += 1
+            state.total += value
+            state.count += 1
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            state = self._states.get(_label_key(labels))
+            return state.count if state is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        with self._lock:
+            state = self._states.get(_label_key(labels))
+            return state.total if state is not None else 0.0
+
+    def _sample_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted((k, (list(s.bucket_counts), s.total, s.count))
+                           for k, s in self._states.items())
+        lines = []
+        for key, (bucket_counts, total, count) in items:
+            for bound, cumulative in zip(self.buckets, bucket_counts):
+                le = (("le", _fmt(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(key, le)} {cumulative}")
+            inf = (("le", "+Inf"),)
+            lines.append(f"{self.name}_bucket{_render_labels(key, inf)} {count}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} {_fmt(total)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {count}")
+        return lines
+
+    def _snapshot_values(self) -> list[dict[str, object]]:
+        with self._lock:
+            items = sorted((k, (list(s.bucket_counts), s.total, s.count))
+                           for k, s in self._states.items())
+        return [
+            {
+                "labels": dict(key),
+                "buckets": {_fmt(b): c
+                            for b, c in zip(self.buckets, bucket_counts)},
+                "sum": total,
+                "count": count,
+            }
+            for key, (bucket_counts, total, count) in items
+        ]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with one exposition endpoint.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice for
+    the same name returns the same object, asking for a name that exists
+    with a different kind raises :class:`MetricError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls: type, name: str, help: str,
+                       **kwargs: object) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(Counter, name, help)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(Gauge, name, help)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help, buckets=buckets)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    # ----------------------------------------------------------------- output
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        with self._lock:
+            try:
+                return self._metrics[name]
+            except KeyError:
+                raise MetricError(f"no metric named {name!r}") from None
+
+    def to_prometheus(self) -> str:
+        """The Prometheus/OpenMetrics text exposition of every metric."""
+        lines: list[str] = []
+        for name in self.names():
+            lines.extend(self.get(name).exposition())
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serializable state of every metric (sorted, deterministic)."""
+        return {name: self.get(name).snapshot() for name in self.names()}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)

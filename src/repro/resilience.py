@@ -30,6 +30,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Tuple, Type
 
+from repro.obs.events import Retry, get_bus
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -105,6 +107,7 @@ def retry_call(
     retry_on: Tuple[Type[BaseException], ...] = (Exception,),
     op_name: str = "",
     on_retry: RetryHook | None = None,
+    now: Callable[[], float] | None = None,
     **kwargs: Any,
 ):
     """Run ``fn(*args, **kwargs)`` under ``policy``.
@@ -114,6 +117,10 @@ def retry_call(
     count, the backoff to charge, and the exception — callers use it to log
     and to advance the simulated clock.  The last exception is re-raised when
     attempts (or the deadline budget) run out.
+
+    Every retry is also published to the process event bus as a
+    :class:`~repro.obs.events.Retry`, stamped with the simulated time from
+    ``now()`` when given (0.0 otherwise).
     """
     last: BaseException | None = None
     backoff_total = 0.0
@@ -129,6 +136,14 @@ def retry_call(
                     and backoff_total + delay > policy.deadline_s):
                 break
             backoff_total += delay
+            get_bus().emit(Retry(
+                time=now() if now is not None else 0.0,
+                resource="host",
+                op=op_name or getattr(fn, "__name__", "op"),
+                attempt=attempt,
+                delay_s=delay,
+                error=str(exc),
+            ))
             if on_retry is not None:
                 on_retry(attempt, delay, exc)
     assert last is not None

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.obs.events import JobEnd, JobStart, get_bus
 from repro.simtime.timeline import Timeline
 from repro.spark.broadcast import Broadcast
 from repro.spark.faults import NO_FAULTS, FaultPlan
@@ -103,6 +104,9 @@ class Driver:
                                                   costs.output_bytes < 0)
             tasks.append(task)
 
+        bus = get_bus()
+        bus.emit(JobStart(time=self.cluster.clock.now, resource="driver",
+                          job_id=self._job_seq, tasks=len(tasks)))
         stats = self.scheduler.run_job(
             tasks,
             executors=self.cluster.executors,
@@ -113,6 +117,9 @@ class Driver:
             fault_plan=fault_plan,
             functional=functional,
         )
+        bus.emit(JobEnd(time=self.cluster.clock.now, resource="driver",
+                        job_id=self._job_seq, makespan_s=stats.makespan_s,
+                        tasks_recomputed=stats.recomputed_tasks))
         partitions = [r.value if r.value is not None else [] for r in stats.results]
         return JobResult(partitions=partitions, stats=stats, timeline=timeline)
 

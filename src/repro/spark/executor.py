@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs.events import ExecutorLost, get_bus
 from repro.simtime.resources import Reservation, SlotPool
 from repro.spark.accumulators import TaskAccumulatorScope
 
@@ -55,8 +56,11 @@ class Executor:
         return self.vcpus // 2
 
     # -------------------------------------------------------------- failures
-    def mark_dead(self) -> None:
+    def mark_dead(self, now: float = 0.0, reason: str = "") -> None:
         """Blacklist this executor: no further reservations or closures."""
+        if not self._dead:
+            get_bus().emit(ExecutorLost(time=now, resource=self.worker_id,
+                                        worker=self.worker_id, reason=reason))
         self._dead = True
         for slot in self.pool.slots:
             slot.free_at = float("inf")

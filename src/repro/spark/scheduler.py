@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.cloud.network import NetworkModel
+from repro.obs.events import TaskEnd, TaskStart, get_bus
 from repro.simtime.clock import SimClock
 from repro.simtime.timeline import Phase, Timeline
 from repro.spark.broadcast import Broadcast
@@ -199,14 +200,15 @@ class TaskScheduler:
             # reschedule; no work was lost, so nothing is recomputed.
             death = fault_plan.death_time(ex.worker_id)
             if death is not None and death < res.start:
-                ex.mark_dead()
+                ex.mark_dead(now=death, reason="dead before task start")
                 ready = max(ready, death + self.costs.failure_detect_s)
                 attempts -= 1  # not a task failure, only a placement miss
                 continue
 
             # Simulated-time death of the worker mid-task.
             if fault_plan.kills_reservation(ex.worker_id, res.start, res.end):
-                ex.mark_dead()
+                ex.mark_dead(now=death if death is not None else res.start,
+                             reason="died mid-task")
                 stats.recomputed_tasks += 1
                 ready = max(ready, death + self.costs.failure_detect_s)
                 continue
@@ -216,7 +218,7 @@ class TaskScheduler:
             if functional and task.closure is not None:
                 if fault_plan.should_raise(ex.worker_id, ex.tasks_executed + 1):
                     ex.tasks_executed += 1
-                    ex.mark_dead()
+                    ex.mark_dead(now=res.start, reason="task crashed")
                     stats.recomputed_tasks += 1
                     midpoint = res.start + task.slot_duration_s / 2.0
                     ready = max(ready, midpoint + self.costs.failure_detect_s)
@@ -229,6 +231,13 @@ class TaskScheduler:
                     continue
 
             self._record_task_spans(task, res.start, ex.worker_id, timeline)
+            bus = get_bus()
+            bus.emit(TaskStart(time=res.start, resource=ex.worker_id,
+                               task_id=task.task_id, worker=ex.worker_id))
+            bus.emit(TaskEnd(time=res.end, resource=ex.worker_id,
+                             task_id=task.task_id, worker=ex.worker_id,
+                             duration_s=task.slot_duration_s,
+                             attempts=attempts))
             return TaskResult(task=task, worker_id=ex.worker_id,
                               start=res.start, end=res.end, value=value,
                               attempts=attempts)

@@ -1,0 +1,61 @@
+"""figure5_stack must account for resilience time (regression test).
+
+Before the fix, retry/resubmission backoff was charged to ``full_s`` by the
+clock but missing from the Figure-5 stack, so the stacked components of a
+faulty run summed to *less* than the wall time they claim to decompose.
+"""
+
+import pytest
+
+from repro.core.api import offload
+from repro.core.buffers import ExecutionMode
+from repro.core.report import OffloadReport
+from repro.simtime.timeline import (
+    BUCKET_COMPUTE,
+    BUCKET_HOST_COMM,
+    BUCKET_RESILIENCE,
+    BUCKET_SPARK,
+)
+from repro.spark.faults import FaultPlan
+from repro.workloads import WORKLOADS
+
+from tests.conftest import make_cloud_runtime
+
+
+def test_stack_includes_resilience_bucket_when_backoff_charged():
+    report = OffloadReport(region_name="r", device_name="CLOUD", mode="modeled",
+                           host_comm_up_s=1.0, host_comm_down_s=0.5,
+                           spark_job_s=4.0, computation_s=3.0,
+                           retries=2, backoff_s=1.5)
+    assert report.resilience_s == 1.5
+    assert report.full_s == pytest.approx(7.0)  # 1.5 comm + 4 spark + 1.5 backoff
+    stack = report.figure5_stack()
+    assert set(stack) == {BUCKET_HOST_COMM, BUCKET_SPARK, BUCKET_COMPUTE,
+                          BUCKET_RESILIENCE}
+    assert stack[BUCKET_RESILIENCE] == pytest.approx(1.5)
+    assert sum(stack.values()) == pytest.approx(report.full_s)
+
+
+def test_fault_free_stack_keeps_the_papers_three_buckets():
+    report = OffloadReport(region_name="r", device_name="CLOUD", mode="modeled",
+                           host_comm_up_s=1.0, spark_job_s=4.0,
+                           computation_s=3.0)
+    stack = report.figure5_stack()
+    assert set(stack) == {BUCKET_HOST_COMM, BUCKET_SPARK, BUCKET_COMPUTE}
+    assert sum(stack.values()) == pytest.approx(report.full_s)
+
+
+def test_faulty_offload_stack_sums_to_full(cloud_config):
+    """End to end: an SSH flake charges backoff and the stack still sums."""
+    plan = FaultPlan(ssh_connect_failures=2)
+    rt = make_cloud_runtime(cloud_config, fault_plan=plan)
+    spec = WORKLOADS["matmul"]
+    report = offload(spec.build_region("CLOUD"), scalars=spec.scalars(),
+                     runtime=rt, mode=ExecutionMode.MODELED)
+    assert report.backoff_s > 0.0
+    stack = report.figure5_stack()
+    assert stack[BUCKET_RESILIENCE] == pytest.approx(report.backoff_s)
+    assert sum(stack.values()) == pytest.approx(report.full_s)
+    # The milestone itself includes the waited-through backoff.
+    assert report.full_s == pytest.approx(
+        report.host_comm_s + report.spark_job_s + report.backoff_s)

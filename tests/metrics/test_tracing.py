@@ -19,7 +19,8 @@ def test_structure():
     trace = to_chrome_trace(_tl())
     assert "traceEvents" in trace
     kinds = {e["ph"] for e in trace["traceEvents"]}
-    assert kinds == {"M", "X"}
+    # M (metadata) + X (spans) always; C (counters) from the COMPUTE span.
+    assert kinds == {"M", "X", "C"}
 
 
 def test_spans_become_complete_events():
@@ -73,3 +74,95 @@ def test_cli_trace_flag(tmp_path, capsys):
     assert path.exists()
     payload = json.loads(path.read_text())
     assert payload["traceEvents"]
+
+
+# ------------------------------------------------- counters, flows, schema
+def test_counter_track_follows_compute_overlap():
+    tl = Timeline()
+    tl.record(Phase.COMPUTE, 0.0, 4.0, resource="w0")
+    tl.record(Phase.COMPUTE, 1.0, 3.0, resource="w1")
+    counters = [e for e in to_chrome_trace(tl)["traceEvents"]
+                if e["ph"] == "C" and e["name"] == "active workers"]
+    profile = [(e["ts"], e["args"]["workers"]) for e in counters]
+    # 1 worker at t=0, 2 at t=1, back to 1 at t=3, 0 at t=4.
+    assert profile == [(0.0, 1), (1.0e6, 2), (3.0e6, 1), (4.0e6, 0)]
+
+
+def test_in_flight_bytes_counter_from_events():
+    from repro.obs.events import MapUpload
+
+    events = [MapUpload(buffer="A", bytes_wire=100, start=0.0, end=2.0),
+              MapUpload(buffer="B", bytes_wire=50, start=1.0, end=3.0)]
+    counters = [e for e in to_chrome_trace(Timeline(), events=events)["traceEvents"]
+                if e["ph"] == "C" and e["name"] == "in-flight bytes"]
+    values = [e["args"]["bytes"] for e in counters]
+    assert values == [100, 150, 50, 0]
+
+
+def test_flow_links_retry_to_resubmit():
+    tl = Timeline()
+    tl.record(Phase.RETRY_BACKOFF, 1.0, 2.0, resource="host")
+    tl.record(Phase.RESUBMIT, 2.5, 3.0, resource="host")
+    flows = [e for e in to_chrome_trace(tl)["traceEvents"]
+             if e["ph"] in ("s", "f")]
+    assert len(flows) == 2
+    start = next(e for e in flows if e["ph"] == "s")
+    end = next(e for e in flows if e["ph"] == "f")
+    assert start["id"] == end["id"]
+    assert start["ts"] == pytest.approx(2.0e6)   # retry span end
+    assert end["ts"] == pytest.approx(2.5e6)     # resubmit span start
+    assert end["bp"] == "e"
+    assert start["name"] == end["name"] == "retry->resubmit"
+
+
+def test_retry_without_resubmit_emits_no_flow():
+    tl = Timeline()
+    tl.record(Phase.RETRY_BACKOFF, 1.0, 2.0, resource="host")
+    flows = [e for e in to_chrome_trace(tl)["traceEvents"]
+             if e["ph"] in ("s", "f")]
+    assert flows == []
+
+
+def test_spans_are_sorted_by_start():
+    tl = Timeline()
+    tl.record(Phase.COMPUTE, 5.0, 6.0, resource="late")
+    tl.record(Phase.HOST_UPLOAD, 0.0, 1.0, resource="host")
+    xs = [e for e in to_chrome_trace(tl)["traceEvents"] if e["ph"] == "X"]
+    assert [e["ts"] for e in xs] == sorted(e["ts"] for e in xs)
+
+
+def test_validate_trace_round_trip(tmp_path):
+    """The schema checker accepts everything this exporter writes — for a
+    synthetic resilience timeline and for a real offload's trace."""
+    from repro.metrics.tracing import validate_trace
+
+    tl = Timeline()
+    tl.record(Phase.HOST_UPLOAD, 0.0, 1.0, resource="host")
+    tl.record(Phase.RETRY_BACKOFF, 1.0, 2.0, resource="host")
+    tl.record(Phase.RESUBMIT, 2.5, 3.0, resource="host")
+    tl.record(Phase.COMPUTE, 3.0, 5.0, resource="w0")
+    path = write_chrome_trace(tl, str(tmp_path / "t.json"))
+    validate_trace(json.loads(open(path).read()))
+
+
+def test_validate_trace_rejects_malformed():
+    from repro.metrics.tracing import validate_trace
+
+    good = to_chrome_trace(_tl())
+    with pytest.raises(ValueError, match="top-level"):
+        validate_trace({"traceEvents": []})
+    bad = json.loads(json.dumps(good))
+    bad["traceEvents"][0]["ph"] = "Z"
+    with pytest.raises(ValueError, match="unknown phase"):
+        validate_trace(bad)
+    bad = json.loads(json.dumps(good))
+    xe = next(e for e in bad["traceEvents"] if e["ph"] == "X")
+    xe["dur"] = -1.0
+    with pytest.raises(ValueError, match="dur"):
+        validate_trace(bad)
+    # An unpaired flow id is also rejected.
+    bad = json.loads(json.dumps(good))
+    bad["traceEvents"].append({"name": "f", "ph": "s", "pid": 1, "tid": 0,
+                               "id": 99, "ts": 0.0})
+    with pytest.raises(ValueError, match="unpaired"):
+        validate_trace(bad)

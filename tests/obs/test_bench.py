@@ -1,0 +1,177 @@
+"""Benchmark harness: BENCH_*.json schema, regression compare, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    REGRESSION_MILESTONES,
+    SCHEMA,
+    bench_filename,
+    compare,
+    load_bench,
+    run_benchmark,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_payload():
+    return run_benchmark("matmul", quick=True)
+
+
+def test_payload_schema(quick_payload):
+    p = quick_payload
+    assert p["schema"] == SCHEMA
+    assert p["benchmark"] == "matmul"
+    assert p["params"]["mode"] == "modeled" and p["params"]["quick"] is True
+    ms = p["milestones"]
+    for key in REGRESSION_MILESTONES:
+        assert key in ms and ms[key] > 0.0
+    assert ms["speedup_full"] > 0.0
+    assert ms["bytes_up_wire"] > 0
+    # Event counts and a metrics snapshot ride along with the milestones.
+    assert p["events"]["target_end"] == 1
+    assert p["events"]["task_end"] == p["events"]["task_start"] > 0
+    assert "repro_offloads_total" in p["metrics"]
+
+
+def test_modeled_runs_are_deterministic(quick_payload):
+    again = run_benchmark("matmul", quick=True)
+    assert again["milestones"] == quick_payload["milestones"]
+    assert again["events"] == quick_payload["events"]
+
+
+def test_write_load_round_trip(tmp_path, quick_payload):
+    path = write_bench(quick_payload, str(tmp_path))
+    assert path.endswith(bench_filename("matmul"))
+    assert load_bench(path) == quick_payload
+    # Stable serialization: sorted keys, trailing newline.
+    text = open(path).read()
+    assert text.endswith("\n")
+    assert json.loads(text) == quick_payload
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    bad = tmp_path / "BENCH_x.json"
+    bad.write_text(json.dumps({"schema": "nope/9"}))
+    with pytest.raises(ValueError, match="schema"):
+        load_bench(str(bad))
+
+
+def test_compare_passes_on_identical(quick_payload):
+    assert compare(quick_payload, quick_payload) == []
+
+
+def test_compare_flags_injected_regression(quick_payload):
+    slow = copy.deepcopy(quick_payload)
+    slow["milestones"]["full_s"] *= 1.5
+    regs = compare(quick_payload, slow)
+    assert [r.milestone for r in regs] == ["full_s"]
+    assert regs[0].ratio == pytest.approx(1.5)
+    assert "full_s" in regs[0].describe()
+
+
+def test_compare_ignores_improvements_and_small_noise(quick_payload):
+    fast = copy.deepcopy(quick_payload)
+    fast["milestones"]["full_s"] *= 0.5        # improvement: fine
+    fast["milestones"]["spark_job_s"] *= 1.05  # within 10% threshold: fine
+    assert compare(quick_payload, fast) == []
+
+
+def test_compare_ignores_non_time_milestones(quick_payload):
+    other = copy.deepcopy(quick_payload)
+    other["milestones"]["bytes_up_wire"] *= 10  # not a gated milestone
+    other["milestones"]["speedup_full"] *= 0.1
+    assert compare(quick_payload, other) == []
+
+
+def test_compare_rejects_benchmark_mismatch(quick_payload):
+    other = copy.deepcopy(quick_payload)
+    other["benchmark"] = "gemm"
+    with pytest.raises(ValueError, match="mismatch"):
+        compare(quick_payload, other)
+
+
+def test_unknown_benchmark_name():
+    with pytest.raises(KeyError):
+        run_benchmark("not-a-workload", quick=True)
+
+
+# ----------------------------------------------------------------------- CLI
+def test_cli_bench_writes_files(tmp_path, capsys):
+    out = tmp_path / "results"
+    assert main(["bench", "matmul", "--quick", "--out", str(out)]) == 0
+    path = out / "BENCH_matmul.json"
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == SCHEMA
+    assert "matmul" in capsys.readouterr().out
+
+
+def test_cli_bench_json_flag(tmp_path, capsys):
+    assert main(["bench", "matmul", "--quick", "--json",
+                 "--out", str(tmp_path)]) == 0
+    stdout = capsys.readouterr().out
+    payload = json.loads(stdout[stdout.index("{"):])
+    assert payload["benchmark"] == "matmul"
+
+
+def test_cli_bench_unknown_name_exits_2(tmp_path, capsys):
+    assert main(["bench", "nope", "--quick", "--out", str(tmp_path)]) == 2
+
+
+def test_cli_bench_compare_detects_regression(tmp_path, capsys):
+    """An injected slowdown in the baseline trips the gate with exit 1."""
+    base_dir = tmp_path / "base"
+    assert main(["bench", "matmul", "--quick", "--out", str(base_dir)]) == 0
+    baseline = base_dir / "BENCH_matmul.json"
+    payload = json.loads(baseline.read_text())
+    for key in REGRESSION_MILESTONES:
+        payload["milestones"][key] *= 0.5  # pretend the past was 2x faster
+    baseline.write_text(json.dumps(payload))
+
+    code = main(["bench", "--quick", "--out", str(tmp_path / "cur"),
+                 "--compare", str(base_dir)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err and "full_s" in err
+
+
+def test_cli_bench_compare_passes_against_fresh_baseline(tmp_path, capsys):
+    base_dir = tmp_path / "base"
+    assert main(["bench", "matmul", "--quick", "--out", str(base_dir)]) == 0
+    code = main(["bench", "matmul", "--quick", "--out", str(tmp_path / "cur"),
+                 "--compare", str(base_dir)])
+    assert code == 0
+    assert "REGRESSION" not in capsys.readouterr().err
+
+
+def test_cli_bench_compare_defaults_targets_to_baseline_set(tmp_path, capsys):
+    """With --compare and no explicit targets, the baseline names choose
+    what runs (that is how CI stays in sync with the committed set)."""
+    base_dir = tmp_path / "base"
+    assert main(["bench", "matmul", "gemm", "--quick",
+                 "--out", str(base_dir)]) == 0
+    capsys.readouterr()
+    code = main(["bench", "--quick", "--out", str(tmp_path / "cur"),
+                 "--compare", str(base_dir)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "matmul" in out and "gemm" in out and "syrk" not in out
+
+
+def test_committed_baselines_match_current_model():
+    """The checked-in CI baselines must stay reproducible on this tree."""
+    import os
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "benchmarks", "baselines")
+    names = sorted(os.listdir(root))
+    assert len(names) == 8
+    for fname in names:
+        baseline = load_bench(os.path.join(root, fname))
+        current = run_benchmark(baseline["benchmark"], quick=True)
+        assert compare(baseline, current) == []

@@ -1,0 +1,79 @@
+"""Every event kind the runtime can emit is exercised at least once.
+
+The catalogue in ``repro.obs.events`` is only useful if the runtime really
+emits each kind — an event type nothing emits is dead weight, and an emission
+site nothing tests can silently rot.  Four scenarios (healthy offload,
+cache-hit rerun, chaos run, breaker trip) must between them cover the whole
+of ``EVENT_KINDS``.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.api import ParallelLoop, TargetRegion, offload
+from repro.core.buffers import ExecutionMode
+from repro.obs.events import EVENT_KINDS, EventBus, use_bus
+from repro.spark.faults import FaultPlan
+from repro.workloads import WORKLOADS
+
+from tests.conftest import make_cloud_runtime
+
+
+def _copy_region():
+    def body(lo, hi, arrays, scalars):
+        arrays["C"][lo:hi] = np.asarray(arrays["A"][lo:hi])
+
+    return TargetRegion(
+        name="covcopy",
+        pragmas=["omp target device(CLOUD)",
+                 "omp map(to: A[:N]) map(from: C[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=("A",), writes=("C",),
+            partition_pragma="omp target data map(to: A[i:i+1]) map(from: C[i:i+1])",
+            body=body,
+        )],
+    )
+
+
+def test_every_event_kind_is_emitted(cloud_config):
+    bus = EventBus(keep_history=True)
+    with use_bus(bus):
+        # 1. Cached rerun: map traffic, storage, SSH, Spark lifecycle, logs —
+        #    and a cache hit on the second pass over identical bytes.
+        rt = make_cloud_runtime(replace(cloud_config, cache=True))
+        a = np.arange(256, dtype=np.float32)
+        for _ in range(2):
+            c = np.zeros_like(a)
+            offload(_copy_region(), arrays={"A": a, "C": c},
+                    scalars={"N": len(a)}, runtime=rt)
+
+        # 2. Chaos: SSH flake (retry), a failed spark-submit (resubmit), a
+        #    spot preemption (preemption/recovery/executor_lost) and a task
+        #    crash, all survived.
+        spec = WORKLOADS["gemm"]
+        plan = FaultPlan(ssh_connect_failures=1, spark_submit_failures=1,
+                         preempt_at={"worker-1": 0.2},
+                         fail_task_number={"worker-0": 1})
+        chaos_rt = make_cloud_runtime(cloud_config, physical_cores=64,
+                                      fault_plan=plan)
+        chaos_rt.device("CLOUD").storage.inject_failures(puts=1)
+        offload(spec.build_region("CLOUD"),
+                arrays=spec.inputs(spec.test_size, density=1.0, seed=5),
+                scalars=spec.scalars(spec.test_size), runtime=chaos_rt)
+
+        # 3. Breaker trip: an unreachable endpoint degrades to host
+        #    (fallback + breaker_open + the host plugin's task events).
+        broken_rt = make_cloud_runtime(replace(cloud_config,
+                                               breaker_threshold=1))
+        broken_rt.device("CLOUD").endpoint.reachable = False
+        mm = WORKLOADS["matmul"]
+        with pytest.warns(RuntimeWarning, match="falling back to host"):
+            offload(mm.build_region("CLOUD"), scalars=mm.scalars(),
+                    runtime=broken_rt, mode=ExecutionMode.MODELED)
+
+    emitted = set(bus.counts())
+    missing = EVENT_KINDS - emitted
+    assert not missing, f"never emitted: {sorted(missing)}"

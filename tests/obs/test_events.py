@@ -1,0 +1,163 @@
+"""Event bus: typed events, correlation stamping, subscription."""
+
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EVENT_TYPES,
+    Event,
+    EventBus,
+    Retry,
+    TargetBegin,
+    TargetEnd,
+    get_bus,
+    set_bus,
+    use_bus,
+)
+
+
+def test_catalogue_is_closed_and_typed():
+    assert len(EVENT_KINDS) == 20
+    for kind, cls in EVENT_TYPES.items():
+        assert cls.kind == kind
+        assert issubclass(cls, Event)
+    # Stable snake_case discriminators.
+    assert all(k == k.lower() and " " not in k for k in EVENT_KINDS)
+
+
+def test_subclass_must_declare_kind():
+    with pytest.raises(TypeError, match="must define"):
+        class Nameless(Event):  # noqa: F811
+            pass
+
+
+def test_duplicate_kind_rejected():
+    with pytest.raises(TypeError, match="duplicate"):
+        class Clash(Event):
+            kind = "retry"
+
+
+def test_to_dict_is_flat_and_carries_kind():
+    d = Retry(time=1.5, resource="host", op="PUT", attempt=2, delay_s=0.4).to_dict()
+    assert d["kind"] == "retry"
+    assert d["op"] == "PUT" and d["attempt"] == 2
+    assert d["time"] == 1.5
+    assert all(not isinstance(v, (dict, list)) for v in d.values())
+
+
+def test_emit_without_listeners_is_a_no_op():
+    bus = EventBus()  # no history, no subscribers
+    assert bus.emit(Retry(op="PUT")) is None
+    assert bus.events == ()
+
+
+def test_history_records_stamped_events():
+    bus = EventBus(keep_history=True)
+    with bus.offload_scope("gemm") as corr:
+        bus.emit(TargetBegin(region="gemm"))
+        bus.emit(Retry(op="PUT"))
+    begin, retry = bus.events
+    assert begin.correlation_id == corr == "gemm#1"
+    assert retry.correlation_id == corr
+    # The TargetBegin span is the root; later events point back at it.
+    assert retry.parent_id == begin.span_id
+    assert begin.span_id != retry.span_id
+
+
+def test_nested_scope_keeps_outer_root_as_parent():
+    """A host rerun inside a cloud offload links to the cloud root span."""
+    bus = EventBus(keep_history=True)
+    with bus.offload_scope("outer"):
+        bus.emit(TargetBegin(region="outer"))
+        with bus.offload_scope("inner"):
+            bus.emit(TargetBegin(region="inner"))
+    outer, inner = bus.events
+    assert outer.correlation_id == "outer#1"
+    assert inner.correlation_id == "inner#2"
+    assert inner.parent_id == outer.span_id
+
+
+def test_correlation_ids_are_unique_per_offload():
+    bus = EventBus(keep_history=True)
+    seen = []
+    for _ in range(3):
+        with bus.offload_scope("matmul") as corr:
+            seen.append(corr)
+    assert len(set(seen)) == 3
+
+
+def test_current_correlation():
+    bus = EventBus()
+    assert bus.current_correlation() == ""
+    with bus.offload_scope("x") as corr:
+        assert bus.current_correlation() == corr
+    assert bus.current_correlation() == ""
+
+
+def test_subscribe_kinds_filter_and_unsubscribe():
+    bus = EventBus()
+    got = []
+    unsub = bus.subscribe(got.append, kinds=("retry",))
+    bus.emit(TargetEnd(region="r"))
+    bus.emit(Retry(op="PUT"))
+    assert [e.kind for e in got] == ["retry"]
+    unsub()
+    bus.emit(Retry(op="PUT"))
+    assert len(got) == 1
+
+
+def test_subscribe_rejects_unknown_kind():
+    bus = EventBus()
+    with pytest.raises(ValueError, match="unknown event kinds"):
+        bus.subscribe(lambda e: None, kinds=("retry", "nope"))
+
+
+def test_events_of_counts_clear():
+    bus = EventBus(keep_history=True)
+    bus.emit(Retry(op="a"))
+    bus.emit(Retry(op="b"))
+    bus.emit(TargetEnd())
+    assert len(bus.events_of("retry")) == 2
+    assert bus.counts() == {"retry": 2, "target_end": 1}
+    assert list(bus.counts()) == sorted(bus.counts())
+    bus.clear()
+    assert bus.events == ()
+
+
+def test_events_are_frozen():
+    e = Retry(op="PUT")
+    with pytest.raises(Exception):
+        e.op = "GET"
+
+
+def test_use_bus_swaps_and_restores():
+    original = get_bus()
+    scratch = EventBus(keep_history=True)
+    with use_bus(scratch) as active:
+        assert get_bus() is scratch is active
+    assert get_bus() is original
+    # set_bus returns the previous bus for manual management.
+    prev = set_bus(scratch)
+    assert prev is original
+    assert set_bus(original) is scratch
+
+
+def test_emission_is_thread_safe():
+    """Parallel staging threads emit onto one bus without losing events."""
+    bus = EventBus(keep_history=True)
+    n, workers = 200, 8
+
+    def pump():
+        for _ in range(n):
+            bus.emit(Retry(op="PUT"))
+
+    threads = [threading.Thread(target=pump) for _ in range(workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    events = bus.events
+    assert len(events) == n * workers
+    assert len({e.span_id for e in events}) == n * workers  # unique span ids

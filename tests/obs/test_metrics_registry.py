@@ -1,0 +1,149 @@
+"""Metrics registry: counters, gauges, histograms, exposition format."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.metrics_registry import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+def test_counter_inc_and_labels():
+    r = MetricsRegistry()
+    c = r.counter("repro_test_total", "things")
+    c.inc()
+    c.inc(2, op="PUT")
+    c.inc(op="PUT")
+    assert c.value() == 1
+    assert c.value(op="PUT") == 3
+    assert c.total() == 4
+
+
+def test_counter_rejects_negative():
+    c = MetricsRegistry().counter("c_total")
+    with pytest.raises(MetricError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("g")
+    g.set(5)
+    g.dec(2)
+    g.inc()
+    assert g.value() == 4
+
+
+def test_histogram_buckets_are_cumulative():
+    h = MetricsRegistry().histogram("h_seconds", buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count() == 3
+    assert h.sum() == pytest.approx(55.5)
+    lines = h.exposition()
+    buckets = [ln for ln in lines if "_bucket" in ln]
+    # le="1" sees 1, le="10" sees 2, le="+Inf" sees all 3 — cumulative.
+    assert any('le="1"} 1' in ln for ln in buckets)
+    assert any('le="10"} 2' in ln for ln in buckets)
+    assert any('le="+Inf"} 3' in ln for ln in buckets)
+
+
+def test_get_or_create_returns_same_object():
+    r = MetricsRegistry()
+    assert r.counter("x_total") is r.counter("x_total")
+
+
+def test_kind_clash_raises():
+    r = MetricsRegistry()
+    r.counter("x_total")
+    with pytest.raises(MetricError, match="already registered"):
+        r.gauge("x_total")
+
+
+def test_invalid_names_rejected():
+    r = MetricsRegistry()
+    with pytest.raises(MetricError):
+        r.counter("9starts_with_digit")
+    with pytest.raises(MetricError):
+        r.counter("has space")
+    with pytest.raises(MetricError):
+        r.counter("ok_total").inc(**{"bad-label": "x"})
+
+
+def test_label_escaping():
+    c = MetricsRegistry().counter("esc_total")
+    c.inc(reason='quote " and \\ and\nnewline')
+    line = [ln for ln in c.exposition() if not ln.startswith("#")][0]
+    assert '\\"' in line and "\\\\" in line and "\\n" in line
+    assert "\n" not in line  # the raw newline never leaks into the sample
+
+
+def test_prometheus_exposition_parses():
+    """The exposition is well-formed Prometheus text format: every sample
+    line matches name{labels} value, every family has a # TYPE, the body
+    ends with # EOF."""
+    r = MetricsRegistry()
+    r.counter("repro_ops_total", "Operations.").inc(3, op="PUT")
+    r.gauge("repro_active", "In flight.").set(2)
+    r.histogram("repro_lat_seconds", "Latency.").observe(0.05)
+    text = r.to_prometheus()
+    assert text.endswith("# EOF\n")
+
+    sample_re = re.compile(
+        r'^[a-zA-Z_:][a-zA-Z0-9_:]*'          # metric name
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'  # first label
+        r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+        r' (\+Inf|-?[0-9.e+-]+)$')            # value
+    families = set()
+    for line in text.splitlines():
+        if line == "# EOF":
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            families.add(line.split()[2])
+            continue
+        assert sample_re.match(line), line
+        base = line.split("{")[0].split(" ")[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", base)
+        assert base in families, line  # samples follow their TYPE header
+    assert {"repro_ops_total", "repro_active", "repro_lat_seconds"} <= families
+
+
+def test_exposition_is_deterministic():
+    def build():
+        r = MetricsRegistry()
+        r.counter("b_total").inc(zone="b")
+        r.counter("a_total").inc(2, zone="a")
+        r.counter("b_total").inc(zone="a")
+        return r.to_prometheus()
+
+    assert build() == build()
+    # Families and labelsets come out sorted regardless of insert order.
+    text = build()
+    assert text.index("a_total") < text.index("b_total")
+
+
+def test_integer_values_have_no_trailing_point_zero():
+    r = MetricsRegistry()
+    r.counter("n_total").inc(7)
+    line = [ln for ln in r.to_prometheus().splitlines()
+            if ln.startswith("n_total")][0]
+    assert line == "n_total 7"
+
+
+def test_snapshot_round_trips_through_json():
+    r = MetricsRegistry()
+    r.counter("c_total", "help text").inc(2, op="GET")
+    r.histogram("h_seconds").observe(0.3)
+    snap = json.loads(r.to_json())
+    assert snap["c_total"]["kind"] == "counter"
+    assert snap["c_total"]["help"] == "help text"
+    assert snap["c_total"]["values"][0]["value"] == 2
+    assert snap["h_seconds"]["kind"] == "histogram"
+
+
+def test_default_buckets_are_increasing():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)

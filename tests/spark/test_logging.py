@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.api import ParallelLoop, TargetRegion, offload
 from repro.spark import SparkCluster, SparkContext
-from repro.spark.logging import LogRecord, SparkLog
+from repro.spark.logging import SparkLog
 
 from tests.conftest import make_cloud_runtime
 
@@ -101,3 +101,63 @@ def test_log_timestamps_are_simulated():
     times = [r.time for r in sc.log.records]
     assert times == sorted(times)
     assert times[-1] > 0.0  # simulated seconds, not wall-clock epoch
+
+
+# --------------------------------------------------- levels + bus integration
+def test_debug_and_error_levels():
+    log = SparkLog()
+    log.debug(0.1, "Scheduler", "fine detail")
+    log.error(0.2, "Executor", "boom")
+    assert [r.level for r in log.records] == ["DEBUG", "ERROR"]
+    assert "ERROR" in log.records[1].format()
+
+
+def test_lines_filters_by_minimum_severity():
+    log = SparkLog()
+    log.debug(0.0, "A", "d")
+    log.info(0.1, "A", "i")
+    log.warn(0.2, "A", "w")
+    log.error(0.3, "A", "e")
+    assert len(list(log.lines())) == 4
+    assert len(list(log.lines(level="DEBUG"))) == 4
+    warn_up = list(log.lines(level="WARN"))
+    assert len(warn_up) == 2
+    assert "w" in warn_up[0] and "e" in warn_up[1]
+    assert len(list(log.lines(level="ERROR"))) == 1
+    # Component and severity filters compose.
+    log.error(0.4, "B", "other")
+    assert len(list(log.lines("A", level="ERROR"))) == 1
+
+
+def test_lines_rejects_unknown_level():
+    log = SparkLog()
+    with pytest.raises(ValueError, match="unknown log level"):
+        list(log.lines(level="TRACE"))
+
+
+def test_records_are_mirrored_onto_the_bus():
+    from repro.obs.events import EventBus, use_bus
+
+    bus = EventBus(keep_history=True)
+    log = SparkLog()
+    with use_bus(bus):
+        log.warn(1.25, "DAGScheduler", "stage retry")
+    events = bus.events_of("log")
+    assert len(events) == 1
+    e = events[0]
+    assert (e.level, e.component, e.message) == ("WARN", "DAGScheduler",
+                                                 "stage retry")
+    assert e.time == 1.25
+
+
+def test_append_record_does_not_publish():
+    """The sink path must not re-publish, or two cross-subscribed logs
+    would echo forever."""
+    from repro.obs.events import EventBus, use_bus
+
+    bus = EventBus(keep_history=True)
+    log = SparkLog()
+    with use_bus(bus):
+        log.append_record(0.0, "X", "quiet")
+    assert bus.events_of("log") == []
+    assert len(log) == 1
