@@ -11,7 +11,7 @@ Run:  python examples/annotated_c_source.py
 
 import numpy as np
 
-from repro import CloudDevice, OffloadRuntime, demo_config, offload, region_from_source
+from repro.omp import CloudDevice, OffloadRuntime, demo_config, offload, region_from_source
 
 LISTING_2 = """
 #pragma omp target device(CLOUD)

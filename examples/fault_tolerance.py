@@ -18,7 +18,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro import CloudDevice, OffloadRuntime, demo_config, offload
+from repro.omp import CloudDevice, OffloadRuntime, demo_config, offload
 from repro.spark import FaultPlan
 from repro.workloads.polybench import DEFAULT_SCALARS, gemm_inputs, gemm_region
 

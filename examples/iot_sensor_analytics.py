@@ -15,7 +15,7 @@ Run:  python examples/iot_sensor_analytics.py
 
 import numpy as np
 
-from repro import CloudDevice, OffloadRuntime, demo_config, offload
+from repro.omp import CloudDevice, OffloadRuntime, demo_config, offload
 from repro.metrics.costs import experiment_cost
 from repro.workloads.polybench import covar_inputs, covar_region
 

@@ -13,7 +13,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro import CloudDevice, OffloadRuntime, ParallelLoop, TargetRegion, demo_config, offload
+from repro.omp import CloudDevice, OffloadRuntime, ParallelLoop, TargetRegion, demo_config, offload
 
 
 def matvec_region() -> TargetRegion:

@@ -22,7 +22,7 @@ raises before a single byte is uploaded, so the mistake costs nothing.
 
 import numpy as np
 
-from repro import AnalysisError, ParallelLoop, TargetRegion, offload, verify_region
+from repro.omp import AnalysisError, ParallelLoop, TargetRegion, offload, verify_region
 
 
 def broken_tile(lo, hi, arrays, scalars):

@@ -12,7 +12,7 @@ Run:  python examples/multi_cloud_portability.py
 
 import numpy as np
 
-from repro import CloudConfig, CloudDevice, OffloadRuntime, offload
+from repro.omp import CloudConfig, CloudDevice, OffloadRuntime, offload
 from repro.cloud.credentials import Credentials
 from repro.workloads.mgbench import matmul_inputs, matmul_region
 

@@ -17,8 +17,8 @@ Run:  python examples/partitioned_matmul.py
 
 import numpy as np
 
-from repro import CloudDevice, OffloadRuntime, ParallelLoop, TargetRegion, demo_config, offload
-from repro.simtime import Phase
+from repro.omp import (CloudDevice, OffloadRuntime, ParallelLoop, Phase,
+                       TargetRegion, demo_config, offload)
 
 
 def make_region(partitioned: bool) -> TargetRegion:

@@ -17,7 +17,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import (
+from repro.omp import (
     CloudDevice,
     OffloadRuntime,
     ParallelLoop,

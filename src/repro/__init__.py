@@ -7,11 +7,11 @@ simulated cloud infrastructure (EC2/Azure/private providers, S3/HDFS/Azure
 storage, WAN/LAN network models) and a calibrated performance model that
 regenerates the paper's evaluation figures.
 
-Quickstart::
+The documented programming surface is :mod:`repro.omp`::
 
     import numpy as np
-    from repro import (TargetRegion, ParallelLoop, offload,
-                       OffloadRuntime, CloudDevice, demo_config)
+    from repro.omp import (TargetRegion, ParallelLoop, offload,
+                           OffloadRuntime, CloudDevice, demo_config)
 
     region = TargetRegion(
         name="matmul",
@@ -29,59 +29,72 @@ Quickstart::
     offload(region, arrays={"A": a, "B": b, "C": c}, scalars={"N": n},
             runtime=runtime)
 
+Importing those names from the package root still works but is deprecated
+(a :class:`DeprecationWarning` fires on each access); import from
+:mod:`repro.omp` instead.
+
 See DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
 results.
 """
 
-from repro.analysis import AnalysisError, AnalysisReport, verify_region
-from repro.core import (
-    Buffer,
-    omp_kernel,
-    region_from_source,
-    CloudConfig,
-    CloudDevice,
-    DirectiveError,
-    ExecutionMode,
-    HostDevice,
-    OffloadReport,
-    OffloadRuntime,
-    ParallelLoop,
-    TargetRegion,
-    load_config,
-    offload,
-    omp_get_num_devices,
-    parse_pragma,
-)
-from repro.metrics.figures import demo_config
-from repro.spark import SparkCluster, SparkConf, SparkContext
-from repro.workloads import WORKLOADS
+from __future__ import annotations
+
+import importlib
+import warnings
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "AnalysisError",
-    "AnalysisReport",
-    "verify_region",
-    "Buffer",
-    "CloudConfig",
-    "CloudDevice",
-    "DirectiveError",
-    "ExecutionMode",
-    "HostDevice",
-    "OffloadReport",
-    "OffloadRuntime",
-    "ParallelLoop",
-    "TargetRegion",
-    "load_config",
-    "offload",
-    "omp_get_num_devices",
-    "parse_pragma",
-    "region_from_source",
-    "omp_kernel",
-    "demo_config",
-    "SparkCluster",
-    "SparkConf",
-    "SparkContext",
-    "WORKLOADS",
-    "__version__",
-]
+#: Former package-root re-exports -> the module now documented for them.
+#: All of the model-surface names live in :mod:`repro.omp`; the Spark
+#: substrate and workload registry keep their defining submodules.
+_FORWARDS: dict[str, str] = {
+    "AnalysisError": "repro.omp",
+    "AnalysisReport": "repro.omp",
+    "verify_region": "repro.omp",
+    "Buffer": "repro.omp",
+    "CloudConfig": "repro.omp",
+    "CloudDevice": "repro.omp",
+    "DirectiveError": "repro.omp",
+    "ExecutionMode": "repro.omp",
+    "HostDevice": "repro.omp",
+    "OffloadReport": "repro.omp",
+    "OffloadRuntime": "repro.omp",
+    "ParallelLoop": "repro.omp",
+    "TargetRegion": "repro.omp",
+    "load_config": "repro.omp",
+    "offload": "repro.omp",
+    "omp_get_num_devices": "repro.omp",
+    "parse_pragma": "repro.omp",
+    "region_from_source": "repro.omp",
+    "omp_kernel": "repro.omp",
+    "demo_config": "repro.omp",
+    "SparkCluster": "repro.spark",
+    "SparkConf": "repro.spark",
+    "SparkContext": "repro.spark",
+    "WORKLOADS": "repro.workloads",
+}
+
+__all__ = [*_FORWARDS, "__version__"]
+
+
+def __getattr__(name: str):
+    """Lazy, deprecating forwarder for the legacy package-root surface.
+
+    The warning fires on every access (nothing is cached back into the
+    package namespace) so migrations cannot silently regress; ``import
+    repro`` itself stays silent and cheap.
+    """
+    target = _FORWARDS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from 'repro' is deprecated; "
+        f"use 'from {target} import {name}'",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -281,12 +281,15 @@ def _cmd_bench(args) -> int:
     import os
 
     from repro.obs.bench import (
+        EXTRA_BENCHMARKS,
         bench_filename,
         compare,
         load_bench,
         run_benchmark,
         write_bench,
     )
+
+    known = sorted({*WORKLOADS, *EXTRA_BENCHMARKS})
 
     # Baselines: one file, or a directory of BENCH_<name>.json.
     baselines: dict[str, dict] = {}
@@ -302,12 +305,12 @@ def _cmd_bench(args) -> int:
 
     names: list[str] = []
     for target in args.targets:
-        names.extend(sorted(WORKLOADS) if target == "all" else [target])
+        names.extend(known if target == "all" else [target])
     if not names:
-        names = sorted(baselines) if baselines else sorted(WORKLOADS)
+        names = sorted(baselines) if baselines else known
     for name in names:
-        if name not in WORKLOADS:
-            print(f"unknown benchmark {name!r}; known: {sorted(WORKLOADS)}",
+        if name not in WORKLOADS and name not in EXTRA_BENCHMARKS:
+            print(f"unknown benchmark {name!r}; known: {known}",
                   file=sys.stderr)
             return 2
 

@@ -279,16 +279,34 @@ def omp_get_num_devices(runtime=None) -> int:
     return rt.num_devices()
 
 
+@dataclass(frozen=True)
+class OffloadOptions:
+    """How to run an offload — one options surface shared by
+    :func:`offload` and :meth:`~repro.core.decorators.OmpKernel.offload`,
+    so ``strict``/``mode``/``device`` keywords behave identically whichever
+    front end built the region.
+
+    ``device`` overrides the region's ``device(...)`` clause (id or name);
+    ``lengths``/``densities`` describe virtual buffers in modeled mode.
+    Instances are immutable; per-call keywords layer on top via
+    :func:`dataclasses.replace`.
+    """
+
+    runtime: object = None
+    device: Union[int, str, None] = None
+    mode: ExecutionMode = ExecutionMode.FUNCTIONAL
+    strict: bool = False
+    lengths: Mapping[str, int] | None = None
+    densities: Mapping[str, float] | None = None
+
+
 def offload(
     region: TargetRegion,
     arrays: Mapping[str, np.ndarray] | None = None,
     scalars: Mapping[str, Union[int, float]] | None = None,
     *,
-    runtime=None,
-    lengths: Mapping[str, int] | None = None,
-    densities: Mapping[str, float] | None = None,
-    mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
-    strict: bool = False,
+    options: OffloadOptions | None = None,
+    **overrides,
 ):
     """Execute a target region through the offloading runtime.
 
@@ -296,35 +314,49 @@ def offload(
     optional ``densities``) instead.  Returns the device's
     :class:`~repro.core.plugin_cloud.OffloadReport`.
 
+    Keyword arguments are the fields of :class:`OffloadOptions` — pass a
+    prebuilt ``options=`` bundle, loose keywords (``mode=``, ``strict=``,
+    ``device=``...), or both (keywords win).
+
     ``strict=True`` runs the static verifier (:mod:`repro.analysis`) against
     the region and the actual ``scalars`` first, raising
     :class:`~repro.analysis.AnalysisError` before any buffer is even built;
     the per-device ``[Analysis]`` configuration enables the same gate
     runtime-wide.
     """
+    from dataclasses import replace
+
     from repro.core.runtime import OffloadRuntime
 
-    rt = runtime if runtime is not None else OffloadRuntime.default()
+    if options is None:
+        opts = OffloadOptions(**overrides)
+    elif overrides:
+        opts = replace(options, **overrides)
+    else:
+        opts = options
+    rt = opts.runtime if opts.runtime is not None else OffloadRuntime.default()
     scalars = dict(scalars or {})
-    if strict:
+    if opts.strict:
         from repro.analysis import enforce_strict
 
         enforce_strict(region, scalars)
+    densities = dict(opts.densities or {})
     buffers: dict[str, Buffer] = {}
     names = {i.name for c in region.maps for i in c.items}
-    if mode == ExecutionMode.FUNCTIONAL:
+    if opts.mode == ExecutionMode.FUNCTIONAL:
         arrays = arrays or {}
         for name in names:
             if name not in arrays:
                 raise RegionError(f"functional offload of {region.name!r} misses array {name!r}")
-            density = (densities or {}).get(name, 1.0)
-            buffers[name] = Buffer(name, data=arrays[name], density=density)
+            buffers[name] = Buffer(name, data=arrays[name],
+                                   density=densities.get(name, 1.0))
     else:
-        lengths = dict(lengths or {})
+        lengths = dict(opts.lengths or {})
         for name in names:
             length = lengths.get(name, None)
             if length is None:
                 length = region.declared_length(name, scalars)
-            density = (densities or {}).get(name, 1.0)
-            buffers[name] = Buffer(name, length=length, density=density)
-    return rt.target(region, buffers, scalars, mode=mode)
+            buffers[name] = Buffer(name, length=length,
+                                   density=densities.get(name, 1.0))
+    return rt.target(region, buffers, scalars, mode=opts.mode,
+                     device=opts.device)

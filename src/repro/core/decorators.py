@@ -28,6 +28,7 @@ from typing import Callable, Mapping, Sequence, Union
 
 from repro.core.api import (
     FlopsPerIter,
+    OffloadOptions,
     ParallelLoop,
     RegionError,
     TargetRegion,
@@ -48,10 +49,15 @@ class OmpKernel:
     def __call__(self, lo, hi, arrays, scalars):
         return self._fn(lo, hi, arrays, scalars)
 
-    def offload(self, **kwargs):
-        """Run the region through the offloading runtime; same keyword
-        surface as :func:`repro.core.api.offload`."""
-        return _offload(self.region, **kwargs)
+    def offload(self, arrays=None, scalars=None, *,
+                options: "OffloadOptions | None" = None, **overrides):
+        """Run the region through the offloading runtime; the exact keyword
+        surface of :func:`repro.core.api.offload` (both accept an
+        :class:`~repro.core.api.OffloadOptions` bundle and/or its fields as
+        loose keywords, so ``strict``/``mode``/``device`` behave identically
+        through either front end)."""
+        return _offload(self.region, arrays, scalars,
+                        options=options, **overrides)
 
     def lint(self, scalars=None):
         """Run the static verifier over the bound region; returns the

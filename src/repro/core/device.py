@@ -10,11 +10,12 @@ computation."  Every device implements this interface; the runtime's wrapper
 from __future__ import annotations
 
 import abc
-from typing import Mapping, Union
+from typing import Mapping, Sequence, Union
 
 from repro.core.api import TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode
-from repro.core.data_env import DataEnvironment
+from repro.core.data_env import DataEnvironment, DataEnvReport
+from repro.core.omp_ast import MapType
 
 
 class DeviceError(Exception):
@@ -63,6 +64,45 @@ class Device(abc.ABC):
         before it degrades to host execution).  Returns the partial report
         of the failed attempt when the device kept one, else None."""
         return None
+
+    # ------------------------------------------- persistent data environments
+    def enter_data(self, buffers: Mapping[str, Buffer],
+                   map_types: Mapping[str, MapType], mode: ExecutionMode,
+                   report: DataEnvReport) -> None:
+        """``__tgt_target_data_begin``: create persistent map entries and ship
+        ``to``/``tofrom`` inputs to the device.  The base implementation is
+        transport-free (suits the host, whose "device copy" is the host
+        array); plugins with real transport override it."""
+        for name, buf in buffers.items():
+            existing = self.env.entry_or_none(name)
+            if existing is not None:
+                self.env.begin(buf, map_types[name])
+                report.resident_hits += 1
+                continue
+            self.env.begin(buf, map_types[name], persistent=True)
+
+    def exit_data(self, names: Sequence[str], mode: ExecutionMode,
+                  report: DataEnvReport) -> None:
+        """``__tgt_target_data_end``: drop one reference per name; entries
+        that reach zero are released (plugins download dirty outputs)."""
+        for name in names:
+            self.env.end(name)
+
+    def update_data(self, to_names: Sequence[str], from_names: Sequence[str],
+                    mode: ExecutionMode, report: DataEnvReport) -> None:
+        """``__tgt_target_data_update``: refresh present device copies from
+        the host (``to``) or host copies from the device (``from``).  Names
+        that are not present are ignored, as OpenMP 5.x specifies for motion
+        clauses on absent list items."""
+        report.updates_to += sum(1 for n in to_names if self.env.is_mapped(n))
+        report.updates_from += sum(1 for n in from_names if self.env.is_mapped(n))
+
+    def invalidate_data_env(self) -> None:
+        """Called by the runtime when this device failed mid-offload: the
+        device copies can no longer be trusted.  Plugins sync dirty outputs
+        back best-effort and drop their handles so residents re-stage on the
+        next use; reference counts stay intact, so a later ``exit data``
+        remains balanced."""
 
     # ------------------------------------------------------------- execution
     @abc.abstractmethod

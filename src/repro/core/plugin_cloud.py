@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import threading
-from typing import Mapping, Union
+from typing import Mapping, Sequence, Union
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from repro.core.api import TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode
 from repro.core.codegen import SparkJobGenerator, SparkJobReport
 from repro.core.config import CloudConfig
+from repro.core.data_env import DataEnvReport, MapEntry
 from repro.core.device import Device, DeviceError
 from repro.core.omp_ast import MapType
 from repro.core.report import OffloadReport
@@ -50,8 +51,10 @@ from repro.obs.events import (
     MapUpload,
     Preemption,
     Recovery,
+    ResidentHit,
     Resubmit,
     SparkSubmit,
+    TargetUpdate,
     get_bus,
 )
 from repro.core.staging_cache import CacheKey, StagingCache
@@ -255,13 +258,33 @@ class CloudDevice(Device):
         input_keys: dict[str, str] = {}
         plans: list[TransferPlan] = []
         to_stage: list[tuple[Buffer, str, CacheKey | None]] = []
+        begun: list[str] = []
+        self._pending["begun"] = begun
         for name in region.input_names:
             buf = buffers[name]
+            entry = self.env.entry_or_none(name)
+            if entry is not None and entry.device_handle is not None:
+                # Resident in an enclosing `target data` environment: the
+                # staged object (or a previous target's output, left in
+                # storage) is reused in place — no upload, no cache probe.
+                self.env.begin(buf, region.map_type_of(name) or MapType.TO)
+                begun.append(name)
+                input_keys[name] = entry.device_handle
+                report.resident_hits += 1
+                report.bytes_not_retransferred += buf.nbytes
+                get_bus().emit(ResidentHit(time=self.clock.now,
+                                           resource=self.name,
+                                           device=self.name, buffer=name,
+                                           bytes_saved=buf.nbytes))
+                continue
             self.env.begin(buf, region.map_type_of(name) or MapType.TO)
+            begun.append(name)
             if self.stage_cache.enabled and (mode == ExecutionMode.FUNCTIONAL
                                              or buf.is_virtual):
                 ckey = CacheKey.for_buffer(buf)
                 cached = self.stage_cache.lookup(ckey)
+                with self._backoff_lock:
+                    probe_retries_before = self._pending_retries
                 try:
                     cache_hit = cached is not None and self._with_retries(
                         "EXISTS", self.storage.exists, cached)
@@ -269,14 +292,23 @@ class CloudDevice(Device):
                     cache_hit = False  # degrade to a re-stage, not a failure
                 if cache_hit:
                     # Already staged with identical content: reuse in place.
+                    # Retried EXISTS probes billed real storage round-trips,
+                    # so their wire cost is netted out of the saved bytes.
+                    assert cached is not None
+                    with self._backoff_lock:
+                        probe_retries = (self._pending_retries
+                                         - probe_retries_before)
+                    probe_cost = probe_retries * len(cached.encode("utf-8"))
+                    saved = max(0, buf.nbytes - probe_cost)
                     input_keys[name] = cached
-                    self.stage_cache.credit_saved(buf.nbytes)
+                    self.stage_cache.credit_saved(buf.nbytes,
+                                                  probe_cost_bytes=probe_cost)
                     report.cache_hits += 1
-                    report.cache_bytes_saved += buf.nbytes
+                    report.cache_bytes_saved += saved
                     get_bus().emit(CacheHit(time=self.clock.now,
                                             resource=self.storage.name,
                                             buffer=name,
-                                            bytes_saved=buf.nbytes))
+                                            bytes_saved=saved))
                     continue
             else:
                 ckey = None
@@ -296,9 +328,19 @@ class CloudDevice(Device):
                 f"{self.retry_policy.max_attempts} attempt(s): {e}"
             ) from e
         self._charge_retry_backoff(report)
+        # Persistent entries that had no device copy yet (alloc-mapped, or
+        # invalidated by a fallback) were staged above; remember the key so
+        # the *next* target inside the environment reuses it in place.
+        for name, key in input_keys.items():
+            entry = self.env.entry_or_none(name)
+            if (entry is not None and entry.ref_count > 1
+                    and entry.device_handle is None):
+                entry.device_handle = key
+                entry.dirty = False
         for name in region.output_names:
             if name not in input_keys:
                 self.env.begin(buffers[name], region.map_type_of(name) or MapType.FROM)
+                begun.append(name)
 
         if plans:
             cost = self.comm.upload(plans)
@@ -333,6 +375,7 @@ class CloudDevice(Device):
             "input_keys": input_keys,
             "key_prefix": key_prefix,
             "buffers": dict(buffers),
+            "begun": begun,
         }
 
     def _record_breaker_failure(self) -> None:
@@ -430,8 +473,17 @@ class CloudDevice(Device):
         try:
             for name in region.output_names:
                 buf = buffers[name]
-                plans.append(TransferPlan(name, buf.nbytes, model_for_density(buf.density)))
                 key = out_keys.get(name)
+                entry = self.env.entry_or_none(name)
+                if (entry is not None and entry.ref_count > 1
+                        and key is not None):
+                    # Enclosing `target data` environment: the output stays on
+                    # the device (in storage) until `exit data` or an explicit
+                    # `target update from`; no download here.
+                    entry.device_handle = key
+                    entry.dirty = True
+                    continue
+                plans.append(TransferPlan(name, buf.nbytes, model_for_density(buf.density)))
                 if key is None:
                     continue
                 wire = self._with_retries("HEAD", self.storage.size_of, key)
@@ -482,7 +534,10 @@ class CloudDevice(Device):
                                      bytes_wire=wire, start=t0,
                                      end=self.clock.now))
 
-        for name in {i.name for c in region.maps for i in c.items}:
+        # Consume the list: if execute() failed, data_end runs in the
+        # runtime's finally and abort() follows — popping here keeps the two
+        # from releasing the same references twice.
+        for name in self._pending.pop("begun", ()):  # type: ignore[union-attr]
             if self.env.is_mapped(name):
                 self.env.end(name)
 
@@ -502,6 +557,301 @@ class CloudDevice(Device):
             return
         up = self._provisioned.start_all(self.clock.now)
         self.clock.advance_to(max(up, self.clock.now))
+
+    # ------------------------------------------- persistent data environments
+    def enter_data(self, buffers: Mapping[str, Buffer],
+                   map_types: Mapping[str, MapType], mode: ExecutionMode,
+                   report: DataEnvReport) -> None:
+        """``__tgt_target_data_begin``: stage ``to``/``tofrom`` buffers into
+        cloud storage once and pin them there (persistent map entries).
+        ``alloc``/``from`` buffers get an entry without a device copy; the
+        first target that produces them leaves its output key behind."""
+        seq = next(self._offload_seq)
+        key_prefix = f"env/{seq}"
+        bus = get_bus()
+        plans: list[TransferPlan] = []
+        to_stage: list[tuple[Buffer, str, CacheKey | None]] = []
+        staged_entries: list[tuple[MapEntry, str]] = []
+        begun: list[str] = []
+        for name, buf in buffers.items():
+            existing = self.env.entry_or_none(name)
+            if existing is not None:
+                # Nested environment over an already-present variable: bump
+                # the reference count, reuse the device copy in place.
+                self.env.begin(buf, map_types[name])
+                begun.append(name)
+                report.resident_hits += 1
+                if existing.device_handle is not None:
+                    bus.emit(ResidentHit(time=self.clock.now,
+                                         resource=self.name, device=self.name,
+                                         buffer=name, bytes_saved=buf.nbytes))
+                continue
+            entry = self.env.begin(buf, map_types[name], persistent=True)
+            begun.append(name)
+            if not map_types[name].is_input:
+                continue  # alloc / from: device space only, no motion
+            compressed = (self.config.compression
+                          and buf.nbytes >= self.config.min_compress_size)
+            key = f"{key_prefix}/{name}.bin" + (".gz" if compressed else "")
+            plans.append(TransferPlan(name, buf.nbytes,
+                                      model_for_density(buf.density)))
+            to_stage.append((buf, key, None))
+            staged_entries.append((entry, key))
+        try:
+            wire_sizes = self._stage_inputs(to_stage, mode)
+        except TransientStorageError as e:
+            for name in begun:  # unwind: keep refcounts balanced
+                if self.env.is_mapped(name):
+                    self.env.end(name)
+            self._charge_retry_backoff(report)
+            self._record_breaker_failure()
+            raise DeviceError(
+                f"staging `target data` inputs to {self.storage.name} failed "
+                f"after {self.retry_policy.max_attempts} attempt(s): {e}"
+            ) from e
+        self._charge_retry_backoff(report)
+        for entry, key in staged_entries:
+            entry.device_handle = key
+            entry.dirty = False
+        if plans:
+            cost = self.comm.upload(plans)
+            link = self.network.lan if self.colocated else self.network.wan
+            transfer_s = (
+                link.parallel_transfer_time(wire_sizes)
+                if self.comm.parallel_streams
+                else link.serial_transfer_time(wire_sizes)
+            )
+            t0 = self.clock.now
+            report.timeline.record(
+                Phase.ENV_ENTER, t0,
+                self.clock.advance(cost.compress_s + transfer_s),
+                resource="host")
+            report.enter_s += self.clock.now - t0
+            report.bytes_up_raw += sum(p.nbytes for p in plans)
+            report.bytes_up_wire += sum(wire_sizes)
+            for plan, wire in zip(plans, wire_sizes):
+                bus.emit(MapUpload(time=self.clock.now, resource="host",
+                                   buffer=plan.name, bytes_raw=plan.nbytes,
+                                   bytes_wire=wire, start=t0,
+                                   end=self.clock.now))
+
+    def exit_data(self, names: Sequence[str], mode: ExecutionMode,
+                  report: DataEnvReport) -> None:
+        """``__tgt_target_data_end``: drop one reference per name; entries
+        reaching zero download their dirty outputs back into the host arrays
+        and release the storage objects (logically — the simulated store has
+        no delete cost worth modeling)."""
+        bus = get_bus()
+        # References settle first (so a failed download cannot unbalance the
+        # mapping table), transfers follow.
+        released: list[MapEntry] = []
+        for name in names:
+            if not self.env.is_mapped(name):
+                continue
+            entry = self.env.end(name)
+            if entry is None:
+                continue  # still referenced by an enclosing environment
+            # OpenMP copies `from`/`tofrom` items out unconditionally at the
+            # environment's end; here that needs a device copy to exist
+            # (alloc-mapped entries nothing ever wrote have none).
+            if entry.device_handle is None or not entry.map_type.is_output:
+                continue
+            released.append(entry)
+        plans: list[TransferPlan] = []
+        wire_sizes: list[int] = []
+        downloads: list[tuple[str, int, int]] = []
+        try:
+            for entry in released:
+                key: str = entry.device_handle
+                buf = entry.buffer
+                wire = self._with_retries("HEAD", self.storage.size_of, key)
+                plans.append(TransferPlan(buf.name, buf.nbytes,
+                                          model_for_density(buf.density)))
+                wire_sizes.append(wire)
+                downloads.append((buf.name, buf.nbytes, wire))
+                if mode == ExecutionMode.FUNCTIONAL and not buf.is_virtual:
+                    payload = self._with_retries(
+                        "GET", self.storage.get_bytes, key,
+                        credentials=self.config.credentials)
+                    if key.endswith(".gz"):
+                        payload = gzip_decompress(payload)
+                    buf.require_data()[:] = np.frombuffer(payload,
+                                                          dtype=buf.dtype)
+        except TransientStorageError as e:
+            self._charge_retry_backoff(report)
+            self._record_breaker_failure()
+            raise DeviceError(
+                f"downloading `target data` outputs from {self.storage.name} "
+                f"failed after {self.retry_policy.max_attempts} attempt(s): {e}"
+            ) from e
+        self._charge_retry_backoff(report)
+        if plans:
+            cost = self.comm.download(plans)
+            link = self.network.lan if self.colocated else self.network.wan
+            transfer_s = (
+                link.parallel_transfer_time(wire_sizes)
+                if self.comm.parallel_streams
+                else link.serial_transfer_time(wire_sizes)
+            )
+            t0 = self.clock.now
+            report.timeline.record(
+                Phase.ENV_EXIT, t0,
+                self.clock.advance(transfer_s + cost.decompress_s),
+                resource="host")
+            report.exit_s += self.clock.now - t0
+            report.bytes_down_raw += sum(p.nbytes for p in plans)
+            report.bytes_down_wire += sum(wire_sizes)
+            for name, raw, wire in downloads:
+                bus.emit(MapDownload(time=self.clock.now, resource="host",
+                                     buffer=name, bytes_raw=raw,
+                                     bytes_wire=wire, start=t0,
+                                     end=self.clock.now))
+
+    def update_data(self, to_names: Sequence[str], from_names: Sequence[str],
+                    mode: ExecutionMode, report: DataEnvReport) -> None:
+        """``__tgt_target_data_update``: re-stage host content over the
+        device copy (``to``) or download the device copy into the host array
+        (``from``).  Absent names are ignored (OpenMP 5.x motion-clause
+        semantics)."""
+        bus = get_bus()
+        seq = next(self._offload_seq)
+        # --- host -> device -------------------------------------------------
+        plans: list[TransferPlan] = []
+        to_stage: list[tuple[Buffer, str, CacheKey | None]] = []
+        staged_entries: list[tuple[MapEntry, str]] = []
+        for name in to_names:
+            entry = self.env.entry_or_none(name)
+            if entry is None:
+                continue
+            buf = entry.buffer
+            compressed = (self.config.compression
+                          and buf.nbytes >= self.config.min_compress_size)
+            # Always a fresh key: the old handle may be a content-addressed
+            # cache object whose hash would no longer match its content.
+            key = (f"env/{seq}/update/{name}.bin"
+                   + (".gz" if compressed else ""))
+            plans.append(TransferPlan(name, buf.nbytes,
+                                      model_for_density(buf.density)))
+            to_stage.append((buf, key, None))
+            staged_entries.append((entry, key))
+        try:
+            wire_sizes = self._stage_inputs(to_stage, mode)
+        except TransientStorageError as e:
+            self._charge_retry_backoff(report)
+            self._record_breaker_failure()
+            raise DeviceError(
+                f"`target update to` staging to {self.storage.name} failed "
+                f"after {self.retry_policy.max_attempts} attempt(s): {e}"
+            ) from e
+        self._charge_retry_backoff(report)
+        for entry, key in staged_entries:
+            entry.device_handle = key
+            entry.dirty = False
+        if plans:
+            cost = self.comm.upload(plans)
+            link = self.network.lan if self.colocated else self.network.wan
+            transfer_s = (
+                link.parallel_transfer_time(wire_sizes)
+                if self.comm.parallel_streams
+                else link.serial_transfer_time(wire_sizes)
+            )
+            t0 = self.clock.now
+            report.timeline.record(
+                Phase.TARGET_UPDATE, t0,
+                self.clock.advance(cost.compress_s + transfer_s),
+                resource="host", label="update-to")
+            report.update_s += self.clock.now - t0
+            report.bytes_up_raw += sum(p.nbytes for p in plans)
+            report.bytes_up_wire += sum(wire_sizes)
+            for plan, wire in zip(plans, wire_sizes):
+                report.updates_to += 1
+                bus.emit(TargetUpdate(time=self.clock.now, resource=self.name,
+                                      device=self.name, buffer=plan.name,
+                                      direction="to", bytes_raw=plan.nbytes,
+                                      bytes_wire=wire))
+        # --- device -> host -------------------------------------------------
+        plans = []
+        wire_sizes = []
+        downloads = []
+        try:
+            for name in from_names:
+                entry = self.env.entry_or_none(name)
+                if entry is None or entry.device_handle is None:
+                    continue
+                key = entry.device_handle
+                buf = entry.buffer
+                wire = self._with_retries("HEAD", self.storage.size_of, key)
+                plans.append(TransferPlan(name, buf.nbytes,
+                                          model_for_density(buf.density)))
+                wire_sizes.append(wire)
+                downloads.append((entry, buf.nbytes, wire))
+                if mode == ExecutionMode.FUNCTIONAL and not buf.is_virtual:
+                    payload = self._with_retries(
+                        "GET", self.storage.get_bytes, key,
+                        credentials=self.config.credentials)
+                    if key.endswith(".gz"):
+                        payload = gzip_decompress(payload)
+                    buf.require_data()[:] = np.frombuffer(payload,
+                                                          dtype=buf.dtype)
+        except TransientStorageError as e:
+            self._charge_retry_backoff(report)
+            self._record_breaker_failure()
+            raise DeviceError(
+                f"`target update from` download from {self.storage.name} "
+                f"failed after {self.retry_policy.max_attempts} attempt(s): {e}"
+            ) from e
+        self._charge_retry_backoff(report)
+        if plans:
+            cost = self.comm.download(plans)
+            link = self.network.lan if self.colocated else self.network.wan
+            transfer_s = (
+                link.parallel_transfer_time(wire_sizes)
+                if self.comm.parallel_streams
+                else link.serial_transfer_time(wire_sizes)
+            )
+            t0 = self.clock.now
+            report.timeline.record(
+                Phase.TARGET_UPDATE, t0,
+                self.clock.advance(transfer_s + cost.decompress_s),
+                resource="host", label="update-from")
+            report.update_s += self.clock.now - t0
+            report.bytes_down_raw += sum(p.nbytes for p in plans)
+            report.bytes_down_wire += sum(wire_sizes)
+            for entry, raw, wire in downloads:
+                entry.dirty = False  # host and device agree again
+                report.updates_from += 1
+                bus.emit(TargetUpdate(time=self.clock.now, resource=self.name,
+                                      device=self.name,
+                                      buffer=entry.buffer.name,
+                                      direction="from", bytes_raw=raw,
+                                      bytes_wire=wire))
+
+    def invalidate_data_env(self) -> None:
+        """After a failed offload the staged objects can no longer be
+        trusted.  Dirty copies are synced home best-effort (so the host
+        rerun — and any later `exit data` — sees current data), then every
+        handle is dropped: the next target inside the environment re-stages
+        from the host.  Reference counts are untouched.
+
+        The sync keys on ``dirty`` alone, not the map type: once a kernel
+        wrote an entry on the device, the device copy is the authoritative
+        one even for ``alloc``-mapped intermediates — the host rerun would
+        otherwise compute on stale zeros."""
+        for entry in self.env.live_entries():
+            if (entry.dirty and entry.device_handle is not None
+                    and not entry.buffer.is_virtual):
+                try:
+                    payload = self.storage.get_bytes(
+                        entry.device_handle,
+                        credentials=self.config.credentials)
+                    if entry.device_handle.endswith(".gz"):
+                        payload = gzip_decompress(payload)
+                    entry.buffer.require_data()[:] = np.frombuffer(
+                        payload, dtype=entry.buffer.dtype)
+                except (StorageError, ValueError):
+                    pass  # best-effort: the host copy stays as-is
+            entry.device_handle = None
+            entry.dirty = False
 
     # ------------------------------------------------------------- execution
     def execute(
@@ -731,7 +1081,10 @@ class CloudDevice(Device):
         report (with its recovery counters) back to the runtime."""
         report = self._pending.get("report")
         report = report if isinstance(report, OffloadReport) else None
-        for name in {i.name for c in region.maps for i in c.items}:
+        # Drop only the references *this* target took; entries held by an
+        # enclosing `target data` environment survive (the runtime follows up
+        # with invalidate_data_env, which clears their device handles).
+        for name in self._pending.get("begun", ()):  # type: ignore[union-attr]
             if self.env.is_mapped(name):
                 self.env.end(name)
         self._charge_retry_backoff(report)

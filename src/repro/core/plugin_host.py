@@ -18,7 +18,7 @@ from repro.core.buffers import Buffer, ExecutionMode
 from repro.core.device import Device, DeviceError
 from repro.core.omp_ast import REDUCTION_OPS, MapType
 from repro.core.report import OffloadReport
-from repro.obs.events import TaskEnd, TaskStart, get_bus
+from repro.obs.events import ResidentHit, TaskEnd, TaskStart, get_bus
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perfmodel.compute import ComputeModel
 
@@ -29,6 +29,7 @@ class HostDevice(Device):
     def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION) -> None:
         super().__init__(name="HOST")
         self.compute_model = ComputeModel(calibration)
+        self._pending_resident_hits = 0
 
     def _do_initialize(self) -> None:
         pass
@@ -37,8 +38,16 @@ class HostDevice(Device):
         return True
 
     def data_begin(self, buffers, region, mode) -> None:
+        bus = get_bus()
         for name in {i.name for c in region.maps for i in c.items}:
+            resident = self.env.is_mapped(name)
             self.env.begin(buffers[name], region.map_type_of(name) or MapType.TOFROM)
+            if resident:
+                # Presence semantics hold on the host too, but its "device
+                # copy" IS the host array, so nothing was ever retransferred.
+                self._pending_resident_hits += 1
+                bus.emit(ResidentHit(resource=self.name, device=self.name,
+                                     buffer=name, bytes_saved=0))
 
     def data_end(self, buffers, region, mode) -> None:
         for name in {i.name for c in region.maps for i in c.items}:
@@ -53,6 +62,8 @@ class HostDevice(Device):
     ) -> OffloadReport:
         report = OffloadReport(region_name=region.name, device_name=self.name,
                                mode=mode.value)
+        report.resident_hits = self._pending_resident_hits
+        self._pending_resident_hits = 0
         total_flops = 0.0
         local_arrays: dict[str, np.ndarray] = {}
         for loop in region.loops:

@@ -57,6 +57,10 @@ class OffloadReport:
     # Host-target data cache (when enabled): inputs served without upload.
     cache_hits: int = 0
     cache_bytes_saved: int = 0
+    # Persistent data environments: buffers already resident on the device
+    # (`target data`), so their map transfers were skipped outright.
+    resident_hits: int = 0
+    bytes_not_retransferred: int = 0
 
     @property
     def host_comm_s(self) -> float:
@@ -122,6 +126,8 @@ class OffloadReport:
             "billed_usd": self.billed_usd,
             "cache_hits": self.cache_hits,
             "cache_bytes_saved": self.cache_bytes_saved,
+            "resident_hits": self.resident_hits,
+            "bytes_not_retransferred": self.bytes_not_retransferred,
             "figure5_stack": self.figure5_stack(),
         }
 
@@ -146,6 +152,11 @@ class OffloadReport:
             lines.append(
                 f"  recovery: {self.retries} retries ({self.backoff_s:.2f} s backoff), "
                 f"{self.resubmissions} resubmissions, {self.preemptions} preemptions"
+            )
+        if self.resident_hits:
+            lines.append(
+                f"  resident: {self.resident_hits} buffer(s) reused in place, "
+                f"{self.bytes_not_retransferred / 1e6:.1f} MB not retransferred"
             )
         if self.fell_back_to_host:
             lines.append("  fell back to host execution")

@@ -14,16 +14,76 @@ to the host when the device reports itself unavailable.
 
 from __future__ import annotations
 
+import contextlib
 import warnings
-from typing import Mapping, Union
+from typing import Iterable, Mapping, Sequence, Union
+
+import numpy as np
 
 from repro.core.api import TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode
+from repro.core.data_env import DataEnvError, DataEnvReport
 from repro.core.device import Device, DeviceError
-from repro.obs.events import Fallback, TargetBegin, TargetEnd, get_bus
+from repro.core.omp_ast import MapType
+from repro.obs.events import (
+    DataEnvEnter,
+    DataEnvExit,
+    Fallback,
+    TargetBegin,
+    TargetEnd,
+    get_bus,
+)
 
 #: Reserved device id for the initial (host) device, as in OpenMP.
 DEVICE_HOST = 0
+
+#: What a map clause of :meth:`OffloadRuntime.target_data` accepts per name:
+#: a host ndarray, a length (virtual buffer, modeled mode), or a Buffer.
+MapValue = Union[np.ndarray, int, Buffer]
+
+
+class TargetDataScope:
+    """One live ``target data`` environment.
+
+    Returned by :meth:`OffloadRuntime.target_data_begin` (and yielded by the
+    :meth:`OffloadRuntime.target_data` context manager).  Holds the device
+    the environment lives on, the mapped buffers, and the running
+    :class:`~repro.core.data_env.DataEnvReport` that accounts every byte the
+    environment itself moved.
+    """
+
+    def __init__(self, runtime: "OffloadRuntime", device: Device,
+                 buffers: dict[str, Buffer], map_types: dict[str, MapType],
+                 mode: ExecutionMode, report: DataEnvReport) -> None:
+        self.runtime = runtime
+        self.device = device
+        self.buffers = buffers
+        self.map_types = map_types
+        self.mode = mode
+        self.report = report
+        self.active = True
+
+    @property
+    def device_name(self) -> str:
+        return self.device.name
+
+    def is_present(self, name: str) -> bool:
+        """``omp_target_is_present``: does the device hold a map entry?"""
+        return self.device.env.is_mapped(name)
+
+    def update(self, *, to: "str | Iterable[str] | None" = None,
+               from_: "str | Iterable[str] | None" = None) -> DataEnvReport:
+        """``target update`` against this environment."""
+        return self.runtime.target_update(self, to=to, from_=from_)
+
+    def close(self) -> DataEnvReport:
+        """``target data`` end (idempotent)."""
+        return self.runtime.target_data_end(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "active" if self.active else "closed"
+        return (f"TargetDataScope({self.device_name}, "
+                f"{sorted(self.buffers)}, {state})")
 
 
 class OffloadRuntime:
@@ -82,12 +142,14 @@ class OffloadRuntime:
         buffers: Mapping[str, Buffer],
         scalars: Mapping[str, Union[int, float]],
         mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
+        device: Union[int, str, None] = None,
     ):
         """``__tgt_target``: run ``region`` on its requested device.
 
-        Device selection: the region's ``device(...)`` clause by name, the
-        default device (``omp_set_default_device``; initially the host) when
-        absent.  An unavailable device (cloud unreachable, bad
+        Device selection: the ``device`` argument when given (id or name),
+        else the region's ``device(...)`` clause by name, else the
+        default device (``omp_set_default_device``; initially the host).
+        An unavailable device (cloud unreachable, bad
         credentials...) silently falls back to host execution, matching the
         dynamic-offloading behaviour of Figure 1, step 1.  A device that
         *fails mid-offload* — retries and resubmissions exhausted, raising
@@ -112,7 +174,8 @@ class OffloadRuntime:
         bus = get_bus()
         with bus.offload_scope(region.name):
             try:
-                report = self._target(region, buffers, scalars, mode, bus)
+                report = self._target(region, buffers, scalars, mode, bus,
+                                      device)
             except BaseException:
                 bus.emit(TargetEnd(region=region.name, ok=False))
                 raise
@@ -127,25 +190,203 @@ class OffloadRuntime:
             ))
             return report
 
+    # ------------------------------------------- persistent data environments
+    def target_data_begin(
+        self,
+        device: Union[int, str, None] = None,
+        *,
+        map_to: Mapping[str, MapValue] | None = None,
+        map_from: Mapping[str, MapValue] | None = None,
+        map_tofrom: Mapping[str, MapValue] | None = None,
+        map_alloc: Mapping[str, MapValue] | None = None,
+        densities: Mapping[str, float] | None = None,
+        mode: ExecutionMode | None = None,
+    ) -> TargetDataScope:
+        """``__tgt_target_data_begin``: open a persistent data environment.
+
+        Each map clause takes ``{name: value}`` where ``value`` is a host
+        ndarray (functional mode), a length in elements (virtual buffer,
+        modeled mode), or a prebuilt :class:`Buffer`.  ``mode`` is inferred
+        from the buffers when not given.  Targets run between begin and end
+        find these buffers *present* and skip their transfers; ``from`` /
+        ``tofrom`` outputs stay on the device until the matching end or an
+        explicit :meth:`target_update`.
+
+        An unavailable or failing device degrades to the host (with a
+        ``Fallback`` event), mirroring :meth:`target`: the environment then
+        lives on the host, where presence costs nothing.
+        """
+        buffers, map_types = self._data_buffers(
+            map_to, map_from, map_tofrom, map_alloc, densities)
+        if mode is None:
+            mode = (ExecutionMode.MODELED
+                    if any(b.is_virtual for b in buffers.values())
+                    else ExecutionMode.FUNCTIONAL)
+        bus = get_bus()
+        dev = self._resolve_device(device)
+        dev.initialize()
+        if dev is not self.host and not dev.is_available():
+            self.fallbacks += 1
+            bus.emit(Fallback(time=self._device_now(dev), resource="host",
+                              region="target_data", device=dev.name,
+                              reason="device unavailable"))
+            dev = self.host
+            dev.initialize()
+        report = DataEnvReport(device_name=dev.name, mode=mode.value)
+        if dev is self.host:
+            dev.enter_data(buffers, map_types, mode, report)
+        else:
+            try:
+                dev.enter_data(buffers, map_types, mode, report)
+            except DeviceError as exc:
+                warnings.warn(
+                    f"target data on {dev.name} failed ({exc}); "
+                    f"falling back to a host data environment",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.fallbacks += 1
+                bus.emit(Fallback(time=self._device_now(dev), resource="host",
+                                  region="target_data", device=dev.name,
+                                  reason=str(exc)))
+                dev = self.host
+                dev.initialize()
+                report = DataEnvReport(device_name=dev.name, mode=mode.value)
+                dev.enter_data(buffers, map_types, mode, report)
+        bus.emit(DataEnvEnter(time=self._device_now(dev), resource=dev.name,
+                              device=dev.name, buffers=len(buffers),
+                              bytes_to=report.bytes_up_raw,
+                              resident=report.resident_hits))
+        return TargetDataScope(self, dev, buffers, map_types, mode, report)
+
+    def target_data_end(self, scope: TargetDataScope) -> DataEnvReport:
+        """``__tgt_target_data_end``: close the environment (idempotent),
+        downloading dirty ``from``/``tofrom`` outputs into the host arrays."""
+        if not scope.active:
+            return scope.report
+        scope.active = False
+        dev = scope.device
+        down_before = scope.report.bytes_down_raw
+        dev.exit_data(list(scope.buffers), scope.mode, scope.report)
+        get_bus().emit(DataEnvExit(
+            time=self._device_now(dev), resource=dev.name, device=dev.name,
+            buffers=len(scope.buffers),
+            bytes_from=scope.report.bytes_down_raw - down_before))
+        return scope.report
+
+    @contextlib.contextmanager
+    def target_data(
+        self,
+        device: Union[int, str, None] = None,
+        *,
+        map_to: Mapping[str, MapValue] | None = None,
+        map_from: Mapping[str, MapValue] | None = None,
+        map_tofrom: Mapping[str, MapValue] | None = None,
+        map_alloc: Mapping[str, MapValue] | None = None,
+        densities: Mapping[str, float] | None = None,
+        mode: ExecutionMode | None = None,
+    ):
+        """``#pragma omp target data``, as a context manager::
+
+            with rt.target_data(device="CLOUD", map_to={"A": a, "B": b},
+                                map_alloc={"E": n * n}) as env:
+                offload(region1, ...)   # A, B resident: no re-upload
+                offload(region2, ...)   # E reused in place on the device
+                env.update(from_="E")   # explicit mid-environment sync
+
+        The environment closes (outputs download, entries release) when the
+        block exits, even on error.
+        """
+        scope = self.target_data_begin(
+            device, map_to=map_to, map_from=map_from, map_tofrom=map_tofrom,
+            map_alloc=map_alloc, densities=densities, mode=mode)
+        try:
+            yield scope
+        finally:
+            self.target_data_end(scope)
+
+    def target_update(
+        self,
+        scope: TargetDataScope,
+        *,
+        to: "str | Iterable[str] | None" = None,
+        from_: "str | Iterable[str] | None" = None,
+    ) -> DataEnvReport:
+        """``#pragma omp target update``: refresh device copies from the host
+        (``to``) or host copies from the device (``from_``).  Names absent
+        from the environment are ignored (OpenMP 5.x motion semantics)."""
+        if not scope.active:
+            raise DataEnvError("target update on a closed data environment")
+        to_names = self._update_names(to)
+        from_names = self._update_names(from_)
+        scope.device.update_data(to_names, from_names, scope.mode,
+                                 scope.report)
+        return scope.report
+
+    @staticmethod
+    def _update_names(names: "str | Iterable[str] | None") -> Sequence[str]:
+        if names is None:
+            return ()
+        if isinstance(names, str):
+            return (names,)
+        return tuple(names)
+
+    @staticmethod
+    def _data_buffers(
+        map_to: Mapping[str, MapValue] | None,
+        map_from: Mapping[str, MapValue] | None,
+        map_tofrom: Mapping[str, MapValue] | None,
+        map_alloc: Mapping[str, MapValue] | None,
+        densities: Mapping[str, float] | None,
+    ) -> tuple[dict[str, Buffer], dict[str, MapType]]:
+        densities = dict(densities or {})
+        buffers: dict[str, Buffer] = {}
+        map_types: dict[str, MapType] = {}
+        for mapping, mt in ((map_to, MapType.TO), (map_from, MapType.FROM),
+                            (map_tofrom, MapType.TOFROM),
+                            (map_alloc, MapType.ALLOC)):
+            if not mapping:
+                continue
+            for name, value in mapping.items():
+                if name in buffers:
+                    raise DataEnvError(
+                        f"{name!r} appears in more than one map clause")
+                if isinstance(value, Buffer):
+                    buf = value
+                elif isinstance(value, (int, np.integer)):
+                    buf = Buffer(name, length=int(value),
+                                 density=densities.get(name, 1.0))
+                else:
+                    buf = Buffer(name, data=value,
+                                 density=densities.get(name, 1.0))
+                buffers[name] = buf
+                map_types[name] = mt
+        if not buffers:
+            raise DataEnvError("target data requires at least one map clause")
+        return buffers, map_types
+
     @staticmethod
     def _device_now(dev: Device) -> float:
         clock = getattr(dev, "clock", None)
         return clock.now if clock is not None else 0.0
 
-    def _target(self, region, buffers, scalars, mode, bus):
+    def _target(self, region, buffers, scalars, mode, bus, device=None):
         self.offloads += 1
-        dev = self._select_device(region)
+        dev = self._select_device(region, device)
         dev.initialize()
         degraded = False
         if not dev.is_available():
             self.fallbacks += 1
             degraded = dev is not self.host
-            unavailable = dev.name
+            unavailable = dev
             dev = self.host
             dev.initialize()
             if degraded:
+                # The unreachable device's persistent copies cannot be used
+                # by the host rerun: sync what can be synced, drop handles.
+                unavailable.invalidate_data_env()
                 bus.emit(Fallback(time=self._device_now(dev), resource="host",
-                                  region=region.name, device=unavailable,
+                                  region=region.name, device=unavailable.name,
                                   reason="device unavailable"))
         self._enforce_strict(dev, region, scalars)
         bus.emit(TargetBegin(time=self._device_now(dev), resource=dev.name,
@@ -160,6 +401,10 @@ class OffloadRuntime:
             return self._run_on(dev, region, buffers, scalars, mode)
         except DeviceError as exc:
             failed = dev.abort(region)
+            # Device copies held by enclosing `target data` environments are
+            # no longer trustworthy; sync dirty outputs home (so the host
+            # rerun computes on current data) and force a later re-stage.
+            dev.invalidate_data_env()
             warnings.warn(
                 f"offload of {region.name!r} to {dev.name} failed ({exc}); "
                 f"falling back to host execution",
@@ -202,13 +447,20 @@ class OffloadRuntime:
             dev.data_end(buffers, region, mode)
         return report
 
-    def _select_device(self, region: TargetRegion) -> Device:
-        if region.device is None:
+    def _select_device(self, region: TargetRegion,
+                       override: Union[int, str, None] = None) -> Device:
+        ident = override if override is not None else region.device
+        return self._resolve_device(ident)
+
+    def _resolve_device(self, ident: Union[int, str, None]) -> Device:
+        if ident is None:
             return self._devices[self._default_device]
-        if region.device.isdigit():
-            return self.device(int(region.device))
+        if isinstance(ident, int):
+            return self.device(ident)
+        if ident.isdigit():
+            return self.device(int(ident))
         try:
-            return self.device(region.device)
+            return self.device(ident)
         except DeviceError:
             # Unknown device names degrade to the host, like libomptarget
             # when a plugin is missing.

@@ -71,8 +71,12 @@ class StagingCache:
         if self.enabled:
             self._entries[key.digest] = storage_key
 
-    def credit_saved(self, nbytes: int) -> None:
-        self.bytes_saved += nbytes
+    def credit_saved(self, nbytes: int, probe_cost_bytes: int = 0) -> None:
+        """Credit a hit's avoided upload.  When the EXISTS probe that
+        confirmed the hit needed retries, those probes billed real storage
+        round-trips — their wire cost is netted out so ``bytes_saved`` stays
+        an honest account of traffic the cache removed."""
+        self.bytes_saved += max(0, nbytes - probe_cost_bytes)
 
     def invalidate(self, storage_key: str) -> None:
         """Drop entries pointing at a deleted/overwritten object."""

@@ -31,6 +31,9 @@ PHASE_GLYPHS: dict[Phase, str] = {
     Phase.COLLECT: "c",
     Phase.RECONSTRUCT: "r",
     Phase.JNI_CALL: "j",
+    Phase.ENV_ENTER: "e",
+    Phase.ENV_EXIT: "E",
+    Phase.TARGET_UPDATE: "t",
     Phase.RETRY_BACKOFF: "~",
     Phase.RESUBMIT: "!",
     Phase.PREEMPTION: "X",

@@ -266,6 +266,49 @@ class SSHConnect(Event):
 
 
 @dataclass(frozen=True)
+class DataEnvEnter(Event):
+    """A persistent device data environment opened (``target data`` begin)."""
+
+    kind: ClassVar[str] = "data_env_enter"
+    device: str = ""
+    buffers: int = 0
+    bytes_to: int = 0  # raw bytes staged by the enter itself
+    resident: int = 0  # entries a nested enter found already present
+
+
+@dataclass(frozen=True)
+class DataEnvExit(Event):
+    """The environment closed; deferred dirty outputs came home."""
+
+    kind: ClassVar[str] = "data_env_exit"
+    device: str = ""
+    buffers: int = 0
+    bytes_from: int = 0  # raw bytes downloaded by the exit
+
+
+@dataclass(frozen=True)
+class TargetUpdate(Event):
+    """An explicit ``target update`` moved one buffer to/from the device."""
+
+    kind: ClassVar[str] = "target_update"
+    device: str = ""
+    buffer: str = ""
+    direction: str = ""  # "to" (host -> device) or "from" (device -> host)
+    bytes_raw: int = 0
+    bytes_wire: int = 0
+
+
+@dataclass(frozen=True)
+class ResidentHit(Event):
+    """A target's mapped buffer was already resident: transfer skipped."""
+
+    kind: ClassVar[str] = "resident_hit"
+    device: str = ""
+    buffer: str = ""
+    bytes_saved: int = 0  # upload bytes that did not cross the WAN
+
+
+@dataclass(frozen=True)
 class LogEvent(Event):
     """One SparkLog record, mirrored onto the bus."""
 

@@ -96,6 +96,21 @@ class MetricsSubscriber:
             "repro_ssh_connects_total", "SSH handshakes by outcome.")
         self._logs = r.counter(
             "repro_log_records_total", "SparkLog records by level.")
+        self._env_enters = r.counter(
+            "repro_data_env_enters_total",
+            "Persistent data environments opened, by device.")
+        self._env_exits = r.counter(
+            "repro_data_env_exits_total",
+            "Persistent data environments closed, by device.")
+        self._env_updates = r.counter(
+            "repro_data_env_updates_total",
+            "target-update motions, by direction.")
+        self._resident_hits = r.counter(
+            "repro_data_env_resident_hits_total",
+            "Buffers found resident on the device (transfer skipped).")
+        self._not_retransferred = r.counter(
+            "repro_data_env_bytes_not_retransferred",
+            "Upload bytes avoided because the buffer was already resident.")
         self._workers: set[str] = set()
 
     def attach(self, bus: EventBus):
@@ -152,6 +167,15 @@ class MetricsSubscriber:
                 self._storage_bytes.inc(e.nbytes, op=e.op)
         elif kind == "ssh_connect":
             self._ssh.inc(ok=str(e.ok).lower())
+        elif kind == "data_env_enter":
+            self._env_enters.inc(device=e.device)
+        elif kind == "data_env_exit":
+            self._env_exits.inc(device=e.device)
+        elif kind == "target_update":
+            self._env_updates.inc(direction=e.direction)
+        elif kind == "resident_hit":
+            self._resident_hits.inc(device=e.device)
+            self._not_retransferred.inc(e.bytes_saved)
         elif kind == "log":
             self._logs.inc(level=e.level)
 
@@ -183,6 +207,8 @@ class DerivedReport:
     preemptions: int = 0
     cache_hits: int = 0
     cache_bytes_saved: int = 0
+    resident_hits: int = 0
+    bytes_not_retransferred: int = 0
     timeline: Timeline = field(default_factory=Timeline)
 
 
@@ -273,6 +299,9 @@ class ReportBuilder:
         elif e.kind == "cache_hit":
             rep.cache_hits += 1
             rep.cache_bytes_saved += e.bytes_saved
+        elif e.kind == "resident_hit":
+            rep.resident_hits += 1
+            rep.bytes_not_retransferred += e.bytes_saved
         elif e.kind == "fallback":
             rep.timeline.record(Phase.FALLBACK, e.time, e.time,
                                 resource="host", label=e.reason[:40])

@@ -34,6 +34,10 @@ class Phase(enum.Enum):
     COLLECT = "collect"
     RECONSTRUCT = "reconstruct"
     JNI_CALL = "jni_call"
+    # Persistent data environments (target data / target update).
+    ENV_ENTER = "env_enter"
+    ENV_EXIT = "env_exit"
+    TARGET_UPDATE = "target_update"
     # Recovery activity (retries, job resubmission, spot replacement...).
     RETRY_BACKOFF = "retry_backoff"
     RESUBMIT = "resubmit"
@@ -73,6 +77,11 @@ _BUCKET_OF: dict[Phase, str] = {
     Phase.COLLECT: BUCKET_SPARK,
     Phase.RECONSTRUCT: BUCKET_SPARK,
     Phase.JNI_CALL: BUCKET_SPARK,
+    # Environment transfers move over the host-target channel, like the
+    # per-offload staging they replace.
+    Phase.ENV_ENTER: BUCKET_HOST_COMM,
+    Phase.ENV_EXIT: BUCKET_HOST_COMM,
+    Phase.TARGET_UPDATE: BUCKET_HOST_COMM,
     # Recovery phases: backoff is charged on the host side of the channel;
     # resubmission/preemption handling is cluster-side overhead.
     Phase.RETRY_BACKOFF: BUCKET_HOST_COMM,

@@ -413,6 +413,44 @@ def mm3_region(device: str = "CLOUD") -> TargetRegion:
     )
 
 
+def mm3_chain_regions(device: str = "CLOUD") -> tuple[TargetRegion, ...]:
+    """3MM as *three separate offloads* (one region per matrix product),
+    the shape a `target data` environment exists to serve: E and F cross
+    between regions, so chaining them inside the environment keeps both on
+    the device and re-uploads nothing; chaining them bare re-stages E and F
+    over the WAN for the third product."""
+
+    def single(name, reads, writes, body):
+        to = ", ".join(f"{r}[:N*N]" for r in reads)
+        return TargetRegion(
+            name=name,
+            pragmas=[
+                f"omp target device({device})",
+                f"omp map(to: {to}) map(from: {writes}[:N*N])",
+            ],
+            loops=[ParallelLoop(
+                pragma="omp parallel for",
+                loop_var="i",
+                trip_count="N",
+                reads=reads,
+                writes=(writes,),
+                partition_pragma=(
+                    f"omp target data map(to: {reads[0]}[i*N:(i+1)*N]) "
+                    f"map(from: {writes}[i*N:(i+1)*N])"
+                ),
+                body=body,
+                flops_per_iter=lambda i, env: 2.0 * env["N"] ** 2,
+            )],
+            memory_intensity=1.0,
+        )
+
+    return (
+        single("3mm_e", ("A", "B"), "E", _mm_first_tile("E", "A", "B", None)),
+        single("3mm_f", ("C", "D"), "F", _mm_first_tile("F", "C", "D", None)),
+        single("3mm_g", ("E", "F"), "G", _mm3_third_tile),
+    )
+
+
 def mm3_inputs(n: int, density: float = 1.0, seed: int = 0) -> dict[str, np.ndarray]:
     return {
         "A": matrix_for_density(n * n, density, seed),

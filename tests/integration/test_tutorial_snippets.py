@@ -93,6 +93,30 @@ def test_step5_cache_across_smoothing_passes():
     assert total_uploaded == n * n * 4
 
 
+def test_step5_target_data_across_smoothing_passes():
+    runtime = OffloadRuntime()
+    runtime.register(CloudDevice(demo_config(n_workers=4), physical_cores=32))
+    n, w = 64, 0.25
+    x = np.random.default_rng(1).uniform(-1, 1, n * n).astype(np.float32)
+    y = np.zeros(n * n, dtype=np.float32)
+    expect = x.copy()
+    resident = 0
+    with runtime.target_data(device="CLOUD", map_to={"X": x},
+                             map_from={"Y": y}) as env:
+        for _ in range(3):
+            report = offload(smooth_region(), arrays={"X": x, "Y": y},
+                             scalars={"N": n, "w": w}, runtime=runtime)
+            resident += report.resident_hits
+            env.update(from_="Y")   # bring the smoothed rows home
+            x[:] = y                # feed the result back, in place
+            env.update(to="X")      # re-sync the device's copy of X
+            expect = _reference(expect, n, np.float32(w))
+            assert np.allclose(y, expect, rtol=1e-5)
+    # X was staged once at enter; every pass found it resident.
+    assert resident >= 3
+    assert env.report.updates_to == 3 and env.report.updates_from == 3
+
+
 def test_step6_fault_injection():
     runtime = OffloadRuntime()
     runtime.register(CloudDevice(demo_config(n_workers=4), physical_cores=64,

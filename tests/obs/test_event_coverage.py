@@ -2,9 +2,9 @@
 
 The catalogue in ``repro.obs.events`` is only useful if the runtime really
 emits each kind — an event type nothing emits is dead weight, and an emission
-site nothing tests can silently rot.  Four scenarios (healthy offload,
-cache-hit rerun, chaos run, breaker trip) must between them cover the whole
-of ``EVENT_KINDS``.
+site nothing tests can silently rot.  Four scenarios (cache-hit rerun, chaos
+run, breaker trip, persistent data environment) must between them cover the
+whole of ``EVENT_KINDS``.
 """
 
 from dataclasses import replace
@@ -73,6 +73,18 @@ def test_every_event_kind_is_emitted(cloud_config):
         with pytest.warns(RuntimeWarning, match="falling back to host"):
             offload(mm.build_region("CLOUD"), scalars=mm.scalars(),
                     runtime=broken_rt, mode=ExecutionMode.MODELED)
+
+        # 4. Persistent data environment: data_env_enter/exit, a resident
+        #    reuse on the second offload, and both target_update directions.
+        env_rt = make_cloud_runtime(cloud_config)
+        a2 = np.arange(256, dtype=np.float32)
+        c2 = np.zeros_like(a2)
+        with env_rt.target_data(device="CLOUD", map_to={"A": a2},
+                                map_from={"C": c2}) as env:
+            for _ in range(2):
+                offload(_copy_region(), arrays={"A": a2, "C": c2},
+                        scalars={"N": len(a2)}, runtime=env_rt)
+            env.update(to="A", from_="C")
 
     emitted = set(bus.counts())
     missing = EVENT_KINDS - emitted
