@@ -254,3 +254,29 @@ def test_ablation_schedule_chunk(benchmark, out_dir):
     assert default.tasks_run <= 257
     assert chunked.tasks_run == 2048  # 16384 / 8
     assert chunked.spark_job_s > default.spark_job_s
+
+
+# ------------------------------------ 9: speculation + weighted tiling (sched)
+def test_ablation_speculation(benchmark, out_dir):
+    """The adaptive-execution A/B (docs/SCHEDULING.md): a spot preemption
+    with and without speculative copies, and a half-speed worker under
+    Algorithm 1 tiles vs capacity-weighted tiles.  Same runner as the
+    CI-gated ``ablation_speculation`` bench baseline."""
+    from repro.obs.bench import run_ablation_speculation
+
+    payload = benchmark(run_ablation_speculation, quick=True)
+    m = payload["milestones"]
+    emit(out_dir, "ablation_speculation.txt", format_table(
+        ["variant", "full s"],
+        [["preempted, speculation off", m["full_s_nospec"]],
+         ["preempted, speculation on", m["full_s"]],
+         ["half-speed worker, static tiles", m["full_s_static_het"]],
+         ["half-speed worker, weighted tiles", m["full_s_weighted_het"]]],
+        title="Ablation 9: speculative execution and weighted tiling",
+    ))
+    # Speculation removes the failure-detection timeout from the tail.
+    assert m["speculation_wins"] >= 1
+    assert m["full_s"] < m["full_s_nospec"]
+    assert m["speculation_saved_s"] > 0.0
+    # Weighted tiles shift work off the slow worker.
+    assert m["full_s_weighted_het"] < m["full_s_static_het"]

@@ -31,7 +31,8 @@ from repro.core.api import ParallelLoop, TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode, OffsetArray
 from repro.core.omp_ast import REDUCTION_OPS, MapType
 from repro.core.partition import partition_for_tile
-from repro.core.tiling import Tile, tile_by_chunk, tile_iterations, untiled
+from repro.core.tiling import (Tile, drop_empty_tiles, tile_by_chunk,
+                               tile_iterations, tile_weighted, untiled)
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perfmodel.compression import CompressionModel, gzip_compress, gzip_decompress, model_for_density
 from repro.perfmodel.compute import ComputeModel
@@ -40,6 +41,7 @@ from repro.simtime.timeline import Phase
 from repro.spark.context import SparkContext
 from repro.spark.driver import TaskCosts
 from repro.spark.faults import NO_FAULTS, FaultPlan
+from repro.spark.schedule import STATIC_SCHEDULE, ScheduleConfig
 from repro.cloud.storage import TransientStorageError
 from repro.spark.serialization import check_jvm_array_limit
 
@@ -64,6 +66,9 @@ class LoopJobReport:
     n_tasks: int
     computation_s: float
     recomputed_tasks: int
+    speculated_tasks: int = 0
+    speculation_wins: int = 0
+    speculation_saved_s: float = 0.0
 
 
 @dataclass
@@ -91,6 +96,18 @@ class SparkJobReport:
     def tasks_recomputed(self) -> int:
         return sum(lp.recomputed_tasks for lp in self.loops)
 
+    @property
+    def tasks_speculated(self) -> int:
+        return sum(lp.speculated_tasks for lp in self.loops)
+
+    @property
+    def speculation_wins(self) -> int:
+        return sum(lp.speculation_wins for lp in self.loops)
+
+    @property
+    def speculation_saved_s(self) -> float:
+        return sum(lp.speculation_saved_s for lp in self.loops)
+
 
 class SparkJobGenerator:
     """Builds and runs the Spark job for one target region."""
@@ -108,6 +125,7 @@ class SparkJobGenerator:
         host_compression: bool = True,
         min_compress_size: int | None = None,
         retry_policy: RetryPolicy | None = None,
+        schedule: ScheduleConfig = STATIC_SCHEDULE,
     ) -> None:
         self.region = region
         self.scalars = dict(scalars)
@@ -123,6 +141,7 @@ class SparkJobGenerator:
             else calibration.min_compress_size
         )
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.schedule = schedule
         self.compute_model = ComputeModel(calibration)
         self._driver_arrays: dict[str, np.ndarray | None] = {}
         self._buffer_info: dict[str, Buffer] = {}
@@ -303,6 +322,7 @@ class SparkJobGenerator:
             broadcasts=tuple(handles.values()),
             fault_plan=self.fault_plan,
             functional=self.mode == ExecutionMode.FUNCTIONAL,
+            schedule=self.schedule,
         )
         self.sc.timeline.extend(job.timeline)
         self.sc.log.info(clock.now, "DAGScheduler",
@@ -316,21 +336,29 @@ class SparkJobGenerator:
             n_tasks=len(tiles),
             computation_s=computation,
             recomputed_tasks=job.stats.recomputed_tasks,
+            speculated_tasks=job.stats.speculated_tasks,
+            speculation_wins=job.stats.speculation_wins,
+            speculation_saved_s=job.stats.speculation_saved_s,
         )
 
     def _tiles_for(self, loop: ParallelLoop, n: int, cores: int) -> list[Tile]:
         """Tiling policy: an explicit schedule chunk wins; otherwise
-        Algorithm 1 (or per-iteration tasks when tiling is disabled)."""
+        Algorithm 1 — or its capacity-weighted variant under schedule mode
+        ``weighted`` — or per-iteration tasks when tiling is disabled.
+        Empty tiles are values, never tasks: they are dropped here."""
         if not self.tiling:
-            return untiled(n)
+            return drop_empty_tiles(untiled(n))
         sched = loop.parallel_for.schedule
         if sched is not None and sched.chunk:
-            return tile_by_chunk(n, sched.chunk)
+            return drop_empty_tiles(tile_by_chunk(n, sched.chunk))
         if sched is not None and sched.kind in ("dynamic", "guided"):
             # No chunk given: OpenMP's dynamic default is fine-grained; use
             # 4 waves per core as a Spark-friendly compromise.
-            return tile_by_chunk(n, max(1, n // (cores * 4)))
-        return tile_iterations(n, cores)
+            return drop_empty_tiles(tile_by_chunk(n, max(1, n // (cores * 4))))
+        if self.schedule.weighted and n > 0:
+            return drop_empty_tiles(
+                tile_weighted(n, self.sc.cluster.slot_capacities()))
+        return drop_empty_tiles(tile_iterations(n, cores))
 
     # ------------------------------------------------------------- elements
     def _element_for(self, tile: Tile, loop: ParallelLoop, partitioned_reads: list[str]):

@@ -90,6 +90,15 @@ class CloudConfig:
     analysis_strict: bool = False
     #: Lowest severity that blocks a strict offload: "warning" or "error".
     analysis_fail_on: str = "error"
+    # --- Adaptive execution ([Schedule] section, docs/SCHEDULING.md) ---
+    #: Tiling mode: "static" (Algorithm 1) or "weighted" (capacity-aware).
+    schedule_mode: str = "static"
+    #: Race speculative copies of straggling tasks (spark.speculation).
+    speculation: bool = False
+    #: A task is a straggler after multiplier x median task duration.
+    speculation_multiplier: float = 1.5
+    #: Max scattered-but-uncollected results in flight; 0 = strict barrier.
+    pipeline_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.analysis_fail_on not in ("note", "warning", "error"):
@@ -115,6 +124,27 @@ class CloudConfig:
             raise ConfigError(f"max_resubmissions must be >= 0, got {self.max_resubmissions}")
         if self.breaker_threshold < 1:
             raise ConfigError(f"breaker_threshold must be >= 1, got {self.breaker_threshold}")
+        if self.schedule_mode not in ("static", "weighted"):
+            raise ConfigError(
+                f"schedule mode must be 'static' or 'weighted', got {self.schedule_mode!r}"
+            )
+        if self.speculation_multiplier < 1.0:
+            raise ConfigError(
+                f"speculation_multiplier must be >= 1.0, got {self.speculation_multiplier}"
+            )
+        if self.pipeline_depth < 0:
+            raise ConfigError(f"pipeline_depth must be >= 0, got {self.pipeline_depth}")
+
+    def schedule(self) -> "ScheduleConfig":
+        """The :class:`~repro.spark.schedule.ScheduleConfig` this file selects."""
+        from repro.spark.schedule import ScheduleConfig
+
+        return ScheduleConfig(
+            mode=self.schedule_mode,
+            speculation=self.speculation,
+            speculation_multiplier=self.speculation_multiplier,
+            pipeline_depth=self.pipeline_depth,
+        )
 
     def retry_policy(self) -> "RetryPolicy":
         """The uniform :class:`~repro.resilience.RetryPolicy` for this device."""
@@ -144,6 +174,7 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
     offload = cp["Offload"] if cp.has_section("Offload") else {}
     resil = cp["Resilience"] if cp.has_section("Resilience") else {}
     analysis = cp["Analysis"] if cp.has_section("Analysis") else {}
+    sched = cp["Schedule"] if cp.has_section("Schedule") else {}
 
     provider = offload.get("provider", "ec2").lower()
     creds = _credentials_from(cp, provider, spark.get("user", "ubuntu"))
@@ -158,6 +189,8 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
         retry_max = float(resil.get("retry_max_delay_s", "30.0"))
         retry_jitter = float(resil.get("retry_jitter", "0.0"))
         breaker_reset = float(resil.get("breaker_reset_s", "300.0"))
+        speculation_multiplier = float(sched.get("speculation_multiplier", "1.5"))
+        pipeline_depth = int(sched.get("pipeline_depth", "0"))
     except ValueError as e:
         raise ConfigError(f"non-numeric value in {p}: {e}") from e
 
@@ -184,6 +217,10 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
         breaker_reset_s=breaker_reset,
         analysis_strict=_parse_bool(analysis.get("strict", "false")),
         analysis_fail_on=analysis.get("fail_on", "error").strip().lower(),
+        schedule_mode=sched.get("mode", "static").strip().lower(),
+        speculation=_parse_bool(sched.get("speculation", "false")),
+        speculation_multiplier=speculation_multiplier,
+        pipeline_depth=pipeline_depth,
     )
 
 
@@ -253,6 +290,12 @@ def write_example_config(path: str | os.PathLike[str], provider: str = "ec2") ->
         "Analysis": {
             "strict": "false",
             "fail_on": "error",
+        },
+        "Schedule": {
+            "mode": "static",
+            "speculation": "false",
+            "speculation_multiplier": "1.5",
+            "pipeline_depth": "0",
         },
     }
     cp = configparser.ConfigParser()

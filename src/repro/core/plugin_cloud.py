@@ -67,6 +67,7 @@ from repro.simtime.timeline import Phase
 from repro.spark.cluster import SparkCluster, WorkerShape
 from repro.spark.context import SparkContext
 from repro.spark.faults import NO_FAULTS, FaultPlan
+from repro.spark.schedule import ScheduleConfig
 from repro.spark.scheduler import JobFailedError, SchedulerCosts
 
 
@@ -88,6 +89,8 @@ class CloudDevice(Device):
         intra_compression: bool = True,
         fault_plan: FaultPlan = NO_FAULTS,
         colocated: bool = False,
+        schedule: ScheduleConfig | None = None,
+        worker_speeds: Sequence[float] | None = None,
     ) -> None:
         """``colocated=True`` models running the application directly from the
         Spark driver node (Section III-D): staged data moves over the cluster
@@ -104,12 +107,16 @@ class CloudDevice(Device):
             if physical_cores is not None
             else config.n_workers * calibration.worker_vcpus // 2
         )
+        #: Adaptive execution policy: an explicit argument wins, otherwise
+        #: the config's [Schedule] section (static/off by default).
+        self.schedule = schedule if schedule is not None else config.schedule()
         self.cluster = SparkCluster.for_physical_cores(
             self.physical_cores,
             n_workers=config.n_workers,
             shape=WorkerShape(vcpus=calibration.worker_vcpus),
             network=self.network,
             clock=self.clock,
+            worker_speeds=worker_speeds,
         )
         self.sc = SparkContext(
             cluster=self.cluster,
@@ -936,6 +943,9 @@ class CloudDevice(Device):
         report.computation_s = job_report.computation_s
         report.tasks_run = job_report.tasks_run
         report.tasks_recomputed = job_report.tasks_recomputed
+        report.tasks_speculated = job_report.tasks_speculated
+        report.speculation_wins = job_report.speculation_wins
+        report.speculation_saved_s = job_report.speculation_saved_s
         report.timeline.extend(self.sc.timeline)
         return report
 
@@ -964,6 +974,7 @@ class CloudDevice(Device):
                 host_compression=self.config.compression,
                 min_compress_size=self.config.min_compress_size,
                 retry_policy=self.retry_policy,
+                schedule=self.schedule,
             )
             try:
                 job_report = gen.run(buffers, self.storage, input_keys, key_prefix)

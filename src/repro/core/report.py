@@ -45,6 +45,10 @@ class OffloadReport:
     # Cluster activity.
     tasks_run: int = 0
     tasks_recomputed: int = 0
+    # Adaptive execution (docs/SCHEDULING.md): straggler copies raced/won.
+    tasks_speculated: int = 0
+    speculation_wins: int = 0
+    speculation_saved_s: float = 0.0
     fell_back_to_host: bool = False
     # Resilience: recovery work performed during the offload.
     retries: int = 0
@@ -118,6 +122,9 @@ class OffloadReport:
             "bytes_down_wire": self.bytes_down_wire,
             "tasks_run": self.tasks_run,
             "tasks_recomputed": self.tasks_recomputed,
+            "tasks_speculated": self.tasks_speculated,
+            "speculation_wins": self.speculation_wins,
+            "speculation_saved_s": self.speculation_saved_s,
             "fell_back_to_host": self.fell_back_to_host,
             "retries": self.retries,
             "backoff_s": self.backoff_s,
@@ -152,6 +159,12 @@ class OffloadReport:
             lines.append(
                 f"  recovery: {self.retries} retries ({self.backoff_s:.2f} s backoff), "
                 f"{self.resubmissions} resubmissions, {self.preemptions} preemptions"
+            )
+        if self.tasks_speculated:
+            lines.append(
+                f"  speculation: {self.tasks_speculated} copies launched, "
+                f"{self.speculation_wins} won, "
+                f"{self.speculation_saved_s:.2f} s of tail removed"
             )
         if self.resident_hits:
             lines.append(

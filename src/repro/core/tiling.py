@@ -16,12 +16,21 @@ with the live cluster's core count.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 
 @dataclass(frozen=True)
 class Tile:
-    """One tile: iterations [lo, hi) of the original loop."""
+    """One tile: iterations [lo, hi) of the original loop.
+
+    ``lo == hi`` is a legal *empty* tile: it denotes zero iterations, the
+    way ``range_partition(n, parts)`` yields empty chunks when ``parts > n``.
+    Empty tiles are values, not work — the job generator drops them (via
+    :func:`drop_empty_tiles`) before any task is built, so no launch, JNI
+    call, or transfer is ever charged for one.
+    """
 
     index: int
     lo: int
@@ -74,9 +83,74 @@ def untiled(n: int) -> list[Tile]:
     return [Tile(index=i, lo=i, hi=i + 1) for i in range(n)]
 
 
+def tile_weighted(n: int, capacities: Sequence[float]) -> list[Tile]:
+    """Capacity-aware tiling — schedule mode ``weighted``.
+
+    Algorithm 1 sizes every tile to ``floor(N/C)`` because it assumes C
+    identical, healthy cores.  On a heterogeneous or degraded cluster the
+    slowest slot then owns the critical path.  Here ``capacities`` carries
+    one relative speed per task slot (cluster order:
+    :meth:`~repro.spark.cluster.SparkCluster.slot_capacities`), and the
+    iteration space is split at the cumulative-capacity boundaries
+
+        bound_k = round(N * (c_1 + ... + c_k) / total)
+
+    — Eq. 3's widened partition bounds, with capacity replacing the uniform
+    tile width.  The boundaries are monotone by construction, so the tiles
+    partition ``[0, N)`` exactly, with no overlap; a zero-capacity slot
+    contributes no boundary movement and therefore gets no tile.  Empty
+    tiles are dropped and indices renumbered contiguously.
+
+    >>> [(t.lo, t.hi) for t in tile_weighted(10, [1.0, 1.0, 0.5])]
+    [(0, 4), (4, 8), (8, 10)]
+    """
+    if n < 0:
+        raise ValueError(f"negative trip count {n!r}")
+    caps = [float(c) for c in capacities]
+    if not caps:
+        raise ValueError("tile_weighted needs at least one slot capacity")
+    if any(not math.isfinite(c) or c < 0.0 for c in caps):
+        raise ValueError(f"slot capacities must be finite and >= 0, got {caps!r}")
+    total = sum(caps)
+    if total <= 0.0:
+        raise ValueError("total slot capacity must be > 0")
+    if n == 0:
+        return []
+    bounds = [0]
+    cum = 0.0
+    for c in caps:
+        cum += c
+        bounds.append(min(n, round(n * cum / total)))
+    bounds[-1] = n  # float round-off must never drop trailing iterations
+    tiles: list[Tile] = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi > lo:
+            tiles.append(Tile(index=len(tiles), lo=lo, hi=hi))
+    return tiles
+
+
+def drop_empty_tiles(tiles: Iterable[Tile]) -> list[Tile]:
+    """Remove zero-size tiles and renumber indices contiguously.
+
+    The scheduler-facing half of the empty-tile contract (see
+    :class:`Tile`): an empty tile is representable but never schedulable.
+    """
+    out: list[Tile] = []
+    for t in tiles:
+        if t.size > 0:
+            out.append(t if t.index == len(out)
+                       else Tile(index=len(out), lo=t.lo, hi=t.hi))
+    return out
+
+
 def tiles_cover(tiles: list[Tile], n: int) -> bool:
-    """True when the tiles partition ``range(n)`` exactly (test invariant)."""
-    covered: list[tuple[int, int]] = sorted((t.lo, t.hi) for t in tiles)
+    """True when the tiles partition ``range(n)`` exactly (test invariant).
+
+    Empty tiles are ignored: they contribute no iterations, so they can sit
+    anywhere without breaking the cover.
+    """
+    covered: list[tuple[int, int]] = sorted(
+        (t.lo, t.hi) for t in tiles if t.size > 0)
     cursor = 0
     for lo, hi in covered:
         if lo != cursor:

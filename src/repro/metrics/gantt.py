@@ -24,6 +24,7 @@ PHASE_GLYPHS: dict[Phase, str] = {
     Phase.STORAGE_READ: "R",
     Phase.STORAGE_WRITE: "W",
     Phase.SCHEDULING: "S",
+    Phase.SPECULATION: "s",
     Phase.BROADCAST: "B",
     Phase.INTRA_TRANSFER: "x",
     Phase.WORKER_DECOMPRESS: "u",

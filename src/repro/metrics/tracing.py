@@ -16,7 +16,9 @@ Beyond the per-span ``X`` events the exporter emits:
   (:class:`~repro.obs.events.MapUpload`/``MapDownload``) is provided;
 * ``s``/``f`` (flow) events linking each RETRY_BACKOFF span to the RESUBMIT
   span it led to, so a retry deep in the storage layer visually connects to
-  the Spark resubmission it triggered.
+  the Spark resubmission it triggered — and each SPECULATION launch span to
+  the speculative copy's first worker span (``task-<id>-spec``), so a
+  straggler rescue reads as one arrow from the driver to the winning worker.
 
 Span events are sorted by ``(start, end, resource)`` before emission, so
 tracks never interleave out of order for late-registered resources and the
@@ -94,6 +96,26 @@ def _flow_events(spans: list[Span], tids: dict[str, int]) -> list[dict[str, Any]
         out.append({**common, "ph": PHASE_FLOW_START,
                     "tid": tids[retry.resource or "(unnamed)"],
                     "ts": retry.end * 1e6})
+        out.append({**common, "ph": PHASE_FLOW_END, "bp": "e",
+                    "tid": tids[target.resource or "(unnamed)"],
+                    "ts": target.start * 1e6})
+
+    # Speculation flows: the driver's launch span connects to the copy's
+    # first span on the rescuing worker (labelled "task-<id>-spec").  Flow
+    # ids continue the retry counter so the pairing stays collision-free.
+    for launch in (s for s in spans if s.phase is Phase.SPECULATION):
+        label = (launch.label or "").replace("speculate-", "task-", 1)
+        target = next((s for s in spans
+                       if s.label == f"{label}-spec" and s.start >= launch.end),
+                      None)
+        if target is None:
+            continue
+        flow_id += 1
+        common = {"name": "speculate->copy", "cat": "scheduling",
+                  "id": flow_id, "pid": 1}
+        out.append({**common, "ph": PHASE_FLOW_START,
+                    "tid": tids[launch.resource or "(unnamed)"],
+                    "ts": launch.end * 1e6})
         out.append({**common, "ph": PHASE_FLOW_END, "bp": "e",
                     "tid": tids[target.resource or "(unnamed)"],
                     "ts": target.start * 1e6})

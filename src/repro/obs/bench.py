@@ -212,9 +212,119 @@ def run_chained_3mm(
     }
 
 
+def run_ablation_speculation(
+    cores: int = 32,
+    n_workers: int = 16,
+    density: float = 1.0,
+    size: int | None = None,
+    quick: bool = False,
+) -> dict[str, object]:
+    """Adaptive-execution ablation: speculation and weighted tiling A/B.
+
+    Four modeled matmul offloads (docs/SCHEDULING.md):
+
+    * **nospec** — a spot preemption mid-task, speculation off: the job
+      pays the full failure-detection timeout plus a rerun.
+    * **spec** — the same preemption with ``speculation = true``: the
+      straggler copy rescues the tail.  This run is the instrumented one
+      and provides the gated milestones, so CI fails if the rescue stops
+      working.
+    * **static_het / weighted_het** — a half-speed worker under Algorithm 1
+      tiles vs capacity-weighted tiles, speculation off, fault-free.
+
+    The preemption instant is calibrated from a fault-free dry run (90 %
+    through the latest compute span), so the plan always lands inside a
+    reservation regardless of size or core count.  Everything is modeled
+    and bit-deterministic, so ``full_s_nospec > full_s`` and
+    ``full_s_static_het > full_s_weighted_het`` are stable invariants the
+    ablation tests assert.
+    """
+    from repro.core.api import offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.simtime.timeline import Phase
+    from repro.spark.faults import NO_FAULTS, FaultPlan
+    from repro.spark.schedule import ScheduleConfig
+    from repro.workloads.specs import WORKLOADS
+
+    spec = WORKLOADS["matmul"]
+    n = size if size is not None else (800 if quick else 2000)
+
+    def run(schedule: ScheduleConfig, fault_plan: FaultPlan | None = None,
+            worker_speeds: tuple[float, ...] = ()):
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(
+            demo_config(n_workers), physical_cores=cores,
+            schedule=schedule,
+            fault_plan=fault_plan if fault_plan is not None else NO_FAULTS,
+            worker_speeds=worker_speeds or None))
+        return offload(spec.build_region("CLOUD"), scalars=spec.scalars(n),
+                       runtime=rt, mode=ExecutionMode.MODELED)
+
+    static = ScheduleConfig()
+    speculative = ScheduleConfig(speculation=True)
+
+    # Calibrate the preemption from a fault-free dry run: kill the worker
+    # running the latest-starting compute span, 90% of the way through it.
+    dry = run(static)
+    victim = max((s for s in dry.timeline.spans if s.phase is Phase.COMPUTE),
+                 key=lambda s: (s.start, s.resource))
+    preempt_t = victim.start + 0.9 * max(victim.duration, 0.0)
+    plan = FaultPlan(preempt_at={victim.resource: preempt_t})
+
+    nospec = run(static, fault_plan=plan)
+
+    bus = EventBus(keep_history=True)
+    registry = MetricsRegistry()
+    MetricsSubscriber(registry).attach(bus)
+    with use_bus(bus):
+        rescued = run(speculative, fault_plan=plan)
+
+    # Heterogeneous cluster: the second executor runs at half speed.
+    speeds = (1.0, 0.5)
+    static_het = run(static, worker_speeds=speeds)
+    weighted_het = run(ScheduleConfig(mode="weighted"), worker_speeds=speeds)
+
+    milestones = {
+        # Gated: the speculative run under preemption is the product here.
+        "full_s": rescued.full_s,
+        "spark_job_s": rescued.spark_job_s,
+        "computation_s": rescued.computation_s,
+        "host_comm_s": rescued.host_comm_s,
+        "spark_overhead_s": rescued.spark_overhead_s,
+        "backoff_s": rescued.backoff_s,
+        # Informational A/B milestones for the ablation assertions.
+        "full_s_nospec": nospec.full_s,
+        "speculation_saved_s": rescued.speculation_saved_s,
+        "tasks_speculated": rescued.tasks_speculated,
+        "speculation_wins": rescued.speculation_wins,
+        "full_s_static_het": static_het.full_s,
+        "full_s_weighted_het": weighted_het.full_s,
+        "preempt_at_s": preempt_t,
+    }
+    return {
+        "schema": SCHEMA,
+        "benchmark": "ablation_speculation",
+        "params": {
+            "cores": cores,
+            "workers": n_workers,
+            "density": density,
+            "size": n,
+            "mode": "modeled",
+            "quick": quick,
+        },
+        "milestones": milestones,
+        "events": bus.counts(),
+        "metrics": registry.snapshot(),
+    }
+
+
 #: Multi-offload bench scenarios outside the single-region WORKLOADS registry.
 EXTRA_BENCHMARKS = {
     "chained_3mm": run_chained_3mm,
+    "ablation_speculation": run_ablation_speculation,
 }
 
 

@@ -188,6 +188,39 @@ class TaskEnd(Event):
 
 
 @dataclass(frozen=True)
+class TaskSpeculated(Event):
+    """The driver launched a speculative copy of a straggling task.
+
+    ``time`` is the detection instant (original start +
+    ``speculation_multiplier`` x median task duration); ``worker`` is the
+    straggling original's executor, ``copy_worker`` the one racing it.
+    """
+
+    kind: ClassVar[str] = "task_speculated"
+    task_id: int = 0
+    worker: str = ""
+    copy_worker: str = ""
+    waited_s: float = 0.0
+    median_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SpeculationWon(Event):
+    """A speculative copy finished before the original (first result wins).
+
+    ``saved_s`` is the modelled tail time the copy removed: the original's
+    projected finish (or, for a dead original, heartbeat detection plus a
+    full re-run) minus the copy's end.
+    """
+
+    kind: ClassVar[str] = "speculation_won"
+    task_id: int = 0
+    winner: str = ""
+    loser: str = ""
+    saved_s: float = 0.0
+
+
+@dataclass(frozen=True)
 class Retry(Event):
     """A transient failure is being retried under a RetryPolicy."""
 

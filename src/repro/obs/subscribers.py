@@ -111,6 +111,15 @@ class MetricsSubscriber:
         self._not_retransferred = r.counter(
             "repro_data_env_bytes_not_retransferred",
             "Upload bytes avoided because the buffer was already resident.")
+        self._speculated = r.counter(
+            "repro_speculation_launched_total",
+            "Speculative straggler copies launched, by copy worker.")
+        self._speculation_wins = r.counter(
+            "repro_speculation_won_total",
+            "Speculative copies that beat the original, by winning worker.")
+        self._speculation_saved = r.counter(
+            "repro_speculation_saved_seconds_total",
+            "Modelled tail seconds removed by winning speculative copies.")
         self._workers: set[str] = set()
 
     def attach(self, bus: EventBus):
@@ -161,6 +170,11 @@ class MetricsSubscriber:
             self._active_tasks.dec()
             self._tasks.inc(worker=e.worker)
             self._task_seconds.observe(e.duration_s)
+        elif kind == "task_speculated":
+            self._speculated.inc(worker=e.copy_worker)
+        elif kind == "speculation_won":
+            self._speculation_wins.inc(worker=e.winner)
+            self._speculation_saved.inc(e.saved_s)
         elif kind == "storage_op":
             self._storage_ops.inc(op=e.op, store=e.store)
             if e.nbytes:
@@ -209,6 +223,8 @@ class DerivedReport:
     cache_bytes_saved: int = 0
     resident_hits: int = 0
     bytes_not_retransferred: int = 0
+    tasks_speculated: int = 0
+    speculation_wins: int = 0
     timeline: Timeline = field(default_factory=Timeline)
 
 
@@ -296,6 +312,13 @@ class ReportBuilder:
         elif e.kind == "recovery":
             rep.timeline.record(Phase.RECOVERY, e.time - e.duration_s, e.time,
                                 resource=e.worker, label="spot-replace")
+        elif e.kind == "task_speculated":
+            rep.tasks_speculated += 1
+            rep.timeline.record(Phase.SPECULATION, e.time, e.time,
+                                resource="driver",
+                                label=f"speculate-{e.task_id}")
+        elif e.kind == "speculation_won":
+            rep.speculation_wins += 1
         elif e.kind == "cache_hit":
             rep.cache_hits += 1
             rep.cache_bytes_saved += e.bytes_saved

@@ -27,6 +27,7 @@ class Phase(enum.Enum):
     STORAGE_READ = "storage_read"
     STORAGE_WRITE = "storage_write"
     SCHEDULING = "scheduling"
+    SPECULATION = "speculation"
     BROADCAST = "broadcast"
     INTRA_TRANSFER = "intra_transfer"
     WORKER_DECOMPRESS = "worker_decompress"
@@ -70,6 +71,8 @@ _BUCKET_OF: dict[Phase, str] = {
     Phase.STORAGE_READ: BUCKET_SPARK,
     Phase.STORAGE_WRITE: BUCKET_SPARK,
     Phase.SCHEDULING: BUCKET_SPARK,
+    # Launching a speculative straggler copy is driver-side scheduling work.
+    Phase.SPECULATION: BUCKET_SPARK,
     Phase.BROADCAST: BUCKET_SPARK,
     Phase.INTRA_TRANSFER: BUCKET_SPARK,
     Phase.WORKER_DECOMPRESS: BUCKET_SPARK,

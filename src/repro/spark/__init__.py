@@ -25,6 +25,7 @@ from repro.spark.conf import SparkConf
 from repro.spark.rdd import RDD, Partition
 from repro.spark.broadcast import Broadcast
 from repro.spark.executor import Executor, ExecutorLostError
+from repro.spark.schedule import STATIC_SCHEDULE, ScheduleConfig
 from repro.spark.scheduler import Task, TaskScheduler, TaskResult
 from repro.spark.driver import Driver, JobResult
 from repro.spark.cluster import SparkCluster
@@ -44,6 +45,8 @@ __all__ = [
     "Broadcast",
     "Executor",
     "ExecutorLostError",
+    "ScheduleConfig",
+    "STATIC_SCHEDULE",
     "Task",
     "TaskScheduler",
     "TaskResult",

@@ -11,6 +11,7 @@ cores land on a single worker node.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.cloud.network import NetworkModel, default_lan, default_wan
 from repro.simtime.clock import SimClock
@@ -40,6 +41,7 @@ class SparkCluster:
         conf: SparkConf | None = None,
         network: NetworkModel | None = None,
         clock: SimClock | None = None,
+        worker_speeds: Sequence[float] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
@@ -48,6 +50,9 @@ class SparkCluster:
         self.network = network if network is not None else NetworkModel(default_wan(), default_lan())
         self.clock = clock if clock is not None else SimClock()
         self.n_workers = n_workers
+        #: Relative per-core throughput per worker index; workers past the
+        #: end of the list (and all workers by default) run at 1.0.
+        self.worker_speeds = tuple(worker_speeds) if worker_speeds else ()
         self.executors = self._build_executors()
 
     def _build_executors(self) -> list[Executor]:
@@ -69,6 +74,7 @@ class SparkCluster:
                     vcpus=grant,
                     task_cpus=task_cpus,
                     heap_bytes=heap,
+                    speed=self._speed_of(w),
                 )
             )
             remaining -= grant
@@ -79,11 +85,28 @@ class SparkCluster:
             )
         return out
 
+    def _speed_of(self, worker_index: int) -> float:
+        if worker_index < len(self.worker_speeds):
+            return self.worker_speeds[worker_index]
+        return 1.0
+
     # ------------------------------------------------------------ capacities
     @property
     def total_task_slots(self) -> int:
         """Concurrent tasks the whole cluster can run — the C of Algorithm 1."""
         return sum(ex.task_slots for ex in self.executors)
+
+    def slot_capacities(self) -> list[float]:
+        """One relative speed per live task slot, in executor/slot order.
+
+        This is the capacity vector :func:`repro.core.tiling.tile_weighted`
+        consumes; the order matches the scheduler's earliest-available,
+        first-executor-wins placement, so slot-major weighted tiles land on
+        the slots they were sized for.
+        """
+        return [ex.speed
+                for ex in self.executors if not ex.is_dead
+                for _ in range(ex.task_slots)]
 
     @property
     def total_vcpus(self) -> int:
@@ -113,7 +136,9 @@ class SparkCluster:
         The replacement keeps the node's shape but gets a new identity
         (``worker-3`` becomes ``worker-3+1``) — a replacement spot instance
         is a new machine, so fault plans targeting the old id do not apply
-        to it.  Its slots are free from ``now`` on.
+        to it, and any degraded ``speed`` of the lost node does not carry
+        over (a fresh instance runs at full speed).  Its slots are free from
+        ``now`` on.
         """
         when = self.clock.now if now is None else now
         for i, ex in enumerate(self.executors):
@@ -136,6 +161,7 @@ class SparkCluster:
         conf: SparkConf | None = None,
         network: NetworkModel | None = None,
         clock: SimClock | None = None,
+        worker_speeds: Sequence[float] | None = None,
     ) -> "SparkCluster":
         """The paper's experimental knob: limit a 16-worker cluster to
         ``physical_cores`` dedicated cores via spark.cores.max (2 vCPUs per
@@ -144,4 +170,5 @@ class SparkCluster:
         conf.set("spark.task.cpus", 2)
         conf.set("spark.cores.max", physical_cores * 2)
         conf.set("spark.default.parallelism", physical_cores)
-        return cls(n_workers=n_workers, shape=shape, conf=conf, network=network, clock=clock)
+        return cls(n_workers=n_workers, shape=shape, conf=conf, network=network,
+                   clock=clock, worker_speeds=worker_speeds)

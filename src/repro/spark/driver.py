@@ -16,6 +16,7 @@ from repro.simtime.timeline import Timeline
 from repro.spark.broadcast import Broadcast
 from repro.spark.faults import NO_FAULTS, FaultPlan
 from repro.spark.rdd import RDD, MappedRDD, ParallelCollectionRDD
+from repro.spark.schedule import STATIC_SCHEDULE, ScheduleConfig
 from repro.spark.scheduler import (
     JobStats,
     SchedulerCosts,
@@ -74,6 +75,7 @@ class Driver:
         broadcasts: Sequence[Broadcast] = (),
         fault_plan: FaultPlan = NO_FAULTS,
         functional: bool = True,
+        schedule: ScheduleConfig = STATIC_SCHEDULE,
     ) -> JobResult:
         """Execute ``rdd`` (optionally post-processing each partition).
 
@@ -116,6 +118,7 @@ class Driver:
             broadcasts=broadcasts,
             fault_plan=fault_plan,
             functional=functional,
+            schedule=schedule,
         )
         bus.emit(JobEnd(time=self.cluster.clock.now, resource="driver",
                         job_id=self._job_seq, makespan_s=stats.makespan_s,

@@ -28,6 +28,7 @@ class Executor:
         vcpus: int,
         task_cpus: int = 1,
         heap_bytes: int = 40 * 1024**3,
+        speed: float = 1.0,
     ) -> None:
         if vcpus < 1:
             raise ValueError(f"executor needs >= 1 vCPU, got {vcpus}")
@@ -37,10 +38,17 @@ class Executor:
             raise ValueError(
                 f"task_cpus={task_cpus} exceeds executor vcpus={vcpus}; no task could run"
             )
+        if not speed > 0.0:
+            raise ValueError(f"executor speed must be > 0, got {speed!r}")
         self.worker_id = worker_id
         self.vcpus = vcpus
         self.task_cpus = task_cpus
         self.heap_bytes = heap_bytes
+        #: Relative per-core throughput (1.0 = the calibrated c3.8xlarge core).
+        #: A degraded or older node runs every slot duration at 1/speed; the
+        #: default of exactly 1.0 divides out bit-identically, so homogeneous
+        #: clusters are unchanged.
+        self.speed = speed
         self.pool = SlotPool(self.task_slots, label=worker_id)
         self.tasks_executed = 0
         self._dead = False
@@ -71,9 +79,10 @@ class Executor:
 
     # ------------------------------------------------------------- execution
     def reserve(self, ready_at: float, duration: float) -> Reservation:
+        """Reserve a slot; ``duration`` is scaled by this node's ``speed``."""
         if self._dead:
             raise ExecutorLostError(f"{self.worker_id} is dead")
-        return self.pool.acquire(ready_at, duration)
+        return self.pool.acquire(ready_at, duration / self.speed)
 
     def run_closure(self, fn: Callable[[], Any]) -> Any:
         """Really execute a task closure (functional mode).

@@ -1,0 +1,69 @@
+"""Adaptive execution policy for the Spark substrate (the ``[Schedule]`` knob).
+
+Algorithm 1's static tiling is optimal only when every worker is identical
+and healthy — the very assumption the fault plans (spot preemption, executor
+loss) and heterogeneous cluster configs violate.  A :class:`ScheduleConfig`
+selects how far the scheduler may adapt:
+
+* ``mode`` — ``static`` keeps the paper's ``floor(N/C)`` tiles;
+  ``weighted`` sizes tiles proportionally to per-slot capacity
+  (:func:`repro.core.tiling.tile_weighted`) so a slow or shrunken worker
+  does not own the critical path.
+* ``speculation`` / ``speculation_multiplier`` — Spark's
+  ``spark.speculation`` semantics: a task running at least
+  ``multiplier x median task duration`` is a straggler, and the driver
+  races a speculative copy on another executor, first result wins.
+* ``pipeline_depth`` — when > 0, the driver streams collects through NIC
+  idle gaps between scatters instead of the strict
+  scatter-all / compute / collect-all barrier, holding at most
+  ``pipeline_depth`` scattered-but-uncollected results in flight.
+
+The default :data:`STATIC_SCHEDULE` reproduces the paper exactly; every
+adaptive feature is strictly opt-in, so Figure 4/5 baselines are untouched
+unless a config asks otherwise.  See ``docs/SCHEDULING.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Recognised tiling modes for ``ScheduleConfig.mode``.
+SCHEDULE_MODES = ("static", "weighted")
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """How adaptively one Spark job is scheduled (immutable, shareable)."""
+
+    mode: str = "static"
+    speculation: bool = False
+    speculation_multiplier: float = 1.5
+    pipeline_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in SCHEDULE_MODES:
+            raise ValueError(
+                f"schedule mode must be one of {SCHEDULE_MODES}, got {self.mode!r}"
+            )
+        if self.speculation_multiplier < 1.0:
+            raise ValueError(
+                "speculation_multiplier must be >= 1.0 (a task is never a "
+                f"straggler before the median), got {self.speculation_multiplier!r}"
+            )
+        if self.pipeline_depth < 0:
+            raise ValueError(
+                f"pipeline_depth must be >= 0, got {self.pipeline_depth!r}"
+            )
+
+    @property
+    def weighted(self) -> bool:
+        return self.mode == "weighted"
+
+    @property
+    def pipelined(self) -> bool:
+        return self.pipeline_depth > 0
+
+
+#: The paper's behaviour: static Algorithm-1 tiles, no speculation, strict
+#: scatter/compute/collect barrier.  Shared immutable default.
+STATIC_SCHEDULE = ScheduleConfig()

@@ -15,22 +15,31 @@ the one-stage DOALL jobs OmpCloud generates:
   re-execution on surviving executors, up to ``spark.task.maxFailures``
   attempts — lineage recomputation in RDD terms.
 
+A :class:`~repro.spark.schedule.ScheduleConfig` unlocks the adaptive layer
+(all off by default, see ``docs/SCHEDULING.md``): speculative copies for
+stragglers (``spark.speculation`` semantics, first result wins) and a
+pipelined collect path that streams results through NIC idle gaps between
+scatters instead of the strict end-of-job barrier.
+
 Everything is accounted on a :class:`~repro.simtime.timeline.Timeline` with
 the phases Figure 5 of the paper stacks.
 """
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.cloud.network import NetworkModel
-from repro.obs.events import TaskEnd, TaskStart, get_bus
+from repro.obs.events import (SpeculationWon, TaskEnd, TaskSpeculated,
+                              TaskStart, get_bus)
 from repro.simtime.clock import SimClock
 from repro.simtime.timeline import Phase, Timeline
 from repro.spark.broadcast import Broadcast
 from repro.spark.executor import Executor, ExecutorLostError
 from repro.spark.faults import NO_FAULTS, FaultPlan
+from repro.spark.schedule import STATIC_SCHEDULE, ScheduleConfig
 
 #: Spark's default spark.task.maxFailures.
 MAX_TASK_FAILURES = 4
@@ -84,6 +93,8 @@ class TaskResult:
     value: Any = None
     attempts: int = 1
     collected_at: float = 0.0
+    #: True when a speculative copy beat the original attempt.
+    speculative: bool = False
 
 
 @dataclass
@@ -94,6 +105,9 @@ class JobStats:
     recomputed_tasks: int = 0
     broadcast_s: float = 0.0
     makespan_s: float = 0.0
+    speculated_tasks: int = 0
+    speculation_wins: int = 0
+    speculation_saved_s: float = 0.0
     results: list[TaskResult] = field(default_factory=list)
 
 
@@ -113,6 +127,7 @@ class TaskScheduler:
         broadcasts: Sequence[Broadcast] = (),
         fault_plan: FaultPlan = NO_FAULTS,
         functional: bool = True,
+        schedule: ScheduleConfig = STATIC_SCHEDULE,
     ) -> JobStats:
         """Run all tasks; advances ``clock`` to job completion.
 
@@ -138,10 +153,17 @@ class TaskScheduler:
             stats.broadcast_s += dt
             ready0 += dt
 
+        # Straggler threshold base: the median of the *intended* slot
+        # durations (what Spark estimates from the task set), not the
+        # speed-degraded actuals — a slow node must look like a straggler.
+        median_s = (statistics.median(t.slot_duration_s for t in tasks)
+                    if tasks else 0.0)
+
         # -------------------------------------------- launch + scatter + run
         driver_cursor = ready0
         nic_cursor = ready0
         results: list[TaskResult] = []
+        uncollected: list[TaskResult] = []  # pipelined: scattered, result due
         for task in tasks:
             launch_start = driver_cursor
             driver_cursor += self.costs.task_launch_s
@@ -149,6 +171,23 @@ class TaskScheduler:
                             resource="driver", label=f"launch-{task.task_id}")
             ready = driver_cursor
             if task.input_bytes > 0:
+                if schedule.pipelined:
+                    # Back-pressure: at most pipeline_depth results may sit
+                    # uncollected before the NIC must drain one.
+                    while len(uncollected) >= schedule.pipeline_depth:
+                        nic_cursor = self._collect_one(
+                            uncollected, nic_cursor, network, timeline)
+                    # Opportunistic overlap: any finished result whose
+                    # transfer fits in the NIC gap before this scatter
+                    # streams back now, while other tiles still compute.
+                    while uncollected:
+                        nxt = min(uncollected,
+                                  key=lambda r: (r.end, r.task.task_id))
+                        dt = network.lan_transfer_time(nxt.task.output_bytes)
+                        if max(nxt.end, nic_cursor) + dt > ready:
+                            break
+                        nic_cursor = self._collect_one(
+                            uncollected, nic_cursor, network, timeline)
                 x0 = max(ready, nic_cursor)
                 dt = network.lan_transfer_time(task.input_bytes)
                 nic_cursor = x0 + dt
@@ -156,21 +195,33 @@ class TaskScheduler:
                                 resource="driver-nic", label=f"scatter-{task.task_id}")
                 ready = nic_cursor
             result = self._run_one(task, executors, ready, timeline,
-                                   fault_plan, functional, stats)
+                                   fault_plan, functional, stats,
+                                   schedule=schedule, median_s=median_s)
             results.append(result)
+            if schedule.pipelined:
+                if task.output_bytes > 0:
+                    uncollected.append(result)
+                else:
+                    result.collected_at = result.end
 
         # ---------------------------------------------------------- collect
         collect_cursor = nic_cursor
-        for res in sorted(results, key=lambda r: (r.end, r.task.task_id)):
-            if res.task.output_bytes > 0:
-                c0 = max(res.end, collect_cursor)
-                dt = network.lan_transfer_time(res.task.output_bytes)
-                collect_cursor = c0 + dt
-                timeline.record(Phase.COLLECT, c0, collect_cursor,
-                                resource="driver-nic", label=f"collect-{res.task.task_id}")
-                res.collected_at = collect_cursor
-            else:
-                res.collected_at = res.end
+        if schedule.pipelined:
+            while uncollected:
+                collect_cursor = self._collect_one(
+                    uncollected, collect_cursor, network, timeline)
+        else:
+            for res in sorted(results, key=lambda r: (r.end, r.task.task_id)):
+                if res.task.output_bytes > 0:
+                    c0 = max(res.end, collect_cursor)
+                    dt = network.lan_transfer_time(res.task.output_bytes)
+                    collect_cursor = c0 + dt
+                    timeline.record(Phase.COLLECT, c0, collect_cursor,
+                                    resource="driver-nic",
+                                    label=f"collect-{res.task.task_id}")
+                    res.collected_at = collect_cursor
+                else:
+                    res.collected_at = res.end
 
         job_end = max([r.collected_at for r in results], default=ready0)
         clock.advance_to(max(job_end, clock.now))
@@ -188,6 +239,8 @@ class TaskScheduler:
         fault_plan: FaultPlan,
         functional: bool,
         stats: JobStats,
+        schedule: ScheduleConfig = STATIC_SCHEDULE,
+        median_s: float = 0.0,
     ) -> TaskResult:
         attempts = 0
         while attempts < MAX_TASK_FAILURES:
@@ -205,15 +258,29 @@ class TaskScheduler:
                 attempts -= 1  # not a task failure, only a placement miss
                 continue
 
-            # Simulated-time death of the worker mid-task.
+            # Simulated-time death of the worker mid-task.  The task goes
+            # silent at `death`; heartbeat detection notices at
+            # death + failure_detect_s.  With speculation on, the driver may
+            # notice the straggling (silent) task at multiplier x median
+            # first and race a copy on another executor.
             if fault_plan.kills_reservation(ex.worker_id, res.start, res.end):
-                ex.mark_dead(now=death if death is not None else res.start,
-                             reason="died mid-task")
+                death_t = death if death is not None else res.start
+                ex.mark_dead(now=death_t, reason="died mid-task")
                 stats.recomputed_tasks += 1
-                ready = max(ready, death + self.costs.failure_detect_s)
+                if schedule.speculation and median_s > 0.0:
+                    spec = self._speculate(
+                        task, executors, ex, res.start, timeline, fault_plan,
+                        functional, stats, schedule, median_s,
+                        attempts=attempts, original_end=None,
+                        detect_at=death_t + self.costs.failure_detect_s)
+                    if spec is not None:
+                        return spec
+                ready = max(ready, death_t + self.costs.failure_detect_s)
                 continue
 
-            # Functional failure injection: the Nth closure on this worker raises.
+            # Functional failure injection: the Nth closure on this worker
+            # raises.  An application crash is a *failure*, never a
+            # straggler — speculation must not mask maxFailures exhaustion.
             value = None
             if functional and task.closure is not None:
                 if fault_plan.should_raise(ex.worker_id, ex.tasks_executed + 1):
@@ -230,13 +297,31 @@ class TaskScheduler:
                     ready = max(ready, res.end + self.costs.failure_detect_s)
                     continue
 
-            self._record_task_spans(task, res.start, ex.worker_id, timeline)
+            # Straggler: the slot runs the task >= multiplier x median (a
+            # degraded node, speed < 1).  Race a copy; first result wins.
+            actual_s = res.end - res.start
+            if (schedule.speculation and median_s > 0.0
+                    and actual_s >= schedule.speculation_multiplier * median_s):
+                spec = self._speculate(
+                    task, executors, ex, res.start, timeline, fault_plan,
+                    functional, stats, schedule, median_s,
+                    attempts=attempts, original_end=res.end,
+                    detect_at=float("inf"), value=value)
+                if spec is not None:
+                    # The losing original still occupies its slot to the end
+                    # (Spark kills it, but the model bills the spent time);
+                    # its spans stay on the timeline, unlabelled as a task
+                    # completion — no TaskEnd is emitted for a killed copy.
+                    self._record_task_spans(task, res.start, ex, timeline)
+                    return spec
+
+            self._record_task_spans(task, res.start, ex, timeline)
             bus = get_bus()
             bus.emit(TaskStart(time=res.start, resource=ex.worker_id,
                                task_id=task.task_id, worker=ex.worker_id))
             bus.emit(TaskEnd(time=res.end, resource=ex.worker_id,
                              task_id=task.task_id, worker=ex.worker_id,
-                             duration_s=task.slot_duration_s,
+                             duration_s=task.slot_duration_s / ex.speed,
                              attempts=attempts))
             return TaskResult(task=task, worker_id=ex.worker_id,
                               start=res.start, end=res.end, value=value,
@@ -244,6 +329,123 @@ class TaskScheduler:
         raise JobFailedError(
             f"task {task.task_id} failed {MAX_TASK_FAILURES} times; aborting job"
         )
+
+    def _speculate(
+        self,
+        task: Task,
+        executors: Sequence[Executor],
+        original: Executor,
+        original_start: float,
+        timeline: Timeline,
+        fault_plan: FaultPlan,
+        functional: bool,
+        stats: JobStats,
+        schedule: ScheduleConfig,
+        median_s: float,
+        *,
+        attempts: int,
+        original_end: float | None,
+        detect_at: float,
+        value: Any = None,
+    ) -> TaskResult | None:
+        """Try to rescue a straggling/silent task with a speculative copy.
+
+        Returns the winning copy's :class:`TaskResult`, or ``None`` when the
+        copy is not launched (would not beat the original / detection) or
+        itself fails — the caller then falls through to the ordinary retry
+        path, so ``maxFailures`` accounting is never weakened.
+
+        ``original_end`` is the instant the original attempt would finish
+        (``None`` when the original died and will never finish, in which
+        case ``detect_at`` is when heartbeat detection would fire instead).
+        """
+        watch = original_start + schedule.speculation_multiplier * median_s
+        if watch >= detect_at:
+            return None  # heartbeat detection fires first; retry normally
+        copy_ex = self._pick_executor_excluding(executors, watch, original)
+        if copy_ex is None:
+            return None  # nowhere else to run a copy
+        launch_end = watch + self.costs.task_launch_s
+        est_start = max(copy_ex.pool.earliest_free(), launch_end)
+        est_end = est_start + task.slot_duration_s / copy_ex.speed
+        if original_end is not None and est_end >= original_end:
+            return None  # the copy cannot win; Spark would not launch it
+
+        copy = copy_ex.reserve(launch_end, task.slot_duration_s)
+        timeline.record(Phase.SPECULATION, watch, launch_end,
+                        resource="driver", label=f"speculate-{task.task_id}")
+        stats.speculated_tasks += 1
+        bus = get_bus()
+        bus.emit(TaskSpeculated(time=watch, resource="driver",
+                                task_id=task.task_id,
+                                worker=original.worker_id,
+                                copy_worker=copy_ex.worker_id,
+                                waited_s=watch - original_start,
+                                median_s=median_s))
+
+        # The copy is as mortal as any task: the fault plan applies.
+        copy_death = fault_plan.death_time(copy_ex.worker_id)
+        if copy_death is not None and copy_death < copy.end:
+            copy_ex.mark_dead(now=max(copy_death, 0.0),
+                              reason="speculative copy lost")
+            return None
+        # Functional work runs on the copy only when the original never
+        # finished; a straggling original already produced `value`, and
+        # accumulators must commit exactly once per task.
+        if functional and task.closure is not None and original_end is None:
+            if fault_plan.should_raise(copy_ex.worker_id,
+                                       copy_ex.tasks_executed + 1):
+                copy_ex.tasks_executed += 1
+                copy_ex.mark_dead(now=copy.start,
+                                  reason="speculative copy crashed")
+                return None
+            try:
+                value = copy_ex.run_closure(task.closure)
+            except ExecutorLostError:
+                return None
+
+        # First result wins.  `saved` is what the tail would have cost
+        # without the copy: the original's own finish, or (for a dead
+        # original) detection + a full re-run — a lower bound, ignoring
+        # re-queueing delays.
+        counterfactual = (original_end if original_end is not None
+                          else detect_at + task.slot_duration_s)
+        saved = max(0.0, counterfactual - copy.end)
+        stats.speculation_wins += 1
+        stats.speculation_saved_s += saved
+        self._record_task_spans(task, copy.start, copy_ex, timeline,
+                                label_suffix="-spec")
+        bus.emit(TaskStart(time=copy.start, resource=copy_ex.worker_id,
+                           task_id=task.task_id, worker=copy_ex.worker_id))
+        bus.emit(TaskEnd(time=copy.end, resource=copy_ex.worker_id,
+                         task_id=task.task_id, worker=copy_ex.worker_id,
+                         duration_s=task.slot_duration_s / copy_ex.speed,
+                         attempts=attempts))
+        bus.emit(SpeculationWon(time=copy.end, resource=copy_ex.worker_id,
+                                task_id=task.task_id,
+                                winner=copy_ex.worker_id,
+                                loser=original.worker_id, saved_s=saved))
+        return TaskResult(task=task, worker_id=copy_ex.worker_id,
+                          start=copy.start, end=copy.end, value=value,
+                          attempts=attempts, speculative=True)
+
+    @staticmethod
+    def _collect_one(
+        pending: list[TaskResult],
+        cursor: float,
+        network: NetworkModel,
+        timeline: Timeline,
+    ) -> float:
+        """Stream the earliest-finished pending result back over the NIC."""
+        res = min(pending, key=lambda r: (r.end, r.task.task_id))
+        pending.remove(res)
+        c0 = max(res.end, cursor)
+        dt = network.lan_transfer_time(res.task.output_bytes)
+        cursor = c0 + dt
+        timeline.record(Phase.COLLECT, c0, cursor, resource="driver-nic",
+                        label=f"collect-{res.task.task_id}")
+        res.collected_at = cursor
+        return cursor
 
     @staticmethod
     def _pick_executor(executors: Sequence[Executor], ready: float) -> Executor:
@@ -260,7 +462,23 @@ class TaskScheduler:
         return best
 
     @staticmethod
-    def _record_task_spans(task: Task, start: float, worker_id: str, timeline: Timeline) -> None:
+    def _pick_executor_excluding(
+        executors: Sequence[Executor], ready: float, exclude: Executor,
+    ) -> Executor | None:
+        """Best executor for a speculative copy — never the original's."""
+        best: Executor | None = None
+        best_start = float("inf")
+        for ex in executors:
+            if ex.is_dead or ex is exclude:
+                continue
+            est = max(ex.pool.earliest_free(), ready)
+            if est < best_start:
+                best, best_start = ex, est
+        return best
+
+    @staticmethod
+    def _record_task_spans(task: Task, start: float, ex: Executor,
+                           timeline: Timeline, label_suffix: str = "") -> None:
         cursor = start
         for phase, dur in (
             (Phase.WORKER_DECOMPRESS, task.decompress_s),
@@ -269,6 +487,8 @@ class TaskScheduler:
             (Phase.WORKER_COMPRESS, task.compress_s),
         ):
             if dur > 0.0:
-                timeline.record(phase, cursor, cursor + dur, resource=worker_id,
-                                label=f"task-{task.task_id}")
-                cursor += dur
+                scaled = dur / ex.speed
+                timeline.record(phase, cursor, cursor + scaled,
+                                resource=ex.worker_id,
+                                label=f"task-{task.task_id}{label_suffix}")
+                cursor += scaled

@@ -1,0 +1,86 @@
+"""Documentation integrity: intra-repo links resolve, the map is complete.
+
+Runs standalone (no numpy, no repro import) so the CI ``docs-check`` job can
+gate on it with nothing but pytest installed.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Repo-tracked markdown that must stay internally consistent.  Scratch
+#: files for the growth process itself (ISSUE/CHANGES/...) are exempt.
+DOC_FILES = sorted(
+    p for p in list(REPO.glob("*.md")) + list((REPO / "docs").glob("*.md"))
+    if p.name not in ("ISSUE.md", "CHANGES.md", "SNIPPETS.md", "PAPERS.md")
+)
+
+#: The seven-document set every reader should be able to reach from README.
+CORE_DOCS = [
+    "docs/TUTORIAL.md",
+    "docs/API.md",
+    "docs/MODEL.md",
+    "docs/SCHEDULING.md",
+    "docs/DATA_ENV.md",
+    "docs/ANALYSIS.md",
+    "docs/OBSERVABILITY.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _targets(md: Path):
+    """(line_no, raw_target) for every markdown link, fenced code excluded."""
+    fenced = False
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        for m in _LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def _is_local(target: str) -> bool:
+    return not (target.startswith(("http://", "https://", "mailto:"))
+                or target.startswith("#"))
+
+
+@pytest.mark.parametrize("md", DOC_FILES, ids=lambda p: str(p.relative_to(REPO)))
+def test_intra_repo_links_resolve(md):
+    broken = []
+    for lineno, target in _targets(md):
+        if not _is_local(target):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (md.parent / path).resolve().exists():
+            broken.append(f"{md.relative_to(REPO)}:{lineno}: {target}")
+    assert not broken, "broken links:\n" + "\n".join(broken)
+
+
+def test_readme_document_map_is_complete():
+    """README's document map reaches every core doc plus DESIGN and
+    EXPERIMENTS — one hop from the front page to anything."""
+    readme = (REPO / "README.md").read_text()
+    missing = [doc for doc in CORE_DOCS + ["DESIGN.md", "EXPERIMENTS.md"]
+               if doc not in readme]
+    assert not missing, f"README.md document map misses: {missing}"
+
+
+def test_tutorial_document_map_is_complete():
+    tutorial = (REPO / "docs" / "TUTORIAL.md").read_text()
+    missing = [Path(doc).name for doc in CORE_DOCS
+               if Path(doc).name != "TUTORIAL.md"
+               and Path(doc).name not in tutorial]
+    assert not missing, f"docs/TUTORIAL.md document map misses: {missing}"
+
+
+def test_core_docs_exist():
+    missing = [doc for doc in CORE_DOCS if not (REPO / doc).exists()]
+    assert not missing, f"missing documents: {missing}"

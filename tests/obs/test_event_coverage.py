@@ -2,9 +2,9 @@
 
 The catalogue in ``repro.obs.events`` is only useful if the runtime really
 emits each kind — an event type nothing emits is dead weight, and an emission
-site nothing tests can silently rot.  Four scenarios (cache-hit rerun, chaos
-run, breaker trip, persistent data environment) must between them cover the
-whole of ``EVENT_KINDS``.
+site nothing tests can silently rot.  Five scenarios (cache-hit rerun, chaos
+run, breaker trip, persistent data environment, straggler rescue) must
+between them cover the whole of ``EVENT_KINDS``.
 """
 
 from dataclasses import replace
@@ -16,6 +16,7 @@ from repro.core.api import ParallelLoop, TargetRegion, offload
 from repro.core.buffers import ExecutionMode
 from repro.obs.events import EVENT_KINDS, EventBus, use_bus
 from repro.spark.faults import FaultPlan
+from repro.spark.schedule import ScheduleConfig
 from repro.workloads import WORKLOADS
 
 from tests.conftest import make_cloud_runtime
@@ -85,6 +86,16 @@ def test_every_event_kind_is_emitted(cloud_config):
                 offload(_copy_region(), arrays={"A": a2, "C": c2},
                         scalars={"N": len(a2)}, runtime=env_rt)
             env.update(to="A", from_="C")
+
+        # 5. Straggler rescue: one worker at 5% speed with speculation on —
+        #    every slow task is re-raced on a healthy worker, whose copy
+        #    finishes first (task_speculated + speculation_won).
+        spec_rt = make_cloud_runtime(
+            cloud_config, physical_cores=32,
+            worker_speeds=[1.0, 0.05],
+            schedule=ScheduleConfig(speculation=True))
+        offload(mm.build_region("CLOUD"), scalars=mm.scalars(),
+                runtime=spec_rt, mode=ExecutionMode.MODELED)
 
     emitted = set(bus.counts())
     missing = EVENT_KINDS - emitted
