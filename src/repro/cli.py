@@ -12,6 +12,8 @@ Commands:
 * ``bench`` — run paper benchmarks under instrumentation, write
   ``BENCH_<name>.json`` and optionally fail on milestone regressions
   (``--compare``; see docs/OBSERVABILITY.md);
+* ``chaos`` — seeded fault-injection sweeps with oracle and invariant
+  checks (see docs/RESILIENCE.md);
 * ``config <path>`` — write an example cloud_rtl.ini.
 """
 
@@ -114,6 +116,22 @@ def _build_parser() -> argparse.ArgumentParser:
                             "threshold")
     bench.add_argument("--threshold", type=float, default=0.10,
                        help="relative regression threshold (default 0.10)")
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection sweeps (see docs/RESILIENCE.md)")
+    chaos.add_argument("benchmarks", nargs="*",
+                       help="benchmark names or 'all' (default: all)")
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="seeds per benchmark (default 5)")
+    chaos.add_argument("--seed-base", type=int, default=0,
+                       help="first seed value (default 0)")
+    chaos.add_argument("--recovery", choices=["none", "restart", "resume"],
+                       default="resume",
+                       help="recovery policy under test (default resume)")
+    chaos.add_argument("--journal-dir", metavar="DIR", default=None,
+                       help="dump each run's offload journal here")
+    chaos.add_argument("--json", action="store_true",
+                       help="machine-readable per-run report")
 
     config = sub.add_parser("config", help="write an example cloud_rtl.ini")
     config.add_argument("path")
@@ -343,6 +361,46 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.analysis import json_report
+    from repro.resilience.chaos import run_chaos
+
+    names: list[str] = []
+    for target in args.benchmarks:
+        names.extend(sorted(WORKLOADS) if target == "all" else [target])
+    if not names:
+        names = sorted(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            print(f"unknown benchmark {name!r}; known: {sorted(WORKLOADS)}",
+                  file=sys.stderr)
+            return 2
+
+    items: list[dict[str, object]] = []
+    for name in names:
+        for seed in range(args.seed_base, args.seed_base + args.seeds):
+            result = run_chaos(name, seed, recovery=args.recovery,
+                               journal_dir=args.journal_dir)
+            items.append(result.to_item())
+            if not args.json:
+                faults = result.injected
+                tag = "OK" if result.ok else "FAILED"
+                print(f"{name:10s} seed {seed:3d} {tag:6s} "
+                      f"device={result.device:5s} "
+                      f"resumes={result.resumes} "
+                      f"skipped={result.tiles_skipped:2d} "
+                      f"corrupt={result.corruption_detected} "
+                      f"death={faults['driver_dies_at'] is not None}")
+                for failure in result.failures:
+                    print(f"           {failure}", file=sys.stderr)
+    all_ok = all(bool(item["ok"]) for item in items)
+    if args.json:
+        print(json.dumps(json_report("chaos", all_ok, items), indent=2))
+    return 0 if all_ok else 1
+
+
 def _cmd_calibration() -> int:
     import dataclasses
 
@@ -372,6 +430,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "calibration":
         return _cmd_calibration()
     if args.command == "config":

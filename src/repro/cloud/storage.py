@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.cloud.credentials import Credentials
-from repro.obs.events import StorageOp, get_bus
+from repro.obs.events import CorruptionDetected, StorageOp, get_bus
+from repro.resilience.integrity import content_checksum, virtual_checksum
 
 
 class StorageError(Exception):
@@ -33,6 +34,15 @@ class TransientStorageError(StorageError):
     backoff.  Tests inject them via :meth:`ObjectStore.inject_failures`."""
 
 
+class CorruptObjectError(TransientStorageError):
+    """A read failed end-to-end checksum verification.
+
+    Subclasses :class:`TransientStorageError` deliberately: a corrupt read
+    is billed like any other read and re-fetched under the caller's bounded
+    retry policy; if every attempt returns a corrupt object the policy
+    exhausts and the error escalates like any persistent storage failure."""
+
+
 class AccessDeniedError(StorageError):
     """Operation attempted with missing or invalid credentials."""
 
@@ -43,12 +53,14 @@ class StoredObject:
 
     ``data is None`` marks a *virtual* object: it has a size (for the cost
     models) but no materialized payload.  Reading a virtual object's bytes is
-    an error; reading its size is always fine.
+    an error; reading its size is always fine.  ``checksum`` is stamped by
+    :meth:`ObjectStore.put` and verified by every :meth:`ObjectStore.get`.
     """
 
     key: str
     size: int
     data: Optional[bytes] = None
+    checksum: str = ""
 
     @property
     def is_virtual(self) -> bool:
@@ -80,6 +92,8 @@ class ObjectStore(abc.ABC):
         self._fail_puts = 0
         self._fail_gets = 0
         self._fail_metas = 0
+        self._corrupt_keys: dict[str, int] = {}
+        self.corruption_count = 0
         #: Optional simulated clock for event timestamps; the cloud plugin
         #: wires its own clock in so StorageOp events line up with the run.
         self.clock = None
@@ -114,7 +128,10 @@ class ObjectStore(abc.ABC):
         self._authorize(credentials)
         if (data is None) == (size is None):
             raise ValueError("provide exactly one of data= or size=")
-        obj = StoredObject(key=key, size=len(data) if data is not None else int(size or 0), data=data)
+        nbytes = len(data) if data is not None else int(size or 0)
+        digest = (content_checksum(data) if data is not None
+                  else virtual_checksum(key, nbytes))
+        obj = StoredObject(key=key, size=nbytes, data=data, checksum=digest)
         if obj.size < 0:
             raise ValueError(f"negative object size {obj.size}")
         with self._lock:
@@ -130,7 +147,14 @@ class ObjectStore(abc.ABC):
         return obj
 
     def get(self, key: str, credentials: Credentials | None = None) -> StoredObject:
-        """Fetch the object record (payload included for real objects)."""
+        """Fetch the object record (payload included for real objects).
+
+        Every read is verified end to end: the payload's checksum (or, for
+        virtual objects, an armed corruption injection) is compared against
+        the digest stamped at write time.  A mismatch is *billed like a
+        successful read* — the bytes crossed the wire before the client
+        could notice — and raises :class:`CorruptObjectError` for the
+        caller's retry policy to repair or escalate."""
         self._authorize(credentials)
         with self._lock:
             if self._fail_gets > 0:
@@ -144,7 +168,26 @@ class ObjectStore(abc.ABC):
                 raise NoSuchObjectError(f"{self.name}: no object {key!r}") from None
             self.bytes_read += obj.size
             self.get_count += 1
+            corrupted = self._consume_corruption(key)
+            actual = obj.checksum
+            if corrupted:
+                actual = "corrupt:injected"
+            elif obj.data is not None and obj.checksum:
+                actual = content_checksum(obj.data)
+            mismatch = actual != obj.checksum
+            if mismatch:
+                self.corruption_count += 1
         self._emit_op("GET", key, obj.size)
+        if mismatch:
+            get_bus().emit(CorruptionDetected(
+                time=self.clock.now if self.clock is not None else 0.0,
+                resource=self.name, store=self.name, op="GET", key=key,
+                expected=obj.checksum, actual=actual,
+            ))
+            raise CorruptObjectError(
+                f"{self.name}: object {key!r} failed checksum verification "
+                f"(expected {obj.checksum}, read {actual})"
+            )
         return obj
 
     def get_bytes(self, key: str, credentials: Credentials | None = None) -> bytes:
@@ -172,6 +215,18 @@ class ObjectStore(abc.ABC):
             found = key in self._objects
         self._emit_op("EXISTS", key)
         return found
+
+    def checksum_of(self, key: str) -> str:
+        """The checksum stamped at write time (a metadata round trip, like
+        ``size_of`` — real stores expose this as an ETag/content-MD5 HEAD)."""
+        with self._lock:
+            self._maybe_fail_meta("CHECKSUM")
+            try:
+                digest = self._objects[key].checksum
+            except KeyError:
+                raise NoSuchObjectError(f"{self.name}: no object {key!r}") from None
+        self._emit_op("CHECKSUM", key)
+        return digest
 
     def _maybe_fail_meta(self, op: str) -> None:
         """Consume one armed metadata failure (caller holds the lock)."""
@@ -210,6 +265,26 @@ class ObjectStore(abc.ABC):
             self._fail_puts += puts
             self._fail_gets += gets
             self._fail_metas += metas
+
+    def arm_corruption(self, key_substring: str, count: int = 1) -> None:
+        """Arm the next ``count`` GETs of keys containing ``key_substring``
+        to return corrupt data (checksum mismatch).  Deterministic fault
+        injection for :attr:`~repro.spark.faults.FaultPlan.corrupt_keys`."""
+        if count < 0:
+            raise ValueError("corruption count must be non-negative")
+        if not key_substring:
+            raise ValueError("key_substring must be non-empty")
+        with self._lock:
+            self._corrupt_keys[key_substring] = (
+                self._corrupt_keys.get(key_substring, 0) + count)
+
+    def _consume_corruption(self, key: str) -> bool:
+        """Consume one armed corruption matching ``key`` (lock held)."""
+        for sub, left in self._corrupt_keys.items():
+            if left > 0 and sub in key:
+                self._corrupt_keys[sub] = left - 1
+                return True
+        return False
 
     # ---------------------------------------------------------- cost queries
     def cluster_read_time(self, nbytes: int) -> float:

@@ -22,6 +22,7 @@ durations from the performance model).
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Union
 
@@ -36,7 +37,8 @@ from repro.core.tiling import (Tile, drop_empty_tiles, tile_by_chunk,
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perfmodel.compression import CompressionModel, gzip_compress, gzip_decompress, model_for_density
 from repro.perfmodel.compute import ComputeModel
-from repro.resilience import RetryPolicy, retry_call
+from repro.obs.events import CheckpointCommit, get_bus
+from repro.resilience import OffloadJournal, RetryPolicy, TileCheckpoint, retry_call
 from repro.simtime.timeline import Phase
 from repro.spark.context import SparkContext
 from repro.spark.driver import TaskCosts
@@ -69,6 +71,12 @@ class LoopJobReport:
     speculated_tasks: int = 0
     speculation_wins: int = 0
     speculation_saved_s: float = 0.0
+    # Durable recovery: tiles committed / resumed-from this submission.
+    tiles_checkpointed: int = 0
+    tiles_skipped: int = 0
+    bytes_restored: int = 0
+    # Cluster-fabric bytes the scheduled tasks moved (inputs + outputs).
+    task_bytes_wire: int = 0
 
 
 @dataclass
@@ -79,6 +87,7 @@ class SparkJobReport:
     finished_at: float
     loops: list[LoopJobReport] = field(default_factory=list)
     output_keys: dict[str, str] = field(default_factory=dict)
+    output_checksums: dict[str, str] = field(default_factory=dict)
 
     @property
     def job_s(self) -> float:
@@ -108,6 +117,22 @@ class SparkJobReport:
     def speculation_saved_s(self) -> float:
         return sum(lp.speculation_saved_s for lp in self.loops)
 
+    @property
+    def tiles_checkpointed(self) -> int:
+        return sum(lp.tiles_checkpointed for lp in self.loops)
+
+    @property
+    def tiles_skipped(self) -> int:
+        return sum(lp.tiles_skipped for lp in self.loops)
+
+    @property
+    def bytes_restored(self) -> int:
+        return sum(lp.bytes_restored for lp in self.loops)
+
+    @property
+    def task_bytes_wire(self) -> int:
+        return sum(lp.task_bytes_wire for lp in self.loops)
+
 
 class SparkJobGenerator:
     """Builds and runs the Spark job for one target region."""
@@ -126,6 +151,10 @@ class SparkJobGenerator:
         min_compress_size: int | None = None,
         retry_policy: RetryPolicy | None = None,
         schedule: ScheduleConfig = STATIC_SCHEDULE,
+        journal: OffloadJournal | None = None,
+        checkpoint: bool = False,
+        resume: Mapping[str, Mapping[int, TileCheckpoint]] | None = None,
+        death_at: float | None = None,
     ) -> None:
         self.region = region
         self.scalars = dict(scalars)
@@ -142,9 +171,21 @@ class SparkJobGenerator:
         )
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.schedule = schedule
+        #: Recovery wiring: when ``checkpoint`` is on, completed tile outputs
+        #: are committed to storage and journaled; ``resume`` carries the
+        #: checkpoints a replacement driver verified, so those tiles are
+        #: restored instead of rescheduled.  ``death_at`` bounds which task
+        #: completions were durable before the driver died (None = no death
+        #: pending — every completion commits).
+        self.journal = journal
+        self.checkpoint = checkpoint
+        self.resume = dict(resume) if resume else {}
+        self.death_at = death_at
         self.compute_model = ComputeModel(calibration)
         self._driver_arrays: dict[str, np.ndarray | None] = {}
         self._buffer_info: dict[str, Buffer] = {}
+        self._storage = None
+        self._key_prefix = ""
 
     # ------------------------------------------------------------------ run
     def run(
@@ -159,6 +200,8 @@ class SparkJobGenerator:
         timeline = self.sc.timeline
         started = clock.now
         self._buffer_info = dict(buffers)
+        self._storage = storage
+        self._key_prefix = key_prefix
 
         # Stage setup: spark-submit, driver JVM, stage DAG.
         self.sc.log.info(clock.now, "SparkContext",
@@ -174,7 +217,8 @@ class SparkJobGenerator:
         for loop in self.region.loops:
             report.loops.append(self._run_loop(loop))
 
-        report.output_keys = self._write_outputs(storage, key_prefix)
+        report.output_keys, report.output_checksums = \
+            self._write_outputs(storage, key_prefix)
         report.finished_at = clock.now
         return report
 
@@ -240,9 +284,10 @@ class SparkJobGenerator:
                 else None
             )
 
-    def _write_outputs(self, storage, key_prefix: str) -> dict[str, str]:
+    def _write_outputs(self, storage, key_prefix: str) -> tuple[dict[str, str], dict[str, str]]:
         clock, timeline = self.sc.clock, self.sc.timeline
         out_keys: dict[str, str] = {}
+        out_checksums: dict[str, str] = {}
         for name in self.region.output_names:
             buf = self._buffer_info[name]
             codec = self._codec_for(buf)
@@ -254,17 +299,18 @@ class SparkJobGenerator:
                 payload = arr.tobytes()
                 if compressed:
                     payload = gzip_compress(payload)
-                self._storage_retry("PUT", storage.put, key, data=payload)
+                obj = self._storage_retry("PUT", storage.put, key, data=payload)
                 wire = len(payload)
             else:
                 wire = codec.compressed_size(buf.nbytes) if compressed else buf.nbytes
-                self._storage_retry("PUT", storage.put, key, size=wire)
+                obj = self._storage_retry("PUT", storage.put, key, size=wire)
             dt = codec.compress_time(buf.nbytes) if compressed else 0.0
             dt += storage.cluster_write_time(wire)
             timeline.record(Phase.STORAGE_WRITE, clock.now, clock.advance(dt),
                             resource="driver", label=f"write-{name}")
             out_keys[name] = key
-        return out_keys
+            out_checksums[name] = obj.checksum
+        return out_keys, out_checksums
 
     # ------------------------------------------------------------- loop jobs
     def _run_loop(self, loop: ParallelLoop) -> LoopJobReport:
@@ -282,14 +328,30 @@ class SparkJobGenerator:
         broadcast_reads = [nm for nm in loop.reads if nm not in partitioned_reads]
         self._check_jvm_limits(loop)
         self._check_executor_memory(loop, tiles, partitioned_reads, broadcast_reads)
+
+        # Resume: drop tiles whose outputs were durably committed before the
+        # crash.  A checkpoint only counts if the current tiling produced the
+        # exact same tile (index and bounds) — anything else is stale.
+        completed: dict[int, TileCheckpoint] = {}
+        if self.resume:
+            by_index = {t.index: t for t in tiles}
+            completed = {
+                i: c for i, c in self.resume.get(loop.loop_var, {}).items()
+                if i in by_index
+                and by_index[i].lo == c.lo and by_index[i].hi == c.hi
+            }
+        live = [t for t in tiles if t.index not in completed]
+
         self.sc.log.info(clock.now, "OmpCloudJob",
                          f"loop over {loop.loop_var!r}: {n} iterations -> "
                          f"{len(tiles)} tiles; split={partitioned_reads} "
-                         f"broadcast={broadcast_reads}")
+                         f"broadcast={broadcast_reads}"
+                         + (f"; resuming past {len(completed)} committed tile(s)"
+                            if completed else ""))
 
         # Driver splits partitioned inputs into per-tile windows (Eq. 3).
         split_bytes = sum(self._buffer_info[nm].nbytes for nm in partitioned_reads)
-        if split_bytes:
+        if split_bytes and live:
             dt = split_bytes / self.cal.driver_byte_bps
             timeline.record(Phase.RECONSTRUCT, clock.now, clock.advance(dt),
                             resource="driver", label=f"split-{loop.loop_var}")
@@ -297,7 +359,7 @@ class SparkJobGenerator:
         # Broadcast unpartitioned inputs; serialization on the driver, then
         # the scheduler charges the BitTorrent distribution.
         handles = {}
-        for nm in broadcast_reads:
+        for nm in broadcast_reads if live else []:
             buf = self._buffer_info[nm]
             dt = buf.nbytes / self.cal.broadcast_serialize_bps
             timeline.record(Phase.BROADCAST, clock.now, clock.advance(dt),
@@ -306,40 +368,131 @@ class SparkJobGenerator:
             value = self._driver_arrays[nm] if self.mode == ExecutionMode.FUNCTIONAL else None
             handles[nm] = self.sc.broadcast(value, nbytes=wire)
 
-        elements = [self._element_for(tile, loop, partitioned_reads) for tile in tiles]
-        rdd = self.sc.parallelize(elements, num_slices=len(tiles))
-        map_fn = self._make_map_fn(loop, partitioned_reads, handles)
-        mapped = rdd.map(map_fn)
+        costs_for = self._make_costs_fn(loop, live, partitioned_reads, broadcast_reads)
+        job = None
+        computation = 0.0
+        if live:
+            elements = [self._element_for(tile, loop, partitioned_reads) for tile in live]
+            rdd = self.sc.parallelize(elements, num_slices=len(live))
+            map_fn = self._make_map_fn(loop, partitioned_reads, handles)
+            mapped = rdd.map(map_fn)
 
-        costs_for = self._make_costs_fn(loop, tiles, partitioned_reads, broadcast_reads)
-        self.sc.cluster.reset_pools()
-        self.sc.log.info(clock.now, "DAGScheduler",
-                         f"Submitting map stage for loop {loop.loop_var!r} "
-                         f"({len(tiles)} tasks)")
-        job = self.sc.driver.run_job(
-            mapped,
-            costs_for=costs_for,
-            broadcasts=tuple(handles.values()),
-            fault_plan=self.fault_plan,
-            functional=self.mode == ExecutionMode.FUNCTIONAL,
-            schedule=self.schedule,
+            self.sc.cluster.reset_pools()
+            self.sc.log.info(clock.now, "DAGScheduler",
+                             f"Submitting map stage for loop {loop.loop_var!r} "
+                             f"({len(live)} tasks)")
+            job = self.sc.driver.run_job(
+                mapped,
+                costs_for=costs_for,
+                broadcasts=tuple(handles.values()),
+                fault_plan=self.fault_plan,
+                functional=self.mode == ExecutionMode.FUNCTIONAL,
+                schedule=self.schedule,
+            )
+            self.sc.timeline.extend(job.timeline)
+            self.sc.log.info(clock.now, "DAGScheduler",
+                             f"Map stage for loop {loop.loop_var!r} finished in "
+                             f"{job.stats.makespan_s:.3f} s "
+                             f"({job.stats.recomputed_tasks} task(s) recomputed)")
+            computation = job.timeline.filter([Phase.COMPUTE, Phase.JNI_CALL]).span()
+
+        committed = self._commit_checkpoints(loop, live, job, costs_for)
+        restored, bytes_restored = self._restore_checkpoints(loop, completed)
+
+        partitions = (list(job.partitions) if job is not None else []) + restored
+        self._reconstruct(loop, partitions, tiles)
+        task_bytes = sum(
+            costs_for(s).input_bytes + costs_for(s).output_bytes
+            for s in range(len(live))
         )
-        self.sc.timeline.extend(job.timeline)
-        self.sc.log.info(clock.now, "DAGScheduler",
-                         f"Map stage for loop {loop.loop_var!r} finished in "
-                         f"{job.stats.makespan_s:.3f} s "
-                         f"({job.stats.recomputed_tasks} task(s) recomputed)")
-        computation = job.timeline.filter([Phase.COMPUTE, Phase.JNI_CALL]).span()
-        self._reconstruct(loop, job.partitions, tiles)
         return LoopJobReport(
             loop_var=loop.loop_var,
-            n_tasks=len(tiles),
+            n_tasks=len(live),
             computation_s=computation,
-            recomputed_tasks=job.stats.recomputed_tasks,
-            speculated_tasks=job.stats.speculated_tasks,
-            speculation_wins=job.stats.speculation_wins,
-            speculation_saved_s=job.stats.speculation_saved_s,
+            recomputed_tasks=job.stats.recomputed_tasks if job is not None else 0,
+            speculated_tasks=job.stats.speculated_tasks if job is not None else 0,
+            speculation_wins=job.stats.speculation_wins if job is not None else 0,
+            speculation_saved_s=job.stats.speculation_saved_s if job is not None else 0.0,
+            tiles_checkpointed=committed,
+            tiles_skipped=len(completed),
+            bytes_restored=bytes_restored,
+            task_bytes_wire=task_bytes,
         )
+
+    def _commit_checkpoints(self, loop: ParallelLoop, live: list[Tile],
+                            job, costs_for) -> int:
+        """Durably commit each completed tile's output (tile-granular
+        checkpointing).  Only completions that landed *before* a pending
+        driver death were flushed; later ones died with the driver.  Commits
+        happen worker-side in parallel with the tail of the stage, so the
+        charged wall time is the per-node share, not the serial sum."""
+        if not self.checkpoint or job is None or self._storage is None:
+            return 0
+        clock, timeline = self.sc.clock, self.sc.timeline
+        storage = self._storage
+        committed = 0
+        write_s = 0.0
+        for tres in job.stats.results:
+            split = tres.task.split
+            tile = live[split]
+            if self.death_at is not None and tres.end >= self.death_at:
+                continue  # completed after the driver was already gone
+            key = f"{self._key_prefix}/ckpt/{loop.loop_var}/{tile.index}.bin"
+            if self.mode == ExecutionMode.FUNCTIONAL:
+                payload = pickle.dumps(job.partitions[split])
+                obj = self._storage_retry("PUT", storage.put, key, data=payload)
+            else:
+                obj = self._storage_retry("PUT", storage.put, key,
+                                          size=costs_for(split).output_bytes)
+            write_s += storage.cluster_write_time(obj.size)
+            if self.journal is not None:
+                self.journal.record(
+                    "tile_done", get_bus().current_correlation(), clock.now,
+                    region=self.region.name, loop_var=loop.loop_var,
+                    tile=tile.index, lo=tile.lo, hi=tile.hi, key=key,
+                    checksum=obj.checksum, nbytes=obj.size, end=tres.end,
+                )
+            get_bus().emit(CheckpointCommit(
+                time=clock.now, resource="cluster", region=self.region.name,
+                loop_var=loop.loop_var, tile=tile.index, key=key,
+                nbytes=obj.size, checksum=obj.checksum,
+            ))
+            committed += 1
+        if committed:
+            dt = write_s / max(1, self.sc.cluster.active_worker_nodes)
+            timeline.record(Phase.STORAGE_WRITE, clock.now, clock.advance(dt),
+                            resource="cluster", label=f"ckpt-{loop.loop_var}")
+        return committed
+
+    def _restore_checkpoints(self, loop: ParallelLoop,
+                             completed: dict[int, TileCheckpoint]
+                             ) -> tuple[list[list[Any]], int]:
+        """Read committed tile outputs back onto the replacement driver.
+
+        Returns (partitions to merge into reconstruction, bytes restored).
+        Every read is checksum-verified by the store itself."""
+        if not completed or self._storage is None:
+            return [], 0
+        clock, timeline = self.sc.clock, self.sc.timeline
+        restored: list[list[Any]] = []
+        total = 0
+        for i in sorted(completed):
+            ckpt = completed[i]
+            if self.mode == ExecutionMode.FUNCTIONAL:
+                payload = self._storage_retry("GET", self._storage.get_bytes,
+                                              ckpt.key)
+                restored.append(pickle.loads(payload))
+                nbytes = len(payload)
+            else:
+                nbytes = self._storage_retry("HEAD", self._storage.size_of,
+                                             ckpt.key)
+                restored.append([])
+            total += nbytes
+            dt = self._storage.cluster_read_time(nbytes)
+            timeline.record(Phase.STORAGE_READ, clock.now, clock.advance(dt),
+                            resource="driver",
+                            label=f"restore-{loop.loop_var}-{i}")
+        return restored, total
 
     def _tiles_for(self, loop: ParallelLoop, n: int, cores: int) -> list[Tile]:
         """Tiling policy: an explicit schedule chunk wins; otherwise

@@ -84,6 +84,11 @@ class CloudConfig:
     breaker_threshold: int = 3
     #: Simulated seconds the breaker stays open before a half-open probe.
     breaker_reset_s: float = 300.0
+    #: Driver-loss recovery policy (docs/RESILIENCE.md): "none" falls back
+    #: to the host (PR-1 behavior), "restart" replays the journal and
+    #: resubmits the whole job on a replacement driver, "resume" also
+    #: commits per-tile checkpoints and reschedules only unfinished tiles.
+    recovery: str = "none"
     # --- Static verification ([Analysis] section) ---
     #: Run the offload verifier on every region before any data is uploaded
     #: and refuse to offload regions with blocking findings.
@@ -124,6 +129,10 @@ class CloudConfig:
             raise ConfigError(f"max_resubmissions must be >= 0, got {self.max_resubmissions}")
         if self.breaker_threshold < 1:
             raise ConfigError(f"breaker_threshold must be >= 1, got {self.breaker_threshold}")
+        if self.recovery not in ("none", "restart", "resume"):
+            raise ConfigError(
+                f"recovery must be 'none', 'restart' or 'resume', got {self.recovery!r}"
+            )
         if self.schedule_mode not in ("static", "weighted"):
             raise ConfigError(
                 f"schedule mode must be 'static' or 'weighted', got {self.schedule_mode!r}"
@@ -215,6 +224,7 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
         max_resubmissions=max_resubmissions,
         breaker_threshold=breaker_threshold,
         breaker_reset_s=breaker_reset,
+        recovery=resil.get("recovery", "none").strip().lower(),
         analysis_strict=_parse_bool(analysis.get("strict", "false")),
         analysis_fail_on=analysis.get("fail_on", "error").strip().lower(),
         schedule_mode=sched.get("mode", "static").strip().lower(),
@@ -286,6 +296,7 @@ def write_example_config(path: str | os.PathLike[str], provider: str = "ec2") ->
             "max_resubmissions": "2",
             "breaker_threshold": "3",
             "breaker_reset_s": "300.0",
+            "recovery": "none",
         },
         "Analysis": {
             "strict": "false",

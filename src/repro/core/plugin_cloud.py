@@ -35,7 +35,13 @@ from repro.cloud.credentials import Credentials
 from repro.cloud.provision import ClusterSpec, ProvisionedCluster, provision_cluster
 from repro.cloud.s3 import S3Store
 from repro.cloud.ssh import SSHClient, SSHEndpoint, SSHError, CommandResult
-from repro.cloud.storage import ObjectStore, StorageError, TransientStorageError
+from repro.cloud.storage import (
+    CorruptObjectError,
+    NoSuchObjectError,
+    ObjectStore,
+    StorageError,
+    TransientStorageError,
+)
 from repro.core.api import TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode
 from repro.core.codegen import SparkJobGenerator, SparkJobReport
@@ -47,12 +53,14 @@ from repro.core.report import OffloadReport
 from repro.obs.events import (
     BreakerOpen,
     CacheHit,
+    CorruptionDetected,
     MapDownload,
     MapUpload,
     Preemption,
     Recovery,
     ResidentHit,
     Resubmit,
+    ResumeFromCheckpoint,
     SparkSubmit,
     TargetUpdate,
     get_bus,
@@ -61,7 +69,7 @@ from repro.core.staging_cache import CacheKey, StagingCache
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perfmodel.comm import HostCommModel, TransferPlan
 from repro.perfmodel.compression import gzip_compress, gzip_decompress, model_for_density
-from repro.resilience import CircuitBreaker, RetryPolicy, retry_call
+from repro.resilience import CircuitBreaker, OffloadJournal, RetryPolicy, retry_call
 from repro.simtime.clock import SimClock
 from repro.simtime.timeline import Phase
 from repro.spark.cluster import SparkCluster, WorkerShape
@@ -161,6 +169,26 @@ class CloudDevice(Device):
         self._pending_backoff_s = 0.0
         self._pending_retries = 0
         self._backoff_lock = threading.Lock()
+        # --- Durable recovery (docs/RESILIENCE.md) ---
+        #: Driver-loss recovery policy: "none" (host fallback), "restart"
+        #: (journal-driven driver replacement, full resubmission) or
+        #: "resume" (+ per-tile checkpoints, only unfinished tiles rerun).
+        self.recovery = config.recovery
+        #: Write-ahead offload journal; replayed after a driver loss to
+        #: reconstruct completed tiles and the data-environment table.
+        self.journal = OffloadJournal()
+        #: A standby driver took over after a loss; the dead driver's fault
+        #: no longer applies to later submissions.
+        self._driver_replaced = False
+        #: Checksums of host-staged inputs by storage key: the evidence that
+        #: the "implicit checkpoint" a resubmission reuses is still intact.
+        self._staged_checksums: dict[str, str] = {}
+        self._checksum_lock = threading.Lock()
+        #: Corrupt reads already attributed to a finished offload's report
+        #: (the storage's detector counts globally; reports take deltas).
+        self._corruptions_attributed = 0
+        for substring, count in fault_plan.corrupt_keys.items():
+            self.storage.arm_corruption(substring, count)
 
     # --------------------------------------------------- legacy retry knobs
     @property
@@ -267,6 +295,11 @@ class CloudDevice(Device):
         to_stage: list[tuple[Buffer, str, CacheKey | None]] = []
         begun: list[str] = []
         self._pending["begun"] = begun
+        if self.recovery != "none":
+            # Crash-consistent data environments: live mappings that lost
+            # their device handle re-adopt it from the journal when the
+            # recorded object still checks out, instead of re-staging.
+            self._restore_env_handles()
         for name in region.input_names:
             buf = buffers[name]
             entry = self.env.entry_or_none(name)
@@ -428,6 +461,20 @@ class CloudDevice(Device):
             report.retries += n_retries
             report.backoff_s += delay
 
+    def _flush_corruptions(self, report: OffloadReport | None) -> None:
+        """Attribute corrupt reads the storage detected since the last flush
+        to ``report`` and journal them.  The storage layer counts every
+        failed verification (host GETs and worker-side reads alike); the
+        plugin takes deltas so each detection lands in exactly one report."""
+        detected = self.storage.corruption_count - self._corruptions_attributed
+        if detected <= 0:
+            return
+        self._corruptions_attributed = self.storage.corruption_count
+        self.journal.record("corruption", get_bus().current_correlation(),
+                            time=self.clock.now, count=detected)
+        if report is not None:
+            report.corruption_detected += detected
+
     def _stage_inputs(
         self, to_stage: list[tuple[Buffer, str, "CacheKey | None"]], mode: ExecutionMode
     ) -> list[int]:
@@ -456,16 +503,20 @@ class CloudDevice(Device):
             payload = buf.require_data().tobytes()
             if self.config.compression and buf.nbytes >= self.config.min_compress_size:
                 payload = gzip_compress(payload)
-            self._with_retries("PUT", self.storage.put, key, data=payload,
-                               credentials=self.config.credentials)
+            obj = self._with_retries("PUT", self.storage.put, key, data=payload,
+                                     credentials=self.config.credentials)
+            with self._checksum_lock:
+                self._staged_checksums[key] = obj.checksum
             return len(payload)
         wire = (
             codec.compressed_size(buf.nbytes, self.config.min_compress_size)
             if self.config.compression
             else buf.nbytes
         )
-        self._with_retries("PUT", self.storage.put, key, size=wire,
-                           credentials=self.config.credentials)
+        obj = self._with_retries("PUT", self.storage.put, key, size=wire,
+                                 credentials=self.config.credentials)
+        with self._checksum_lock:
+            self._staged_checksums[key] = obj.checksum
         return wire
 
     def data_end(self, buffers: Mapping[str, Buffer], region: TargetRegion,
@@ -557,6 +608,7 @@ class CloudDevice(Device):
                 # billed its reclaimed predecessor.
                 report.billed_usd += self._provider.ledger.total_usd() - billed_before
         report.instance_mgmt_s += self.clock.now - mgmt_start
+        self._flush_corruptions(report)
         self._pending["done"] = True
 
     def _start_instances(self) -> None:
@@ -620,6 +672,10 @@ class CloudDevice(Device):
         for entry, key in staged_entries:
             entry.device_handle = key
             entry.dirty = False
+            self.journal.record("env_enter", bus.current_correlation(),
+                                time=self.clock.now,
+                                name=entry.buffer.name, key=key,
+                                checksum=self._staged_checksums.get(key, ""))
         if plans:
             cost = self.comm.upload(plans)
             link = self.network.lan if self.colocated else self.network.wan
@@ -658,6 +714,8 @@ class CloudDevice(Device):
             entry = self.env.end(name)
             if entry is None:
                 continue  # still referenced by an enclosing environment
+            self.journal.record("env_exit", bus.current_correlation(),
+                                time=self.clock.now, name=name)
             # OpenMP copies `from`/`tofrom` items out unconditionally at the
             # environment's end; here that needs a device copy to exist
             # (alloc-mapped entries nothing ever wrote have none).
@@ -754,6 +812,11 @@ class CloudDevice(Device):
         for entry, key in staged_entries:
             entry.device_handle = key
             entry.dirty = False
+            self.journal.record("env_update", bus.current_correlation(),
+                                time=self.clock.now,
+                                name=entry.buffer.name, key=key,
+                                direction="to",
+                                checksum=self._staged_checksums.get(key, ""))
         if plans:
             cost = self.comm.upload(plans)
             link = self.network.lan if self.colocated else self.network.wan
@@ -826,6 +889,10 @@ class CloudDevice(Device):
             report.bytes_down_wire += sum(wire_sizes)
             for entry, raw, wire in downloads:
                 entry.dirty = False  # host and device agree again
+                self.journal.record("env_sync", bus.current_correlation(),
+                                    time=self.clock.now,
+                                    name=entry.buffer.name,
+                                    key=entry.device_handle)
                 report.updates_from += 1
                 bus.emit(TargetUpdate(time=self.clock.now, resource=self.name,
                                       device=self.name,
@@ -843,22 +910,123 @@ class CloudDevice(Device):
         The sync keys on ``dirty`` alone, not the map type: once a kernel
         wrote an entry on the device, the device copy is the authoritative
         one even for ``alloc``-mapped intermediates — the host rerun would
-        otherwise compute on stale zeros."""
+        otherwise compute on stale zeros.
+
+        Syncs are journal-guarded: a ``(name, key)`` pair the journal already
+        records as synced is not downloaded again, so a re-entered recovery
+        re-syncs each dirty entry exactly once.  Each handle drop is also
+        journaled (``env_exit``), so a later replay cannot resurrect a
+        device copy the environment stopped trusting — the host rerun that
+        follows a fallback makes the host arrays the authoritative ones."""
+        state = self.journal.replay()
+        now = self.clock.now
         for entry in self.env.live_entries():
-            if (entry.dirty and entry.device_handle is not None
-                    and not entry.buffer.is_virtual):
+            name = entry.buffer.name
+            key = entry.device_handle
+            if (entry.dirty and key is not None
+                    and not entry.buffer.is_virtual
+                    and not state.already_synced(name, key)):
                 try:
                     payload = self.storage.get_bytes(
-                        entry.device_handle,
-                        credentials=self.config.credentials)
-                    if entry.device_handle.endswith(".gz"):
+                        key, credentials=self.config.credentials)
+                    if key.endswith(".gz"):
                         payload = gzip_decompress(payload)
                     entry.buffer.require_data()[:] = np.frombuffer(
                         payload, dtype=entry.buffer.dtype)
+                    self.journal.record("env_sync", time=now,
+                                        name=name, key=key)
                 except (StorageError, ValueError):
                     pass  # best-effort: the host copy stays as-is
+            if key is not None:
+                self.journal.record("env_exit", time=now, name=name,
+                                    reason="invalidated")
             entry.device_handle = None
             entry.dirty = False
+
+    def _restore_env_handles(self) -> None:
+        """Re-adopt device copies the journal proves are still durable.
+
+        Only live mappings whose handle was lost qualify, and only when the
+        recorded object still exists with its recorded checksum (a metadata
+        round, no data motion).  Reference counts are untouched — recovery
+        restores placement, not lifetime (:meth:`DataEnvironment.restore`)."""
+        missing = [e for e in self.env.live_entries()
+                   if e.device_handle is None]
+        if not missing:
+            return
+        state = self.journal.replay()
+        for entry in missing:
+            name = entry.buffer.name
+            handle = state.env_handle(name)
+            if handle is None:
+                continue
+            key, checksum = handle
+            try:
+                actual = self._with_retries("CHECKSUM",
+                                            self.storage.checksum_of, key)
+            except (NoSuchObjectError, TransientStorageError):
+                continue
+            if checksum and actual != checksum:
+                continue
+            if self.env.restore(name, key):
+                self.sc.log.warn(self.clock.now, "CloudPlugin",
+                                 f"recovered device copy of {name!r} from "
+                                 f"the journal ({key}); re-stage skipped")
+
+    def _verify_staged_inputs(self, input_keys: Mapping[str, str],
+                              buffers: Mapping[str, Buffer],
+                              mode: ExecutionMode,
+                              report: OffloadReport) -> None:
+        """Validate the "implicit checkpoint" before a resubmission reuses it.
+
+        A resubmitted job re-reads the staged inputs from storage, so before
+        trusting them each one is verified against the checksum recorded at
+        staging time — a metadata round (CHECKSUM), not a download.  A
+        mismatch or a missing object is surfaced as a corruption event and
+        the input is re-staged from the host (and billed like any upload)."""
+        bus = get_bus()
+        restage_wire: list[int] = []
+        restage_raw = 0
+        for name, key in input_keys.items():
+            expected = self._staged_checksums.get(key, "")
+            if not expected:
+                continue  # resident/cached object this offload did not stage
+            try:
+                actual = self._with_retries(
+                    "CHECKSUM", self.storage.checksum_of, key)
+            except NoSuchObjectError:
+                actual = ""
+            except TransientStorageError:
+                continue  # storage flaking, not evidence of corruption
+            if actual == expected:
+                continue
+            bus.emit(CorruptionDetected(
+                time=self.clock.now, resource=self.storage.name,
+                store=self.storage.name, op="VERIFY", key=key,
+                expected=expected, actual=actual))
+            self.journal.record("corruption", bus.current_correlation(),
+                                time=self.clock.now, key=key, op="VERIFY")
+            buf = buffers.get(name)
+            if buf is None:
+                continue
+            restage_wire.append(self._stage_input(buf, key, mode))
+            restage_raw += buf.nbytes
+            report.restaged_inputs += 1
+        self._charge_retry_backoff(report)
+        if restage_wire:
+            link = self.network.lan if self.colocated else self.network.wan
+            transfer_s = (
+                link.parallel_transfer_time(restage_wire)
+                if self.comm.parallel_streams
+                else link.serial_transfer_time(restage_wire)
+            )
+            t0 = self.clock.now
+            report.timeline.record(Phase.HOST_UPLOAD, t0,
+                                   self.clock.advance(transfer_s),
+                                   resource="host", label="restage")
+            report.host_comm_up_s += self.clock.now - t0
+            report.bytes_up_raw += restage_raw
+            report.bytes_up_wire += sum(restage_wire)
 
     # ------------------------------------------------------------- execution
     def execute(
@@ -879,11 +1047,17 @@ class CloudDevice(Device):
             ssh_key_path=self.config.credentials.ssh_key_path,
         )
         # The staged inputs are an implicit checkpoint: a resubmitted job
-        # re-reads them from storage, so nothing is re-uploaded over the WAN.
+        # re-reads them from storage, so nothing is re-uploaded over the WAN
+        # (their integrity is verified before each reuse, below).
         max_submissions = 1 + self.config.max_resubmissions
         job_report: SparkJobReport | None = None
         last_error = ""
         bus = get_bus()
+        corr = bus.current_correlation()
+        self.journal.record("region_submit", corr, time=self.clock.now,
+                            region=region.name, key_prefix=key_prefix,
+                            mode=mode.value, inputs=sorted(input_keys))
+        resume_tiles: Mapping[str, Mapping[int, object]] | None = None
         for submission in range(1, max_submissions + 1):
             if submission > 1:
                 report.resubmissions += 1
@@ -900,11 +1074,30 @@ class CloudDevice(Device):
                 self.sc.log.warn(self.clock.now, "CloudPlugin",
                                  f"spark-submit failed ({last_error}); resubmitting "
                                  f"({submission - 1}/{self.config.max_resubmissions})")
+                self._verify_staged_inputs(input_keys, buffers, mode, report)
+                if (self.recovery != "none" and not self._driver_replaced
+                        and self.fault_plan.driver_lost(self.clock.now)):
+                    # Journal-driven driver replacement: a standby driver
+                    # takes over; under "resume" it replays the journal and
+                    # schedules only the tiles without committed checkpoints.
+                    self._driver_replaced = True
+                    report.resumes += 1
+                    if self.recovery == "resume":
+                        resume_tiles = self.journal.replay().completed_tiles(corr)
+                    n_ckpt = sum(len(t) for t in (resume_tiles or {}).values())
+                    self.journal.record("resume", corr, time=self.clock.now,
+                                        submission=submission,
+                                        policy=self.recovery, tiles=n_ckpt)
+                    self.sc.log.warn(
+                        self.clock.now, "CloudPlugin",
+                        f"driver {self.config.spark_driver} lost; standby "
+                        f"driver taking over (policy={self.recovery}, "
+                        f"{n_ckpt} tile(s) checkpointed)")
             # Replace any spot instance reclaimed while the previous
             # submission was running, so the retried job has a full cluster.
             self._recover_preempted(report)
             self._install_job_handler(region, buffers, scalars, mode,
-                                      input_keys, key_prefix)
+                                      input_keys, key_prefix, resume_tiles)
             try:
                 result = self._submit_once(region, ssh_creds, report)
             except SSHError as e:
@@ -946,18 +1139,39 @@ class CloudDevice(Device):
         report.tasks_speculated = job_report.tasks_speculated
         report.speculation_wins = job_report.speculation_wins
         report.speculation_saved_s = job_report.speculation_saved_s
+        report.tiles_checkpointed = job_report.tiles_checkpointed
+        report.tiles_skipped = job_report.tiles_skipped
+        report.cluster_bytes_wire = job_report.task_bytes_wire
+        for name, key in job_report.output_keys.items():
+            self.journal.record(
+                "output_commit", corr, time=self.clock.now, name=name,
+                key=key, checksum=job_report.output_checksums.get(name, ""))
+        if report.tiles_skipped:
+            bus.emit(ResumeFromCheckpoint(
+                time=self.clock.now, resource=self.name, region=region.name,
+                submission=submission, tiles_skipped=report.tiles_skipped,
+                tiles_rerun=job_report.tasks_run,
+                bytes_restored=job_report.bytes_restored))
+        self._flush_corruptions(report)
         report.timeline.extend(self.sc.timeline)
         return report
 
     def _install_job_handler(self, region, buffers, scalars, mode,
-                             input_keys, key_prefix) -> None:
+                             input_keys, key_prefix,
+                             resume_tiles=None) -> None:
         """Register the driver-side ``spark-submit`` handler.  Each call
         installs a *fresh* job (generator state is per-submission); the
         handler reports infrastructure failures as non-zero exits while
-        deterministic user errors (codegen, OOM) propagate unchanged."""
+        deterministic user errors (codegen, OOM) propagate unchanged.
+
+        Once a standby driver has taken over (``_driver_replaced``) the
+        original driver's death no longer fails submissions, and the
+        generator is told there is no pending death (``death_at=None``) so
+        every completed tile of the rerun commits its checkpoint."""
 
         def handler(command: str) -> CommandResult:
-            if self.fault_plan.driver_lost(self.clock.now):
+            if (not self._driver_replaced
+                    and self.fault_plan.driver_lost(self.clock.now)):
                 return CommandResult(command=command, exit_status=255,
                                      stderr=f"Connection to "
                                             f"{self.config.spark_driver} lost")
@@ -975,15 +1189,22 @@ class CloudDevice(Device):
                 min_compress_size=self.config.min_compress_size,
                 retry_policy=self.retry_policy,
                 schedule=self.schedule,
+                journal=self.journal,
+                checkpoint=(self.recovery == "resume"),
+                resume=resume_tiles,
+                death_at=(None if self._driver_replaced
+                          else self.fault_plan.driver_dies_at),
             )
             try:
                 job_report = gen.run(buffers, self.storage, input_keys, key_prefix)
             except (JobFailedError, TransientStorageError) as e:
                 return CommandResult(command=command, exit_status=1,
                                      stderr=f"{type(e).__name__}: {e}")
-            if self.fault_plan.driver_lost(self.clock.now):
+            if (not self._driver_replaced
+                    and self.fault_plan.driver_lost(self.clock.now)):
                 # The job ran, but the driver died before reporting back:
-                # its results are lost with it.
+                # its results are lost with it (committed tile checkpoints
+                # and journal records survive — they live in storage).
                 return CommandResult(command=command, exit_status=255,
                                      stderr=f"Connection to "
                                             f"{self.config.spark_driver} lost")
@@ -1000,7 +1221,8 @@ class CloudDevice(Device):
         ssh = SSHClient(self.endpoint, ssh_creds)
 
         def connect() -> float:
-            if self.fault_plan.driver_lost(self.clock.now):
+            if (not self._driver_replaced
+                    and self.fault_plan.driver_lost(self.clock.now)):
                 raise SSHError(
                     f"ssh: connect to host {self.config.spark_driver}: "
                     f"no route to host"
@@ -1099,6 +1321,7 @@ class CloudDevice(Device):
             if self.env.is_mapped(name):
                 self.env.end(name)
         self._charge_retry_backoff(report)
+        self._flush_corruptions(report)
         if self.config.manage_instances and self._provisioned is not None:
             self._provisioned.stop_all(self.clock.now)
         if report is not None:

@@ -65,6 +65,16 @@ class OffloadReport:
     # (`target data`), so their map transfers were skipped outright.
     resident_hits: int = 0
     bytes_not_retransferred: int = 0
+    # Durable recovery (docs/RESILIENCE.md): journaled checkpoints, resumes
+    # after driver loss, and end-to-end integrity verification.
+    tiles_checkpointed: int = 0
+    tiles_skipped: int = 0
+    resumes: int = 0
+    corruption_detected: int = 0
+    restaged_inputs: int = 0
+    # Cluster-fabric bytes moved by the tasks of the final (successful)
+    # submission — what a resume avoids re-moving versus a full restart.
+    cluster_bytes_wire: int = 0
 
     @property
     def host_comm_s(self) -> float:
@@ -135,6 +145,12 @@ class OffloadReport:
             "cache_bytes_saved": self.cache_bytes_saved,
             "resident_hits": self.resident_hits,
             "bytes_not_retransferred": self.bytes_not_retransferred,
+            "tiles_checkpointed": self.tiles_checkpointed,
+            "tiles_skipped": self.tiles_skipped,
+            "resumes": self.resumes,
+            "corruption_detected": self.corruption_detected,
+            "restaged_inputs": self.restaged_inputs,
+            "cluster_bytes_wire": self.cluster_bytes_wire,
             "figure5_stack": self.figure5_stack(),
         }
 
@@ -170,6 +186,17 @@ class OffloadReport:
             lines.append(
                 f"  resident: {self.resident_hits} buffer(s) reused in place, "
                 f"{self.bytes_not_retransferred / 1e6:.1f} MB not retransferred"
+            )
+        if self.resumes or self.tiles_skipped:
+            lines.append(
+                f"  checkpoint: {self.resumes} resume(s), "
+                f"{self.tiles_skipped} tile(s) skipped, "
+                f"{self.tiles_checkpointed} committed"
+            )
+        if self.corruption_detected or self.restaged_inputs:
+            lines.append(
+                f"  integrity: {self.corruption_detected} corrupt read(s) "
+                f"detected, {self.restaged_inputs} input(s) re-staged"
             )
         if self.fell_back_to_host:
             lines.append("  fell back to host execution")

@@ -425,6 +425,10 @@ class OffloadRuntime:
                 report.backoff_s += failed.backoff_s
                 report.resubmissions += failed.resubmissions
                 report.preemptions += failed.preemptions
+                report.resumes += failed.resumes
+                report.tiles_checkpointed += failed.tiles_checkpointed
+                report.corruption_detected += failed.corruption_detected
+                report.restaged_inputs += failed.restaged_inputs
                 report.timeline.extend(failed.timeline)
             return report
 

@@ -321,10 +321,144 @@ def run_ablation_speculation(
     }
 
 
+def run_chaos_recovery(
+    cores: int = 32,
+    n_workers: int = 16,
+    density: float = 1.0,
+    size: int | None = None,
+    quick: bool = False,
+) -> dict[str, object]:
+    """Durable recovery A/B: restart vs resume under a mid-wave driver death.
+
+    Three chained-3MM runs (docs/RESILIENCE.md), all inside one persistent
+    data environment:
+
+    * **healthy** — fault-free, ``recovery = none``: the reference chain.
+    * **restart** — a driver death calibrated to land at ~50 % tile
+      completion, ``recovery = restart``: the standby driver replays the
+      journal but re-executes every tile (PR-1-shaped recovery, minus the
+      host fallback).
+    * **resume** — the same death under ``recovery = resume``: committed
+      tile checkpoints are skipped and only the remainder re-executes.
+      This run is the instrumented one and provides the gated milestones,
+      so CI fails if tile-granular resume stops paying off.
+
+    The death instant comes from a fault-free dry run under the resume
+    policy (which journals every tile commit): the median ``tile_done`` end
+    time, so roughly half the chain's tiles are durable when the driver
+    disappears.  Everything is modeled and bit-deterministic, so
+    ``tasks_run_resume < tasks_run_restart`` and
+    ``cluster_bytes_wire_resume < cluster_bytes_wire_restart`` are stable
+    invariants the recovery tests assert.
+    """
+    import dataclasses as _dc
+
+    from repro.core.api import offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.spark.faults import NO_FAULTS, FaultPlan
+    from repro.workloads.polybench import mm3_chain_regions
+    from repro.workloads.specs import WORKLOADS
+
+    spec = WORKLOADS["3mm"]
+    n = size if size is not None else (spec.test_size if quick else spec.paper_size)
+    names = ("A", "B", "C", "D", "E", "F", "G")
+    lengths = {v: n * n for v in names}
+    densities = {v: density for v in names}
+
+    def chain(recovery: str, fault_plan: FaultPlan):
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(
+            _dc.replace(demo_config(n_workers), recovery=recovery),
+            physical_cores=cores, fault_plan=fault_plan))
+        reports = []
+        with rt.target_data(
+                device="CLOUD",
+                map_to={v: n * n for v in ("A", "B", "C", "D")},
+                map_alloc={"E": n * n, "F": n * n},
+                densities=densities,
+                mode=ExecutionMode.MODELED) as env:
+            for region in mm3_chain_regions("CLOUD"):
+                reports.append(offload(
+                    region, scalars={"N": n}, runtime=rt,
+                    mode=ExecutionMode.MODELED,
+                    lengths=lengths, densities=densities))
+        return rt.device("CLOUD"), reports, env.report
+
+    # Calibrate: a fault-free dry run journals every tile commit; kill the
+    # driver at the median, i.e. at ~50 % tile completion across the chain.
+    dry_dev, _, _ = chain("resume", NO_FAULTS)
+    ends = sorted(r.payload["end"] for r in dry_dev.journal.records("tile_done"))
+    death_at = ends[len(ends) // 2]
+    plan = FaultPlan(driver_dies_at=death_at)
+
+    _, healthy, healthy_env = chain("none", NO_FAULTS)
+    _, restarted, restart_env = chain("restart", plan)
+
+    bus = EventBus(keep_history=True)
+    registry = MetricsRegistry()
+    MetricsSubscriber(registry).attach(bus)
+    with use_bus(bus):
+        _, resumed, resume_env = chain("resume", plan)
+
+    def total(reports, env_report, attr):
+        return sum(getattr(r, attr) for r in reports) + getattr(
+            env_report, attr, 0)
+
+    def full(reports, env_report):
+        return (sum(r.full_s for r in reports) + env_report.enter_s
+                + env_report.exit_s + env_report.update_s)
+
+    milestones = {
+        # Gated: the resumed chain under a driver death is the product here.
+        "full_s": full(resumed, resume_env),
+        "spark_job_s": sum(r.spark_job_s for r in resumed),
+        "computation_s": sum(r.computation_s for r in resumed),
+        "host_comm_s": sum(r.host_comm_s for r in resumed)
+        + resume_env.enter_s + resume_env.exit_s,
+        "spark_overhead_s": sum(r.spark_overhead_s for r in resumed),
+        "backoff_s": sum(r.backoff_s for r in resumed) + resume_env.backoff_s,
+        # Informational A/B milestones for the recovery assertions.
+        "death_at_s": death_at,
+        "full_s_healthy": full(healthy, healthy_env),
+        "full_s_restart": full(restarted, restart_env),
+        "tiles_checkpointed": sum(r.tiles_checkpointed for r in resumed),
+        "tiles_skipped": sum(r.tiles_skipped for r in resumed),
+        "tasks_run_restart": sum(r.tasks_run for r in restarted),
+        "tasks_run_resume": sum(r.tasks_run for r in resumed),
+        "cluster_bytes_wire_restart": total(restarted, restart_env,
+                                            "cluster_bytes_wire"),
+        "cluster_bytes_wire_resume": total(resumed, resume_env,
+                                           "cluster_bytes_wire"),
+        "bytes_up_wire": sum(r.bytes_up_wire for r in resumed)
+        + resume_env.bytes_up_wire,
+        "bytes_down_wire": sum(r.bytes_down_wire for r in resumed)
+        + resume_env.bytes_down_wire,
+    }
+    return {
+        "schema": SCHEMA,
+        "benchmark": "chaos_recovery",
+        "params": {
+            "cores": cores,
+            "workers": n_workers,
+            "density": density,
+            "size": n,
+            "mode": "modeled",
+            "quick": quick,
+        },
+        "milestones": milestones,
+        "events": bus.counts(),
+        "metrics": registry.snapshot(),
+    }
+
+
 #: Multi-offload bench scenarios outside the single-region WORKLOADS registry.
 EXTRA_BENCHMARKS = {
     "chained_3mm": run_chained_3mm,
     "ablation_speculation": run_ablation_speculation,
+    "chaos_recovery": run_chaos_recovery,
 }
 
 

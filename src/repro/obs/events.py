@@ -351,6 +351,47 @@ class LogEvent(Event):
     message: str = ""
 
 
+@dataclass(frozen=True)
+class CheckpointCommit(Event):
+    """One completed tile's output was durably committed to storage."""
+
+    kind: ClassVar[str] = "checkpoint_commit"
+    region: str = ""
+    loop_var: str = ""
+    tile: int = 0
+    key: str = ""
+    nbytes: int = 0
+    checksum: str = ""
+
+
+@dataclass(frozen=True)
+class ResumeFromCheckpoint(Event):
+    """A resubmission resumed from committed tile checkpoints instead of
+    restarting: ``tiles_skipped`` finished tiles were restored, only
+    ``tiles_rerun`` were scheduled again."""
+
+    kind: ClassVar[str] = "resume_from_checkpoint"
+    region: str = ""
+    submission: int = 0
+    tiles_skipped: int = 0
+    tiles_rerun: int = 0
+    bytes_restored: int = 0
+
+
+@dataclass(frozen=True)
+class CorruptionDetected(Event):
+    """An object failed checksum verification on read (bit-rot, torn write,
+    or injected via ``FaultPlan.corrupt_keys``).  The read was billed; the
+    caller's retry policy decides whether to re-fetch or escalate."""
+
+    kind: ClassVar[str] = "corruption_detected"
+    store: str = ""
+    op: str = ""        # "GET" for reads, "VERIFY" for resubmission checks
+    key: str = ""
+    expected: str = ""  # checksum recorded at write time
+    actual: str = ""    # checksum observed on read
+
+
 #: Every event kind the runtime can emit (the coverage test asserts each one
 #: is exercised at least once).
 EVENT_KINDS: frozenset[str] = frozenset(EVENT_TYPES)

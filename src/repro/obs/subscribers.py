@@ -120,6 +120,21 @@ class MetricsSubscriber:
         self._speculation_saved = r.counter(
             "repro_speculation_saved_seconds_total",
             "Modelled tail seconds removed by winning speculative copies.")
+        self._checkpoints = r.counter(
+            "repro_checkpoint_commits_total",
+            "Tile outputs durably committed to storage, by region.")
+        self._checkpoint_bytes = r.counter(
+            "repro_checkpoint_bytes_total",
+            "Bytes of committed tile checkpoints.")
+        self._resumes = r.counter(
+            "repro_resumes_total",
+            "Resubmissions that resumed from checkpoints, by region.")
+        self._tiles_skipped = r.counter(
+            "repro_tiles_skipped_total",
+            "Tiles not re-executed thanks to committed checkpoints.")
+        self._corruptions = r.counter(
+            "repro_corruptions_detected_total",
+            "Objects that failed checksum verification, by store and op.")
         self._workers: set[str] = set()
 
     def attach(self, bus: EventBus):
@@ -190,6 +205,14 @@ class MetricsSubscriber:
         elif kind == "resident_hit":
             self._resident_hits.inc(device=e.device)
             self._not_retransferred.inc(e.bytes_saved)
+        elif kind == "checkpoint_commit":
+            self._checkpoints.inc(region=e.region)
+            self._checkpoint_bytes.inc(e.nbytes)
+        elif kind == "resume_from_checkpoint":
+            self._resumes.inc(region=e.region)
+            self._tiles_skipped.inc(e.tiles_skipped)
+        elif kind == "corruption_detected":
+            self._corruptions.inc(store=e.store, op=e.op)
         elif kind == "log":
             self._logs.inc(level=e.level)
 

@@ -43,6 +43,12 @@ class FaultPlan:
       non-zero before doing any work;
     * ``driver_dies_at`` — from this instant on the Spark driver node is
       gone: connects fail and in-flight jobs are lost.
+
+    Data-integrity (recovered by checksum verification + bounded re-fetch):
+
+    * ``corrupt_keys`` maps a storage-key substring -> how many reads of
+      matching keys return corrupt data (checksum mismatch) before the
+      object heals.
     """
 
     die_at: Mapping[str, float] = field(default_factory=dict)
@@ -51,6 +57,7 @@ class FaultPlan:
     ssh_connect_failures: int = 0
     spark_submit_failures: int = 0
     driver_dies_at: float | None = None
+    corrupt_keys: Mapping[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # Freeze the mappings: the shared NO_FAULTS default must be immune
@@ -60,10 +67,14 @@ class FaultPlan:
                            MappingProxyType(dict(self.fail_task_number)))
         object.__setattr__(self, "preempt_at",
                            MappingProxyType(dict(self.preempt_at)))
+        object.__setattr__(self, "corrupt_keys",
+                           MappingProxyType(dict(self.corrupt_keys)))
         if self.ssh_connect_failures < 0:
             raise ValueError("ssh_connect_failures must be >= 0")
         if self.spark_submit_failures < 0:
             raise ValueError("spark_submit_failures must be >= 0")
+        if any(n < 0 for n in self.corrupt_keys.values()):
+            raise ValueError("corrupt_keys counts must be >= 0")
 
     # ----------------------------------------------------------- worker loss
     def death_time(self, worker_id: str) -> float | None:
@@ -103,7 +114,8 @@ class FaultPlan:
         return (not self.die_at and not self.fail_task_number
                 and not self.preempt_at and self.ssh_connect_failures == 0
                 and self.spark_submit_failures == 0
-                and self.driver_dies_at is None)
+                and self.driver_dies_at is None
+                and not self.corrupt_keys)
 
 
 #: A plan with no failures, shared (and safely immutable) default.

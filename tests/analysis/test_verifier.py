@@ -81,7 +81,7 @@ def test_verify_python_file_finds_broken_demo_region():
 
 
 def test_verify_python_file_without_regions_is_a_note():
-    report = verify_python_file(REPO / "src" / "repro" / "resilience.py")
+    report = verify_python_file(REPO / "src" / "repro" / "resilience" / "policies.py")
     assert report.has("OMP190")
     assert report.exit_code == 0
 

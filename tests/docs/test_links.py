@@ -18,7 +18,7 @@ DOC_FILES = sorted(
     if p.name not in ("ISSUE.md", "CHANGES.md", "SNIPPETS.md", "PAPERS.md")
 )
 
-#: The seven-document set every reader should be able to reach from README.
+#: The core document set every reader should be able to reach from README.
 CORE_DOCS = [
     "docs/TUTORIAL.md",
     "docs/API.md",
@@ -27,6 +27,7 @@ CORE_DOCS = [
     "docs/DATA_ENV.md",
     "docs/ANALYSIS.md",
     "docs/OBSERVABILITY.md",
+    "docs/RESILIENCE.md",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

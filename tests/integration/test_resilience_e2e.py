@@ -1,10 +1,13 @@
-"""End-to-end resilience: chaos runs, spot preemption, circuit breaker.
+"""End-to-end resilience: chaos runs, spot preemption, circuit breaker,
+durable checkpoint/recovery.
 
 Acceptance tests for the resilience layer: a GEMM offload survives
 simultaneous storage transients, SSH flakiness, a spot preemption and a
 worker task failure with bit-identical results; persistent hard failures
 trip the circuit breaker and degrade every later offload to the host
-without raising."""
+without raising; a driver death under the "resume" policy replays the
+offload journal and re-executes strictly less work than a full restart;
+injected corruption never produces a wrong result."""
 
 from dataclasses import replace
 
@@ -196,3 +199,183 @@ def test_full_storage_outage_mid_download_degrades(cloud_config):
     assert report.fell_back_to_host
     for key, want in expected.items():
         assert np.allclose(arrays[key], want, rtol=3e-5, atol=1e-4), key
+
+
+# ------------------------------------------------- durable recovery (PR 6)
+
+def _calibrated_death(cfg, fraction=0.5):
+    """A driver-death instant landing ``fraction`` into gemm's tile wave,
+    measured on a fault-free dry run under the "resume" policy (which
+    journals every tile commit)."""
+    rt = make_cloud_runtime(replace(cfg, recovery="resume"))
+    _run_gemm(rt, _gemm_inputs())
+    ends = sorted(r.payload["end"] for r in
+                  rt.device("CLOUD").journal.records("tile_done"))
+    assert ends[0] < ends[-1]
+    return ends[min(len(ends) - 1, int(fraction * len(ends)))]
+
+
+def test_driver_death_resume_reexecutes_strictly_less_than_restart(cloud_config):
+    """The acceptance scenario: a driver death at ~50 % tile completion
+    under ``recovery = resume`` replays the journal and schedules only the
+    unfinished tiles — strictly fewer re-executed tasks and wire bytes than
+    ``recovery = restart``'s full resubmission, same bits either way."""
+    healthy = _gemm_inputs()
+    _run_gemm(make_cloud_runtime(cloud_config), healthy)
+    death = _calibrated_death(cloud_config)
+
+    reports = {}
+    arrays = {}
+    for policy in ("restart", "resume"):
+        arrays[policy] = _gemm_inputs()
+        rt = make_cloud_runtime(replace(cloud_config, recovery=policy),
+                                fault_plan=FaultPlan(driver_dies_at=death))
+        reports[policy] = _run_gemm(rt, arrays[policy])
+
+    for policy, report in reports.items():
+        assert not report.fell_back_to_host, policy
+        assert report.resumes == 1, policy
+        assert report.resubmissions == 1, policy
+        for key in healthy:
+            assert np.array_equal(healthy[key], arrays[policy][key]), (policy, key)
+
+    restart, resume = reports["restart"], reports["resume"]
+    assert restart.tiles_skipped == 0
+    assert resume.tiles_skipped > 0
+    assert resume.tiles_checkpointed > 0
+    assert resume.tasks_run < restart.tasks_run
+    assert resume.cluster_bytes_wire < restart.cluster_bytes_wire
+
+
+def test_driver_death_without_recovery_still_falls_back(cloud_config):
+    """``recovery = none`` keeps the PR-1 contract: the death exhausts
+    resubmissions and the host rerun produces the right answer."""
+    arrays = _gemm_inputs()
+    healthy = _gemm_inputs()
+    _run_gemm(make_cloud_runtime(cloud_config), healthy)
+    rt = make_cloud_runtime(cloud_config,
+                            fault_plan=FaultPlan(driver_dies_at=0.1))
+    with pytest.warns(RuntimeWarning, match="falling back to host"):
+        report = _run_gemm(rt, arrays)
+    assert report.fell_back_to_host
+    assert report.resumes == 0
+    for key in healthy:
+        assert np.array_equal(healthy[key], arrays[key]), key
+
+
+def test_corrupt_staged_input_is_detected_billed_and_repaired(cloud_config):
+    """A corrupt GET of a staged input is caught by its checksum, surfaced
+    in the report, re-fetched under the bounded retry policy — and the
+    result is still bit-identical to the healthy run."""
+    healthy = _gemm_inputs()
+    _run_gemm(make_cloud_runtime(cloud_config), healthy)
+
+    arrays = _gemm_inputs()
+    rt = make_cloud_runtime(cloud_config,
+                            fault_plan=FaultPlan(corrupt_keys={"in/A": 1}))
+    report = _run_gemm(rt, arrays)
+    assert not report.fell_back_to_host
+    assert report.corruption_detected == 1
+    assert rt.device("CLOUD").storage.corruption_count == 1
+    for key in healthy:
+        assert np.array_equal(healthy[key], arrays[key]), key
+
+
+def test_unbounded_corruption_escalates_without_a_wrong_result(cloud_config):
+    """Corruption past the retry budget degrades to the host — detected and
+    counted, never silently trusted."""
+    spec = WORKLOADS["gemm"]
+    scalars = spec.scalars(spec.test_size)
+    arrays = _gemm_inputs()
+    expected = spec.reference({k: v.copy() for k, v in arrays.items()}, scalars)
+    rt = make_cloud_runtime(cloud_config,
+                            fault_plan=FaultPlan(corrupt_keys={"in/A": 10**6}))
+    with pytest.warns(RuntimeWarning, match="falling back to host"):
+        report = _run_gemm(rt, arrays)
+    assert report.fell_back_to_host
+    assert report.corruption_detected > 0
+    for key, want in expected.items():
+        assert np.allclose(arrays[key], want, rtol=3e-5, atol=1e-4), key
+
+
+def test_death_inside_target_data_syncs_dirty_entries_exactly_once(cloud_config):
+    """Recovery × persistent data environments: when the environment is
+    invalidated, each dirty device copy is synced home exactly once — a
+    re-entered invalidation (the mapping table reconstructed from the
+    journal) finds the sync already journaled and does not download again.
+    Reference counts survive throughout."""
+    from tests.core.test_data_env import _chain_regions
+
+    n = 128
+    a = np.arange(n, dtype=np.float32)
+    b = np.zeros(n, dtype=np.float32)
+    c = np.zeros(n, dtype=np.float32)
+    stage1, stage2 = _chain_regions()
+    cfg = replace(cloud_config, recovery="restart")
+    rt = make_cloud_runtime(cfg)
+    dev = rt.device("CLOUD")
+
+    with rt.target_data(device="CLOUD", map_to={"A": a}, map_alloc={"B": b},
+                        map_from={"C": c}):
+        offload(stage1, arrays={"A": a, "B": b, "C": c}, scalars={"N": n},
+                runtime=rt)
+        entry = dev.env.lookup("B")
+        assert entry.dirty and entry.device_handle is not None
+        handle = entry.device_handle
+
+        # Every further submit fails: stage2 falls back, invalidating the
+        # environment — which syncs the dirty B home and journals it.
+        dev._submit_faults_left = 10**6
+        with pytest.warns(RuntimeWarning, match="falling back to host"):
+            offload(stage2, arrays={"A": a, "B": b, "C": c},
+                    scalars={"N": n}, runtime=rt)
+        assert np.allclose(b, a)
+        assert dev.env.ref_count("A") == 1 and dev.env.ref_count("B") == 1
+        syncs = [r for r in dev.journal.records("env_sync")
+                 if r.payload.get("name") == "B"]
+        assert len(syncs) == 1
+
+        # Re-enter recovery: restore the handle as a journal replay would,
+        # clobber the host copy, and invalidate again.  The journal guard
+        # must skip the second sync (B stays clobbered, no extra GET).
+        assert dev.env.restore("B", handle, dirty=True)
+        gets_before = dev.storage.get_count
+        b[:] = -1.0
+        dev.invalidate_data_env()
+        assert dev.storage.get_count == gets_before
+        assert np.all(b == -1.0)
+        assert len([r for r in dev.journal.records("env_sync")
+                    if r.payload.get("name") == "B"]) == 1
+        assert dev.env.ref_count("B") == 1
+        b[:] = np.asarray(a)  # put the right bits back for the exit copy
+    assert np.allclose(c, a)
+
+
+def test_lost_env_handle_is_readopted_from_the_journal(cloud_config):
+    """A replacement driver reconstructs the mapping table from the journal:
+    a live mapping whose handle was lost re-adopts the recorded device copy
+    (after a checksum probe) instead of re-staging from the host."""
+    n = 256
+    a = np.arange(n, dtype=np.float32)
+    c = np.zeros(n, dtype=np.float32)
+    cfg = replace(cloud_config, recovery="restart")
+    rt = make_cloud_runtime(cfg)
+    dev = rt.device("CLOUD")
+    from tests.core.test_data_env import _copy_region
+
+    with rt.target_data(device="CLOUD", map_to={"A": a}, map_from={"C": c}):
+        offload(_copy_region(), arrays={"A": a, "C": c}, scalars={"N": n},
+                runtime=rt)
+        # Simulate the driver-side table dying with the driver: the entry
+        # survives (refcounted by the open scope) but its handle is gone.
+        entry = dev.env.lookup("A")
+        entry.device_handle = None
+
+        report = offload(_copy_region(), arrays={"A": a, "C": c},
+                         scalars={"N": n}, runtime=rt)
+        # The journal replay re-adopted A's device copy: no re-upload.
+        assert report.bytes_up_raw == 0
+        assert dev.env.lookup("A").device_handle is not None
+        assert report.resident_hits >= 1
+        assert dev.env.ref_count("A") == 1
+    assert np.allclose(c, a)

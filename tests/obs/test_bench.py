@@ -163,6 +163,23 @@ def test_cli_bench_compare_defaults_targets_to_baseline_set(tmp_path, capsys):
     assert "matmul" in out and "gemm" in out and "syrk" not in out
 
 
+def test_chaos_recovery_bench_resume_beats_restart():
+    """The chaos_recovery A/B invariants: with the driver dying at ~50 %
+    tile completion, tile-granular resume re-executes strictly fewer tasks
+    and moves strictly fewer cluster wire bytes than a full restart."""
+    from repro.obs.bench import run_chaos_recovery
+
+    ms = run_chaos_recovery(quick=True)["milestones"]
+    assert ms["tiles_skipped"] > 0
+    assert ms["tiles_checkpointed"] > 0
+    assert ms["tasks_run_resume"] < ms["tasks_run_restart"]
+    assert ms["cluster_bytes_wire_resume"] < ms["cluster_bytes_wire_restart"]
+    assert ms["death_at_s"] > 0.0
+    # Both recovery policies cost wall time over the fault-free chain.
+    assert ms["full_s_restart"] > ms["full_s_healthy"]
+    assert ms["full_s"] > ms["full_s_healthy"]
+
+
 def test_committed_baselines_match_current_model():
     """The checked-in CI baselines must stay reproducible on this tree."""
     import os
@@ -170,7 +187,7 @@ def test_committed_baselines_match_current_model():
     root = os.path.join(os.path.dirname(__file__), "..", "..",
                         "benchmarks", "baselines")
     names = sorted(os.listdir(root))
-    assert len(names) == 10
+    assert len(names) == 11
     for fname in names:
         baseline = load_bench(os.path.join(root, fname))
         current = run_benchmark(baseline["benchmark"], quick=True)

@@ -2,9 +2,9 @@
 
 The catalogue in ``repro.obs.events`` is only useful if the runtime really
 emits each kind — an event type nothing emits is dead weight, and an emission
-site nothing tests can silently rot.  Five scenarios (cache-hit rerun, chaos
-run, breaker trip, persistent data environment, straggler rescue) must
-between them cover the whole of ``EVENT_KINDS``.
+site nothing tests can silently rot.  Six scenarios (cache-hit rerun, chaos
+run, breaker trip, persistent data environment, straggler rescue, durable
+recovery) must between them cover the whole of ``EVENT_KINDS``.
 """
 
 from dataclasses import replace
@@ -96,6 +96,32 @@ def test_every_event_kind_is_emitted(cloud_config):
             schedule=ScheduleConfig(speculation=True))
         offload(mm.build_region("CLOUD"), scalars=mm.scalars(),
                 runtime=spec_rt, mode=ExecutionMode.MODELED)
+
+        # 6. Durable recovery: a driver death mid-wave under the "resume"
+        #    policy (checkpoint_commit + resume_from_checkpoint) plus one
+        #    corrupt staged object repaired on read (corruption_detected).
+        #    A fault-free dry run calibrates the death instant so it lands
+        #    between the first and last tile commit.
+        resume_cfg = replace(cloud_config, recovery="resume")
+        n = 4096
+        a3 = np.arange(n, dtype=np.float32)
+        dry_rt = make_cloud_runtime(
+            resume_cfg, fault_plan=FaultPlan(corrupt_keys={"in/A": 1}))
+        offload(_copy_region(), arrays={"A": a3.copy(), "C": np.zeros(n, np.float32)},
+                scalars={"N": n}, runtime=dry_rt)
+        ends = sorted(r.payload["end"] for r in
+                      dry_rt.device("CLOUD").journal.records("tile_done"))
+        assert ends[0] < ends[-1]
+        death = ends[len(ends) // 2]
+        rec_rt = make_cloud_runtime(
+            resume_cfg,
+            fault_plan=FaultPlan(driver_dies_at=death,
+                                 corrupt_keys={"in/A": 1}))
+        c3 = np.zeros(n, dtype=np.float32)
+        report = offload(_copy_region(), arrays={"A": a3, "C": c3},
+                         scalars={"N": n}, runtime=rec_rt)
+        assert np.array_equal(c3, a3)
+        assert report.tiles_skipped > 0
 
     emitted = set(bus.counts())
     missing = EVENT_KINDS - emitted

@@ -82,3 +82,28 @@ def test_empty_covers_every_field():
     assert not FaultPlan(ssh_connect_failures=1).empty
     assert not FaultPlan(spark_submit_failures=1).empty
     assert not FaultPlan(driver_dies_at=0.0).empty
+    assert not FaultPlan(corrupt_keys={"in/A": 1}).empty
+
+
+# ------------------------------------------------------------ corrupt_keys
+def test_corrupt_keys_reject_negative_counts():
+    with pytest.raises(ValueError, match="corrupt_keys"):
+        FaultPlan(corrupt_keys={"in/A": -1})
+
+
+def test_corrupt_keys_are_frozen_and_snapshotted():
+    source = {"in/": 2}
+    plan = FaultPlan(corrupt_keys=source)
+    with pytest.raises(TypeError):
+        plan.corrupt_keys["in/"] = 99
+    source["in/"] = 99
+    assert plan.corrupt_keys["in/"] == 2
+    with pytest.raises(TypeError):
+        NO_FAULTS.corrupt_keys["x"] = 1
+
+
+def test_corrupt_keys_with_zero_count_is_allowed_but_inert():
+    # A zero budget arms nothing; the plan still counts as non-empty only
+    # because the mapping is non-empty (explicit is fine here).
+    plan = FaultPlan(corrupt_keys={"in/A": 0})
+    assert plan.corrupt_keys == {"in/A": 0}
