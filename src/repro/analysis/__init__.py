@@ -23,12 +23,20 @@ from repro.analysis.diagnostics import (
     Span,
     json_report,
 )
-from repro.analysis.mapcheck import check_dataflow, check_maps
+from repro.analysis.infer import (
+    ArrayEvidence,
+    InferenceReport,
+    infer_region,
+    naive_tofrom_region,
+)
+from repro.analysis.mapcheck import check_dataflow, check_inferred_maps, check_maps
 from repro.analysis.partition_check import check_partitions
 from repro.analysis.races import check_races
 from repro.analysis.verifier import (
     enforce_strict,
     probe_envs,
+    python_file_regions,
+    source_regions,
     verify_python_file,
     verify_region,
     verify_source,
@@ -38,18 +46,25 @@ __all__ = [
     "CODES",
     "AnalysisError",
     "AnalysisReport",
+    "ArrayEvidence",
     "BodyAccess",
     "Diagnostic",
+    "InferenceReport",
     "Severity",
     "Span",
     "analyze_body",
     "check_dataflow",
+    "check_inferred_maps",
     "check_maps",
     "check_partitions",
     "check_races",
     "enforce_strict",
+    "infer_region",
     "json_report",
+    "naive_tofrom_region",
     "probe_envs",
+    "python_file_regions",
+    "source_regions",
     "verify_python_file",
     "verify_region",
     "verify_source",

@@ -31,20 +31,23 @@ from typing import Callable, Optional, Union
 
 #: NumPy constructors that return views (or value-preserving copies) of their
 #: first argument: aliasing flows through them.
-_PASSTHROUGH_FUNCS = frozenset({"asarray", "ascontiguousarray"})
+_PASSTHROUGH_FUNCS = frozenset({"asarray", "ascontiguousarray", "transpose"})
 #: ndarray methods that alias (or value-preserve) the receiver.
-_PASSTHROUGH_METHODS = frozenset({"reshape", "astype", "view", "ravel"})
+_PASSTHROUGH_METHODS = frozenset({"reshape", "astype", "view", "ravel",
+                                  "transpose"})
 #: ndarray methods that only read the receiver.
 _READONLY_METHODS = frozenset({
     "mean", "sum", "min", "max", "std", "var", "item", "tolist", "copy",
     "dot", "all", "any", "nonzero", "argmax", "argmin", "trace", "round",
+    "clip", "take",
 })
-#: numpy-namespace functions that only read their array arguments.
+#: numpy-namespace functions that only read their array arguments (writes
+#: through an ``out=`` keyword are tracked separately in ``visit_Call``).
 _READONLY_NP_FUNCS = frozenset({
     "asarray", "ascontiguousarray", "abs", "outer", "triu", "tril", "dot",
     "matmul", "allclose", "sqrt", "exp", "log", "minimum", "maximum",
     "where", "sum", "mean", "sign", "count_nonzero", "float32", "float64",
-    "int32", "int64", "zeros_like", "ones_like", "cross",
+    "int32", "int64", "zeros_like", "ones_like", "cross", "clip", "take",
 })
 #: builtins that cannot mutate an ndarray argument.
 _READONLY_BUILTINS = frozenset({
@@ -123,7 +126,12 @@ class _Flow(ast.NodeVisitor):
             func = node.func
             if isinstance(func, ast.Attribute):
                 if func.attr in _PASSTHROUGH_METHODS:
-                    return self._root(func.value)
+                    root = self._root(func.value)
+                    # ``np.transpose(a)``: the receiver is the numpy module,
+                    # not an alias — the view is of the first argument.
+                    if root is None and func.attr in _PASSTHROUGH_FUNCS and node.args:
+                        return self._root(node.args[0])
+                    return root
                 if func.attr in _PASSTHROUGH_FUNCS and node.args:
                     return self._root(node.args[0])
             elif isinstance(func, ast.Name) and func.id in _PASSTHROUGH_FUNCS and node.args:
@@ -230,6 +238,13 @@ class _Flow(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
+        # ufunc-style ``out=``: the result lands in the mapped buffer even
+        # when the function itself is in a read-only table.
+        for kw in node.keywords:
+            if kw.arg == "out":
+                root = self._root(kw.value)
+                if isinstance(root, str):
+                    self.writes.add(root)
         func = node.func
         opaque: Optional[str] = None
         if isinstance(func, ast.Attribute):

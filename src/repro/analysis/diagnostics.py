@@ -67,6 +67,8 @@ CODES: dict[str, tuple[Severity, str]] = {
     "OMP131": (Severity.ERROR, "unpartitioned-output-race"),
     "OMP132": (Severity.ERROR, "loop-carried-dependence"),
     "OMP190": (Severity.NOTE, "analysis-limit"),
+    "OMP201": (Severity.NOTE, "map-overbroad"),
+    "OMP202": (Severity.NOTE, "partition-inferable"),
 }
 
 

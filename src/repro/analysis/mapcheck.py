@@ -15,6 +15,8 @@ variables), phantom declarations broadcast data nobody touches.
 
 from __future__ import annotations
 
+from typing import Mapping, Optional, Union
+
 from repro.analysis.dataflow import analyze_body
 from repro.analysis.diagnostics import Diagnostic, Span
 from repro.core.api import ParallelLoop, TargetRegion
@@ -173,4 +175,51 @@ def check_dataflow(region: TargetRegion, loop: ParallelLoop) -> list[Diagnostic]
             f"dataflow summary is incomplete ({reasons}); phantom-access "
             f"checks skipped",
         ))
+    return out
+
+
+def check_inferred_maps(
+    region: TargetRegion,
+    scalars: Optional[Mapping[str, Union[int, float]]] = None,
+) -> list[Diagnostic]:
+    """Advisory pass: OMP2xx notes wherever clause inference can prove the
+    user's maps are wider than the kernel needs.
+
+    Purely informational (NOTE severity, never fatal even in strict mode);
+    the inferred clause rides along as the fix-it ``hint``.  Silent whenever
+    inference degrades — an incomplete dataflow summary is already reported
+    as OMP190 by :func:`check_dataflow`.
+    """
+    # Imported lazily: infer builds on the verifier driver, which calls this
+    # pass — a module-level import would be a cycle.
+    from repro.analysis.infer import infer_region
+
+    rep = infer_region(region, scalars)
+    if rep.degraded or not rep.changed:
+        return []
+    out: list[Diagnostic] = []
+    for sug in rep.suggestions():
+        kind = sug.get("kind")
+        name = sug.get("name")
+        loop = sug.get("loop")
+        suggested = str(sug.get("suggested"))
+        current = sug.get("current")
+        if kind == "map":
+            out.append(Diagnostic.make(
+                "OMP201",
+                Span(region.name, clause=str(current)),
+                f"{name!r} is mapped more broadly than the kernel provably "
+                f"needs ({current})",
+                hint=suggested,
+            ))
+        else:
+            note = sug.get("note")
+            detail = f"; {note}" if note else ""
+            out.append(Diagnostic.make(
+                "OMP202",
+                Span(region.name, loop=str(loop) if loop is not None else None),
+                f"per-iteration accesses of {name!r} are provably disjoint "
+                f"across iterations{detail}",
+                hint=suggested,
+            ))
     return out

@@ -30,7 +30,7 @@ from repro.analysis.diagnostics import (
     Severity,
     Span,
 )
-from repro.analysis.mapcheck import check_dataflow, check_maps
+from repro.analysis.mapcheck import check_dataflow, check_inferred_maps, check_maps
 from repro.analysis.partition_check import check_partitions
 from repro.analysis.races import check_races
 from repro.core.api import ParallelLoop, RegionError, TargetRegion
@@ -102,6 +102,7 @@ def verify_region(
     scalars: Optional[Mapping[str, Union[int, float]]] = None,
     *,
     usage_reliable: bool = True,
+    advisories: bool = True,
 ) -> AnalysisReport:
     """Run every pass over one region.
 
@@ -115,6 +116,10 @@ def verify_region(
         report.extend(check_dataflow(region, loop))
     report.extend(check_partitions(region, probe_envs(region, scalars)))
     report.extend(check_races(region))
+    if advisories:
+        # OMP2xx notes from the clause-inference pass (which itself
+        # re-verifies with advisories=False — no recursion).
+        report.extend(check_inferred_maps(region, scalars))
     return report
 
 
@@ -139,24 +144,27 @@ def enforce_strict(
 
 
 # --------------------------------------------------------------- file fronts
-def verify_source(text: str, name: str = "<source>") -> AnalysisReport:
-    """Lint annotated C source text (the ``source_scan`` dialect).
+def source_regions(
+    text: str, name: str = "<source>",
+) -> tuple[list[TargetRegion], AnalysisReport]:
+    """Build :class:`TargetRegion` objects from annotated C source text.
 
-    Bodies are not available at scan time, so the dataflow pass degrades to
-    notes; access sets come from the partition pragmas
-    (``usage_reliable=False``)."""
+    Returns the well-formed regions plus a report of the scan/build
+    problems; the shared front end of :func:`verify_source` and the
+    ``repro infer`` command."""
+    regions: list[TargetRegion] = []
     report = AnalysisReport()
     try:
         scanned = scan_source(text)
     except SourceScanError as exc:
         report.add(Diagnostic.make("OMP100", Span(name), str(exc)))
-        return report
+        return regions, report
     if not scanned:
         report.add(Diagnostic.make(
             "OMP190", Span(name),
             "no offloadable target regions found in the source",
         ))
-        return report
+        return regions, report
     for index, sr in enumerate(scanned):
         region_name = f"{name}#{index}" if len(scanned) > 1 else name
         loops: list[ParallelLoop] = []
@@ -193,6 +201,18 @@ def verify_source(text: str, name: str = "<source>") -> AnalysisReport:
         except RegionError as exc:
             report.add(Diagnostic.make("OMP100", Span(region_name), str(exc)))
             continue
+        regions.append(region)
+    return regions, report
+
+
+def verify_source(text: str, name: str = "<source>") -> AnalysisReport:
+    """Lint annotated C source text (the ``source_scan`` dialect).
+
+    Bodies are not available at scan time, so the dataflow pass degrades to
+    notes; access sets come from the partition pragmas
+    (``usage_reliable=False``)."""
+    regions, report = source_regions(text, name)
+    for region in regions:
         report.extend(
             verify_region(region, usage_reliable=False).diagnostics)
     return report
@@ -213,20 +233,21 @@ def _collect_regions(namespace: Mapping[str, object]) -> list[TargetRegion]:
     return regions
 
 
-def verify_python_file(
+def python_file_regions(
     path: Union[str, Path],
-    scalars: Optional[Mapping[str, Union[int, float]]] = None,
-) -> AnalysisReport:
-    """Lint a Python module: execute it (with ``__name__`` set to
+) -> tuple[list[TargetRegion], AnalysisReport]:
+    """Execute a Python module (with ``__name__`` set to
     ``"__repro_lint__"`` so ``if __name__ == "__main__"`` blocks stay inert)
-    and verify every module-level :class:`TargetRegion` / ``@omp_kernel``."""
+    and collect every module-level :class:`TargetRegion` / ``@omp_kernel``
+    region; the shared front end of :func:`verify_python_file` and the
+    ``repro infer`` command."""
     path = Path(path)
     report = AnalysisReport()
     try:
         source = path.read_text()
     except OSError as exc:
         report.add(Diagnostic.make("OMP100", Span(path.name), str(exc)))
-        return report
+        return [], report
     # Execute inside a real, registered module object: decorators like
     # @dataclass resolve globals through sys.modules[cls.__module__].
     module = types.ModuleType("__repro_lint__")
@@ -239,7 +260,7 @@ def verify_python_file(
             "OMP100", Span(path.name),
             f"module failed to execute: {type(exc).__name__}: {exc}",
         ))
-        return report
+        return [], report
     finally:
         sys.modules.pop("__repro_lint__", None)
     regions = _collect_regions(module.__dict__)
@@ -248,7 +269,16 @@ def verify_python_file(
             "OMP190", Span(path.name),
             "no module-level TargetRegion or @omp_kernel objects to lint",
         ))
-        return report
+    return regions, report
+
+
+def verify_python_file(
+    path: Union[str, Path],
+    scalars: Optional[Mapping[str, Union[int, float]]] = None,
+) -> AnalysisReport:
+    """Lint a Python module: every collected region runs through
+    :func:`verify_region`."""
+    regions, report = python_file_regions(path)
     for region in regions:
         report.extend(verify_region(region, scalars).diagnostics)
     return report

@@ -8,7 +8,10 @@ Commands:
 * ``headlines`` — the Section-IV paper-vs-measured table;
 * ``validate`` — run every workload functionally against its NumPy oracle;
 * ``lint`` — statically verify offload regions (map clauses, dataflow,
-  partitions, races) and exit with the worst severity found;
+  partitions, races) and exit with the worst severity found
+  (``--fix-maps`` appends the inferred-clause suggestions);
+* ``infer`` — run clause inference and print the provably minimal
+  map/partition pragmas per region, with per-array evidence;
 * ``bench`` — run paper benchmarks under instrumentation, write
   ``BENCH_<name>.json`` and optionally fail on milestone regressions
   (``--compare``; see docs/OBSERVABILITY.md);
@@ -89,6 +92,21 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--size", type=int, default=None,
                       help="problem size for benchmark targets "
                            "(default: test size)")
+    lint.add_argument("--fix-maps", action="store_true",
+                      help="append inferred-clause fix-it suggestions "
+                           "(see docs/ANALYSIS.md, 'Clause inference')")
+
+    infer = sub.add_parser(
+        "infer", help="synthesize minimal map/partition clauses "
+                      "(see docs/ANALYSIS.md)")
+    infer.add_argument("targets", nargs="+",
+                       help="benchmark name, 'all', a Python module (.py), "
+                            "or annotated C source")
+    infer.add_argument("--json", action="store_true",
+                       help="emit inference reports as JSON")
+    infer.add_argument("--size", type=int, default=None,
+                       help="problem size for benchmark targets "
+                            "(default: test size)")
 
     bench = sub.add_parser(
         "bench", help="instrumented benchmark runs + regression check")
@@ -253,12 +271,17 @@ def _cmd_validate(args) -> int:
     return 0 if all_ok else 1
 
 
-def _cmd_lint(args) -> int:
+def _analysis_targets(args):
+    """Resolve lint/infer CLI targets to ``(region, scalars,
+    usage_reliable)`` triples plus the report of scan/build problems.
+
+    Returns ``(None, None)`` after printing to stderr when a file target
+    cannot be read (the callers exit 2, matching the old lint behavior).
+    """
     from repro.analysis import (
         AnalysisReport,
-        verify_python_file,
-        verify_region,
-        verify_source,
+        python_file_regions,
+        source_regions,
     )
 
     targets: list[str] = []
@@ -268,14 +291,18 @@ def _cmd_lint(args) -> int:
         else:
             targets.append(target)
 
+    resolved = []
     report = AnalysisReport()
     for target in targets:
         if target in WORKLOADS:
             spec = WORKLOADS[target]
             size = args.size if args.size is not None else spec.test_size
-            part = verify_region(spec.build_region("CLOUD"), spec.scalars(size))
+            resolved.append(
+                (spec.build_region("CLOUD"), spec.scalars(size), True))
         elif target.endswith(".py"):
-            part = verify_python_file(target)
+            regions, part = python_file_regions(target)
+            report.extend(part.diagnostics)
+            resolved.extend((region, None, True) for region in regions)
         else:
             try:
                 with open(target) as fh:
@@ -283,14 +310,74 @@ def _cmd_lint(args) -> int:
             except OSError as exc:
                 print(f"cannot read lint target {target!r}: {exc}",
                       file=sys.stderr)
-                return 2
-            part = verify_source(text, name=target)
-        report.extend(part.diagnostics)
+                return None, None
+            regions, part = source_regions(text, name=target)
+            report.extend(part.diagnostics)
+            # Scanned sources carry no bodies: access sets were inferred
+            # from the pragmas, so absence-based checks are unreliable.
+            resolved.extend((region, None, False) for region in regions)
+    return resolved, report
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis import json_report, verify_region
+
+    resolved, report = _analysis_targets(args)
+    if resolved is None:
+        return 2
+    for region, scalars, usage_reliable in resolved:
+        report.extend(verify_region(
+            region, scalars, usage_reliable=usage_reliable).diagnostics)
+
+    suggestions: list[dict] = []
+    if args.fix_maps:
+        from repro.analysis import infer_region
+
+        for region, scalars, _usage_reliable in resolved:
+            rep = infer_region(region, scalars)
+            if not rep.degraded:
+                suggestions.extend(rep.suggestions())
 
     if args.json:
-        print(report.to_json())
+        payload = json_report(
+            "lint", report.ok, [d.to_dict() for d in report.diagnostics])
+        if args.fix_maps:
+            payload["suggestions"] = suggestions
+        print(json.dumps(payload, indent=2))
     else:
         print(report.render())
+        if args.fix_maps and suggestions:
+            print("suggested fixes:")
+            for sug in suggestions:
+                loop = sug.get("loop")
+                where = f"loop({loop}) " if loop else ""
+                print(f"  {sug['region']}: {where}{sug['suggested']}")
+    return report.exit_code
+
+
+def _cmd_infer(args) -> int:
+    import json
+
+    from repro.analysis import infer_region, json_report
+
+    resolved, report = _analysis_targets(args)
+    if resolved is None:
+        return 2
+    reports = [infer_region(region, scalars)
+               for region, scalars, _usage_reliable in resolved]
+    if args.json:
+        ok = report.ok and all(not rep.degraded for rep in reports)
+        payload = json_report("infer", ok, [rep.to_item() for rep in reports])
+        print(json.dumps(payload, indent=2))
+    else:
+        if report.diagnostics:
+            print(report.render())
+        for rep in reports:
+            print(rep.render())
+        if not reports:
+            print("no regions to analyze")
     return report.exit_code
 
 
@@ -428,6 +515,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "infer":
+        return _cmd_infer(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "chaos":

@@ -298,6 +298,11 @@ class OffloadOptions:
     strict: bool = False
     lengths: Mapping[str, int] | None = None
     densities: Mapping[str, float] | None = None
+    #: Opt-in clause inference: before staging, replace the region's map and
+    #: partition clauses with the provably minimal set synthesized by
+    #: :func:`repro.analysis.infer.infer_region` (degrades to the original
+    #: clauses whenever the analysis is incomplete).
+    infer_maps: bool = False
 
 
 def offload(
@@ -359,4 +364,4 @@ def offload(
             buffers[name] = Buffer(name, length=length,
                                    density=densities.get(name, 1.0))
     return rt.target(region, buffers, scalars, mode=opts.mode,
-                     device=opts.device)
+                     device=opts.device, infer_maps=opts.infer_maps)

@@ -95,6 +95,9 @@ class CloudConfig:
     analysis_strict: bool = False
     #: Lowest severity that blocks a strict offload: "warning" or "error".
     analysis_fail_on: str = "error"
+    #: Run clause inference before staging: provably minimal map/partition
+    #: clauses replace the user's (safe — degrades on incomplete analysis).
+    analysis_infer: bool = False
     # --- Adaptive execution ([Schedule] section, docs/SCHEDULING.md) ---
     #: Tiling mode: "static" (Algorithm 1) or "weighted" (capacity-aware).
     schedule_mode: str = "static"
@@ -227,6 +230,7 @@ def load_config(path: str | os.PathLike[str]) -> CloudConfig:
         recovery=resil.get("recovery", "none").strip().lower(),
         analysis_strict=_parse_bool(analysis.get("strict", "false")),
         analysis_fail_on=analysis.get("fail_on", "error").strip().lower(),
+        analysis_infer=_parse_bool(analysis.get("infer", "false")),
         schedule_mode=sched.get("mode", "static").strip().lower(),
         speculation=_parse_bool(sched.get("speculation", "false")),
         speculation_multiplier=speculation_multiplier,
@@ -301,6 +305,7 @@ def write_example_config(path: str | os.PathLike[str], provider: str = "ec2") ->
         "Analysis": {
             "strict": "false",
             "fail_on": "error",
+            "infer": "false",
         },
         "Schedule": {
             "mode": "static",

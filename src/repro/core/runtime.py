@@ -29,6 +29,7 @@ from repro.obs.events import (
     DataEnvEnter,
     DataEnvExit,
     Fallback,
+    MapInferred,
     TargetBegin,
     TargetEnd,
     get_bus,
@@ -143,6 +144,7 @@ class OffloadRuntime:
         scalars: Mapping[str, Union[int, float]],
         mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
         device: Union[int, str, None] = None,
+        infer_maps: bool = False,
     ):
         """``__tgt_target``: run ``region`` on its requested device.
 
@@ -175,7 +177,7 @@ class OffloadRuntime:
         with bus.offload_scope(region.name):
             try:
                 report = self._target(region, buffers, scalars, mode, bus,
-                                      device)
+                                      device, infer_maps)
             except BaseException:
                 bus.emit(TargetEnd(region=region.name, ok=False))
                 raise
@@ -370,10 +372,12 @@ class OffloadRuntime:
         clock = getattr(dev, "clock", None)
         return clock.now if clock is not None else 0.0
 
-    def _target(self, region, buffers, scalars, mode, bus, device=None):
+    def _target(self, region, buffers, scalars, mode, bus, device=None,
+                infer_maps=False):
         self.offloads += 1
         dev = self._select_device(region, device)
         dev.initialize()
+        region = self._maybe_infer(dev, region, scalars, infer_maps, bus)
         degraded = False
         if not dev.is_available():
             self.fallbacks += 1
@@ -431,6 +435,34 @@ class OffloadRuntime:
                 report.restaged_inputs += failed.restaged_inputs
                 report.timeline.extend(failed.timeline)
             return report
+
+    def _maybe_infer(self, dev: Device, region: TargetRegion, scalars,
+                     infer_maps: bool, bus) -> TargetRegion:
+        """Opt-in clause inference, applied before staging so the device
+        only ever sees (and transfers) the synthesized minimal clauses.
+
+        Enabled per call (``offload(infer_maps=True)``) or per device
+        (``[Analysis] infer = true``).  Inference degrades to the original
+        region whenever its evidence is incomplete, so this is always safe
+        to apply; the ``MapInferred`` event records what happened either
+        way so savings (or the degradation reason) are visible in traces.
+        """
+        config = getattr(dev, "config", None)
+        enabled = infer_maps or getattr(config, "analysis_infer", False)
+        if not enabled:
+            return region
+        from repro.analysis.infer import infer_region
+
+        rep = infer_region(region, scalars)
+        bus.emit(MapInferred(
+            time=self._device_now(dev), resource=dev.name,
+            region=region.name, device=dev.name,
+            changed=rep.changed, degraded=rep.degraded,
+            narrowed=rep.narrowed, partitions_added=rep.partitions_added,
+            dropped=len(rep.dropped),
+            reason="; ".join(rep.reasons) if rep.degraded else "",
+        ))
+        return rep.region
 
     @staticmethod
     def _enforce_strict(dev: Device, region: TargetRegion, scalars) -> None:

@@ -161,7 +161,10 @@ def region_from_source(
         loop_reads = (reads or {}).get(sl.loop_var)
         loop_writes = (writes or {}).get(sl.loop_var)
         if loop_reads is None or loop_writes is None:
-            if sl.partition_pragma is None:
+            inferred_r, inferred_w = _infer_access(sl, body)
+            loop_reads = loop_reads if loop_reads is not None else inferred_r
+            loop_writes = loop_writes if loop_writes is not None else inferred_w
+            if sl.partition_pragma is None and not loop_reads and not loop_writes:
                 # Nothing to infer from: without access sets the runtime
                 # would silently ship *no* data and the kernel would compute
                 # on garbage.  Refuse loudly instead.
@@ -173,9 +176,6 @@ def region_from_source(
                     f"writes={{{sl.loop_var!r}: (...)}}, or add a "
                     f"'target data map(...)' pragma inside the loop"
                 )
-            inferred_r, inferred_w = _infer_access(sl)
-            loop_reads = loop_reads if loop_reads is not None else inferred_r
-            loop_writes = loop_writes if loop_writes is not None else inferred_w
         loops.append(
             ParallelLoop(
                 pragma=sl.pragma,
@@ -220,18 +220,40 @@ def _parse(pragma_text: str):
         raise SourceScanError(str(e)) from e
 
 
-def _infer_access(sl: ScannedLoop) -> tuple[tuple[str, ...], tuple[str, ...]]:
-    """Default reads/writes from the loop's partition pragma map types."""
-    if sl.partition_pragma is None:
-        return (), ()
-    parsed = parse_pragma(sl.partition_pragma)
-    assert isinstance(parsed, TargetDataConstruct)
-    reads: list[str] = []
-    writes: list[str] = []
-    for clause in parsed.maps:
-        for item in clause.items:
-            if clause.map_type.is_input and item.name not in reads:
-                reads.append(item.name)
-            if clause.map_type.is_output and item.name not in writes:
-                writes.append(item.name)
+def _infer_access(sl: ScannedLoop, body=None) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Default reads/writes for a scanned loop.
+
+    With a kernel ``body`` bound, the shared dataflow pass
+    (:func:`repro.analysis.dataflow.analyze_body`) is authoritative — the
+    same analysis ``repro lint`` uses, so source scanning can no longer
+    misclassify a write-only array as an input just because its partition
+    says ``map(to:)``.  When the dataflow summary is *incomplete*, the
+    body-derived sets are unioned with the pragma-derived ones (degrade by
+    widening, never by dropping).  Without a body, the partition pragma's
+    map types remain the only evidence, as before.
+    """
+    pragma_reads: list[str] = []
+    pragma_writes: list[str] = []
+    if sl.partition_pragma is not None:
+        parsed = parse_pragma(sl.partition_pragma)
+        assert isinstance(parsed, TargetDataConstruct)
+        for clause in parsed.maps:
+            for item in clause.items:
+                if clause.map_type.is_input and item.name not in pragma_reads:
+                    pragma_reads.append(item.name)
+                if clause.map_type.is_output and item.name not in pragma_writes:
+                    pragma_writes.append(item.name)
+    if body is None:
+        return tuple(pragma_reads), tuple(pragma_writes)
+    # Imported here: repro.analysis builds on repro.core, not the reverse.
+    from repro.analysis.dataflow import analyze_body
+
+    access = analyze_body(body)
+    if not access.source_available:
+        return tuple(pragma_reads), tuple(pragma_writes)
+    reads = sorted(access.reads)
+    writes = sorted(access.writes)
+    if not access.complete:
+        reads = sorted(set(reads) | set(pragma_reads))
+        writes = sorted(set(writes) | set(pragma_writes))
     return tuple(reads), tuple(writes)

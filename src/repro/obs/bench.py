@@ -454,11 +454,107 @@ def run_chaos_recovery(
     }
 
 
+def run_inference_wire_bytes(
+    cores: int = 32,
+    n_workers: int = 16,
+    density: float = 1.0,
+    size: int | None = None,
+    quick: bool = False,
+) -> dict[str, object]:
+    """Clause inference A/B: inferred maps vs the naive implicit default.
+
+    For each of three Polybench workloads the naive region (every mapped
+    array ``tofrom``, no partitions — what OpenMP's implicit default would
+    ship) and its :func:`~repro.analysis.infer.infer_region` counterpart run
+    as modeled offloads; ``wire_naive_<w>`` / ``wire_inferred_<w>``
+    milestones record the total wire traffic of each, so CI can assert the
+    synthesized clauses move strictly fewer bytes (docs/ANALYSIS.md).
+
+    The instrumented run — providing the gated time milestones — is the
+    inferred GEMM offload driven through the production path
+    (``offload(..., infer_maps=True)`` on the naive region), so the
+    ``map_inferred`` event and the ``repro_inferred_*`` counters land in the
+    payload too.
+    """
+    from repro.analysis.infer import infer_region, naive_tofrom_region
+    from repro.core.api import offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.workloads.specs import WORKLOADS
+
+    names = ("gemm", "covar", "3mm")
+
+    def run(region, scalars, infer_maps: bool = False):
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(demo_config(n_workers), physical_cores=cores))
+        mapped = {i.name for c in region.maps for i in c.items}
+        return offload(region, scalars=scalars, runtime=rt,
+                       densities={v: density for v in mapped},
+                       mode=ExecutionMode.MODELED, infer_maps=infer_maps)
+
+    milestones: dict[str, object] = {}
+    gemm_naive = None
+    gemm_scalars: dict[str, float] = {}
+    for w in names:
+        spec = WORKLOADS[w]
+        n = size if size is not None else (
+            spec.test_size if quick else spec.paper_size)
+        scalars = spec.scalars(n)
+        naive = naive_tofrom_region(spec.build_region("CLOUD"))
+        rep = infer_region(naive, scalars)
+        if rep.degraded:
+            raise RuntimeError(
+                f"{w}: inference degraded ({'; '.join(rep.reasons)})")
+        naive_report = run(naive, scalars)
+        inferred_report = run(rep.region, scalars)
+        milestones[f"wire_naive_{w}"] = (
+            naive_report.bytes_up_wire + naive_report.bytes_down_wire)
+        milestones[f"wire_inferred_{w}"] = (
+            inferred_report.bytes_up_wire + inferred_report.bytes_down_wire)
+        if w == "gemm":
+            gemm_naive, gemm_scalars = naive, scalars
+
+    bus = EventBus(keep_history=True)
+    registry = MetricsRegistry()
+    MetricsSubscriber(registry).attach(bus)
+    with use_bus(bus):
+        gated = run(gemm_naive, gemm_scalars, infer_maps=True)
+
+    milestones.update({
+        "full_s": gated.full_s,
+        "spark_job_s": gated.spark_job_s,
+        "computation_s": gated.computation_s,
+        "host_comm_s": gated.host_comm_s,
+        "spark_overhead_s": gated.spark_overhead_s,
+        "backoff_s": gated.backoff_s,
+        "bytes_up_wire": gated.bytes_up_wire,
+        "bytes_down_wire": gated.bytes_down_wire,
+    })
+    return {
+        "schema": SCHEMA,
+        "benchmark": "inference_wire_bytes",
+        "params": {
+            "cores": cores,
+            "workers": n_workers,
+            "density": density,
+            "size": size,
+            "mode": "modeled",
+            "quick": quick,
+        },
+        "milestones": milestones,
+        "events": bus.counts(),
+        "metrics": registry.snapshot(),
+    }
+
+
 #: Multi-offload bench scenarios outside the single-region WORKLOADS registry.
 EXTRA_BENCHMARKS = {
     "chained_3mm": run_chained_3mm,
     "ablation_speculation": run_ablation_speculation,
     "chaos_recovery": run_chaos_recovery,
+    "inference_wire_bytes": run_inference_wire_bytes,
 }
 
 

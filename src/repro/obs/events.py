@@ -392,6 +392,25 @@ class CorruptionDetected(Event):
     actual: str = ""    # checksum observed on read
 
 
+@dataclass(frozen=True)
+class MapInferred(Event):
+    """Clause inference ran on a region before staging
+    (``offload(infer_maps=True)`` or ``[Analysis] infer``).  Either the
+    synthesized clauses replaced the user's (``changed``), nothing narrower
+    could be proven, or the evidence was incomplete and inference degraded
+    to the original clauses (``degraded``, with the ``reason``)."""
+
+    kind: ClassVar[str] = "map_inferred"
+    region: str = ""
+    device: str = ""
+    changed: bool = False
+    degraded: bool = False
+    narrowed: int = 0          # map clauses with a narrower direction
+    partitions_added: int = 0  # synthesized per-iteration partition specs
+    dropped: int = 0           # maps no loop provably touches
+    reason: str = ""           # why inference degraded, empty otherwise
+
+
 #: Every event kind the runtime can emit (the coverage test asserts each one
 #: is exercised at least once).
 EVENT_KINDS: frozenset[str] = frozenset(EVENT_TYPES)

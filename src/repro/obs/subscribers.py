@@ -135,6 +135,15 @@ class MetricsSubscriber:
         self._corruptions = r.counter(
             "repro_corruptions_detected_total",
             "Objects that failed checksum verification, by store and op.")
+        self._inferred_offloads = r.counter(
+            "repro_inferred_offloads_total",
+            "Offloads that ran clause inference, by region and outcome.")
+        self._inferred_clauses = r.counter(
+            "repro_inferred_clauses_total",
+            "Map clauses narrowed or dropped by inference, by region.")
+        self._inferred_partitions = r.counter(
+            "repro_inferred_partitions_total",
+            "Partition specs synthesized by inference, by region.")
         self._workers: set[str] = set()
 
     def attach(self, bus: EventBus):
@@ -213,6 +222,16 @@ class MetricsSubscriber:
             self._tiles_skipped.inc(e.tiles_skipped)
         elif kind == "corruption_detected":
             self._corruptions.inc(store=e.store, op=e.op)
+        elif kind == "map_inferred":
+            outcome = ("degraded" if e.degraded
+                       else "changed" if e.changed else "unchanged")
+            self._inferred_offloads.inc(region=e.region, outcome=outcome)
+            if e.narrowed or e.dropped:
+                self._inferred_clauses.inc(e.narrowed + e.dropped,
+                                           region=e.region)
+            if e.partitions_added:
+                self._inferred_partitions.inc(e.partitions_added,
+                                              region=e.region)
         elif kind == "log":
             self._logs.inc(level=e.level)
 

@@ -97,6 +97,83 @@ def test_readonly_numpy_calls_stay_complete():
     assert access.complete
 
 
+def test_np_clip_is_readonly_and_complete():
+    def body(lo, hi, arrays, scalars):
+        a = arrays["A"]
+        arrays["C"][lo:hi] = np.clip(a[lo:hi], 0.0, 1.0)
+
+    access = analyze_body(body)
+    assert access.reads == {"A"}
+    assert access.writes == {"C"}
+    assert access.complete
+
+
+def test_np_take_is_readonly_and_complete():
+    def body(lo, hi, arrays, scalars):
+        idx = arrays["I"]
+        arrays["C"][lo:hi] = np.take(arrays["A"], idx[lo:hi])
+
+    access = analyze_body(body)
+    assert access.reads == {"A", "I"}
+    assert access.writes == {"C"}
+    assert access.complete
+
+
+def test_clip_and_take_methods_are_readonly():
+    def body(lo, hi, arrays, scalars):
+        a = arrays["A"]
+        arrays["C"][lo:hi] = a[lo:hi].clip(0.0, 1.0) + a.take(lo)
+
+    access = analyze_body(body)
+    assert access.reads == {"A"}
+    assert access.writes == {"C"}
+    assert access.complete
+
+
+def test_transpose_method_aliases_the_receiver():
+    def body(lo, hi, arrays, scalars):
+        t = arrays["C"].transpose()
+        t[lo:hi] = 0.0
+
+    access = analyze_body(body)
+    assert access.writes == {"C"}
+    assert access.complete
+
+
+def test_np_transpose_aliases_the_first_argument():
+    def body(lo, hi, arrays, scalars):
+        t = np.transpose(arrays["C"])
+        t[lo:hi] = 0.0
+
+    access = analyze_body(body)
+    assert access.writes == {"C"}
+    assert access.complete
+
+
+def test_slice_of_slice_aliasing_reaches_the_root():
+    def body(lo, hi, arrays, scalars):
+        n = int(scalars["N"])
+        row = arrays["C"][lo * n:hi * n]
+        seg = row[:n]
+        seg[:] = arrays["A"][lo * n:hi * n][:n]
+
+    access = analyze_body(body)
+    assert access.reads == {"A"}
+    assert access.writes == {"C"}
+    assert access.complete
+
+
+def test_out_keyword_records_a_write():
+    def body(lo, hi, arrays, scalars):
+        a = arrays["A"]
+        np.clip(a[lo:hi], 0.0, 1.0, out=arrays["C"][lo:hi])
+
+    access = analyze_body(body)
+    assert "A" in access.reads
+    assert "C" in access.writes
+    assert access.complete
+
+
 def test_unavailable_source_degrades_gracefully():
     access = analyze_body(len)
     assert not access.source_available

@@ -59,6 +59,88 @@ def test_lint_mixed_targets_worst_severity_wins(capsys):
     assert main(["lint", "gemm", LINT_DEMO]) == 2
 
 
+_OVERBROAD_MODULE = '''
+from repro.core.api import ParallelLoop, TargetRegion
+
+
+def tile_copy(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    arrays["C"][lo * n:hi * n] = arrays["A"][lo * n:hi * n]
+
+
+REGION = TargetRegion(
+    name="overbroad",
+    pragmas=["omp target device(CLOUD)",
+             "omp map(to: A[0:N*N]) map(tofrom: C[0:N*N])"],
+    loops=[ParallelLoop(
+        pragma="omp parallel for", loop_var="i", trip_count="N",
+        reads=("A",), writes=("C",),
+        partition_pragma="omp target data map(from: C[i*N:(i+1)*N])",
+        body=tile_copy,
+    )],
+)
+'''
+
+
+def _overbroad_file(tmp_path):
+    path = tmp_path / "overbroad.py"
+    path.write_text(_OVERBROAD_MODULE)
+    return str(path)
+
+
+def test_infer_workload_text_output(capsys):
+    assert main(["infer", "gemm"]) == 0
+    out = capsys.readouterr().out
+    assert "region 'gemm'" in out
+    assert "user clauses already minimal" in out
+
+
+def test_infer_json_report_shape(capsys):
+    assert main(["infer", "gemm", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "infer"
+    assert payload["ok"] is True
+    item = payload["items"][0]
+    assert item["region"] == "gemm"
+    assert item["degraded"] is False and item["changed"] is False
+    assert {"reasons", "narrowed", "partitions_added", "dropped",
+            "map_pragma", "partition_pragmas", "evidence",
+            "suggestions"} <= set(item)
+    for ev in item["evidence"]:
+        assert {"name", "loop", "direction", "range", "confidence"} <= set(ev)
+
+
+def test_infer_python_file_emits_fixits(tmp_path, capsys):
+    assert main(["infer", _overbroad_file(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "inferred:" in out
+    assert "map(to: A" in out  # C is write-only: tofrom narrows, A stays to
+
+
+def test_lint_fix_maps_json_round_trip(tmp_path, capsys):
+    assert main(["lint", _overbroad_file(tmp_path),
+                 "--fix-maps", "--json"]) in (0, 1)
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "lint"
+    suggestions = payload["suggestions"]
+    assert suggestions, "expected inferred-suggestion objects"
+    for sug in suggestions:
+        assert {"region", "kind", "loop", "name", "current",
+                "suggested"} <= set(sug)
+        assert sug["kind"] in ("map", "partition")
+    # the payload survives a JSON round trip bit-identically
+    assert json.loads(json.dumps(payload)) == payload
+    narrowed = [s for s in suggestions if s["kind"] == "map"]
+    assert any(s["name"] == "C" and "from" in s["suggested"]
+               for s in narrowed)
+
+
+def test_lint_fix_maps_text_lists_suggestions(tmp_path, capsys):
+    assert main(["lint", _overbroad_file(tmp_path), "--fix-maps"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "suggested fixes:" in out
+
+
 def test_validate_json_shares_report_shape(capsys):
     assert main(["validate", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)

@@ -100,6 +100,22 @@ def test_unknown_benchmark_name():
         run_benchmark("not-a-workload", quick=True)
 
 
+def test_inference_bench_moves_strictly_fewer_bytes():
+    """The headline invariant of the clause-inference bench: on every
+    measured workload the synthesized clauses move strictly less wire
+    traffic than the naive implicit-tofrom default, and the committed
+    baseline agrees with a fresh deterministic run."""
+    payload = run_benchmark("inference_wire_bytes", quick=True)
+    ms = payload["milestones"]
+    for w in ("gemm", "covar", "3mm"):
+        assert ms[f"wire_inferred_{w}"] < ms[f"wire_naive_{w}"], w
+    assert payload["events"].get("map_inferred") == 1
+    baseline = load_bench(
+        "benchmarks/baselines/BENCH_inference_wire_bytes.json")
+    assert compare(baseline, payload) == []
+    assert baseline["milestones"] == ms
+
+
 # ----------------------------------------------------------------------- CLI
 def test_cli_bench_writes_files(tmp_path, capsys):
     out = tmp_path / "results"
@@ -187,7 +203,7 @@ def test_committed_baselines_match_current_model():
     root = os.path.join(os.path.dirname(__file__), "..", "..",
                         "benchmarks", "baselines")
     names = sorted(os.listdir(root))
-    assert len(names) == 11
+    assert len(names) == 12
     for fname in names:
         baseline = load_bench(os.path.join(root, fname))
         current = run_benchmark(baseline["benchmark"], quick=True)

@@ -2,9 +2,10 @@
 
 The catalogue in ``repro.obs.events`` is only useful if the runtime really
 emits each kind — an event type nothing emits is dead weight, and an emission
-site nothing tests can silently rot.  Six scenarios (cache-hit rerun, chaos
+site nothing tests can silently rot.  Seven scenarios (cache-hit rerun, chaos
 run, breaker trip, persistent data environment, straggler rescue, durable
-recovery) must between them cover the whole of ``EVENT_KINDS``.
+recovery, clause inference) must between them cover the whole of
+``EVENT_KINDS``.
 """
 
 from dataclasses import replace
@@ -122,6 +123,15 @@ def test_every_event_kind_is_emitted(cloud_config):
                          scalars={"N": n}, runtime=rec_rt)
         assert np.array_equal(c3, a3)
         assert report.tiles_skipped > 0
+
+        # 7. Clause inference: an opt-in infer_maps offload emits
+        #    map_inferred and still produces the exact result.
+        inf_rt = make_cloud_runtime(cloud_config)
+        a4 = np.arange(128, dtype=np.float32)
+        c4 = np.zeros_like(a4)
+        offload(_copy_region(), arrays={"A": a4, "C": c4},
+                scalars={"N": len(a4)}, runtime=inf_rt, infer_maps=True)
+        assert np.array_equal(c4, a4)
 
     emitted = set(bus.counts())
     missing = EVENT_KINDS - emitted

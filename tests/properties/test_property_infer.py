@@ -1,0 +1,115 @@
+"""Property: inferred clauses verify clean on randomized Polybench-shaped
+regions.
+
+Hypothesis builds small regions in the paper's shapes — row-tiled and
+element-tiled DOALL loops over 1..2 inputs, write-only or read-modify-write
+outputs, optionally with a mapped-but-unused broadcast — strips them down to
+the naive implicit-tofrom form, and checks that the synthesis engine
+
+* never degrades (these bodies are fully analyzable),
+* produces a region every verifier pass accepts with nothing above NOTE,
+* leaves no advisory on its own output (inference is a fixpoint),
+* narrows inputs to ``to``, keeps read-modify-write outputs ``tofrom``, and
+  drops the unused broadcast.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, infer_region, naive_tofrom_region, verify_region
+from repro.core.api import ParallelLoop, TargetRegion
+from repro.core.omp_ast import MapType
+
+
+# Module-level bodies: the dataflow pass needs inspect.getsource.
+def tile_copy_row(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    arrays["C"][lo * n:hi * n] = arrays["A"][lo * n:hi * n]
+
+
+def tile_copy_elem(lo, hi, arrays, scalars):
+    arrays["C"][lo:hi] = arrays["A"][lo:hi]
+
+
+def tile_add_row(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    arrays["C"][lo * n:hi * n] = (
+        arrays["A"][lo * n:hi * n] + arrays["B"][lo * n:hi * n])
+
+
+def tile_add_elem(lo, hi, arrays, scalars):
+    arrays["C"][lo:hi] = arrays["A"][lo:hi] + arrays["B"][lo:hi]
+
+
+def tile_axpy_row(lo, hi, arrays, scalars):
+    n = int(scalars["N"])
+    arrays["C"][lo * n:hi * n] += 2.0 * arrays["A"][lo * n:hi * n]
+
+
+def tile_axpy_elem(lo, hi, arrays, scalars):
+    arrays["C"][lo:hi] += 2.0 * arrays["A"][lo:hi]
+
+
+_BODIES = {
+    ("copy", "row"): tile_copy_row,
+    ("copy", "elem"): tile_copy_elem,
+    ("add", "row"): tile_add_row,
+    ("add", "elem"): tile_add_elem,
+    ("axpy", "row"): tile_axpy_row,
+    ("axpy", "elem"): tile_axpy_elem,
+}
+
+
+def _build_region(kind: str, shape: str, with_unused: bool) -> TargetRegion:
+    extent = "N*N" if shape == "row" else "N"
+    inputs = ["A", "B"] if kind == "add" else ["A"]
+    if with_unused:
+        inputs = inputs + ["D"]
+    out_type = "tofrom" if kind == "axpy" else "from"
+    maps = "omp map(to: {}) map({}: C[0:{}])".format(
+        ", ".join(f"{v}[0:{extent}]" for v in inputs), out_type, extent)
+    reads = tuple(v for v in inputs if v != "D")
+    if kind == "axpy":
+        reads = reads + ("C",)
+    return TargetRegion(
+        name=f"prop-{kind}-{shape}",
+        pragmas=["omp target device(CLOUD)", maps],
+        loops=[ParallelLoop(
+            pragma="omp parallel for",
+            loop_var="i",
+            trip_count="N",
+            reads=reads,
+            writes=("C",),
+            body=_BODIES[(kind, shape)],
+        )],
+    )
+
+
+@given(
+    kind=st.sampled_from(["copy", "add", "axpy"]),
+    shape=st.sampled_from(["row", "elem"]),
+    with_unused=st.booleans(),
+    n=st.integers(min_value=3, max_value=48),
+)
+@settings(max_examples=60, deadline=None)
+def test_inferred_regions_verify_clean(kind, shape, with_unused, n):
+    naive = naive_tofrom_region(_build_region(kind, shape, with_unused))
+    rep = infer_region(naive, {"N": n})
+    assert not rep.degraded, rep.reasons
+    assert rep.changed
+
+    report = verify_region(rep.region, {"N": n})
+    assert not report.at_least(Severity.WARNING), report.render()
+    # Fixpoint: the advisory pass has nothing left to suggest.
+    assert not any(d.code in ("OMP201", "OMP202") for d in report.diagnostics)
+
+    types = {item.name: clause.map_type
+             for clause in rep.region.maps for item in clause.items}
+    assert types["A"] is MapType.TO
+    assert types["C"] is (MapType.TOFROM if kind == "axpy" else MapType.FROM)
+    if with_unused:
+        assert "D" in rep.dropped and "D" not in types
+    # Every loop got a provably disjoint partition for the output.
+    assert all("C" in loop.partitions for loop in rep.region.loops)
