@@ -12,6 +12,10 @@ Commands:
   (``--fix-maps`` appends the inferred-clause suggestions);
 * ``infer`` — run clause inference and print the provably minimal
   map/partition pragmas per region, with per-array evidence;
+* ``profile`` — critical-path profile of one offload: span dependency
+  graph, cost/byte attribution per phase, straggler diagnostics and
+  what-if estimates (``--json``, ``--folded``, ``--trace``, ``--gantt``;
+  see docs/OBSERVABILITY.md, "Profiling");
 * ``bench`` — run paper benchmarks under instrumentation, write
   ``BENCH_<name>.json`` and optionally fail on milestone regressions
   (``--compare``; see docs/OBSERVABILITY.md);
@@ -107,6 +111,38 @@ def _build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--size", type=int, default=None,
                        help="problem size for benchmark targets "
                             "(default: test size)")
+
+    profile = sub.add_parser(
+        "profile", help="critical-path profile of one benchmark offload "
+                        "(see docs/OBSERVABILITY.md, 'Profiling')")
+    profile.add_argument("benchmark",
+                         choices=sorted({*WORKLOADS, "chained_3mm"}))
+    profile.add_argument("--cores", type=int, default=32,
+                         help="physical cores granted to the job (default 32)")
+    profile.add_argument("--workers", type=int, default=16,
+                         help="worker nodes in the cluster (default 16)")
+    profile.add_argument("--size", type=int, default=None,
+                         help="problem size N/M (default: paper size, or "
+                              "test size with --quick)")
+    profile.add_argument("--density", type=float, default=1.0,
+                         help="input nonzero density (1.0 dense, 0.05 sparse)")
+    profile.add_argument("--quick", action="store_true",
+                         help="test-size modeled run")
+    profile.add_argument("--json", action="store_true",
+                         help="machine-readable profile report")
+    profile.add_argument("--folded", metavar="PATH", default=None,
+                         help="write folded flamegraph stacks "
+                              "(flamegraph.pl / speedscope format)")
+    profile.add_argument("--folded-mode", choices=["busy", "critical"],
+                         default="busy",
+                         help="flamegraph view: resource-seconds (busy) or "
+                              "critical-path self time (critical)")
+    profile.add_argument("--trace", metavar="PATH", default=None,
+                         help="export a Chrome/Perfetto trace with the "
+                              "critical-path highlight track")
+    profile.add_argument("--gantt", action="store_true",
+                         help="render an ASCII Gantt chart with the "
+                              "[critical] lane")
 
     bench = sub.add_parser(
         "bench", help="instrumented benchmark runs + regression check")
@@ -381,6 +417,120 @@ def _cmd_infer(args) -> int:
     return report.exit_code
 
 
+def _cmd_profile(args) -> int:
+    import dataclasses as _dc
+    import json
+
+    from repro.analysis import json_report
+    from repro.obs.events import EventBus, use_bus
+    from repro.obs.profile import (
+        WhatIf,
+        inferred_upload_scale,
+        profile_offloads,
+    )
+    from repro.simtime.timeline import Phase
+
+    bus = EventBus(keep_history=True)
+    rt = OffloadRuntime()
+    # Manage the instances so the billing ledger has real line items for the
+    # dollar attribution (the profiler's whole point).
+    dev = CloudDevice(_dc.replace(demo_config(n_workers=args.workers),
+                                  manage_instances=True),
+                      physical_cores=args.cores)
+    rt.register(dev)
+
+    reports = []
+    infer_target = None  # (region, scalars) for the inferred-minimal what-if
+    if args.benchmark == "chained_3mm":
+        from repro.workloads.polybench import mm3_chain_regions
+
+        spec = WORKLOADS["3mm"]
+        n = args.size if args.size is not None else (
+            spec.test_size if args.quick else spec.paper_size)
+        names = ("A", "B", "C", "D", "E", "F", "G")
+        with use_bus(bus):
+            with rt.target_data(
+                    device="CLOUD",
+                    map_to={v: n * n for v in ("A", "B", "C", "D")},
+                    map_alloc={"E": n * n, "F": n * n},
+                    densities={v: args.density for v in names},
+                    mode=ExecutionMode.MODELED):
+                for region in mm3_chain_regions("CLOUD"):
+                    reports.append(offload(
+                        region, scalars={"N": n}, runtime=rt,
+                        mode=ExecutionMode.MODELED,
+                        lengths={v: n * n for v in names},
+                        densities={v: args.density for v in names}))
+    else:
+        spec = WORKLOADS[args.benchmark]
+        n = args.size if args.size is not None else (
+            spec.test_size if args.quick else spec.paper_size)
+        region = spec.build_region("CLOUD")
+        scalars = spec.scalars(n)
+        densities = {i.name: args.density
+                     for c in region.maps for i in c.items}
+        with use_bus(bus):
+            reports.append(offload(region, scalars=scalars, runtime=rt,
+                                   mode=ExecutionMode.MODELED,
+                                   densities=densities))
+        infer_target = (region, scalars)
+
+    profiles = profile_offloads(bus, reports, ledger=dev.billing_ledger)
+    ok = True
+    items = []
+    extras: list[list[WhatIf]] = []
+    for prof in profiles:
+        item = prof.to_item()
+        extra: list[WhatIf] = []
+        if infer_target is not None:
+            scale = inferred_upload_scale(infer_target[0], infer_target[1],
+                                          prof, bus.events)
+            if scale is not None:
+                extra.append(WhatIf(
+                    "inferred_minimal_upload",
+                    prof.scaled_phases({Phase.HOST_UPLOAD: scale}),
+                    prof.wall_s))
+        item["what_if"].extend(w.to_dict() for w in extra)
+        total = sum(prof.phase_self_s.values())
+        ok = (ok and prof.critical_s <= prof.wall_s + prof.graph.eps
+              and abs(total - prof.wall_s) <= 0.01 * max(prof.wall_s, 1e-9))
+        items.append(item)
+        extras.append(extra)
+
+    if args.json:
+        print(json.dumps(json_report("profile", ok, items), indent=2))
+    else:
+        for i, prof in enumerate(profiles):
+            if i:
+                print()
+            print(prof.render())
+            for w in extras[i]:
+                print(f"    {w.name:<15} {w.estimate_s:10.3f} s  "
+                      f"(-{w.saved_s:.3f} s, -{w.saved_pct:.1f}%)")
+
+    last = profiles[-1]
+    if args.gantt:
+        from repro.metrics.gantt import render_gantt
+
+        print()
+        print(render_gantt(reports[-1].timeline, width=100, max_rows=24,
+                           critical=last.critical_spans))
+    if args.folded:
+        from repro.obs.flamegraph import folded_stacks
+
+        with open(args.folded, "w") as fh:
+            for prof in profiles:
+                fh.write(folded_stacks(prof, mode=args.folded_mode))
+        print(f"wrote folded flamegraph stacks to {args.folded}")
+    if args.trace:
+        from repro.metrics.tracing import write_chrome_trace
+
+        write_chrome_trace(reports[-1].timeline, args.trace,
+                           events=bus.events, critical=last.critical_spans)
+        print(f"wrote Chrome/Perfetto trace to {args.trace}")
+    return 0 if ok else 1
+
+
 def _cmd_bench(args) -> int:
     import json
     import os
@@ -517,6 +667,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "infer":
         return _cmd_infer(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "chaos":

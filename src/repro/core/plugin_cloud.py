@@ -25,6 +25,7 @@ from typing import Mapping, Sequence, Union
 import numpy as np
 
 from repro.cloud.azure import AzureProvider
+from repro.cloud.billing import BillingLedger
 from repro.cloud.azure_storage import AzureBlobStore
 from repro.cloud.ec2 import EC2Provider
 from repro.cloud.hdfs import HDFSStore
@@ -262,6 +263,14 @@ class CloudDevice(Device):
             )
             self.endpoint = self._provisioned.ssh_endpoint
 
+    @property
+    def billing_ledger(self) -> BillingLedger | None:
+        """The provider's pay-as-you-go ledger, when this device manages
+        instances (``manage_instances = true``); None otherwise.  The
+        critical-path profiler joins its line items against offload phases
+        for dollar attribution."""
+        return self._provider.ledger if self._provider is not None else None
+
     def is_available(self) -> bool:
         if not self._reachable:
             return False
@@ -287,6 +296,13 @@ class CloudDevice(Device):
         mgmt_start = self.clock.now
         if self.config.manage_instances:
             self._start_instances()
+            if self.clock.now > mgmt_start:
+                # Boot time is wall time the user waits through; span it on
+                # the shared Spark timeline (like the SSH handshake) so every
+                # report of a chained environment covers it gap-free.
+                self.sc.timeline.record(Phase.CLUSTER_INIT, mgmt_start,
+                                        self.clock.now, resource="host",
+                                        label="instance-boot")
         report.instance_mgmt_s += self.clock.now - mgmt_start
 
         key_prefix = f"{region.name}/{seq}"
@@ -1251,7 +1267,16 @@ class CloudDevice(Device):
             op_name=f"ssh-{self.config.spark_driver}", on_retry=on_retry,
             now=lambda: self.clock.now,
         )
+        t_conn = self.clock.now
         self.clock.advance(handshake)
+        # The handshake is wall time the user waits through; give it a span
+        # so the timeline covers the makespan gap-free (the critical-path
+        # profiler partitions the makespan across recorded spans).  Recorded
+        # on the Spark context's timeline — not the report's — so every
+        # report sharing this cluster (chained offloads in one data
+        # environment) sees it via the post-job extend.
+        self.sc.timeline.record(Phase.CLUSTER_INIT, t_conn, self.clock.now,
+                                resource="host", label="ssh-connect")
         try:
             return ssh.exec_command(
                 f"spark-submit --class org.ompcloud.Job ompcloud-{region.name}.jar "

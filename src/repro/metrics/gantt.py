@@ -8,11 +8,18 @@ offload spent its time (the visual counterpart of Figure 5's stacks):
     driver      ..........SSRR....rr..........
     driver-nic  ............xx........cc......
     worker-0    ..............ddjMMMMMMMMw....
+
+With ``critical=`` (a chain of spans, e.g. the profiler's
+:attr:`~repro.obs.profile.OffloadProfile.critical_spans`) a ``[critical]``
+row is prepended showing which phase gated the makespan in each column —
+the one lane that is busy end to end when the run is gap-free.
 """
 
 from __future__ import annotations
 
-from repro.simtime.timeline import Phase, Timeline
+from typing import Iterable
+
+from repro.simtime.timeline import Phase, Span, Timeline
 
 #: One glyph per phase (upper-case = usually dominant phases).
 PHASE_GLYPHS: dict[Phase, str] = {
@@ -44,17 +51,23 @@ PHASE_GLYPHS: dict[Phase, str] = {
 }
 
 
+#: Row label of the critical-path lane.
+CRITICAL_ROW = "[critical]"
+
+
 def render_gantt(
     timeline: Timeline,
     width: int = 80,
     max_rows: int = 24,
+    critical: Iterable[Span] | None = None,
 ) -> str:
     """Render the timeline as an ASCII Gantt chart.
 
     Resources are rows (ordered by first activity); simulated time maps
     linearly onto ``width`` columns.  When several phases of one resource
     share a column, the one covering more of that column wins.  Rows beyond
-    ``max_rows`` are folded into a ``(+N more)`` line.
+    ``max_rows`` are folded into a ``(+N more)`` line.  ``critical`` adds
+    the :data:`CRITICAL_ROW` lane above the resource rows.
     """
     if width < 10:
         raise ValueError(f"width must be >= 10, got {width}")
@@ -76,16 +89,12 @@ def render_gantt(
         hidden = len(resources) - max_rows
         resources = resources[:max_rows]
 
-    label_w = max(len(r) for r in resources)
-    lines = [
-        f"{'':{label_w}}  0.0s{'':{max(0, width - 12)}}{horizon:.1f}s",
-    ]
-    for name in resources:
+    crit_spans = list(critical) if critical is not None else None
+
+    def row_for(row_spans) -> str:
         # Per-column coverage: phase -> seconds covered in that column.
         coverage: list[dict[Phase, float]] = [dict() for _ in range(width)]
-        for s in spans:
-            if (s.resource or "(unnamed)") != name:
-                continue
+        for s in row_spans:
             c_lo = (s.start - t0) / horizon * width
             c_hi = (s.end - t0) / horizon * width
             for col in range(max(0, int(c_lo)), min(width, int(c_hi) + 1)):
@@ -99,12 +108,26 @@ def render_gantt(
             else:
                 phase = max(coverage[col], key=coverage[col].get)  # type: ignore[arg-type]
                 row.append(PHASE_GLYPHS.get(phase, "?"))
-        lines.append(f"{name:{label_w}}  {''.join(row)}")
+        return "".join(row)
+
+    label_w = max(len(r) for r in resources)
+    if crit_spans is not None:
+        label_w = max(label_w, len(CRITICAL_ROW))
+    lines = [
+        f"{'':{label_w}}  0.0s{'':{max(0, width - 12)}}{horizon:.1f}s",
+    ]
+    if crit_spans is not None:
+        lines.append(f"{CRITICAL_ROW:{label_w}}  {row_for(crit_spans)}")
+    for name in resources:
+        cells = row_for(s for s in spans
+                        if (s.resource or "(unnamed)") == name)
+        lines.append(f"{name:{label_w}}  {cells}")
     if hidden:
         lines.append(f"{'':{label_w}}  (+{hidden} more resource rows)")
 
     legend_phases = sorted(
-        {s.phase for s in spans}, key=lambda p: p.value
+        {s.phase for s in spans} | {s.phase for s in (crit_spans or [])},
+        key=lambda p: p.value,
     )
     legend = "  ".join(f"{PHASE_GLYPHS[p]}={p.value}" for p in legend_phases)
     lines.append("")

@@ -18,7 +18,11 @@ Beyond the per-span ``X`` events the exporter emits:
   span it led to, so a retry deep in the storage layer visually connects to
   the Spark resubmission it triggered — and each SPECULATION launch span to
   the speculative copy's first worker span (``task-<id>-spec``), so a
-  straggler rescue reads as one arrow from the driver to the winning worker.
+  straggler rescue reads as one arrow from the driver to the winning worker;
+* an optional **critical path** highlight track (pass ``critical=``, e.g.
+  :attr:`~repro.obs.profile.OffloadProfile.critical_spans`): the profiler's
+  chain re-emitted on its own thread row, so the spans that gated the
+  makespan read as one contiguous lane above the per-resource tracks.
 
 Span events are sorted by ``(start, end, resource)`` before emission, so
 tracks never interleave out of order for late-registered resources and the
@@ -122,16 +126,43 @@ def _flow_events(spans: list[Span], tids: dict[str, int]) -> list[dict[str, Any]
     return out
 
 
+def _critical_track(critical: Iterable[Span], tid: int) -> list[dict[str, Any]]:
+    """The critical-path highlight lane: one X event per chain span."""
+    out: list[dict[str, Any]] = [{
+        "name": "thread_name",
+        "ph": PHASE_METADATA,
+        "pid": 1,
+        "tid": tid,
+        "args": {"name": "critical path"},
+    }]
+    for span in critical:
+        out.append({
+            "name": span.label or span.phase.value,
+            "cat": "critical-path",
+            "ph": PHASE_COMPLETE,
+            "pid": 1,
+            "tid": tid,
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "args": {"phase": span.phase.value,
+                     "resource": span.resource or "(unnamed)"},
+        })
+    return out
+
+
 def to_chrome_trace(
     timeline: Timeline,
     process_name: str = "ompcloud",
     events: Iterable[Any] = (),
+    critical: Iterable[Span] | None = None,
 ) -> dict[str, Any]:
     """Build the Trace Event Format dict for ``timeline``.
 
     ``events`` may be the recorded stream of an
     :class:`~repro.obs.events.EventBus` — upload/download events then feed
-    the in-flight-bytes counter track."""
+    the in-flight-bytes counter track.  ``critical`` (a chain of spans, e.g.
+    the profiler's :attr:`~repro.obs.profile.OffloadProfile.critical_spans`)
+    adds the highlight track."""
     spans = _sorted_spans(timeline)
     # Stable track ids: resources in order of first activity.
     tids: dict[str, int] = {}
@@ -168,6 +199,8 @@ def to_chrome_trace(
         })
     trace_events.extend(_counter_events(spans, events))
     trace_events.extend(_flow_events(spans, tids))
+    if critical is not None:
+        trace_events.extend(_critical_track(critical, tid=len(tids)))
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
@@ -216,8 +249,10 @@ def validate_trace(trace: dict[str, Any]) -> None:
 
 def write_chrome_trace(timeline: Timeline, path: str,
                        process_name: str = "ompcloud",
-                       events: Iterable[Any] = ()) -> str:
+                       events: Iterable[Any] = (),
+                       critical: Iterable[Span] | None = None) -> str:
     """Serialize the trace to ``path``; returns the path."""
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(timeline, process_name, events=events), fh)
+        json.dump(to_chrome_trace(timeline, process_name, events=events,
+                                  critical=critical), fh)
     return path

@@ -23,12 +23,22 @@ from repro.obs.events import (
     set_bus,
     use_bus,
 )
+from repro.obs.flamegraph import folded_stacks
 from repro.obs.metrics_registry import (
     Counter,
     Gauge,
     Histogram,
     MetricError,
     MetricsRegistry,
+)
+from repro.obs.profile import (
+    OffloadProfile,
+    SpanGraph,
+    StragglerStats,
+    WhatIf,
+    inferred_upload_scale,
+    profile_offloads,
+    profile_report,
 )
 from repro.obs.subscribers import (
     DerivedReport,
@@ -50,6 +60,14 @@ __all__ = [
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "OffloadProfile",
+    "SpanGraph",
+    "StragglerStats",
+    "WhatIf",
+    "folded_stacks",
+    "inferred_upload_scale",
+    "profile_offloads",
+    "profile_report",
     "DerivedReport",
     "MetricsSubscriber",
     "ReportBuilder",

@@ -549,12 +549,173 @@ def run_inference_wire_bytes(
     }
 
 
+def run_profile_attribution(
+    cores: int = 32,
+    n_workers: int = 16,
+    density: float = 1.0,
+    size: int | None = None,
+    quick: bool = False,
+) -> dict[str, object]:
+    """Critical-path profiler self-check: attribution must stay exact.
+
+    Two scenarios run instrumented and get profiled
+    (:func:`~repro.obs.profile.profile_report`):
+
+    * **gemm** with ``manage_instances = true``, so the provider's billing
+      ledger has real line items to attribute — this run provides the gated
+      time milestones;
+    * the **chained 3MM** environment (three offloads in one ``target
+      data``), profiled per offload via the event stream's correlation ids.
+
+    The runner raises on any violated profiler invariant rather than
+    recording it, so the bench job fails loudly if attribution drifts:
+
+    * every profile's critical path fits inside its wall clock;
+    * phase self times (wait included) sum to the wall clock within 1 %;
+    * the gemm critical path orders host upload before cluster init before
+      host download (with compute in between when it makes the path);
+    * at least 95 % of billed dollars and of the report's wire bytes land
+      on named phases.
+    """
+    import dataclasses as _dc
+
+    from repro.core.api import offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.obs.profile import profile_offloads
+    from repro.workloads.polybench import mm3_chain_regions
+    from repro.workloads.specs import WORKLOADS
+
+    def check(cond: bool, msg: str) -> None:
+        if not cond:
+            raise RuntimeError(f"profile_attribution: {msg}")
+
+    def check_exact(profile) -> None:
+        eps = profile.graph.eps
+        check(profile.critical_s <= profile.wall_s + eps,
+              f"{profile.region}: critical path {profile.critical_s} "
+              f"exceeds wall {profile.wall_s}")
+        total = sum(profile.phase_self_s.values())
+        check(abs(total - profile.wall_s) <= 0.01 * max(profile.wall_s, 1e-9),
+              f"{profile.region}: phase self times sum to {total}, "
+              f"wall is {profile.wall_s}")
+
+    # ------------------------------------------------ gemm with real billing
+    spec = WORKLOADS["gemm"]
+    n = size if size is not None else (
+        spec.test_size if quick else spec.paper_size)
+    bus = EventBus(keep_history=True)
+    registry = MetricsRegistry()
+    MetricsSubscriber(registry).attach(bus)
+    rt = OffloadRuntime()
+    dev = CloudDevice(_dc.replace(demo_config(n_workers),
+                                  manage_instances=True),
+                      physical_cores=cores)
+    rt.register(dev)
+    with use_bus(bus):
+        gemm = offload(spec.build_region("CLOUD"), scalars=spec.scalars(n),
+                       runtime=rt, mode=ExecutionMode.MODELED,
+                       densities={v: density for v in ("A", "B", "C")})
+    prof = profile_offloads(bus, [gemm], ledger=dev.billing_ledger)[0]
+
+    check_exact(prof)
+    first: dict[str, int] = {}
+    for pos, i in enumerate(prof.critical_indices):
+        first.setdefault(prof.spans[i].phase.value, pos)
+    for a, b in (("host_upload", "cluster_init"),
+                 ("cluster_init", "host_download")):
+        check(a in first and b in first and first[a] < first[b],
+              f"gemm critical path out of order: {a} not before {b} "
+              f"(chain phases {sorted(first, key=first.get)})")
+    if "computation" in first:
+        check(first["cluster_init"] < first["computation"]
+              < first["host_download"],
+              "gemm critical path: computation outside its window")
+    check(prof.billed_usd > 0.0, "managed gemm run billed nothing")
+    check(sum(prof.phase_usd.values()) >= 0.95 * prof.billed_usd,
+          f"only {sum(prof.phase_usd.values())} of {prof.billed_usd} USD "
+          "attributed to named phases")
+    wire = gemm.bytes_up_wire + gemm.bytes_down_wire + gemm.cluster_bytes_wire
+    attributed = sum(prof.phase_bytes_wire.values())
+    check(attributed >= 0.95 * wire,
+          f"only {attributed} of {wire} wire bytes attributed")
+
+    # ------------------------------------------------------- chained 3MM env
+    spec3 = WORKLOADS["3mm"]
+    n3 = size if size is not None else (
+        spec3.test_size if quick else spec3.paper_size)
+    names = ("A", "B", "C", "D", "E", "F", "G")
+    bus3 = EventBus(keep_history=True)
+    rt3 = OffloadRuntime()
+    rt3.register(CloudDevice(demo_config(n_workers), physical_cores=cores))
+    reports: list = []
+    with use_bus(bus3):
+        with rt3.target_data(
+                device="CLOUD",
+                map_to={v: n3 * n3 for v in ("A", "B", "C", "D")},
+                map_alloc={"E": n3 * n3, "F": n3 * n3},
+                densities={v: density for v in names},
+                mode=ExecutionMode.MODELED):
+            for region in mm3_chain_regions("CLOUD"):
+                reports.append(offload(
+                    region, scalars={"N": n3}, runtime=rt3,
+                    mode=ExecutionMode.MODELED,
+                    lengths={v: n3 * n3 for v in names},
+                    densities={v: density for v in names}))
+    chain_profiles = profile_offloads(bus3, reports)
+    check(len(chain_profiles) == 3, "expected three chained profiles")
+    for cp in chain_profiles:
+        check_exact(cp)
+        check(bool(cp.correlation_id),
+              f"{cp.region}: no correlation id paired")
+
+    milestones = {
+        # Gated: the instrumented managed gemm offload.
+        "full_s": gemm.full_s,
+        "spark_job_s": gemm.spark_job_s,
+        "computation_s": gemm.computation_s,
+        "host_comm_s": gemm.host_comm_s,
+        "spark_overhead_s": gemm.spark_overhead_s,
+        "backoff_s": gemm.backoff_s,
+        # Informational: the profiler's own outputs, visible in the diff
+        # whenever attribution shifts.
+        "critical_path_s": prof.critical_s,
+        "critical_share": prof.critical_share,
+        "wait_s": prof.wait_s,
+        "billed_usd": prof.billed_usd,
+        "usd_attributed": sum(prof.phase_usd.values()),
+        "bytes_wire_attributed": attributed,
+        "chain_critical_s": sum(p.critical_s for p in chain_profiles),
+        "chain_wait_s": sum(p.wait_s for p in chain_profiles),
+        **{f"what_if_{w.name}_saved_s": w.saved_s
+           for w in prof.what_if_scenarios()},
+    }
+    return {
+        "schema": SCHEMA,
+        "benchmark": "profile_attribution",
+        "params": {
+            "cores": cores,
+            "workers": n_workers,
+            "density": density,
+            "size": n,
+            "mode": "modeled",
+            "quick": quick,
+        },
+        "milestones": milestones,
+        "events": bus.counts(),
+        "metrics": registry.snapshot(),
+    }
+
+
 #: Multi-offload bench scenarios outside the single-region WORKLOADS registry.
 EXTRA_BENCHMARKS = {
     "chained_3mm": run_chained_3mm,
     "ablation_speculation": run_ablation_speculation,
     "chaos_recovery": run_chaos_recovery,
     "inference_wire_bytes": run_inference_wire_bytes,
+    "profile_attribution": run_profile_attribution,
 }
 
 

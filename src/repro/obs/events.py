@@ -29,10 +29,15 @@ All timestamps are *simulated* seconds from the emitting layer's
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
 from typing import Callable, ClassVar, Iterable, Iterator
+
+from repro.obs.metrics_registry import Counter
+
+_log = logging.getLogger(__name__)
 
 #: Registry of every concrete event type, keyed by its ``kind`` string.
 EVENT_TYPES: dict[str, type["Event"]] = {}
@@ -441,6 +446,15 @@ class EventBus:
         self._span_seq = itertools.count(1)
         self._corr_seq = itertools.count(1)
         self._scopes: list[_Scope] = []
+        #: Subscriber callbacks that raised, by subscriber and event kind.
+        #: A broken tool must never abort the offload it is watching, so
+        #: :meth:`emit` catches, counts here, and logs once per subscriber.
+        #: :meth:`MetricsSubscriber.attach` surfaces this counter in its
+        #: registry's exposition as ``repro_bus_subscriber_errors``.
+        self.subscriber_errors = Counter(
+            "repro_bus_subscriber_errors",
+            "Subscriber callbacks that raised (caught; offload continued).")
+        self._error_logged: set[str] = set()
 
     # ------------------------------------------------------------ subscribers
     def subscribe(
@@ -494,8 +508,27 @@ class EventBus:
             subs = list(self._subs)
         for fn, want in subs:
             if want is None or stamped.kind in want:
-                fn(stamped)
+                try:
+                    fn(stamped)
+                except Exception as exc:
+                    self._subscriber_raised(fn, stamped, exc)
         return stamped
+
+    def _subscriber_raised(self, fn: Subscriber, event: Event,
+                           exc: Exception) -> None:
+        """Record a raising subscriber without propagating: the offload being
+        observed must not die because a tool attached to it is broken."""
+        name = getattr(fn, "__qualname__", "") or type(fn).__name__
+        self.subscriber_errors.inc(subscriber=name, kind=event.kind)
+        with self._lock:
+            first = name not in self._error_logged
+            self._error_logged.add(name)
+        if first:
+            _log.warning(
+                "event-bus subscriber %s raised on %r: %s (suppressed; "
+                "further errors from this subscriber are counted in "
+                "repro_bus_subscriber_errors, not logged)",
+                name, event.kind, exc)
 
     @contextmanager
     def offload_scope(self, name: str) -> Iterator[str]:

@@ -1,0 +1,58 @@
+"""Folded flamegraph stacks for offload profiles.
+
+Emits the ``folded`` text format consumed by Brendan Gregg's
+``flamegraph.pl``, speedscope and most flame-graph viewers: one line per
+stack, semicolon-separated frames, a trailing integer count.  Counts are
+**microseconds** of simulated time, so graphs from different runs compare
+directly.
+
+Two views of one :class:`~repro.obs.profile.OffloadProfile`:
+
+* ``mode="busy"`` (default) — every span contributes its duration under
+  ``region;<figure-5 bucket>;<phase>;<resource>``.  Widths are
+  resource-seconds: a 16-worker compute wave is 16x wider than the single
+  upload stream that preceded it, which is exactly the skew the flamegraph
+  is for.
+* ``mode="critical"`` — only critical-path self time, plus the residual
+  ``wait`` frame; widths sum to the wall clock, so this is the flamegraph
+  of the end-to-end latency itself.
+
+Output is sorted and deterministic for identical profiles.
+"""
+
+from __future__ import annotations
+
+from repro.obs.profile import WAIT, OffloadProfile
+
+_MODES = ("busy", "critical")
+
+
+def folded_stacks(profile: OffloadProfile, mode: str = "busy") -> str:
+    """The folded-format text for ``profile`` (trailing newline included)."""
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    root = profile.region or "(offload)"
+    counts: dict[str, int] = {}
+
+    def add(stack: str, seconds: float) -> None:
+        us = int(round(seconds * 1e6))
+        if us > 0:
+            counts[stack] = counts.get(stack, 0) + us
+
+    if mode == "busy":
+        for s in profile.spans:
+            frames = [root, s.phase.bucket, s.phase.value,
+                      s.resource or "(unnamed)"]
+            add(";".join(f.replace(";", ",") for f in frames), s.duration)
+    else:
+        t0 = profile.t0
+        prev_end = t0
+        for i in profile.critical_indices:
+            s = profile.spans[i]
+            contrib = max(0.0, min(s.end, profile.t1) - max(s.start, prev_end))
+            frames = [root, s.phase.bucket, s.phase.value,
+                      s.resource or "(unnamed)"]
+            add(";".join(f.replace(";", ",") for f in frames), contrib)
+            prev_end = max(prev_end, s.end)
+        add(f"{root};{WAIT}", profile.wait_s)
+    return "".join(f"{stack} {n}\n" for stack, n in sorted(counts.items()))

@@ -213,6 +213,40 @@ class Histogram(Metric):
             state = self._states.get(_label_key(labels))
             return state.count if state is not None else 0
 
+    def quantile(self, q: float, **labels: str) -> float:
+        """Deterministic quantile estimate from the cumulative buckets.
+
+        Follows ``histogram_quantile`` semantics: find the first bucket whose
+        cumulative count reaches ``q * count`` and interpolate linearly inside
+        it (the first bucket's lower edge is 0, matching the non-negative
+        durations these histograms record).  Observations beyond the last
+        finite bound clamp to that bound.  Returns 0.0 for an empty state.
+        Exact same answer from a parsed text exposition — the round-trip
+        tests rely on that.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            state = self._states.get(_label_key(labels))
+            if state is None or state.count == 0:
+                return 0.0
+            counts = list(state.bucket_counts)
+            total = state.count
+        rank = q * total
+        prev_bound, prev_cum = 0.0, 0
+        for bound, cum in zip(self.buckets, counts):
+            if cum >= rank and cum > prev_cum:
+                frac = (rank - prev_cum) / (cum - prev_cum)
+                return prev_bound + frac * (bound - prev_bound)
+            prev_bound, prev_cum = bound, cum
+        # rank falls in the +Inf bucket: clamp to the largest finite bound.
+        return self.buckets[-1]
+
+    def quantiles(self, qs: Iterable[float] = (0.5, 0.95, 0.99),
+                  **labels: str) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` via :meth:`quantile`."""
+        return {f"p{q * 100:g}": self.quantile(q, **labels) for q in qs}
+
     def sum(self, **labels: str) -> float:
         with self._lock:
             state = self._states.get(_label_key(labels))
@@ -274,6 +308,22 @@ class MetricsRegistry:
                 return existing
             metric = cls(name, help, **kwargs)
             self._metrics[name] = metric
+            return metric
+
+    def register(self, metric: Metric) -> Metric:
+        """Adopt an externally-constructed metric (e.g. an
+        :class:`~repro.obs.events.EventBus`'s subscriber-error counter) so it
+        appears in this registry's exposition and snapshots.  Registering the
+        same object twice is a no-op; a *different* metric under an existing
+        name raises :class:`MetricError`."""
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if existing is metric:
+                    return metric
+                raise MetricError(
+                    f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
             return metric
 
     def counter(self, name: str, help: str = "") -> Counter:

@@ -32,7 +32,7 @@ from repro.obs.events import (
     TaskEnd,
     TaskStart,
 )
-from repro.obs.metrics_registry import MetricsRegistry
+from repro.obs.metrics_registry import MetricError, MetricsRegistry
 from repro.simtime.timeline import Phase, Timeline
 
 
@@ -147,6 +147,12 @@ class MetricsSubscriber:
         self._workers: set[str] = set()
 
     def attach(self, bus: EventBus):
+        # Surface the bus's subscriber-error counter in this registry so a
+        # broken tool shows up in the exposition, not just in the log.
+        try:
+            self.registry.register(bus.subscriber_errors)
+        except MetricError:
+            pass  # another bus's error counter already owns the name
         return bus.subscribe(self)
 
     # ---------------------------------------------------------------- handler

@@ -85,6 +85,14 @@ class ComputeModel:
         compute = base * (1.0 + self.cal.jni_efficiency_loss) * cont * noise
         return TaskTiming(compute_s=compute, jni_s=self.cal.jni_call_s * max(0, jni_calls))
 
+    def straggler_noise(self, task_index: int) -> float:
+        """The seeded mean-one straggler multiplier for ``task_index``.
+
+        Public so the critical-path profiler can compare the *observed*
+        max/median tile skew against what the calibrated lognormal model
+        predicts for the same task count."""
+        return self._straggler_noise(task_index)
+
     def _straggler_noise(self, task_index: int) -> float:
         if self.cal.straggler_sigma <= 0.0:
             return 1.0

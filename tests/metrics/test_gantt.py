@@ -104,3 +104,55 @@ def test_gantt_never_crashes_on_random_timelines():
         assert isinstance(text, str) and text
 
     check()
+
+
+# ------------------------------------------------------- critical-path row
+def test_critical_row_prepended_when_given():
+    from repro.metrics.gantt import CRITICAL_ROW
+    from repro.simtime.timeline import Span
+
+    chain = [Span(Phase.HOST_UPLOAD, 0.0, 4.0, resource="host"),
+             Span(Phase.COMPUTE, 4.0, 10.0, resource="worker-1"),
+             Span(Phase.HOST_DOWNLOAD, 10.0, 12.0, resource="host")]
+    text = render_gantt(_tl(), width=48, critical=chain)
+    lines = text.splitlines()
+    assert lines[1].startswith(CRITICAL_ROW)
+    assert lines[2].startswith("host")  # resource rows follow
+    row = lines[1].split("  ", 1)[1]
+    # A gap-free chain leaves no idle columns in the critical lane.
+    assert "." not in row
+    assert PHASE_GLYPHS[Phase.HOST_UPLOAD] in row
+    assert PHASE_GLYPHS[Phase.COMPUTE] in row
+    assert PHASE_GLYPHS[Phase.HOST_DOWNLOAD] in row
+
+
+def test_critical_row_absent_by_default():
+    from repro.metrics.gantt import CRITICAL_ROW
+
+    assert CRITICAL_ROW not in render_gantt(_tl(), width=48)
+
+
+def test_critical_row_from_real_profile():
+    from repro.core.api import offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.metrics.gantt import CRITICAL_ROW
+    from repro.obs.profile import profile_report
+    from repro.workloads.specs import WORKLOADS
+
+    spec = WORKLOADS["gemm"]
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(demo_config(4), physical_cores=32))
+    report = offload(spec.build_region("CLOUD"),
+                     scalars=spec.scalars(spec.test_size),
+                     runtime=rt, mode=ExecutionMode.MODELED)
+    prof = profile_report(report)
+    text = render_gantt(report.timeline, width=80,
+                        critical=prof.critical_spans)
+    crit_line = next(l for l in text.splitlines()
+                     if l.startswith(CRITICAL_ROW))
+    row = crit_line.split("  ", 1)[1]
+    # Gap-free run: the critical lane is busy wall to wall.
+    assert "." not in row.rstrip()

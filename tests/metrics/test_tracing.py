@@ -166,3 +166,75 @@ def test_validate_trace_rejects_malformed():
                                "id": 99, "ts": 0.0})
     with pytest.raises(ValueError, match="unpaired"):
         validate_trace(bad)
+
+
+# ----------------------------------------------------- critical-path track
+def _critical_spans():
+    from repro.simtime.timeline import Span
+    return [
+        Span(Phase.HOST_UPLOAD, 0.0, 1.5, resource="host", label="upload-A"),
+        Span(Phase.COMPUTE, 2.0, 5.0, resource="worker-0"),
+    ]
+
+
+def test_critical_track_gets_its_own_named_thread():
+    trace = to_chrome_trace(_tl(), critical=_critical_spans())
+    names = [e for e in trace["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert any(e["args"]["name"] == "critical path" for e in names)
+    # The highlight lane sits on a tid no resource track uses.
+    crit_tid = next(e["tid"] for e in names
+                    if e["args"]["name"] == "critical path")
+    resource_tids = {e["tid"] for e in names
+                     if e["args"]["name"] != "critical path"}
+    assert crit_tid not in resource_tids
+
+
+def test_critical_track_reemits_chain_spans():
+    trace = to_chrome_trace(_tl(), critical=_critical_spans())
+    crit = [e for e in trace["traceEvents"] if e.get("cat") == "critical-path"]
+    assert len(crit) == 2
+    assert crit[0]["args"] == {"phase": "host_upload", "resource": "host"}
+    assert crit[0]["dur"] == pytest.approx(1.5e6)
+    assert {e["ph"] for e in crit} == {"X"}
+
+
+def test_trace_without_critical_is_unchanged():
+    assert to_chrome_trace(_tl()) == to_chrome_trace(_tl(), critical=None)
+    base = to_chrome_trace(_tl())
+    assert not any(e.get("cat") == "critical-path"
+                   for e in base["traceEvents"])
+
+
+def test_critical_trace_still_validates(tmp_path):
+    from repro.metrics.tracing import validate_trace
+
+    path = tmp_path / "crit.trace.json"
+    write_chrome_trace(_tl(), str(path), critical=_critical_spans())
+    validate_trace(json.loads(path.read_text()))
+
+
+def test_profiler_chain_exports_cleanly(tmp_path):
+    from repro.core.api import offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.metrics.tracing import validate_trace
+    from repro.obs.profile import profile_report
+    from repro.workloads.specs import WORKLOADS
+
+    spec = WORKLOADS["gemm"]
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(demo_config(4), physical_cores=32))
+    report = offload(spec.build_region("CLOUD"),
+                     scalars=spec.scalars(spec.test_size),
+                     runtime=rt, mode=ExecutionMode.MODELED)
+    prof = profile_report(report)
+    path = tmp_path / "prof.trace.json"
+    write_chrome_trace(report.timeline, str(path),
+                       critical=prof.critical_spans)
+    trace = json.loads(path.read_text())
+    validate_trace(trace)
+    crit = [e for e in trace["traceEvents"] if e.get("cat") == "critical-path"]
+    assert len(crit) == len(prof.critical_indices)

@@ -161,3 +161,85 @@ def test_emission_is_thread_safe():
     events = bus.events
     assert len(events) == n * workers
     assert len({e.span_id for e in events}) == n * workers  # unique span ids
+
+
+# ------------------------------------------------------ subscriber isolation
+def test_raising_subscriber_does_not_abort_emission():
+    bus = EventBus(keep_history=True)
+    seen = []
+
+    def broken(event):
+        raise RuntimeError("tool is on fire")
+
+    bus.subscribe(broken)
+    bus.subscribe(seen.append)
+    stamped = bus.emit(Retry(op="PUT"))
+    assert stamped is not None  # emit survived the broken subscriber
+    assert seen == [stamped]    # later subscribers still ran
+    assert bus.events == (stamped,)
+
+
+def test_subscriber_errors_counted_by_subscriber_and_kind():
+    bus = EventBus(keep_history=True)
+
+    def broken(event):
+        raise ValueError("nope")
+
+    bus.subscribe(broken)
+    bus.emit(Retry(op="PUT"))
+    bus.emit(Retry(op="GET"))
+    bus.emit(TargetBegin(region="gemm"))
+    name = broken.__qualname__
+    errors = bus.subscriber_errors
+    assert errors.name == "repro_bus_subscriber_errors"
+    assert errors.value(subscriber=name, kind="retry") == 2
+    assert errors.value(subscriber=name, kind="target_begin") == 1
+    assert errors.total() == 3
+
+
+def test_subscriber_errors_logged_once_per_subscriber(caplog):
+    import logging
+
+    bus = EventBus()
+
+    def broken(event):
+        raise RuntimeError("boom")
+
+    def also_broken(event):
+        raise RuntimeError("boom too")
+
+    bus.subscribe(broken)
+    bus.subscribe(also_broken)
+    with caplog.at_level(logging.WARNING, logger="repro.obs.events"):
+        for _ in range(3):
+            bus.emit(Retry(op="PUT"))
+    messages = [r.getMessage() for r in caplog.records]
+    assert len(messages) == 2  # one warning per distinct subscriber, not per event
+    assert any(broken.__qualname__ in m for m in messages)
+    assert any(also_broken.__qualname__ in m for m in messages)
+    assert bus.subscriber_errors.total() == 6
+
+
+def test_offload_continues_past_a_broken_subscriber():
+    from repro.core.api import offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.workloads.specs import WORKLOADS
+
+    bus = EventBus(keep_history=True)
+
+    def broken(event):
+        raise RuntimeError("observer crash")
+
+    bus.subscribe(broken)
+    spec = WORKLOADS["gemm"]
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(demo_config(4), physical_cores=32))
+    with use_bus(bus):
+        report = offload(spec.build_region("CLOUD"),
+                         scalars=spec.scalars(spec.test_size),
+                         runtime=rt, mode=ExecutionMode.MODELED)
+    assert report.full_s > 0            # the offload finished
+    assert bus.subscriber_errors.total() == len(bus.events) > 0

@@ -147,3 +147,109 @@ def test_snapshot_round_trips_through_json():
 def test_default_buckets_are_increasing():
     assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
     assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+
+
+# ------------------------------------------------------------ quantiles
+def test_quantile_interpolates_inside_buckets():
+    h = MetricsRegistry().histogram("q_seconds", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0, 3.5):
+        h.observe(v)
+    # rank(0.5) = 2 observations; cumulative hits 2 at le=2: interpolate
+    # the second half of (1, 2].
+    assert h.quantile(0.5) == pytest.approx(2.0)
+    assert h.quantile(0.25) == pytest.approx(1.0)
+    assert h.quantile(1.0) == pytest.approx(4.0)
+    assert h.quantile(0.0) == pytest.approx(0.0)
+
+
+def test_quantile_with_empty_leading_bucket():
+    # All mass beyond the first bound: interpolation must start at that
+    # bound, not at zero (the lower edge advances even through empty
+    # buckets).
+    h = MetricsRegistry().histogram("q2_seconds", buckets=(1.0, 2.0))
+    h.observe(1.2)
+    h.observe(1.8)
+    assert h.quantile(0.5) == pytest.approx(1.5)
+
+
+def test_quantile_clamps_overflow_to_last_finite_bound():
+    h = MetricsRegistry().histogram("q3_seconds", buckets=(1.0, 2.0))
+    h.observe(100.0)
+    assert h.quantile(0.99) == pytest.approx(2.0)
+
+
+def test_quantile_empty_and_out_of_range():
+    h = MetricsRegistry().histogram("q4_seconds", buckets=(1.0,))
+    assert h.quantile(0.5) == 0.0
+    with pytest.raises(MetricError):
+        h.quantile(1.5)
+    with pytest.raises(MetricError):
+        h.quantile(-0.1)
+
+
+def test_quantiles_snapshot_keys_and_order():
+    h = MetricsRegistry().histogram("q5_seconds", buckets=(1.0, 2.0, 4.0))
+    for v in (0.2, 0.4, 1.5, 3.0):
+        h.observe(v)
+    snap = h.quantiles()
+    assert list(snap) == ["p50", "p95", "p99"]
+    assert snap["p50"] <= snap["p95"] <= snap["p99"]
+    assert h.quantiles(qs=(0.25,)) == {"p25": pytest.approx(h.quantile(0.25))}
+
+
+def test_quantile_respects_labels():
+    h = MetricsRegistry().histogram("q6_seconds", buckets=(1.0, 2.0))
+    h.observe(0.5, worker="w0")
+    h.observe(1.5, worker="w1")
+    # Each labelled series interpolates within its own bucket counts.
+    assert h.quantile(1.0, worker="w0") == pytest.approx(1.0)
+    assert h.quantile(1.0, worker="w1") == pytest.approx(2.0)
+    assert h.quantile(1.0) == 0.0  # the unlabelled series is untouched
+
+
+def test_quantile_round_trips_through_exposition():
+    """Recomputing a quantile from the parsed text exposition gives the
+    same answer as Histogram.quantile — the text format loses nothing the
+    estimator needs."""
+    r = MetricsRegistry()
+    bounds = (0.5, 1.0, 2.0, 4.0)
+    h = r.histogram("rt_seconds", "Round trip.", buckets=bounds)
+    for v in (0.1, 0.4, 0.9, 1.5, 1.7, 3.0, 9.0):
+        h.observe(v)
+
+    # Parse the cumulative buckets back out of the exposition text.
+    parsed: dict[float, int] = {}
+    for line in r.to_prometheus().splitlines():
+        m = re.match(r'rt_seconds_bucket\{le="([^"]+)"\} (\d+)', line)
+        if m and m.group(1) != "+Inf":
+            parsed[float(m.group(1))] = int(m.group(2))
+        elif m:
+            total = int(m.group(2))
+    assert sorted(parsed) == list(bounds)
+
+    def quantile_from_text(q):
+        rank = q * total
+        prev_bound, prev_cum = 0.0, 0
+        for bound in bounds:
+            cum = parsed[bound]
+            if cum >= rank and cum > prev_cum:
+                frac = (rank - prev_cum) / (cum - prev_cum)
+                return prev_bound + frac * (bound - prev_bound)
+            prev_bound, prev_cum = bound, cum
+        return bounds[-1]
+
+    for q in (0.1, 0.5, 0.9, 0.95, 0.99):
+        assert quantile_from_text(q) == pytest.approx(h.quantile(q))
+
+
+def test_register_adopts_external_metric():
+    from repro.obs.metrics_registry import Counter
+
+    r = MetricsRegistry()
+    c = Counter("repro_external_total", "Made elsewhere.")
+    c.inc(5)
+    assert r.register(c) is c
+    assert r.register(c) is c  # same object twice is a no-op
+    assert "repro_external_total 5" in r.to_prometheus()
+    with pytest.raises(MetricError, match="already registered"):
+        r.register(Counter("repro_external_total", "Impostor."))
