@@ -1,0 +1,74 @@
+"""Deferred target tasks: a three-region pipeline fused into one Spark job.
+
+3MM again — E = A @ B, F = C @ D, G = E @ F — but this time each region is
+offloaded with ``nowait=True`` and ordered by explicit OpenMP ``depend``
+clauses.  Nothing executes until ``omp.taskwait()``: the runtime builds the
+region DAG, sees that G's producers feed it through alloc-mapped
+intermediates, and fuses all three regions into a *single* Spark job whose
+E and F live in driver memory and never touch cluster storage
+(docs/TASKGRAPH.md).
+
+Compare with examples/chained_offloads.py, where the same chain runs as
+three synchronous jobs: residency already avoids the WAN re-uploads, but E
+and F still round-trip through cloud storage between jobs.  ``repro lint
+examples/async_pipeline.py`` shows the advisory (OMP203) a synchronous
+version of this module would earn.
+
+Run:  python examples/async_pipeline.py
+"""
+
+import numpy as np
+
+from repro import omp
+from repro.omp import CloudDevice, OffloadRuntime, demo_config, offload
+from repro.workloads.polybench import mm3_chain_regions
+
+REGION_E, REGION_F, REGION_G = mm3_chain_regions("CLOUD")
+
+
+def main() -> None:
+    n = 96
+    rng = np.random.default_rng(11)
+    host = {v: rng.uniform(-1, 1, n * n).astype(np.float32)
+            for v in ("A", "B", "C", "D")}
+    for v in ("E", "F", "G"):
+        host[v] = np.zeros(n * n, dtype=np.float32)
+
+    runtime = OffloadRuntime()
+    runtime.register(CloudDevice(demo_config(n_workers=4), physical_cores=32))
+
+    with runtime.target_data(
+            device="CLOUD",
+            map_to={v: host[v] for v in ("A", "B", "C", "D")},
+            map_alloc={"E": host["E"], "F": host["F"]}):
+        t_e = offload(REGION_E, arrays=host, scalars={"N": n},
+                      runtime=runtime, nowait=True,
+                      depend=omp.depend(in_=("A", "B"), out="E"))
+        t_f = offload(REGION_F, arrays=host, scalars={"N": n},
+                      runtime=runtime, nowait=True,
+                      depend=omp.depend(in_=("C", "D"), out="F"))
+        t_g = offload(REGION_G, arrays=host, scalars={"N": n},
+                      runtime=runtime, nowait=True,
+                      depend=omp.depend(in_=("E", "F"), out="G"))
+        assert not t_e.done and not t_f.done and not t_g.done
+
+        reports = omp.taskwait(runtime)
+
+    expect = ((host["A"].reshape(n, n) @ host["B"].reshape(n, n))
+              @ (host["C"].reshape(n, n) @ host["D"].reshape(n, n)))
+    assert np.allclose(host["G"].reshape(n, n), expect, rtol=1e-3, atol=1e-2)
+
+    fused = t_g.wait()
+    assert t_e.report is fused and t_f.report is fused  # one shared report
+    assert fused.fused_regions == 3
+    print("three nowait offloads, one taskwait, one fused Spark job")
+    print(f"  fused job: {t_g.fused_into}")
+    print(f"  regions fused: {fused.fused_regions} "
+          f"(reports returned: {len(reports)})")
+    print(f"  intermediate wire bytes saved: "
+          f"{fused.fusion_wire_bytes_saved}")
+    print(f"  storage wire bytes moved: {fused.storage_bytes_wire}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,9 +29,10 @@ The documented programming surface is :mod:`repro.omp`::
     offload(region, arrays={"A": a, "B": b, "C": c}, scalars={"N": n},
             runtime=runtime)
 
-Importing those names from the package root still works but is deprecated
-(a :class:`DeprecationWarning` fires on each access); import from
-:mod:`repro.omp` instead.
+The package-root re-exports of these names completed their deprecation
+cycle (warned since 1.0) and are **removed**: accessing one raises
+:class:`AttributeError` with the migration target.  The removal list is
+documented in ``docs/API.md``.
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
 results.
@@ -39,15 +40,13 @@ results.
 
 from __future__ import annotations
 
-import importlib
-import warnings
-
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: Former package-root re-exports -> the module now documented for them.
-#: All of the model-surface names live in :mod:`repro.omp`; the Spark
-#: substrate and workload registry keep their defining submodules.
-_FORWARDS: dict[str, str] = {
+#: The deprecation cycle is complete: these names no longer resolve here;
+#: the table survives so the removal error can say exactly where to import
+#: from (and so docs/API.md's removal list has a single source of truth).
+_REMOVED: dict[str, str] = {
     "AnalysisError": "repro.omp",
     "AnalysisReport": "repro.omp",
     "verify_region": "repro.omp",
@@ -74,26 +73,23 @@ _FORWARDS: dict[str, str] = {
     "WORKLOADS": "repro.workloads",
 }
 
-__all__ = [*_FORWARDS, "__version__"]
+__all__ = ["__version__"]
 
 
 def __getattr__(name: str):
-    """Lazy, deprecating forwarder for the legacy package-root surface.
+    """Removal tombstones for the legacy package-root surface.
 
-    The warning fires on every access (nothing is cached back into the
-    package namespace) so migrations cannot silently regress; ``import
-    repro`` itself stays silent and cheap.
+    The names in :data:`_REMOVED` spent a full release deprecated (every
+    access warned); they now fail fast with the exact replacement import so
+    stragglers get a one-line fix instead of a silent legacy path.
     """
-    target = _FORWARDS.get(name)
+    target = _REMOVED.get(name)
     if target is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    warnings.warn(
-        f"importing {name!r} from 'repro' is deprecated; "
-        f"use 'from {target} import {name}'",
-        DeprecationWarning,
-        stacklevel=2,
+    raise AttributeError(
+        f"'repro.{name}' was removed after its deprecation cycle; "
+        f"use 'from {target} import {name}'"
     )
-    return getattr(importlib.import_module(target), name)
 
 
 def __dir__() -> list[str]:

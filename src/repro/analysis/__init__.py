@@ -23,6 +23,7 @@ from repro.analysis.diagnostics import (
     Span,
     json_report,
 )
+from repro.analysis.fusioncheck import check_fusable_chains
 from repro.analysis.infer import (
     ArrayEvidence,
     InferenceReport,
@@ -54,6 +55,7 @@ __all__ = [
     "Span",
     "analyze_body",
     "check_dataflow",
+    "check_fusable_chains",
     "check_inferred_maps",
     "check_maps",
     "check_partitions",

@@ -69,6 +69,7 @@ CODES: dict[str, tuple[Severity, str]] = {
     "OMP190": (Severity.NOTE, "analysis-limit"),
     "OMP201": (Severity.NOTE, "map-overbroad"),
     "OMP202": (Severity.NOTE, "partition-inferable"),
+    "OMP203": (Severity.NOTE, "fusable-chain-serialized"),
 }
 
 

@@ -1,0 +1,74 @@
+"""OMP203: advise when a program's offload chain could fuse but runs
+synchronously.
+
+``repro lint`` sees a module's regions in declaration order — the order a
+synchronous program would execute them.  When the task-graph planner
+(:mod:`repro.core.taskgraph`) would fuse two or more of those regions into a
+single Spark job given ``nowait`` offloads under a ``target data``
+environment, each synchronous execution pays an avoidable storage round-trip
+for every producer→consumer intermediate.  :func:`check_fusable_chains`
+replans the chain under the most favourable legal residency (every
+intermediate ``alloc``-mapped) and emits one ``OMP203`` note per fusable
+group, naming the members and the intermediates fusion would keep in driver
+memory.  Purely advisory: notes never gate ``repro lint``'s exit code.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.analysis.diagnostics import Diagnostic, Span
+from repro.analysis.verifier import _free_variables
+from repro.core.api import TargetRegion
+
+#: First synthesized size for unbound scalars; per-variable offsets keep the
+#: values distinct while staying identical across regions (shared names must
+#: evaluate to shared trip counts, or no chain would ever plan as fusable).
+_PROBE_BASE = 6
+
+
+def check_fusable_chains(
+    regions: Sequence[TargetRegion],
+    scalars: Optional[Mapping[str, Union[int, float]]] = None,
+) -> list[Diagnostic]:
+    """OMP203 notes for ``regions`` executed in order as one program."""
+    if len(regions) < 2:
+        return []
+    # Imported lazily: repro.core.taskgraph is initialized as part of
+    # repro.core, which this package imports at module-import time.
+    from repro.core.taskgraph import GraphNode, build_plan
+
+    free: set[str] = set()
+    for region in regions:
+        free |= _free_variables(region)
+    env: dict[str, Union[int, float]] = {
+        name: _PROBE_BASE + 2 * j for j, name in enumerate(sorted(free))
+    }
+    env.update(scalars or {})
+
+    nodes = [
+        GraphNode(index=i, region=region, device="CLOUD", host=False,
+                  mode="modeled", strict=False, depend=None, scalars=env)
+        for i, region in enumerate(regions)
+    ]
+    # Optimistic residency: every array alloc-mapped, the one arrangement
+    # under which all legality rules that depend on the data environment
+    # pass.  What still refuses to fuse here can never fuse.
+    plan = build_plan(nodes, resident=lambda _device, _name: "alloc")
+
+    notes: list[Diagnostic] = []
+    for group in plan.groups:
+        if not group.fused or len(group.members) < 2:
+            continue
+        names = [plan.nodes[i].region.name for i in group.members]
+        inner = ", ".join(group.elided) or "none"
+        notes.append(Diagnostic.make(
+            "OMP203", Span(names[0]),
+            f"regions {' -> '.join(names)} form a fusable chain but each "
+            f"synchronous offload round-trips its intermediates "
+            f"({inner}) through cluster storage",
+            hint="offload with nowait=True under a target data environment "
+                 "and flush with omp.taskwait() to fuse them into one job "
+                 "(see docs/TASKGRAPH.md)",
+        ))
+    return notes

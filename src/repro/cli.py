@@ -16,6 +16,9 @@ Commands:
   graph, cost/byte attribution per phase, straggler diagnostics and
   what-if estimates (``--json``, ``--folded``, ``--trace``, ``--gantt``;
   see docs/OBSERVABILITY.md, "Profiling");
+* ``graph`` — print the inferred task graph of a benchmark's offload
+  chain: nodes, dependence edges, fusion groups and waves, plus any
+  fusion rejections (see docs/TASKGRAPH.md);
 * ``bench`` — run paper benchmarks under instrumentation, write
   ``BENCH_<name>.json`` and optionally fail on milestone regressions
   (``--compare``; see docs/OBSERVABILITY.md);
@@ -143,6 +146,19 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--gantt", action="store_true",
                          help="render an ASCII Gantt chart with the "
                               "[critical] lane")
+
+    graph = sub.add_parser(
+        "graph", help="print a benchmark's inferred task graph "
+                      "(see docs/TASKGRAPH.md)")
+    graph.add_argument("benchmark",
+                       choices=sorted({*WORKLOADS, "chained_3mm"}))
+    graph.add_argument("--size", type=int, default=None,
+                       help="problem size N/M (default: test size)")
+    graph.add_argument("--unmanaged", action="store_true",
+                       help="plan without a target-data environment (shows "
+                            "the intermediate-not-resident degradation)")
+    graph.add_argument("--json", action="store_true",
+                       help="machine-readable plan")
 
     bench = sub.add_parser(
         "bench", help="instrumented benchmark runs + regression check")
@@ -309,7 +325,10 @@ def _cmd_validate(args) -> int:
 
 def _analysis_targets(args):
     """Resolve lint/infer CLI targets to ``(region, scalars,
-    usage_reliable)`` triples plus the report of scan/build problems.
+    usage_reliable, origin)`` tuples plus the report of scan/build
+    problems.  ``origin`` names the target a region came from — regions
+    sharing an origin execute as one program, which is what the OMP203
+    fusable-chain advisory reasons over.
 
     Returns ``(None, None)`` after printing to stderr when a file target
     cannot be read (the callers exit 2, matching the old lint behavior).
@@ -334,11 +353,12 @@ def _analysis_targets(args):
             spec = WORKLOADS[target]
             size = args.size if args.size is not None else spec.test_size
             resolved.append(
-                (spec.build_region("CLOUD"), spec.scalars(size), True))
+                (spec.build_region("CLOUD"), spec.scalars(size), True, target))
         elif target.endswith(".py"):
             regions, part = python_file_regions(target)
             report.extend(part.diagnostics)
-            resolved.extend((region, None, True) for region in regions)
+            resolved.extend((region, None, True, target)
+                            for region in regions)
         else:
             try:
                 with open(target) as fh:
@@ -351,27 +371,44 @@ def _analysis_targets(args):
             report.extend(part.diagnostics)
             # Scanned sources carry no bodies: access sets were inferred
             # from the pragmas, so absence-based checks are unreliable.
-            resolved.extend((region, None, False) for region in regions)
+            resolved.extend((region, None, False, target)
+                            for region in regions)
     return resolved, report
 
 
 def _cmd_lint(args) -> int:
     import json
 
-    from repro.analysis import json_report, verify_region
+    from repro.analysis import (
+        check_fusable_chains,
+        json_report,
+        verify_region,
+    )
 
     resolved, report = _analysis_targets(args)
     if resolved is None:
         return 2
-    for region, scalars, usage_reliable in resolved:
+    for region, scalars, usage_reliable, _origin in resolved:
         report.extend(verify_region(
             region, scalars, usage_reliable=usage_reliable).diagnostics)
+
+    # OMP203 advisory: regions from one target execute as one program, so
+    # a fusable chain among them is a missed nowait/taskwait opportunity.
+    by_origin: dict[str, list] = {}
+    for region, scalars, _usage_reliable, origin in resolved:
+        by_origin.setdefault(origin, []).append((region, scalars))
+    for items in by_origin.values():
+        merged_scalars: dict = {}
+        for _region, scalars in items:
+            merged_scalars.update(scalars or {})
+        report.extend(check_fusable_chains(
+            [region for region, _scalars in items], merged_scalars or None))
 
     suggestions: list[dict] = []
     if args.fix_maps:
         from repro.analysis import infer_region
 
-        for region, scalars, _usage_reliable in resolved:
+        for region, scalars, _usage_reliable, _origin in resolved:
             rep = infer_region(region, scalars)
             if not rep.degraded:
                 suggestions.extend(rep.suggestions())
@@ -402,7 +439,7 @@ def _cmd_infer(args) -> int:
     if resolved is None:
         return 2
     reports = [infer_region(region, scalars)
-               for region, scalars, _usage_reliable in resolved]
+               for region, scalars, _usage_reliable, _origin in resolved]
     if args.json:
         ok = report.ok and all(not rep.degraded for rep in reports)
         payload = json_report("infer", ok, [rep.to_item() for rep in reports])
@@ -529,6 +566,111 @@ def _cmd_profile(args) -> int:
                            events=bus.events, critical=last.critical_spans)
         print(f"wrote Chrome/Perfetto trace to {args.trace}")
     return 0 if ok else 1
+
+
+def _cmd_graph(args) -> int:
+    import json
+
+    from repro.analysis import json_report
+    from repro.core.taskgraph import GraphNode, build_plan
+
+    if args.benchmark == "chained_3mm":
+        from repro.workloads.polybench import mm3_chain_regions
+
+        spec = WORKLOADS["3mm"]
+        n = args.size if args.size is not None else spec.test_size
+        regions = mm3_chain_regions("CLOUD")
+        scalars = {"N": n}
+        env = {} if args.unmanaged else {
+            "A": "to", "B": "to", "C": "to", "D": "to",
+            "E": "alloc", "F": "alloc",
+        }
+    else:
+        spec = WORKLOADS[args.benchmark]
+        n = args.size if args.size is not None else spec.test_size
+        regions = [spec.build_region("CLOUD")]
+        scalars = dict(spec.scalars(n))
+        env = {}
+
+    itemsize = np.dtype(np.float32).itemsize
+    nodes = [
+        GraphNode(
+            index=i, region=region, device="CLOUD", host=False,
+            mode="modeled", strict=False, depend=None, scalars=scalars,
+            nbytes={item.name: n * n * itemsize
+                    for clause in region.maps for item in clause.items},
+        )
+        for i, region in enumerate(regions)
+    ]
+    plan = build_plan(nodes, resident=lambda _dev, name: env.get(name))
+
+    if args.json:
+        payload = {
+            "benchmark": args.benchmark,
+            "size": n,
+            "managed": not args.unmanaged,
+            "nodes": [
+                {"index": node.index, "region": node.region.name,
+                 "device": node.device, "mode": node.mode,
+                 "reads": sorted(node.reads), "writes": sorted(node.writes)}
+                for node in plan.nodes
+            ],
+            "edges": [
+                {"src": e.src, "dst": e.dst, "kind": e.kind,
+                 "arrays": list(e.arrays)}
+                for e in plan.edges
+            ],
+            "groups": [
+                {"members": [plan.nodes[i].region.name for i in g.members],
+                 "fused": g.fused, "wave": g.wave,
+                 "elided": list(g.elided),
+                 "materialized": list(g.materialized),
+                 "bytes_saved": g.bytes_saved}
+                for g in plan.groups
+            ],
+            "waves": [list(wave) for wave in plan.waves],
+            "rejected": [
+                {"members": list(members), "reason": reason}
+                for members, reason in plan.rejected
+            ],
+        }
+        print(json.dumps(json_report("graph", True, [payload]), indent=2))
+        return 0
+
+    managed = "unmanaged" if args.unmanaged else "managed env"
+    print(f"task graph: {args.benchmark} (size {n}, device CLOUD, {managed})")
+    print("  nodes:")
+    for node in plan.nodes:
+        print(f"    [{node.index}] {node.region.name:<12s} "
+              f"reads {', '.join(sorted(node.reads)) or '-':<12s} "
+              f"writes {', '.join(sorted(node.writes)) or '-'}")
+    print("  edges:")
+    if not plan.edges:
+        print("    (none)")
+    for e in plan.edges:
+        print(f"    [{e.src}] -> [{e.dst}]  {e.kind} "
+              f"({', '.join(e.arrays)})")
+    print("  schedule:")
+    for wi, wave in enumerate(plan.waves):
+        print(f"    wave {wi}:")
+        for gi in wave:
+            g = plan.groups[gi]
+            names = " + ".join(plan.nodes[i].region.name for i in g.members)
+            if g.fused:
+                detail = f"FUSED  {names}"
+                if g.elided:
+                    detail += f"   elides {', '.join(g.elided)}"
+                if g.materialized:
+                    detail += f"   materializes {', '.join(g.materialized)}"
+                detail += f"   saves {g.bytes_saved} wire bytes"
+            else:
+                detail = names
+            print(f"      group {gi}: {detail}")
+    if plan.rejected:
+        print("  rejected fusions:")
+        for members, reason in plan.rejected:
+            print(f"    {' + '.join(members)}: {reason}")
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -669,6 +811,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_infer(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "graph":
+        return _cmd_graph(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "chaos":

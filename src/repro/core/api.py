@@ -303,6 +303,19 @@ class OffloadOptions:
     #: :func:`repro.analysis.infer.infer_region` (degrades to the original
     #: clauses whenever the analysis is incomplete).
     infer_maps: bool = False
+    #: ``target ... nowait``: defer the region as a target task instead of
+    #: executing it inline.  The call returns a
+    #: :class:`~repro.core.taskgraph.TaskHandle`; execution happens at the
+    #: next :func:`repro.omp.taskwait` (or when the enclosing ``target
+    #: data`` scope closes), where chained deferred regions may fuse into a
+    #: single Spark job (docs/TASKGRAPH.md).
+    nowait: bool = False
+    #: ``depend(in:...)/depend(out:...)/depend(inout:...)`` clauses built
+    #: with :func:`repro.omp.depend`.  Per OpenMP 4.5 §2.13.9 they only
+    #: order this task against sibling tasks that *also* carry depend
+    #: clauses; the runtime additionally infers buffer dataflow as a safety
+    #: net.  Only meaningful together with ``nowait=True``.
+    depend: "object | None" = None
 
 
 def offload(
@@ -317,7 +330,9 @@ def offload(
 
     Functional mode takes real ``arrays``; modeled mode takes ``lengths`` (and
     optional ``densities``) instead.  Returns the device's
-    :class:`~repro.core.plugin_cloud.OffloadReport`.
+    :class:`~repro.core.plugin_cloud.OffloadReport` — or, with
+    ``nowait=True``, a :class:`~repro.core.taskgraph.TaskHandle` whose
+    report materializes at the next :func:`repro.omp.taskwait`.
 
     Keyword arguments are the fields of :class:`OffloadOptions` — pass a
     prebuilt ``options=`` bundle, loose keywords (``mode=``, ``strict=``,
@@ -363,5 +378,14 @@ def offload(
                 length = region.declared_length(name, scalars)
             buffers[name] = Buffer(name, length=length,
                                    density=densities.get(name, 1.0))
+    if opts.nowait:
+        return rt.target_nowait(region, buffers, scalars, mode=opts.mode,
+                                device=opts.device, infer_maps=opts.infer_maps,
+                                depend=opts.depend, strict=opts.strict)
+    if opts.depend is not None:
+        raise RegionError(
+            f"offload of {region.name!r} passes depend= without nowait=True; "
+            f"depend clauses only order deferred target tasks"
+        )
     return rt.target(region, buffers, scalars, mode=opts.mode,
                      device=opts.device, infer_maps=opts.infer_maps)

@@ -88,10 +88,19 @@ class SparkJobReport:
     loops: list[LoopJobReport] = field(default_factory=list)
     output_keys: dict[str, str] = field(default_factory=dict)
     output_checksums: dict[str, str] = field(default_factory=dict)
+    # Cluster<->storage wire bytes the driver moved: input reads and
+    # checkpoint restores on one side, output and checkpoint writes on the
+    # other.  Fusion elides intermediate arrays from both sides.
+    storage_bytes_read: int = 0
+    storage_bytes_written: int = 0
 
     @property
     def job_s(self) -> float:
         return self.finished_at - self.started_at
+
+    @property
+    def storage_bytes_wire(self) -> int:
+        return self.storage_bytes_read + self.storage_bytes_written
 
     @property
     def computation_s(self) -> float:
@@ -186,6 +195,10 @@ class SparkJobGenerator:
         self._buffer_info: dict[str, Buffer] = {}
         self._storage = None
         self._key_prefix = ""
+        # Driver<->storage wire-byte accounting (one generator per
+        # submission, so plain instance counters suffice).
+        self._storage_bytes_read = 0
+        self._storage_bytes_written = 0
 
     # ------------------------------------------------------------------ run
     def run(
@@ -220,7 +233,14 @@ class SparkJobGenerator:
         report.output_keys, report.output_checksums = \
             self._write_outputs(storage, key_prefix)
         report.finished_at = clock.now
+        report.storage_bytes_read = self._storage_bytes_read
+        report.storage_bytes_written = self._storage_bytes_written
         return report
+
+    def driver_array(self, name: str) -> "np.ndarray | None":
+        """Final driver-side value of a mapped or local array (functional
+        mode; ``None`` in modeled mode or before the job ran)."""
+        return self._driver_arrays.get(name)
 
     # --------------------------------------------------------------- staging
     def _storage_retry(self, op_name: str, fn, *args, **kwargs):
@@ -248,6 +268,7 @@ class SparkJobGenerator:
             buf = buffers[name]
             key = input_keys[name]
             wire = self._storage_retry("HEAD", storage.size_of, key)
+            self._storage_bytes_read += wire
             codec = self._codec_for(buf)
             dt = storage.cluster_read_time(wire)
             if self.staged_compressed(buf):
@@ -304,6 +325,7 @@ class SparkJobGenerator:
             else:
                 wire = codec.compressed_size(buf.nbytes) if compressed else buf.nbytes
                 obj = self._storage_retry("PUT", storage.put, key, size=wire)
+            self._storage_bytes_written += wire
             dt = codec.compress_time(buf.nbytes) if compressed else 0.0
             dt += storage.cluster_write_time(wire)
             timeline.record(Phase.STORAGE_WRITE, clock.now, clock.advance(dt),
@@ -388,6 +410,7 @@ class SparkJobGenerator:
                 fault_plan=self.fault_plan,
                 functional=self.mode == ExecutionMode.FUNCTIONAL,
                 schedule=self.schedule,
+                stage=loop.loop_var,
             )
             self.sc.timeline.extend(job.timeline)
             self.sc.log.info(clock.now, "DAGScheduler",
@@ -445,6 +468,7 @@ class SparkJobGenerator:
                 obj = self._storage_retry("PUT", storage.put, key,
                                           size=costs_for(split).output_bytes)
             write_s += storage.cluster_write_time(obj.size)
+            self._storage_bytes_written += obj.size
             if self.journal is not None:
                 self.journal.record(
                     "tile_done", get_bus().current_correlation(), clock.now,
@@ -488,6 +512,7 @@ class SparkJobGenerator:
                                              ckpt.key)
                 restored.append([])
             total += nbytes
+            self._storage_bytes_read += nbytes
             dt = self._storage.cluster_read_time(nbytes)
             timeline.record(Phase.STORAGE_READ, clock.now, clock.advance(dt),
                             resource="driver",

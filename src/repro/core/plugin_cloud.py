@@ -181,6 +181,11 @@ class CloudDevice(Device):
         #: A standby driver took over after a loss; the dead driver's fault
         #: no longer applies to later submissions.
         self._driver_replaced = False
+        #: Final values of intermediates elided by fused jobs
+        #: (docs/TASKGRAPH.md): alloc-resident arrays whose materialization
+        #: never reached storage.  A later offload that maps one as input
+        #: stages these values instead of the (pristine) host array.
+        self._fusion_spill: dict[str, np.ndarray] = {}
         #: Checksums of host-staged inputs by storage key: the evidence that
         #: the "implicit checkpoint" a resubmission reuses is still intact.
         self._staged_checksums: dict[str, str] = {}
@@ -335,8 +340,11 @@ class CloudDevice(Device):
                 continue
             self.env.begin(buf, region.map_type_of(name) or MapType.TO)
             begun.append(name)
-            if self.stage_cache.enabled and (mode == ExecutionMode.FUNCTIONAL
-                                             or buf.is_virtual):
+            # A spilled intermediate's content is not the host array's, so
+            # a host-bytes cache key would alias stale content: skip cache.
+            if (self.stage_cache.enabled and name not in self._fusion_spill
+                    and (mode == ExecutionMode.FUNCTIONAL
+                         or buf.is_virtual)):
                 ckey = CacheKey.for_buffer(buf)
                 cached = self.stage_cache.lookup(ckey)
                 with self._backoff_lock:
@@ -516,7 +524,11 @@ class CloudDevice(Device):
     def _stage_input(self, buf: Buffer, key: str, mode: ExecutionMode) -> int:
         codec = model_for_density(buf.density)
         if mode == ExecutionMode.FUNCTIONAL:
-            payload = buf.require_data().tobytes()
+            # A fusion-elided intermediate has its live value in the spill,
+            # not in the (never written-back) host array.
+            spilled = self._fusion_spill.get(buf.name)
+            payload = (spilled if spilled is not None
+                       else buf.require_data()).tobytes()
             if self.config.compression and buf.nbytes >= self.config.min_compress_size:
                 payload = gzip_compress(payload)
             obj = self._with_retries("PUT", self.storage.put, key, data=payload,
@@ -1073,6 +1085,17 @@ class CloudDevice(Device):
         self.journal.record("region_submit", corr, time=self.clock.now,
                             region=region.name, key_prefix=key_prefix,
                             mode=mode.value, inputs=sorted(input_keys))
+        fused_members: tuple[str, ...] = getattr(region, "fused_members", ())
+        if fused_members:
+            # A fused submission is ONE journaled job: a resume replays
+            # tile_done records against this correlation, never against the
+            # member regions (which were never submitted on their own).
+            self.journal.record("region_fused", corr, time=self.clock.now,
+                                region=region.name,
+                                members=list(fused_members),
+                                elided=list(getattr(region, "fused_elided", ())),
+                                key_prefix=key_prefix)
+        fused_t0 = self.clock.now
         resume_tiles: Mapping[str, Mapping[int, object]] | None = None
         for submission in range(1, max_submissions + 1):
             if submission > 1:
@@ -1158,6 +1181,18 @@ class CloudDevice(Device):
         report.tiles_checkpointed = job_report.tiles_checkpointed
         report.tiles_skipped = job_report.tiles_skipped
         report.cluster_bytes_wire = job_report.task_bytes_wire
+        report.storage_bytes_wire = job_report.storage_bytes_wire
+        if fused_members:
+            # One full-width span on a dedicated row: the gantt shows at a
+            # glance which stretch of the run was a fused multi-region job.
+            timeline.record(Phase.FUSED, fused_t0, self.clock.now,
+                            resource="fusion", label=region.name)
+            spill = self._pending.pop("fusion_spill", {})
+            assert isinstance(spill, dict)
+            self._fusion_spill.update(spill)
+        # Anything this job durably wrote supersedes a previous spill.
+        for name in job_report.output_keys:
+            self._fusion_spill.pop(name, None)
         for name, key in job_report.output_keys.items():
             self.journal.record(
                 "output_commit", corr, time=self.clock.now, name=name,
@@ -1224,6 +1259,16 @@ class CloudDevice(Device):
                 return CommandResult(command=command, exit_status=255,
                                      stderr=f"Connection to "
                                             f"{self.config.spark_driver} lost")
+            elided = getattr(region, "fused_elided", ())
+            if elided and mode == ExecutionMode.FUNCTIONAL:
+                # Elided intermediates exist only in the fused driver's
+                # memory; capture their final values so a later offload can
+                # stage them (the host arrays stay pristine — alloc maps
+                # never copy back).
+                self._pending["fusion_spill"] = {
+                    name: arr.copy() for name in elided
+                    if (arr := gen.driver_array(name)) is not None
+                }
             self._pending["job_report"] = job_report
             return CommandResult(command=command, exit_status=0,
                                  stdout=f"job finished in {job_report.job_s:.1f}s")

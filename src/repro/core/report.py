@@ -75,6 +75,19 @@ class OffloadReport:
     # Cluster-fabric bytes moved by the tasks of the final (successful)
     # submission — what a resume avoids re-moving versus a full restart.
     cluster_bytes_wire: int = 0
+    # Cluster<->storage bytes the job's driver moved (input reads, output
+    # and checkpoint writes, checkpoint restores).  Together with
+    # ``cluster_bytes_wire`` this is the full cluster-side wire traffic —
+    # the quantity task-graph fusion reduces by eliding intermediates.
+    storage_bytes_wire: int = 0
+    # Task-graph fusion (docs/TASKGRAPH.md): when this report belongs to a
+    # fused job, how many regions it absorbed and the estimated
+    # cluster<->storage bytes the elided intermediates avoided.  When a
+    # planned fusion was rejected, the (group, reason) pairs land on each
+    # member's own report.
+    fused_regions: int = 0
+    fusion_wire_bytes_saved: int = 0
+    fusion_rejected: tuple[tuple[str, str], ...] = ()
 
     @property
     def host_comm_s(self) -> float:
@@ -151,6 +164,10 @@ class OffloadReport:
             "corruption_detected": self.corruption_detected,
             "restaged_inputs": self.restaged_inputs,
             "cluster_bytes_wire": self.cluster_bytes_wire,
+            "storage_bytes_wire": self.storage_bytes_wire,
+            "fused_regions": self.fused_regions,
+            "fusion_wire_bytes_saved": self.fusion_wire_bytes_saved,
+            "fusion_rejected": [list(pair) for pair in self.fusion_rejected],
             "figure5_stack": self.figure5_stack(),
         }
 
@@ -198,6 +215,14 @@ class OffloadReport:
                 f"  integrity: {self.corruption_detected} corrupt read(s) "
                 f"detected, {self.restaged_inputs} input(s) re-staged"
             )
+        if self.fused_regions:
+            lines.append(
+                f"  fusion: {self.fused_regions} region(s) ran as one job, "
+                f"~{self.fusion_wire_bytes_saved / 1e6:.1f} MB of "
+                f"intermediate traffic elided"
+            )
+        for group, reason in self.fusion_rejected:
+            lines.append(f"  fusion rejected for {group}: {reason}")
         if self.fell_back_to_host:
             lines.append("  fell back to host execution")
         if self.billed_usd:

@@ -20,18 +20,33 @@ from typing import Iterable, Mapping, Sequence, Union
 
 import numpy as np
 
-from repro.core.api import TargetRegion
+from repro.core.api import RegionError, TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode
 from repro.core.data_env import DataEnvError, DataEnvReport
 from repro.core.device import Device, DeviceError
+from repro.core.exprs import ExprError
 from repro.core.omp_ast import MapType
+from repro.core.report import OffloadReport
+from repro.core.taskgraph import (
+    Depend,
+    FusionGroup,
+    GraphNode,
+    PendingRegion,
+    TaskGraphPlan,
+    TaskHandle,
+    build_plan,
+    merge_group,
+)
 from repro.obs.events import (
     DataEnvEnter,
     DataEnvExit,
     Fallback,
     MapInferred,
+    RegionFused,
     TargetBegin,
     TargetEnd,
+    TaskwaitBegin,
+    TaskwaitEnd,
     get_bus,
 )
 
@@ -99,6 +114,8 @@ class OffloadRuntime:
         self.offloads = 0
         self.fallbacks = 0
         self._default_device = DEVICE_HOST
+        #: Deferred (``nowait``) offloads awaiting the next ``taskwait``.
+        self._pending: list[PendingRegion] = []
         self.register(HostDevice())
 
     # ---------------------------------------------------------- device table
@@ -192,6 +209,180 @@ class OffloadRuntime:
             ))
             return report
 
+    # ----------------------------------------------------- deferred offloads
+    def target_nowait(
+        self,
+        region: TargetRegion,
+        buffers: Mapping[str, Buffer],
+        scalars: Mapping[str, Union[int, float]],
+        mode: ExecutionMode = ExecutionMode.FUNCTIONAL,
+        device: Union[int, str, None] = None,
+        infer_maps: bool = False,
+        depend: "Depend | None" = None,
+        strict: bool = False,
+    ) -> TaskHandle:
+        """``__tgt_target_nowait``: defer ``region`` as a target task.
+
+        Nothing executes here — the region joins the runtime's deferred
+        queue and runs at the next synchronization point
+        (:meth:`taskwait`, an explicit ``TaskHandle.wait()``, or the end of
+        the enclosing ``target data`` environment).  The planner in
+        :mod:`repro.core.taskgraph` orders the queue by ``depend`` clauses
+        and inferred buffer dataflow, and fuses compatible chains into
+        single Spark jobs.
+        """
+        handle = TaskHandle(region.name, self)
+        self._pending.append(PendingRegion(
+            region=region, buffers=dict(buffers), scalars=dict(scalars),
+            mode=mode, device=device, infer_maps=infer_maps, strict=strict,
+            depend=depend, handle=handle))
+        return handle
+
+    def taskwait(
+        self, *, _update_names: frozenset[str] = frozenset(),
+    ) -> list[OffloadReport]:
+        """``#pragma omp taskwait``: flush every deferred (``nowait``) region.
+
+        Builds the region DAG, fuses what the legality rules allow, and
+        executes the resulting groups wave by wave (a wave holds mutually
+        independent groups).  Returns the reports in original queue order;
+        members of a fused group share their fused job's report.  A no-op
+        (no events, no work) when nothing is pending, so synchronous
+        programs are byte-for-byte unaffected.
+        """
+        pending = self._pending
+        if not pending:
+            return []
+        self._pending = []
+        bus = get_bus()
+        devices = [self._select_device(p.region, p.device) for p in pending]
+        for dev in devices:
+            dev.initialize()
+        nodes = [
+            GraphNode(
+                index=i, region=p.region, device=dev.name,
+                host=dev is self.host or not dev.is_available(),
+                mode=p.mode.value, strict=p.strict, depend=p.depend,
+                scalars=dict(p.scalars),
+                nbytes={name: buf.nbytes for name, buf in p.buffers.items()},
+            )
+            for i, (p, dev) in enumerate(zip(pending, devices))
+        ]
+
+        def resident(device_name: str, name: str) -> "str | None":
+            try:
+                dev = self.device(device_name)
+            except DeviceError:
+                return None
+            env = getattr(dev, "env", None)
+            if env is None:
+                return None
+            entry = env.entry_or_none(name)
+            return entry.map_type.value if entry is not None else None
+
+        plan = build_plan(nodes, resident=resident,
+                          update_names=_update_names)
+        now = max((self._device_now(d) for d in devices), default=0.0)
+        bus.emit(TaskwaitBegin(time=now, resource="host",
+                               pending=len(pending)))
+        fused_jobs = 0
+        try:
+            for wave in plan.waves:
+                for gi in wave:
+                    group = plan.groups[gi]
+                    if group.fused:
+                        if self._run_fused(pending, plan, group, bus):
+                            fused_jobs += 1
+                    else:
+                        p = pending[group.members[0]]
+                        report = self.target(
+                            p.region, p.buffers, p.scalars, mode=p.mode,
+                            device=p.device, infer_maps=p.infer_maps)
+                        report.fusion_rejected += self._rejections_for(
+                            p.region.name, plan)
+                        p.handle.report = report
+        finally:
+            now = max((self._device_now(d) for d in devices), default=0.0)
+            bus.emit(TaskwaitEnd(time=now, resource="host",
+                                 regions=len(pending), fused_jobs=fused_jobs,
+                                 waves=len(plan.waves)))
+        return [p.handle.report for p in pending
+                if p.handle.report is not None]
+
+    @staticmethod
+    def _rejections_for(name: str, plan: TaskGraphPlan) -> tuple:
+        return tuple(("+".join(group), reason)
+                     for group, reason in plan.rejected if name in group)
+
+    def _run_fused(self, pending: "list[PendingRegion]", plan: TaskGraphPlan,
+                   group: FusionGroup, bus) -> bool:
+        """Execute one fused group as a single offload; on a late legality
+        failure (merge error, strict verification, conflicting buffers) the
+        members degrade to unfused serialized execution with the rejection
+        reason surfaced on each report.  Returns True when the group ran
+        fused."""
+        members = [plan.nodes[i] for i in group.members]
+        pmembers = [pending[i] for i in group.members]
+        scalars: dict[str, Union[int, float]] = {}
+        for p in pmembers:
+            scalars.update(p.scalars)
+        reason: "str | None" = None
+        merged = None
+        seen: dict[str, Buffer] = {}
+        for p in pmembers:
+            for name, buf in p.buffers.items():
+                prev = seen.setdefault(name, buf)
+                if prev is buf:
+                    continue
+                same = (prev.is_virtual == buf.is_virtual
+                        and prev.nbytes == buf.nbytes
+                        and (prev.is_virtual or prev.data is buf.data))
+                if not same:
+                    reason = "buffer-conflict"
+        if reason is None:
+            try:
+                merged = merge_group(members, group.elided, scalars)
+            except (RegionError, ExprError) as exc:
+                reason = f"analysis-failure: {exc}"
+        if merged is not None and any(p.strict for p in pmembers):
+            from repro.analysis import AnalysisError, enforce_strict
+
+            try:
+                enforce_strict(merged, scalars)
+            except AnalysisError:
+                reason = "strict-analysis-failure"
+        if reason is not None or merged is None:
+            label = "+".join(m.region.name for m in members)
+            for p in pmembers:
+                report = self.target(
+                    p.region, p.buffers, p.scalars, mode=p.mode,
+                    device=p.device, infer_maps=p.infer_maps)
+                report.fusion_rejected += (
+                    (label, reason or "analysis-failure"),)
+                p.handle.report = report
+            return False
+        mapped = {i.name for c in merged.maps for i in c.items}
+        buffers: dict[str, Buffer] = {}
+        for p in pmembers:
+            for name, buf in p.buffers.items():
+                if name in mapped and name not in buffers:
+                    buffers[name] = buf
+        first = pmembers[0]
+        dev = self._select_device(merged, first.device)
+        bus.emit(RegionFused(
+            time=self._device_now(dev), resource=dev.name,
+            region=merged.name, members=merged.fused_members,
+            device=members[0].device, wave=group.wave,
+            elided=group.elided, bytes_saved=group.bytes_saved))
+        report = self.target(merged, buffers, scalars, mode=first.mode,
+                             device=first.device, infer_maps=False)
+        report.fused_regions = len(members)
+        report.fusion_wire_bytes_saved = group.bytes_saved
+        for p in pmembers:
+            p.handle.report = report
+            p.handle.fused_into = merged.name
+        return True
+
     # ------------------------------------------- persistent data environments
     def target_data_begin(
         self,
@@ -263,9 +454,16 @@ class OffloadRuntime:
 
     def target_data_end(self, scope: TargetDataScope) -> DataEnvReport:
         """``__tgt_target_data_end``: close the environment (idempotent),
-        downloading dirty ``from``/``tofrom`` outputs into the host arrays."""
+        downloading dirty ``from``/``tofrom`` outputs into the host arrays.
+
+        Deferred (``nowait``) offloads still pending are flushed first — the
+        end of a data environment is a synchronization point, exactly like
+        the implicit barrier libomptarget honours before tearing down the
+        device mappings."""
         if not scope.active:
             return scope.report
+        if self._pending:
+            self.taskwait()
         scope.active = False
         dev = scope.device
         down_before = scope.report.bytes_down_raw
@@ -321,6 +519,14 @@ class OffloadRuntime:
             raise DataEnvError("target update on a closed data environment")
         to_names = self._update_names(to)
         from_names = self._update_names(from_)
+        if self._pending:
+            # `target update` is synchronous: it must observe the deferred
+            # regions' effects, so they flush here.  The touched names reach
+            # the planner — a fusion that would elide one of them is demoted
+            # (the update needs a materialized copy) and the members run
+            # serialized with a `dirty-target-update` rejection on record.
+            self.taskwait(_update_names=frozenset(to_names)
+                          | frozenset(from_names))
         scope.device.update_data(to_names, from_names, scope.mode,
                                  scope.report)
         return scope.report

@@ -47,6 +47,7 @@ PHASE_GLYPHS: dict[Phase, str] = {
     Phase.PREEMPTION: "X",
     Phase.RECOVERY: "+",
     Phase.FALLBACK: "F",
+    Phase.FUSED: "f",
     Phase.COMPUTE: "M",
 }
 

@@ -709,6 +709,166 @@ def run_profile_attribution(
     }
 
 
+def run_fusion_wire_bytes(
+    cores: int = 32,
+    n_workers: int = 16,
+    density: float = 1.0,
+    size: int | None = None,
+    quick: bool = False,
+) -> dict[str, object]:
+    """Task-graph fusion A/B/C: fused vs managed vs unmanaged chained 3MM.
+
+    The same three-region 3MM chain runs three ways (docs/TASKGRAPH.md):
+
+    * **unmanaged** — the plain serial chain, no data environment: every
+      intermediate crosses the WAN twice.
+    * **managed** — the PR-4 headline: one persistent ``target data``
+      environment keeps A..D and the alloc'd intermediates E, F resident,
+      so nothing is re-uploaded — but each region is still its own Spark
+      job, and E and F still round-trip through cloud storage between jobs.
+    * **fused** — the same environment with ``nowait=True`` offloads
+      flushed by one ``taskwait``: the planner fuses all three regions into
+      a single Spark job whose intermediates live in driver memory and
+      never touch storage.  This run is the instrumented one and provides
+      the gated milestones.
+
+    The runner *raises* on any violated superiority invariant rather than
+    recording it, so the bench job fails loudly if fusion stops paying off:
+
+    * the fused chain moves strictly fewer cluster-side wire bytes
+      (task shipping + driver<->storage traffic) than the managed chain;
+    * the fused chain's end-to-end simulated time is strictly below the
+      managed chain's;
+    * all three regions actually fused into one job with both
+      intermediates elided.
+    """
+    from repro.core.api import offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.workloads.polybench import mm3_chain_regions
+    from repro.workloads.specs import WORKLOADS
+
+    def check(cond: bool, msg: str) -> None:
+        if not cond:
+            raise RuntimeError(f"fusion_wire_bytes: {msg}")
+
+    spec = WORKLOADS["3mm"]
+    n = size if size is not None else (spec.test_size if quick else spec.paper_size)
+    names = ("A", "B", "C", "D", "E", "F", "G")
+    lengths = {v: n * n for v in names}
+    densities = {v: density for v in names}
+
+    def chain(managed: bool, fused: bool):
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(demo_config(n_workers), physical_cores=cores))
+        regions = mm3_chain_regions("CLOUD")
+        reports: list = []
+
+        def run_all():
+            for region in regions:
+                reports.append(offload(
+                    region, scalars={"N": n}, runtime=rt,
+                    mode=ExecutionMode.MODELED, nowait=fused,
+                    lengths=lengths, densities=densities))
+            if fused:
+                # The handles are placeholders; the taskwait flush executes
+                # the fused job and fills every member's (shared) report.
+                reports[:] = rt.taskwait()
+
+        if not managed:
+            run_all()
+            return reports, None
+        with rt.target_data(
+                device="CLOUD",
+                map_to={v: n * n for v in ("A", "B", "C", "D")},
+                map_alloc={"E": n * n, "F": n * n},
+                densities=densities,
+                mode=ExecutionMode.MODELED) as env:
+            run_all()
+        return reports, env.report
+
+    unmanaged_reports, _ = chain(managed=False, fused=False)
+    managed_reports, managed_env = chain(managed=True, fused=False)
+
+    bus = EventBus(keep_history=True)
+    registry = MetricsRegistry()
+    MetricsSubscriber(registry).attach(bus)
+    with use_bus(bus):
+        fused_reports, fused_env = chain(managed=True, fused=True)
+
+    def unique(reports):
+        # Members of one fused job share a single report object.
+        return list({id(r): r for r in reports}.values())
+
+    def full(reports, env_report):
+        out = sum(r.full_s for r in unique(reports))
+        if env_report is not None:
+            out += env_report.enter_s + env_report.exit_s + env_report.update_s
+        return out
+
+    def cluster_wire(reports):
+        return sum(r.cluster_bytes_wire + r.storage_bytes_wire
+                   for r in unique(reports))
+
+    fused_unique = unique(fused_reports)
+    check(len(fused_unique) == 1, f"expected one fused job report, got "
+                                  f"{len(fused_unique)}")
+    fused_rep = fused_unique[0]
+    check(fused_rep.fused_regions == 3,
+          f"expected all 3 regions fused, got {fused_rep.fused_regions} "
+          f"(rejected: {fused_rep.fusion_rejected})")
+    wire_fused = cluster_wire(fused_reports)
+    wire_managed = cluster_wire(managed_reports)
+    wire_unmanaged = cluster_wire(unmanaged_reports)
+    check(wire_fused < wire_managed,
+          f"fused chain moved {wire_fused} cluster wire bytes, managed "
+          f"moved {wire_managed}")
+    full_fused = full(fused_reports, fused_env)
+    full_managed = full(managed_reports, managed_env)
+    check(full_fused < full_managed,
+          f"fused chain took {full_fused}s, managed took {full_managed}s")
+
+    milestones = {
+        # Gated: the fused chain is the product here.
+        "full_s": full_fused,
+        "spark_job_s": fused_rep.spark_job_s,
+        "computation_s": fused_rep.computation_s,
+        "host_comm_s": fused_rep.host_comm_s
+        + fused_env.enter_s + fused_env.exit_s,
+        "spark_overhead_s": fused_rep.spark_overhead_s,
+        "backoff_s": fused_rep.backoff_s + fused_env.backoff_s,
+        # Informational A/B/C milestones for the fusion assertions.
+        "full_s_managed": full_managed,
+        "full_s_unmanaged": full(unmanaged_reports, None),
+        "cluster_storage_wire_fused": wire_fused,
+        "cluster_storage_wire_managed": wire_managed,
+        "cluster_storage_wire_unmanaged": wire_unmanaged,
+        "fused_regions": fused_rep.fused_regions,
+        "fusion_wire_bytes_saved": fused_rep.fusion_wire_bytes_saved,
+        "bytes_up_wire": sum(r.bytes_up_wire for r in fused_unique)
+        + fused_env.bytes_up_wire,
+        "bytes_down_wire": sum(r.bytes_down_wire for r in fused_unique)
+        + fused_env.bytes_down_wire,
+    }
+    return {
+        "schema": SCHEMA,
+        "benchmark": "fusion_wire_bytes",
+        "params": {
+            "cores": cores,
+            "workers": n_workers,
+            "density": density,
+            "size": n,
+            "mode": "modeled",
+            "quick": quick,
+        },
+        "milestones": milestones,
+        "events": bus.counts(),
+        "metrics": registry.snapshot(),
+    }
+
+
 #: Multi-offload bench scenarios outside the single-region WORKLOADS registry.
 EXTRA_BENCHMARKS = {
     "chained_3mm": run_chained_3mm,
@@ -716,6 +876,7 @@ EXTRA_BENCHMARKS = {
     "chaos_recovery": run_chaos_recovery,
     "inference_wire_bytes": run_inference_wire_bytes,
     "profile_attribution": run_profile_attribution,
+    "fusion_wire_bytes": run_fusion_wire_bytes,
 }
 
 

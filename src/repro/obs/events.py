@@ -416,6 +416,43 @@ class MapInferred(Event):
     reason: str = ""           # why inference degraded, empty otherwise
 
 
+@dataclass(frozen=True)
+class TaskwaitBegin(Event):
+    """A synchronization point started flushing the deferred (``nowait``)
+    offload queue — an explicit ``omp.taskwait()``, a ``TaskHandle.wait()``,
+    or the end of the enclosing ``target data`` environment."""
+
+    kind: ClassVar[str] = "taskwait_begin"
+    pending: int = 0           # deferred regions about to be scheduled
+
+
+@dataclass(frozen=True)
+class TaskwaitEnd(Event):
+    """The deferred queue drained: every region ran (fused or serialized)
+    and every ``TaskHandle`` now holds its report."""
+
+    kind: ClassVar[str] = "taskwait_end"
+    regions: int = 0           # deferred regions resolved by this flush
+    fused_jobs: int = 0        # fusion groups that ran as single jobs
+    waves: int = 0             # topological waves the plan scheduled
+
+
+@dataclass(frozen=True)
+class RegionFused(Event):
+    """A fusion group is about to run as one Spark job.  ``members`` are the
+    original region names, ``elided`` the producer→consumer intermediates
+    that never touch cluster storage, and ``bytes_saved`` the estimated
+    cluster↔storage traffic the fusion avoids."""
+
+    kind: ClassVar[str] = "region_fused"
+    region: str = ""                         # merged region name ("a+b+c")
+    members: tuple[str, ...] = ()
+    device: str = ""
+    wave: int = 0                            # topological wave of the group
+    elided: tuple[str, ...] = ()
+    bytes_saved: int = 0
+
+
 #: Every event kind the runtime can emit (the coverage test asserts each one
 #: is exercised at least once).
 EVENT_KINDS: frozenset[str] = frozenset(EVENT_TYPES)

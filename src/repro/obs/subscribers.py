@@ -238,6 +238,18 @@ class MetricsSubscriber:
             if e.partitions_added:
                 self._inferred_partitions.inc(e.partitions_added,
                                               region=e.region)
+        elif kind == "region_fused":
+            # Created lazily: synchronous runs never emit this kind, and the
+            # registry snapshot must stay byte-identical for them (the
+            # committed bench baselines embed the full family list).
+            self.registry.counter(
+                "repro_fused_regions",
+                "Regions fused into combined Spark jobs",
+            ).inc(len(e.members), device=e.device)
+            self.registry.counter(
+                "repro_fusion_wire_bytes_saved",
+                "Estimated cluster<->storage bytes avoided by fusion",
+            ).inc(e.bytes_saved)
         elif kind == "log":
             self._logs.inc(level=e.level)
 

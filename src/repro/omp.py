@@ -18,16 +18,20 @@ The module mirrors the split of the OpenMP accelerator model:
 
 * *directives* — :func:`omp_kernel`, :class:`TargetRegion`,
   :func:`region_from_source`, :func:`offload`, :func:`target_data`,
-  :func:`target_update`;
+  :func:`target_update`, and the task-graph clauses
+  (``offload(..., nowait=True, depend=omp.depend(in_="E"))`` /
+  :func:`taskwait`, docs/TASKGRAPH.md);
 * *runtime routines* — :func:`omp_get_num_devices`,
   :func:`omp_get_default_device` / :func:`omp_set_default_device`,
   :func:`omp_target_alloc` / :func:`omp_target_free` /
   :func:`omp_target_is_present`;
 * *infrastructure types* — devices, configuration, reports, events.
 
-Importing the same names from the package root (``from repro import ...``)
-still works but emits a :class:`DeprecationWarning`; new code should import
-from ``repro.omp`` (model surface) or the defining submodule (internals).
+The package-root aliases for these names (``from repro import ...``)
+finished their deprecation cycle and were removed; the tombstone
+``AttributeError`` names the replacement import (removal list in
+``docs/API.md``).  Import from ``repro.omp`` (model surface) or the
+defining submodule (internals).
 
 Module-level helpers operate on :meth:`OffloadRuntime.default` unless an
 explicit ``runtime=`` is given, matching the global-state flavour of the C
@@ -67,6 +71,7 @@ from repro.core.runtime import (
     TargetDataScope,
 )
 from repro.core.source_scan import region_from_source
+from repro.core.taskgraph import Depend, TaskHandle, depend
 from repro.metrics.figures import demo_config
 from repro.simtime.timeline import Phase
 
@@ -77,6 +82,8 @@ __all__ = [
     "DirectiveError",
     # offload execution
     "offload", "OffloadOptions", "ExecutionMode", "Buffer", "OffloadReport",
+    # deferred target tasks (nowait / depend / taskwait)
+    "taskwait", "depend", "Depend", "TaskHandle",
     # persistent data environments
     "target_data", "target_data_begin", "target_data_end", "target_update",
     "TargetDataScope", "DataEnvError", "DataEnvReport", "MapEntry", "MapType",
@@ -105,6 +112,18 @@ def omp_set_default_device(ident: Union[int, str],
                            runtime: OffloadRuntime | None = None) -> None:
     """``omp_set_default_device()`` (accepts a device name too)."""
     _runtime(runtime).set_default_device(ident)
+
+
+# ------------------------------------------------------ deferred target tasks
+def taskwait(runtime: OffloadRuntime | None = None) -> list[OffloadReport]:
+    """``#pragma omp taskwait``: execute every deferred (``nowait``) target
+    region enqueued on the runtime and block until all complete.
+
+    This is where the task graph is built and compatible chained regions
+    fuse into single Spark jobs; see :meth:`OffloadRuntime.taskwait` and
+    docs/TASKGRAPH.md.  Returns the reports in enqueue order (an empty list
+    when nothing was pending)."""
+    return _runtime(runtime).taskwait()
 
 
 # ------------------------------------------------ persistent data environment

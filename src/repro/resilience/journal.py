@@ -32,6 +32,7 @@ from typing import Any, Iterable, Iterator, Mapping
 #: unknown kinds are rejected at write time so a typo fails fast.
 RECORD_KINDS = frozenset({
     "region_submit",   # an offload region was handed to the device
+    "region_fused",    # the submission is a fused multi-region job
     "tile_done",       # one tile's output was committed to storage
     "output_commit",   # a region output object became authoritative
     "env_enter",       # target data: a buffer was mapped (staged or alloc'd)

@@ -44,6 +44,10 @@ class RecoveryState:
     def __init__(self) -> None:
         #: correlation id -> number of region_submit records seen.
         self.submissions: dict[str, int] = {}
+        #: correlation id -> member region names of a fused submission
+        #: (docs/TASKGRAPH.md): checkpoints replay against the fused job's
+        #: correlation, never against the member regions on their own.
+        self.fused_members: dict[str, tuple[str, ...]] = {}
         #: (correlation id, loop var) -> {tile index: checkpoint}.
         self._tiles: dict[tuple[str, str], dict[int, TileCheckpoint]] = {}
         #: buffer name -> (storage key, checksum) of its live device copy.
@@ -88,6 +92,9 @@ def replay_journal(records: Iterable[JournalRecord]) -> RecoveryState:
         if rec.kind == "region_submit":
             corr = rec.correlation_id
             state.submissions[corr] = state.submissions.get(corr, 0) + 1
+        elif rec.kind == "region_fused":
+            state.fused_members[rec.correlation_id] = tuple(
+                str(m) for m in p.get("members", ()))
         elif rec.kind == "tile_done":
             ckpt = TileCheckpoint(
                 region=str(p.get("region", "")),

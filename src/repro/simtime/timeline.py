@@ -45,6 +45,9 @@ class Phase(enum.Enum):
     PREEMPTION = "preemption"
     RECOVERY = "recovery"
     FALLBACK = "fallback"
+    # A fused submission: several chained regions running as one Spark job
+    # (recorded on its own resource row, spanning the whole fused job).
+    FUSED = "fused"
     # The useful work.
     COMPUTE = "compute"
 
@@ -92,6 +95,7 @@ _BUCKET_OF: dict[Phase, str] = {
     Phase.PREEMPTION: BUCKET_SPARK,
     Phase.RECOVERY: BUCKET_SPARK,
     Phase.FALLBACK: BUCKET_HOST_COMM,
+    Phase.FUSED: BUCKET_SPARK,
     Phase.COMPUTE: BUCKET_COMPUTE,
 }
 

@@ -76,11 +76,14 @@ class Driver:
         fault_plan: FaultPlan = NO_FAULTS,
         functional: bool = True,
         schedule: ScheduleConfig = STATIC_SCHEDULE,
+        stage: str = "",
     ) -> JobResult:
         """Execute ``rdd`` (optionally post-processing each partition).
 
         In functional mode the closures really run; task payload sizes are
         measured from the data unless ``costs_for`` overrides them.
+        ``stage`` labels every task's timeline spans with the loop it tiles
+        (fused offloads submit one stage per member loop).
         """
         self._job_seq += 1
         timeline = Timeline()
@@ -90,6 +93,7 @@ class Driver:
             task = Task(
                 task_id=self._job_seq * 100_000 + split,
                 split=split,
+                stage=stage,
                 compute_s=costs.compute_s,
                 jni_s=costs.jni_s,
                 decompress_s=costs.decompress_s,

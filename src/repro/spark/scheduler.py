@@ -69,6 +69,11 @@ class Task:
 
     task_id: int
     split: int
+    #: Stage label — the source loop this tile belongs to.  A fused region
+    #: (docs/TASKGRAPH.md) submits one map stage per member loop under a
+    #: single offload, so the label is what keeps each tile attributable to
+    #: its member region in the timeline and exported traces.
+    stage: str = ""
     compute_s: float = 0.0
     jni_s: float = 0.0
     decompress_s: float = 0.0
@@ -480,6 +485,7 @@ class TaskScheduler:
     def _record_task_spans(task: Task, start: float, ex: Executor,
                            timeline: Timeline, label_suffix: str = "") -> None:
         cursor = start
+        prefix = f"{task.stage}/" if task.stage else ""
         for phase, dur in (
             (Phase.WORKER_DECOMPRESS, task.decompress_s),
             (Phase.JNI_CALL, task.jni_s),
@@ -490,5 +496,6 @@ class TaskScheduler:
                 scaled = dur / ex.speed
                 timeline.record(phase, cursor, cursor + scaled,
                                 resource=ex.worker_id,
-                                label=f"task-{task.task_id}{label_suffix}")
+                                label=f"{prefix}task-{task.task_id}"
+                                      f"{label_suffix}")
                 cursor += scaled

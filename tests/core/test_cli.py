@@ -117,3 +117,56 @@ def test_modeled_run_respects_density(capsys):
         return float(line.split("->")[1].split("MB")[0])
 
     assert wire_mb(sparse_out) < wire_mb(dense_out) / 2
+
+
+def test_graph_chained_3mm_shows_fused_plan(capsys):
+    assert main(["graph", "chained_3mm"]) == 0
+    out = capsys.readouterr().out
+    assert "task graph: chained_3mm" in out
+    assert "managed env" in out
+    assert "FUSED" in out
+    assert "3mm_e" in out and "3mm_g" in out
+
+
+def test_graph_chained_3mm_json_shape(capsys):
+    import json
+
+    assert main(["graph", "chained_3mm", "--json"]) == 0
+    out = capsys.readouterr().out
+    report = json.loads(out[out.index("{"):])
+    assert report["tool"] == "graph" and report["ok"]
+    (payload,) = report["items"]
+    assert payload["managed"] is True
+    assert [node["region"] for node in payload["nodes"]] == [
+        "3mm_e", "3mm_f", "3mm_g"]
+    assert {e["kind"] for e in payload["edges"]} <= {"depend", "dataflow"}
+    (group,) = payload["groups"]
+    assert group["fused"] and sorted(group["elided"]) == ["E", "F"]
+    assert group["bytes_saved"] > 0
+    assert payload["rejected"] == []
+
+
+def test_graph_unmanaged_reports_rejection(capsys):
+    import json
+
+    assert main(["graph", "chained_3mm", "--unmanaged", "--json"]) == 0
+    out = capsys.readouterr().out
+    (payload,) = json.loads(out[out.index("{"):])["items"]
+    assert payload["managed"] is False
+    assert len(payload["groups"]) == 3
+    assert not any(g["fused"] for g in payload["groups"])
+    assert len(payload["waves"]) == 2
+    assert any(r["reason"] == "intermediate-not-resident"
+               for r in payload["rejected"])
+
+
+def test_graph_single_region_benchmark(capsys):
+    assert main(["graph", "matmul"]) == 0
+    out = capsys.readouterr().out
+    assert "task graph: matmul" in out
+    assert "(none)" in out  # a single node has no edges
+
+
+def test_graph_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["graph", "nope"])

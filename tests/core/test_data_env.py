@@ -352,14 +352,23 @@ def test_omp_facade_target_alloc_free_is_present(cloud_config):
     assert not omp.omp_target_is_present("scratch", device="CLOUD", runtime=rt)
 
 
-def test_root_package_import_warns_but_still_works():
+def test_root_package_reexports_removed_with_migration_hint():
     import repro
 
-    with pytest.warns(DeprecationWarning, match="repro.omp"):
-        offload_fn = repro.offload
+    # The deprecation cycle is complete: the legacy package-root surface is
+    # gone, and the tombstone names the replacement import.
+    with pytest.raises(AttributeError, match="from repro.omp import offload"):
+        repro.offload
+    with pytest.raises(AttributeError,
+                       match="from repro.workloads import WORKLOADS"):
+        repro.WORKLOADS
+    # Unknown names still fail with the plain AttributeError shape.
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.not_a_name
+    # The documented surface itself is untouched.
     from repro.omp import offload as facade_offload
 
-    assert offload_fn is facade_offload
+    assert callable(facade_offload)
 
 
 def test_offload_options_override_precedence(cloud_config):

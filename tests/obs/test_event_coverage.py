@@ -2,10 +2,10 @@
 
 The catalogue in ``repro.obs.events`` is only useful if the runtime really
 emits each kind — an event type nothing emits is dead weight, and an emission
-site nothing tests can silently rot.  Seven scenarios (cache-hit rerun, chaos
+site nothing tests can silently rot.  Eight scenarios (cache-hit rerun, chaos
 run, breaker trip, persistent data environment, straggler rescue, durable
-recovery, clause inference) must between them cover the whole of
-``EVENT_KINDS``.
+recovery, clause inference, deferred task-graph fusion) must between them
+cover the whole of ``EVENT_KINDS``.
 """
 
 from dataclasses import replace
@@ -132,6 +132,40 @@ def test_every_event_kind_is_emitted(cloud_config):
         offload(_copy_region(), arrays={"A": a4, "C": c4},
                 scalars={"N": len(a4)}, runtime=inf_rt, infer_maps=True)
         assert np.array_equal(c4, a4)
+
+        # 8. Deferred target tasks: two chained nowait offloads flushed by a
+        #    taskwait fuse into one Spark job (taskwait_begin/end +
+        #    region_fused).
+        fuse_rt = make_cloud_runtime(cloud_config)
+        a5 = np.arange(256, dtype=np.float32)
+        mid = np.zeros_like(a5)
+        out = np.zeros_like(a5)
+
+        def chain(name, src, dst):
+            def body(lo, hi, arrays, scalars):
+                arrays[dst][lo:hi] = 2 * np.asarray(arrays[src][lo:hi])
+
+            return TargetRegion(
+                name=name,
+                pragmas=["omp target device(CLOUD)",
+                         f"omp map(to: {src}[:N]) map(from: {dst}[:N])"],
+                loops=[ParallelLoop(
+                    pragma="omp parallel for", loop_var="i", trip_count="N",
+                    reads=(src,), writes=(dst,),
+                    partition_pragma=f"omp target data map(to: {src}[i:i+1]) "
+                                     f"map(from: {dst}[i:i+1])",
+                    body=body,
+                )],
+            )
+
+        with fuse_rt.target_data(device="CLOUD", map_alloc={"M": mid}):
+            offload(chain("cov_s1", "A", "M"), arrays={"A": a5, "M": mid},
+                    scalars={"N": len(a5)}, runtime=fuse_rt, nowait=True)
+            offload(chain("cov_s2", "M", "C"), arrays={"M": mid, "C": out},
+                    scalars={"N": len(a5)}, runtime=fuse_rt, nowait=True)
+            (fused_report, _) = fuse_rt.taskwait()
+        assert fused_report.fused_regions == 2
+        assert np.array_equal(out, 4 * a5)
 
     emitted = set(bus.counts())
     missing = EVENT_KINDS - emitted

@@ -1,0 +1,161 @@
+"""Property tests for the task-graph planner and fused execution.
+
+Two levels:
+
+* planner invariants — for random region DAGs with random devices, modes
+  and residency, ``build_plan`` always partitions the nodes, keeps fused
+  groups homogeneous, and schedules waves that respect every dependence
+  edge;
+* execution equivalence — for a random chain of elementwise kernels over
+  random data, deferring the whole chain with ``nowait`` and flushing with
+  one ``taskwait`` is bit-identical to running the regions synchronously
+  in queue order, fused or not.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.credentials import Credentials
+from repro.core.api import ParallelLoop, TargetRegion, offload
+from repro.core.config import CloudConfig
+from repro.core.plugin_cloud import CloudDevice
+from repro.core.runtime import OffloadRuntime
+from repro.core.taskgraph import GraphNode, build_plan, depend
+
+
+def _elementwise(name, reads, writes, weight):
+    def body(lo, hi, arrays, scalars):
+        acc = np.full(hi - lo, np.float32(weight), dtype=np.float32)
+        for r in reads:
+            acc += np.asarray(arrays[r][lo:hi], dtype=np.float32)
+        arrays[writes][lo:hi] = acc
+
+    to = ", ".join(f"{r}[:N]" for r in reads)
+    return TargetRegion(
+        name=name,
+        pragmas=["omp target device(CLOUD)",
+                 f"omp map(to: {to}) map(from: {writes}[:N])"],
+        loops=[ParallelLoop(
+            pragma="omp parallel for", loop_var="i", trip_count="N",
+            reads=tuple(reads), writes=(writes,),
+            partition_pragma=(f"omp target data map(to: {reads[0]}[i:i+1]) "
+                              f"map(from: {writes}[i:i+1])"),
+            body=body,
+        )],
+    )
+
+
+@st.composite
+def chains(draw):
+    """A random dependency DAG of elementwise regions: region ``i`` reads a
+    nonempty subset of the arrays written before it (V0 is the input)."""
+    k = draw(st.integers(min_value=2, max_value=4))
+    regions = []
+    for i in range(1, k + 1):
+        upstream = [f"V{j}" for j in range(i)]
+        reads = draw(st.lists(st.sampled_from(upstream), min_size=1,
+                              max_size=len(upstream), unique=True))
+        weight = draw(st.integers(min_value=-3, max_value=3))
+        regions.append((f"chain{i}", tuple(reads), f"V{i}", weight))
+    explicit = draw(st.booleans())
+    return regions, explicit
+
+
+# ---------------------------------------------------------- planner invariants
+@given(spec=chains(),
+       hosts=st.lists(st.booleans(), min_size=4, max_size=4),
+       modes=st.lists(st.sampled_from(["functional", "modeled"]),
+                      min_size=4, max_size=4),
+       resident_alloc=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_plan_partitions_nodes_and_waves_respect_edges(
+        spec, hosts, modes, resident_alloc):
+    regions, _ = spec
+    nodes = [
+        GraphNode(index=i, region=_elementwise(name, reads, write, w),
+                  device="host" if hosts[i] else "CLOUD", host=hosts[i],
+                  mode=modes[i], strict=False, depend=None,
+                  scalars={"N": 16})
+        for i, (name, reads, write, w) in enumerate(regions)
+    ]
+    oracle = (lambda _d, _n: "alloc") if resident_alloc else \
+             (lambda _d, _n: None)
+    plan = build_plan(nodes, resident=oracle)
+
+    scheduled = sorted(i for g in plan.groups for i in g.members)
+    assert scheduled == list(range(len(nodes)))  # exact partition
+
+    wave_of = {i: g.wave for g in plan.groups for i in g.members}
+    group_of = {i: gi for gi, g in enumerate(plan.groups)
+                for i in g.members}
+    for e in plan.edges:
+        assert e.src < e.dst  # queue order is never reversed
+        if group_of[e.src] != group_of[e.dst]:
+            assert wave_of[e.src] < wave_of[e.dst]
+
+    for g in plan.groups:
+        assert g.fused == (len(g.members) > 1)
+        members = [nodes[i] for i in g.members]
+        assert len({m.device for m in members}) == 1
+        assert len({m.mode for m in members}) == 1
+        if g.fused:
+            assert not any(m.host for m in members)
+            assert resident_alloc  # nothing fuses without residency
+
+    waves_flat = [gi for wave in plan.waves for gi in wave]
+    assert sorted(waves_flat) == list(range(len(plan.groups)))
+
+
+# ------------------------------------------------------ execution equivalence
+def _runtime(cores=16):
+    creds = Credentials(provider="ec2", username="u",
+                        access_key_id="AKIA" + "F" * 12, secret_key="s")
+    cfg = CloudConfig(credentials=creds, n_workers=4, min_compress_size=128)
+    rt = OffloadRuntime()
+    rt.register(CloudDevice(cfg, physical_cores=cores))
+    return rt
+
+
+def _run(regions, explicit, n, seed, *, nowait, managed):
+    rng = np.random.default_rng(seed)
+    arrays = {"V0": rng.uniform(-8, 8, n).astype(np.float32)}
+    for _, _, write, _ in regions:
+        arrays[write] = np.zeros(n, dtype=np.float32)
+    rt = _runtime()
+    built = [(_elementwise(name, reads, write, w), reads, write)
+             for name, reads, write, w in regions]
+
+    def run_all():
+        for region, reads, write in built:
+            dep = depend(in_=reads, out=write) if (explicit and nowait) \
+                else None
+            offload(region, arrays=arrays, scalars={"N": n}, runtime=rt,
+                    nowait=nowait, depend=dep)
+        if nowait:
+            rt.taskwait()
+
+    if managed:
+        intermediates = {write: arrays[write]
+                         for _, _, write, _ in regions[:-1]}
+        with rt.target_data(device="CLOUD",
+                            map_to={"V0": arrays["V0"]},
+                            map_alloc=intermediates):
+            run_all()
+    else:
+        run_all()
+    return arrays
+
+
+@given(spec=chains(),
+       n=st.integers(min_value=4, max_value=40),
+       seed=st.integers(min_value=0, max_value=2**16),
+       managed=st.booleans())
+@settings(max_examples=12, deadline=None)
+def test_deferred_schedule_is_bit_identical_to_serialized(
+        spec, n, seed, managed):
+    regions, explicit = spec
+    serial = _run(regions, explicit, n, seed, nowait=False, managed=managed)
+    deferred = _run(regions, explicit, n, seed, nowait=True, managed=managed)
+    for name in serial:
+        assert np.array_equal(serial[name], deferred[name]), name
