@@ -91,6 +91,11 @@ class NetworkModel:
         self.lan = lan
         self.bytes_over_wan = 0
         self.bytes_over_lan = 0
+        # (nbytes, streams) -> seconds.  Link.transfer_time is pure, and the
+        # scheduler asks for the same handful of payload sizes millions of
+        # times per large job; bounded so pathological size diversity cannot
+        # grow it without limit.
+        self._lan_memo: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------ WAN
     def upload_time(self, sizes: list[int], parallel: bool = True) -> float:
@@ -111,7 +116,14 @@ class NetworkModel:
     def lan_transfer_time(self, nbytes: int, streams: int = 1) -> float:
         """Point-to-point transfer inside the cluster."""
         self.bytes_over_lan += nbytes
-        return self.lan.transfer_time(nbytes, streams=streams)
+        memo = self._lan_memo
+        key = (nbytes, streams)
+        t = memo.get(key)
+        if t is None:
+            if len(memo) >= 4096:
+                memo.clear()
+            t = memo[key] = self.lan.transfer_time(nbytes, streams=streams)
+        return t
 
     def scatter_time(self, total_bytes: int, n_nodes: int) -> float:
         """Driver scatters disjoint chunks of ``total_bytes`` to ``n_nodes``.

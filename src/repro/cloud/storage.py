@@ -119,15 +119,23 @@ class ObjectStore(abc.ABC):
     def put(
         self,
         key: str,
-        data: bytes | None = None,
+        data: bytes | memoryview | None = None,
         size: int | None = None,
         credentials: Credentials | None = None,
     ) -> StoredObject:
         """Store an object.  Pass ``data`` for a real object, ``size`` for a
-        virtual one (exactly one of the two must be given)."""
+        virtual one (exactly one of the two must be given).
+
+        ``data`` may be any bytes-like object — callers hand in zero-copy
+        views of live host arrays.  The store materialises its own copy
+        here (the one semantically required copy: the payload "crossed the
+        wire"), so a stored object never aliases caller memory and later
+        host writes cannot corrupt it."""
         self._authorize(credentials)
         if (data is None) == (size is None):
             raise ValueError("provide exactly one of data= or size=")
+        if data is not None and not isinstance(data, bytes):
+            data = bytes(data)
         nbytes = len(data) if data is not None else int(size or 0)
         digest = (content_checksum(data) if data is not None
                   else virtual_checksum(key, nbytes))

@@ -82,6 +82,20 @@ class Buffer:
             )
         return self.data
 
+    def payload_view(self) -> memoryview:
+        """Zero-copy, read-only byte view of the host array.
+
+        Hashing and compression consume this instead of ``tobytes()``, which
+        would copy the whole payload just to throw it away.  The view is
+        read-only so no consumer can scribble on the host array through it;
+        a non-contiguous array (never produced by this runtime, but legal
+        ndarray input) falls back to one contiguity copy.
+        """
+        arr = self.require_data()
+        if not arr.flags["C_CONTIGUOUS"]:
+            arr = np.ascontiguousarray(arr)
+        return memoryview(arr).cast("B").toreadonly()
+
     def slice_bytes(self, lo: int, hi: int) -> int:
         """Bytes of elements [lo, hi) — cost accounting for windows."""
         self._check_range(lo, hi)

@@ -24,14 +24,14 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Union
+from typing import Any, Mapping, Sequence, Union
 
 import numpy as np
 
 from repro.core.api import ParallelLoop, TargetRegion
 from repro.core.buffers import Buffer, ExecutionMode, OffsetArray
 from repro.core.omp_ast import REDUCTION_OPS, MapType
-from repro.core.partition import partition_for_tile
+from repro.core.partition import partition_for_tile, partition_windows
 from repro.core.tiling import (Tile, drop_empty_tiles, tile_by_chunk,
                                tile_iterations, tile_weighted, untiled)
 from repro.perfmodel.calibration import Calibration, DEFAULT_CALIBRATION
@@ -41,7 +41,7 @@ from repro.obs.events import CheckpointCommit, get_bus
 from repro.resilience import OffloadJournal, RetryPolicy, TileCheckpoint, retry_call
 from repro.simtime.timeline import Phase
 from repro.spark.context import SparkContext
-from repro.spark.driver import TaskCosts
+from repro.spark.driver import TaskCosts, TaskCostsArrays
 from repro.spark.faults import NO_FAULTS, FaultPlan
 from repro.spark.schedule import STATIC_SCHEDULE, ScheduleConfig
 from repro.cloud.storage import TransientStorageError
@@ -317,9 +317,10 @@ class SparkJobGenerator:
             if self.mode == ExecutionMode.FUNCTIONAL:
                 arr = self._driver_arrays[name]
                 assert arr is not None
-                payload = arr.tobytes()
-                if compressed:
-                    payload = gzip_compress(payload)
+                # Zero-copy staging: compress (or PUT) straight from a view
+                # of the driver array; storage materialises its own bytes.
+                view = memoryview(arr).cast("B").toreadonly()
+                payload = gzip_compress(view) if compressed else view
                 obj = self._storage_retry("PUT", storage.put, key, data=payload)
                 wire = len(payload)
             else:
@@ -390,11 +391,12 @@ class SparkJobGenerator:
             value = self._driver_arrays[nm] if self.mode == ExecutionMode.FUNCTIONAL else None
             handles[nm] = self.sc.broadcast(value, nbytes=wire)
 
-        costs_for = self._make_costs_fn(loop, live, partitioned_reads, broadcast_reads)
+        costs_for, costs_arrays = self._make_costs_fn(
+            loop, live, partitioned_reads, broadcast_reads)
         job = None
         computation = 0.0
         if live:
-            elements = [self._element_for(tile, loop, partitioned_reads) for tile in live]
+            elements = self._elements_for(live, loop, partitioned_reads)
             rdd = self.sc.parallelize(elements, num_slices=len(live))
             map_fn = self._make_map_fn(loop, partitioned_reads, handles)
             mapped = rdd.map(map_fn)
@@ -406,6 +408,7 @@ class SparkJobGenerator:
             job = self.sc.driver.run_job(
                 mapped,
                 costs_for=costs_for,
+                costs_arrays=costs_arrays,
                 broadcasts=tuple(handles.values()),
                 fault_plan=self.fault_plan,
                 functional=self.mode == ExecutionMode.FUNCTIONAL,
@@ -424,10 +427,8 @@ class SparkJobGenerator:
 
         partitions = (list(job.partitions) if job is not None else []) + restored
         self._reconstruct(loop, partitions, tiles)
-        task_bytes = sum(
-            costs_for(s).input_bytes + costs_for(s).output_bytes
-            for s in range(len(live))
-        )
+        task_bytes = int(np.sum(costs_arrays.input_bytes)
+                         + np.sum(costs_arrays.output_bytes))
         return LoopJobReport(
             loop_var=loop.loop_var,
             n_tasks=len(live),
@@ -553,6 +554,30 @@ class SparkJobGenerator:
                 windows[nm] = (lo, None)
         return (tile.index, tile.lo, tile.hi, windows)
 
+    def _elements_for(self, tiles: list[Tile], loop: ParallelLoop,
+                      partitioned_reads: list[str]) -> Sequence[Any]:
+        """RDD elements for every live tile.
+
+        Modeled jobs never read the element payloads (no closures run, no
+        sizes are measured), so the elements collapse to ``range(n)`` — only
+        the window-bound *validation* survives, done in one vectorized pass
+        so out-of-range partition clauses still raise the same errors as the
+        scalar path.  Functional jobs keep the scalar path, which copies the
+        real window data.
+        """
+        if self.mode == ExecutionMode.FUNCTIONAL:
+            if not partitioned_reads:
+                return [(t.index, t.lo, t.hi, {}) for t in tiles]
+            return [self._element_for(t, loop, partitioned_reads) for t in tiles]
+        if partitioned_reads:
+            n = len(tiles)
+            lo = np.fromiter((t.lo for t in tiles), dtype=np.int64, count=n)
+            hi = np.fromiter((t.hi for t in tiles), dtype=np.int64, count=n)
+            for nm in partitioned_reads:
+                wlo, whi = partition_windows(loop.partitions[nm], lo, hi, self.scalars)
+                self._check_windows(self._buffer_info[nm], wlo, whi)
+        return range(len(tiles))
+
     def _make_map_fn(self, loop: ParallelLoop, partitioned_reads: list[str], handles):
         """The worker-side mapping function (Eq. 5): run the tile body over
         windows + broadcasts, return the partial outputs (Eq. 6)."""
@@ -607,6 +632,14 @@ class SparkJobGenerator:
 
     # ----------------------------------------------------------------- costs
     def _make_costs_fn(self, loop, tiles, partitioned_reads, broadcast_reads):
+        """Per-task costs for every live tile, computed in one numpy pass.
+
+        Returns ``(costs_for, costs_arrays)``: the scalar closure (functional
+        jobs, checkpoint commits) indexes into the same arrays the columnar
+        :class:`TaskCostsArrays` hands to the driver, so both views are
+        bit-identical to the historical per-tile evaluation — same float
+        operation order, same window bounds, same wire rounding.
+        """
         slots_per_node = self.sc.cluster.executors[0].task_slots
         n_nodes = self.sc.cluster.active_worker_nodes
         k = min(slots_per_node, max(1, -(-len(tiles) // n_nodes)))
@@ -616,45 +649,87 @@ class SparkJobGenerator:
         bcast_raw = sum(self._buffer_info[nm].nbytes for nm in broadcast_reads)
         bcast_share = bcast_raw / k if k else 0.0
 
+        n = len(tiles)
+        lo = np.fromiter((t.lo for t in tiles), dtype=np.int64, count=n)
+        hi = np.fromiter((t.hi for t in tiles), dtype=np.int64, count=n)
+        fpi = loop.flops_per_iter
+        if fpi is None:
+            flops = np.zeros(n, dtype=np.float64)
+        elif callable(fpi):
+            flops = np.fromiter(
+                (loop.tile_flops(t.lo, t.hi, self.scalars) for t in tiles),
+                dtype=np.float64, count=n)
+        else:
+            flops = float(fpi) * (hi - lo)
+        compute_s, jni_s = self.compute_model.task_timing_vec(
+            flops, tasks_on_node=k, slots_per_node=slots_per_node,
+            intensity=intensity, task_indices=np.arange(n), jni_calls=1)
+
+        in_raw = np.zeros(n, dtype=np.int64)
+        in_wire = np.zeros(n, dtype=np.int64)
+        for nm in partitioned_reads:
+            buf = self._buffer_info[nm]
+            wlo, whi = partition_windows(loop.partitions[nm], lo, hi, self.scalars)
+            self._check_windows(buf, wlo, whi)
+            raw = (whi - wlo) * buf.itemsize
+            in_raw += raw
+            in_wire += self._wire_bytes_vec(buf, raw)
+        out_raw = np.zeros(n, dtype=np.int64)
+        out_wire = np.zeros(n, dtype=np.int64)
+        for nm in loop.writes:
+            buf = self._buffer_info[nm]
+            spec = loop.partitions.get(nm)
+            if nm in loop.reduction_vars:
+                raw = np.full(n, buf.nbytes, dtype=np.int64)
+            elif spec is not None and spec.is_partitioned:
+                wlo, whi = partition_windows(spec, lo, hi, self.scalars)
+                self._check_windows(buf, wlo, whi)
+                raw = (whi - wlo) * buf.itemsize
+            else:
+                # Full partial array per task (the paper's Eq. 6-8).
+                raw = np.full(n, buf.nbytes, dtype=np.int64)
+            out_raw += raw
+            out_wire += self._wire_bytes_vec(buf, raw)
+
+        arrays = TaskCostsArrays(
+            compute_s=compute_s,
+            jni_s=jni_s,
+            decompress_s=(in_raw + bcast_share) / self.cal.worker_byte_bps,
+            compress_s=out_raw / self.cal.worker_byte_bps,
+            input_bytes=in_wire,
+            output_bytes=out_wire,
+        )
+
         def costs_for(split: int) -> TaskCosts:
-            tile = tiles[split]
-            timing = self.compute_model.task_timing(
-                loop.tile_flops(tile.lo, tile.hi, self.scalars),
-                tasks_on_node=k,
-                slots_per_node=slots_per_node,
-                intensity=intensity,
-                task_index=split,
-                jni_calls=1,
-            )
-            in_raw = in_wire = 0
-            for nm in partitioned_reads:
-                lo, hi = partition_for_tile(loop.partitions[nm], tile, self.scalars)
-                raw = self._buffer_info[nm].slice_bytes(lo, hi)
-                in_raw += raw
-                in_wire += self._wire_bytes(self._buffer_info[nm], raw)
-            out_raw = out_wire = 0
-            for nm in loop.writes:
-                buf = self._buffer_info[nm]
-                spec = loop.partitions.get(nm)
-                if nm in loop.reduction_vars:
-                    raw = buf.nbytes
-                elif spec is not None and spec.is_partitioned:
-                    lo, hi = partition_for_tile(spec, tile, self.scalars)
-                    raw = buf.slice_bytes(lo, hi)
-                else:
-                    raw = buf.nbytes  # full partial array per task (the paper's Eq. 6-8)
-                out_raw += raw
-                out_wire += self._wire_bytes(buf, raw)
             return TaskCosts(
-                compute_s=timing.compute_s,
-                jni_s=timing.jni_s,
-                decompress_s=(in_raw + bcast_share) / self.cal.worker_byte_bps,
-                compress_s=out_raw / self.cal.worker_byte_bps,
-                input_bytes=in_wire,
-                output_bytes=out_wire,
+                compute_s=float(arrays.compute_s[split]),
+                jni_s=float(arrays.jni_s[split]),
+                decompress_s=float(arrays.decompress_s[split]),
+                compress_s=float(arrays.compress_s[split]),
+                input_bytes=int(arrays.input_bytes[split]),
+                output_bytes=int(arrays.output_bytes[split]),
             )
 
-        return costs_for
+        return costs_for, arrays
+
+    @staticmethod
+    def _check_windows(buf: Buffer, lo: np.ndarray, hi: np.ndarray) -> None:
+        """Vectorized ``Buffer._check_range`` over window arrays."""
+        bad = (lo < 0) | (hi < lo) | (hi > buf.length)
+        if np.any(bad):
+            j = int(np.argmax(bad))
+            buf._check_range(int(lo[j]), int(hi[j]))  # raises the scalar IndexError
+
+    def _wire_bytes_vec(self, buf: Buffer, raw: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_wire_bytes`: same threshold-0 gzip rounding.
+
+        ``int(round(x))`` and ``np.rint`` both round half to even, so each
+        element matches ``CompressionModel.compressed_size(raw_j, 0)``.
+        """
+        if not self.intra_compression:
+            return raw
+        ratio = self._codec_for(buf).ratio
+        return np.rint(raw * ratio).astype(np.int64)
 
     # ------------------------------------------------------------ reconstruct
     def _reconstruct(self, loop: ParallelLoop, partitions: list[list[Any]], tiles) -> None:
@@ -734,21 +809,25 @@ class SparkJobGenerator:
         slots = executor.task_slots
         heap = executor.heap_bytes
         bcast = sum(self._buffer_info[nm].nbytes for nm in broadcast_reads)
-        worst_task = 0
-        for tile in tiles:
-            task_bytes = 0
-            for nm in partitioned_reads:
-                lo, hi = partition_for_tile(loop.partitions[nm], tile, self.scalars)
-                task_bytes += self._buffer_info[nm].slice_bytes(lo, hi)
-            for nm in loop.writes:
-                buf = self._buffer_info[nm]
-                spec = loop.partitions.get(nm)
-                if spec is not None and spec.is_partitioned and nm not in loop.reduction_vars:
-                    lo, hi = partition_for_tile(spec, tile, self.scalars)
-                    task_bytes += buf.slice_bytes(lo, hi)
-                else:
-                    task_bytes += buf.nbytes  # full partial / reduction buffer
-            worst_task = max(worst_task, task_bytes)
+        n = len(tiles)
+        lo = np.fromiter((t.lo for t in tiles), dtype=np.int64, count=n)
+        hi = np.fromiter((t.hi for t in tiles), dtype=np.int64, count=n)
+        task_bytes = np.zeros(n, dtype=np.int64)
+        for nm in partitioned_reads:
+            buf = self._buffer_info[nm]
+            wlo, whi = partition_windows(loop.partitions[nm], lo, hi, self.scalars)
+            self._check_windows(buf, wlo, whi)
+            task_bytes += (whi - wlo) * buf.itemsize
+        for nm in loop.writes:
+            buf = self._buffer_info[nm]
+            spec = loop.partitions.get(nm)
+            if spec is not None and spec.is_partitioned and nm not in loop.reduction_vars:
+                wlo, whi = partition_windows(spec, lo, hi, self.scalars)
+                self._check_windows(buf, wlo, whi)
+                task_bytes += (whi - wlo) * buf.itemsize
+            else:
+                task_bytes += buf.nbytes  # full partial / reduction buffer
+        worst_task = int(task_bytes.max()) if n else 0
         needed = bcast + slots * worst_task
         if needed > heap:
             raise ExecutorOOMError(

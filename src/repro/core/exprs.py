@@ -16,7 +16,11 @@ import re
 from dataclasses import dataclass
 from typing import Mapping, Union
 
+import numpy as np
+
 EvalEnv = Mapping[str, Union[int, float]]
+#: Environment for vectorized evaluation: scalars plus int64 arrays.
+VecEnv = Mapping[str, Union[int, float, np.ndarray]]
 
 
 class ExprError(Exception):
@@ -27,6 +31,16 @@ class Expr:
     """Base expression node."""
 
     def eval(self, env: EvalEnv) -> int:
+        raise NotImplementedError
+
+    def eval_vec(self, env: VecEnv) -> Union[int, np.ndarray]:
+        """Evaluate against an environment whose values may be int64 arrays.
+
+        Semantics match :meth:`eval` element-wise (C truncating division and
+        remainder included), so ``expr.eval_vec({..., i: np.arange(n)})[j] ==
+        expr.eval({..., i: j})`` exactly — the vectorized partitioner in
+        :mod:`repro.core.partition` relies on this bit-identity.
+        """
         raise NotImplementedError
 
     def variables(self) -> set[str]:
@@ -41,6 +55,9 @@ class Num(Expr):
     value: int
 
     def eval(self, env: EvalEnv) -> int:
+        return self.value
+
+    def eval_vec(self, env: VecEnv) -> int:
         return self.value
 
     def variables(self) -> set[str]:
@@ -59,6 +76,13 @@ class Var(Expr):
             return int(env[self.name])
         except KeyError:
             raise ExprError(f"unbound variable {self.name!r} in bound expression") from None
+
+    def eval_vec(self, env: VecEnv) -> Union[int, np.ndarray]:
+        try:
+            v = env[self.name]
+        except KeyError:
+            raise ExprError(f"unbound variable {self.name!r} in bound expression") from None
+        return v if isinstance(v, np.ndarray) else int(v)
 
     def variables(self) -> set[str]:
         return {self.name}
@@ -80,6 +104,18 @@ def _c_mod(a: int, b: int) -> int:
     return a - _c_div(a, b) * b
 
 
+def _c_div_vec(a, b):
+    """Element-wise C99 truncating division over ints/int64 arrays."""
+    if np.any(np.equal(b, 0)):
+        raise ExprError("division by zero in bound expression")
+    q = np.abs(a) // np.abs(b)
+    return np.where(np.equal(a >= 0, b >= 0), q, -q)
+
+
+def _c_mod_vec(a, b):
+    return a - _c_div_vec(a, b) * b
+
+
 @dataclass(frozen=True)
 class BinOp(Expr):
     op: str
@@ -94,10 +130,23 @@ class BinOp(Expr):
         "%": _c_mod,
     }
 
+    _OPS_VEC = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": _c_div_vec,
+        "%": _c_mod_vec,
+    }
+
     def eval(self, env: EvalEnv) -> int:
         if self.op not in self._OPS:
             raise ExprError(f"unknown operator {self.op!r}")
         return self._OPS[self.op](int(self.left.eval(env)), int(self.right.eval(env)))
+
+    def eval_vec(self, env: VecEnv) -> Union[int, np.ndarray]:
+        if self.op not in self._OPS_VEC:
+            raise ExprError(f"unknown operator {self.op!r}")
+        return self._OPS_VEC[self.op](self.left.eval_vec(env), self.right.eval_vec(env))
 
     def variables(self) -> set[str]:
         return self.left.variables() | self.right.variables()
@@ -112,6 +161,9 @@ class Neg(Expr):
 
     def eval(self, env: EvalEnv) -> int:
         return -int(self.operand.eval(env))
+
+    def eval_vec(self, env: VecEnv) -> Union[int, np.ndarray]:
+        return -self.operand.eval_vec(env)
 
     def variables(self) -> set[str]:
         return self.operand.variables()

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.core.exprs import Expr, Num
 from repro.core.omp_ast import MapItem, MapType
 from repro.core.tiling import Tile
@@ -86,6 +88,68 @@ def partition_for_tile(
         raise PartitionError(
             f"{spec.name!r}: partition bounds are not monotone in {spec.loop_var!r} "
             f"over tile [{tile.lo}, {tile.hi})"
+        )
+    return first_lo, last_hi
+
+
+def _element_ranges_vec(
+    spec: PartitionSpec, iters: np.ndarray, env: Mapping[str, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :meth:`PartitionSpec.element_range` over an iteration array.
+
+    Raises the same :class:`PartitionError` (same message, first offending
+    iteration) the scalar path would.
+    """
+    if spec.upper is None:
+        raise PartitionError(f"{spec.name!r} has no section to evaluate")
+    scope: dict = dict(env)
+    scope[spec.loop_var] = iters
+    lo = np.broadcast_to(
+        np.asarray(spec.lower.eval_vec(scope) if spec.lower is not None else 0,
+                   dtype=np.int64), iters.shape)
+    hi = np.broadcast_to(np.asarray(spec.upper.eval_vec(scope), dtype=np.int64),
+                         iters.shape)
+    bad = (lo < 0) | (hi < lo)
+    if np.any(bad):
+        j = int(np.argmax(bad))
+        raise PartitionError(
+            f"{spec.name!r}: bounds [{int(lo[j])}, {int(hi[j])}) invalid "
+            f"at {spec.loop_var}={int(iters[j])}"
+        )
+    return lo, hi
+
+
+def partition_windows(
+    spec: PartitionSpec,
+    tile_lo: np.ndarray,
+    tile_hi: np.ndarray,
+    env: Mapping[str, int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`partition_for_tile` over parallel tile-bound arrays.
+
+    Returns int64 arrays ``(lo, hi)`` with ``(lo[j], hi[j]) ==
+    partition_for_tile(spec, Tile(j, tile_lo[j], tile_hi[j]), env)`` — one
+    symbolic evaluation per bound expression instead of one per tile, which
+    is what keeps million-task loops out of the interpreter (see
+    docs/PERFORMANCE.md).  Validation matches the scalar path: empty tiles,
+    invalid bounds and non-monotone sections raise the same
+    :class:`PartitionError` text for the first offending tile.
+    """
+    tile_lo = np.asarray(tile_lo, dtype=np.int64)
+    tile_hi = np.asarray(tile_hi, dtype=np.int64)
+    empty = tile_hi - tile_lo == 0
+    if np.any(empty):
+        j = int(np.argmax(empty))
+        raise PartitionError(
+            f"empty tile {Tile(index=j, lo=int(tile_lo[j]), hi=int(tile_hi[j]))}")
+    first_lo, first_hi = _element_ranges_vec(spec, tile_lo, env)
+    last_lo, last_hi = _element_ranges_vec(spec, tile_hi - 1, env)
+    bad = (last_lo < first_lo) | (last_hi < first_hi)
+    if np.any(bad):
+        j = int(np.argmax(bad))
+        raise PartitionError(
+            f"{spec.name!r}: partition bounds are not monotone in "
+            f"{spec.loop_var!r} over tile [{int(tile_lo[j])}, {int(tile_hi[j])})"
         )
     return first_lo, last_hi
 

@@ -527,10 +527,19 @@ class CloudDevice(Device):
             # A fusion-elided intermediate has its live value in the spill,
             # not in the (never written-back) host array.
             spilled = self._fusion_spill.get(buf.name)
-            payload = (spilled if spilled is not None
-                       else buf.require_data()).tobytes()
+            if spilled is not None:
+                src = (spilled if spilled.flags["C_CONTIGUOUS"]
+                       else np.ascontiguousarray(spilled))
+                view = memoryview(src).cast("B").toreadonly()
+            else:
+                view = buf.payload_view()
+            # Compress straight off the zero-copy view; the old
+            # ``tobytes()`` staged a full intermediate copy of every
+            # payload.  Storage materialises its own bytes on PUT, so the
+            # stored object never aliases the live host array.
+            payload: "bytes | memoryview" = view
             if self.config.compression and buf.nbytes >= self.config.min_compress_size:
-                payload = gzip_compress(payload)
+                payload = gzip_compress(view)
             obj = self._with_retries("PUT", self.storage.put, key, data=payload,
                                      credentials=self.config.credentials)
             with self._checksum_lock:

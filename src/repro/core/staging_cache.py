@@ -37,12 +37,12 @@ class CacheKey:
         if buf.is_virtual:
             token = f"virtual:{buf.name}:{buf.length}:{buf.dtype}:{buf.density}"
             return cls(hashlib.sha1(token.encode()).hexdigest())
-        h = hashlib.sha1()
-        h.update(buf.require_data().tobytes())
-        return cls(h.hexdigest())
+        # Hash the buffer's bytes through its zero-copy view; ``tobytes()``
+        # here would duplicate the whole payload just to feed the digest.
+        return cls(hashlib.sha1(buf.payload_view()).hexdigest())
 
     @classmethod
-    def for_bytes(cls, payload: bytes) -> "CacheKey":
+    def for_bytes(cls, payload: "bytes | memoryview") -> "CacheKey":
         return cls(hashlib.sha1(payload).hexdigest())
 
 

@@ -40,6 +40,23 @@ class Tile:
         if not 0 <= self.lo <= self.hi:
             raise ValueError(f"bad tile bounds [{self.lo}, {self.hi})")
 
+    @staticmethod
+    def _unchecked(index: int, lo: int, hi: int) -> "Tile":
+        """Build a tile bypassing dataclass ``__init__``.
+
+        The frozen-dataclass constructor costs three ``object.__setattr__``
+        calls plus validation per tile; bulk tilers whose bounds are valid by
+        construction (``0 <= lo <= hi`` falls out of the loop structure) use
+        this to stay cheap at million-tile counts.  Equality/hash/repr are
+        field-based, so the result is indistinguishable from ``Tile(...)``.
+        """
+        t = object.__new__(Tile)
+        d = t.__dict__
+        d["index"] = index
+        d["lo"] = lo
+        d["hi"] = hi
+        return t
+
     @property
     def size(self) -> int:
         return self.hi - self.lo
@@ -80,7 +97,8 @@ def untiled(n: int) -> list[Tile]:
     every iteration pays a JNI call and a task launch)."""
     if n < 0:
         raise ValueError(f"negative trip count {n!r}")
-    return [Tile(index=i, lo=i, hi=i + 1) for i in range(n)]
+    mk = Tile._unchecked
+    return [mk(i, i, i + 1) for i in range(n)]
 
 
 def tile_weighted(n: int, capacities: Sequence[float]) -> list[Tile]:
@@ -169,7 +187,7 @@ def tile_by_chunk(n: int, chunk: int) -> list[Tile]:
         raise ValueError(f"negative trip count {n!r}")
     if chunk < 1:
         raise ValueError(f"chunk must be >= 1, got {chunk!r}")
-    tiles = []
-    for index, lo in enumerate(range(0, n, chunk)):
-        tiles.append(Tile(index=index, lo=lo, hi=min(lo + chunk, n)))
-    return tiles
+    mk = Tile._unchecked
+    last = n - chunk
+    return [mk(index, lo, lo + chunk if lo <= last else n)
+            for index, lo in enumerate(range(0, n, chunk))]

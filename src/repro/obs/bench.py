@@ -869,6 +869,156 @@ def run_fusion_wire_bytes(
     }
 
 
+#: Scaling-grid points: (workers, tasks, wall_budget_s).  The budget is a
+#: *wall-clock* ceiling on one modeled offload of ``tasks`` one-iteration
+#: tiles across ``workers`` nodes — the simulation-core scalability contract
+#: documented in docs/PERFORMANCE.md.  Quick mode (CI) runs the small points;
+#: full mode adds the tentpole 10k-worker / 1M-task point, which must
+#: complete within 30 s of wall time.
+SCALING_GRID_QUICK = (
+    (100, 10_000, 30.0),
+    (1_000, 100_000, 60.0),
+)
+SCALING_GRID_FULL = SCALING_GRID_QUICK + (
+    (10_000, 1_000_000, 30.0),
+)
+
+
+def run_scaling(
+    cores: int = 32,
+    n_workers: int = 16,
+    density: float = 1.0,
+    size: int | None = None,
+    quick: bool = False,
+) -> dict[str, object]:
+    """Simulation-core scaling: a workers × tasks grid of modeled offloads.
+
+    Each grid point offloads one synthetic region of ``tasks`` single-
+    iteration tiles (``schedule(static, 1)``, the worst case for scheduler
+    overhead: every task pays selection, window evaluation, and span
+    recording) to a ``workers``-node cluster, under
+    :func:`~repro.simtime.timeline.coarse_timelines` and a zero-sigma
+    straggler model — the configuration docs/PERFORMANCE.md prescribes for
+    large sweeps.
+
+    Two kinds of gate:
+
+    * **simulated seconds** — the usual deterministic milestones, gated by
+      :func:`compare` against the committed baseline like every other bench;
+    * **wall clock** — each point must finish within its grid budget or the
+      runner *raises*; scheduler-complexity regressions (anything
+      super-linear creeping back into the per-task path) fail the bench job
+      loudly instead of silently slowing CI.  ``REPRO_SCALING_WALL_SCALE``
+      loosens the budgets on known-slow machines (e.g. ``=2.0`` doubles
+      them); wall times are deliberately *not* written to the payload so
+      bench JSON stays bit-deterministic.
+
+    ``size`` overrides the grid with a single (``n_workers``, ``size``)
+    point, handy for probing one configuration from the CLI.
+    """
+    import dataclasses
+    from contextlib import nullcontext
+    from time import perf_counter
+
+    from repro.core.api import ParallelLoop, TargetRegion, offload
+    from repro.core.buffers import ExecutionMode
+    from repro.core.plugin_cloud import CloudDevice
+    from repro.core.runtime import OffloadRuntime
+    from repro.metrics.figures import demo_config
+    from repro.perfmodel.calibration import DEFAULT_CALIBRATION
+    from repro.simtime import coarse_timelines
+
+    if size is not None:
+        grid = ((n_workers, int(size), float("inf")),)
+    else:
+        grid = SCALING_GRID_QUICK if quick else SCALING_GRID_FULL
+    wall_scale = float(os.environ.get("REPRO_SCALING_WALL_SCALE", "1.0"))
+
+    def region_for() -> TargetRegion:
+        return TargetRegion(
+            name="scale",
+            pragmas=["omp target device(CLOUD)",
+                     "omp map(to: A[:N*R]) map(from: C[:N*R])"],
+            loops=[ParallelLoop(
+                pragma="omp parallel for schedule(static, 1)",
+                loop_var="i", trip_count="N",
+                reads=("A",), writes=("C",),
+                partition_pragma="omp target data map(to: A[i*R:(i+1)*R]) "
+                                 "map(from: C[i*R:(i+1)*R])",
+                flops_per_iter=1.0e6,
+                body=None,
+            )],
+        )
+
+    cal = dataclasses.replace(DEFAULT_CALIBRATION, straggler_sigma=0.0)
+    bus = EventBus(keep_history=False)
+    registry = MetricsRegistry()
+    MetricsSubscriber(registry).attach(bus)
+
+    points = []
+    for workers, tasks, budget in grid:
+        rt = OffloadRuntime()
+        rt.register(CloudDevice(demo_config(workers),
+                                physical_cores=workers * 8,
+                                calibration=cal))
+        # Points up to 100k tasks run instrumented (their event counts and
+        # metrics land in the payload).  Larger points run with the bus
+        # detached: per-task TaskStart/TaskEnd delivery costs ~10 us/task of
+        # pure observability-plane overhead, and the wall budget is a
+        # contract on the *simulation core* (docs/PERFORMANCE.md).
+        instrumented = tasks <= 100_000
+        t0 = perf_counter()
+        with use_bus(bus) if instrumented else nullcontext():
+            with coarse_timelines():
+                rep = offload(region_for(), scalars={"N": tasks, "R": 4},
+                              runtime=rt, mode=ExecutionMode.MODELED,
+                              densities={"A": density, "C": density})
+        wall = perf_counter() - t0
+        if rep.tasks_run != tasks:
+            raise RuntimeError(
+                f"scaling: {workers}x{tasks}: expected {tasks} tasks, "
+                f"scheduler ran {rep.tasks_run}")
+        if wall > budget * wall_scale:
+            raise RuntimeError(
+                f"scaling: {workers} workers x {tasks} tasks took "
+                f"{wall:.1f} s of wall time, budget {budget * wall_scale:.1f} s "
+                f"— the simulation core has a complexity regression")
+        points.append((workers, tasks, rep))
+
+    # The largest grid point provides the gated simulated milestones.
+    workers, tasks, rep = points[-1]
+    milestones: dict[str, object] = {
+        "full_s": rep.full_s,
+        "spark_job_s": rep.spark_job_s,
+        "computation_s": rep.computation_s,
+        "host_comm_s": rep.host_comm_s,
+        "spark_overhead_s": rep.spark_overhead_s,
+        "backoff_s": rep.backoff_s,
+        "bytes_up_wire": rep.bytes_up_wire,
+        "bytes_down_wire": rep.bytes_down_wire,
+    }
+    for w, t, r in points:
+        milestones[f"full_s_{w}w_{t}t"] = r.full_s
+        milestones[f"overhead_per_task_us_{w}w_{t}t"] = (
+            r.spark_overhead_s / t * 1e6)
+    return {
+        "schema": SCHEMA,
+        "benchmark": "scaling",
+        "params": {
+            "cores": workers * 8,
+            "workers": workers,
+            "density": density,
+            "size": tasks,
+            "grid": [[w, t] for w, t, _ in grid],
+            "mode": "modeled",
+            "quick": quick,
+        },
+        "milestones": milestones,
+        "events": bus.counts(),
+        "metrics": registry.snapshot(),
+    }
+
+
 #: Multi-offload bench scenarios outside the single-region WORKLOADS registry.
 EXTRA_BENCHMARKS = {
     "chained_3mm": run_chained_3mm,
@@ -877,6 +1027,7 @@ EXTRA_BENCHMARKS = {
     "inference_wire_bytes": run_inference_wire_bytes,
     "profile_attribution": run_profile_attribution,
     "fusion_wire_bytes": run_fusion_wire_bytes,
+    "scaling": run_scaling,
 }
 
 

@@ -518,6 +518,18 @@ class EventBus:
         return unsubscribe
 
     # --------------------------------------------------------------- emission
+    @property
+    def is_active(self) -> bool:
+        """Whether anything would observe an emitted event right now.
+
+        Read without the lock (benign race): hot emitters on per-task paths
+        use this to skip *constructing* event objects entirely when nobody is
+        listening — :meth:`emit`'s own fast path still pays for the record
+        allocation.  Subscribers attaching mid-job are not a supported
+        pattern; attach before the run starts.
+        """
+        return bool(self._subs) or self._history is not None
+
     def emit(self, event: Event) -> Event | None:
         """Stamp correlation ids onto ``event`` and deliver it.
 

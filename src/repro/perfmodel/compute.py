@@ -41,6 +41,10 @@ class ComputeModel:
     def __init__(self, calibration: Calibration = DEFAULT_CALIBRATION, seed: int = 7) -> None:
         self.cal = calibration
         self._seed = seed
+        # Straggler noise is deterministic per (seed, task_index) but each
+        # draw constructs a fresh Generator (~45 us); the codegen asks for
+        # the same index up to three times per tile, so memoize.
+        self._noise_cache: dict[int, float] = {}
 
     # ----------------------------------------------------------- baselines
     def sequential_time(self, flops: float) -> float:
@@ -96,10 +100,49 @@ class ComputeModel:
     def _straggler_noise(self, task_index: int) -> float:
         if self.cal.straggler_sigma <= 0.0:
             return 1.0
+        cached = self._noise_cache.get(task_index)
+        if cached is not None:
+            return cached
         rng = np.random.default_rng((self._seed, task_index))
         sigma = self.cal.straggler_sigma
         # Mean-one lognormal: E[exp(N(-s^2/2, s^2))] = 1.
-        return float(rng.lognormal(mean=-(sigma**2) / 2.0, sigma=sigma))
+        noise = float(rng.lognormal(mean=-(sigma**2) / 2.0, sigma=sigma))
+        self._noise_cache[task_index] = noise
+        return noise
+
+    def task_timing_vec(
+        self,
+        tile_flops: np.ndarray,
+        tasks_on_node: int,
+        slots_per_node: int,
+        intensity: float,
+        task_indices: np.ndarray,
+        jni_calls: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`task_timing`: ``(compute_s, jni_s)`` arrays.
+
+        Element ``j`` is bit-identical to
+        ``task_timing(tile_flops[j], ..., task_index=task_indices[j])`` —
+        the multiplications happen in the same order on the same float64
+        values, and the straggler draw goes through the same per-index
+        generator (memoized).  With ``straggler_sigma == 0`` the whole
+        timing pass is a handful of array ops regardless of task count.
+        """
+        flops = np.asarray(tile_flops, dtype=np.float64)
+        if flops.size and float(flops.min()) < 0:
+            j = int(np.argmin(flops))
+            raise ValueError(f"negative flops {float(flops[j])!r}")
+        base = flops / self.cal.core_flops
+        cont = self.contention_factor(tasks_on_node, slots_per_node, intensity)
+        if self.cal.straggler_sigma <= 0.0:
+            compute = base * (1.0 + self.cal.jni_efficiency_loss) * cont
+        else:
+            noise = np.fromiter(
+                (self._straggler_noise(int(i)) for i in task_indices),
+                dtype=np.float64, count=len(task_indices))
+            compute = base * (1.0 + self.cal.jni_efficiency_loss) * cont * noise
+        jni = np.full(flops.shape, self.cal.jni_call_s * max(0, jni_calls))
+        return compute, jni
 
     # -------------------------------------------------------------- OmpThread
     def omp_thread_time(self, total_flops: float, threads: int, intensity: float,

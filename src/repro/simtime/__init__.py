@@ -16,7 +16,7 @@ Figure 5 of the paper decomposes them.
 from repro.simtime.clock import SimClock
 from repro.simtime.engine import EventEngine, Event
 from repro.simtime.resources import SlotPool, Slot
-from repro.simtime.timeline import Phase, Span, Timeline
+from repro.simtime.timeline import Phase, Span, Timeline, coarse_timelines
 from repro.simtime.validate import (
     ResourceLimits,
     TimelineInvariantError,
@@ -33,6 +33,7 @@ __all__ = [
     "Phase",
     "Span",
     "Timeline",
+    "coarse_timelines",
     "ResourceLimits",
     "TimelineInvariantError",
     "check_timeline",

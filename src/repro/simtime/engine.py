@@ -5,36 +5,60 @@ simulated times and executed in time order (FIFO among equal timestamps, which
 keeps runs deterministic).  The Spark scheduler and the network model use it
 when activities genuinely interleave; simpler sequential accounting goes
 straight through :class:`~repro.simtime.clock.SimClock`.
+
+Scale notes (docs/PERFORMANCE.md):
+
+* The heap holds bare ``(time, seq)`` tuples; callback/label state lives in
+  slab dictionaries keyed by ``seq``.  Tuple comparisons during sift are
+  C-level, and no per-callback record object ever enters the heap —
+  :class:`Event` is only a thin cancellation handle, created lazily for the
+  caller of :meth:`EventEngine.schedule_at`.
+* :meth:`EventEngine.run` drains *runs of equal timestamps* in one batch:
+  the clock advances once per distinct timestamp and the batch executes in
+  FIFO order without interleaved clock bookkeeping.
+* Cancelled events are dropped lazily on pop, and the heap is **compacted**
+  (rebuilt without dead entries) whenever cancelled entries outnumber half
+  the live ones, so speculation-heavy runs cannot accumulate dead heap
+  entries without bound.  :attr:`EventEngine.heap_compactions` counts the
+  rebuilds; :attr:`EventEngine.events_run` counts only real (non-cancelled)
+  callback executions, never compaction work.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.simtime.clock import SimClock
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle to one scheduled callback.
 
     Ordering is (time, sequence-number) so that events firing at the same
     simulated instant run in scheduling order — determinism matters more than
-    any particular tie-break policy.
+    any particular tie-break policy.  The handle exists so a caller can
+    :meth:`cancel`; the engine itself only stores ``(time, seq)`` tuples.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "label", "cancelled", "_engine")
+
+    def __init__(self, engine: "EventEngine", time: float, seq: int, label: str) -> None:
+        self.time = time
+        self.seq = seq
+        self.label = label
+        self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
-        self.cancelled = True
+        """Drop the event; the engine skips (and eventually compacts) it."""
+        if not self.cancelled:
+            self.cancelled = True
+            self._engine._cancel(self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(time={self.time!r}, seq={self.seq}, {state})"
 
 
 class EventEngine:
@@ -51,14 +75,37 @@ class EventEngine:
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int]] = []
+        self._seq = 0
+        # Slab state, keyed by seq.  An event is *live* iff its seq is in
+        # `_actions`; cancellation moves the seq to `_cancelled` (and frees
+        # the closure immediately) until the heap entry is popped or compacted.
+        self._actions: dict[int, Callable[[], None]] = {}
+        self._labels: dict[int, str] = {}
+        self._cancelled: set[int] = set()
+        # Seqs drained into the currently-executing batch (see `run`): a
+        # batch member cancelled by an earlier member is dropped from here.
+        self._in_batch: set[int] = set()
         self._events_run = 0
+        self._compactions = 0
 
     @property
     def events_run(self) -> int:
-        """Number of (non-cancelled) events executed so far."""
+        """Number of (non-cancelled) events executed so far.
+
+        Heap compactions (see :attr:`heap_compactions`) never contribute —
+        this counts callback executions only.
+        """
         return self._events_run
+
+    @property
+    def heap_compactions(self) -> int:
+        """Number of times the heap was rebuilt to drop cancelled entries.
+
+        A compaction runs when cancelled entries exceed half the live ones,
+        bounding the dead weight long speculation-heavy runs can carry.
+        """
+        return self._compactions
 
     def schedule_at(self, when: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute simulated time ``when``."""
@@ -66,9 +113,14 @@ class EventEngine:
             raise ValueError(
                 f"cannot schedule event in the past: now={self.clock.now!r}, when={when!r}"
             )
-        ev = Event(time=float(when), seq=next(self._seq), action=action, label=label)
-        heapq.heappush(self._heap, ev)
-        return ev
+        when = float(when)
+        seq = self._seq
+        self._seq = seq + 1
+        self._actions[seq] = action
+        if label:
+            self._labels[seq] = label
+        heapq.heappush(self._heap, (when, seq))
+        return Event(self, when, seq, label)
 
     def schedule_after(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` ``delay`` seconds from the current time."""
@@ -79,35 +131,102 @@ class EventEngine:
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when none remain."""
         while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+            when, seq = heapq.heappop(self._heap)
+            action = self._pop_action(seq)
+            if action is None:
                 continue
-            self.clock.advance_to(ev.time)
-            ev.action()
+            self.clock.advance_to(when)
+            action()
             self._events_run += 1
             return True
         return False
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Run events until the heap empties, ``until`` is reached, or the
-        event budget ``max_events`` is exhausted (a runaway-loop backstop)."""
-        for _ in range(max_events):
-            if until is not None and self._heap:
-                nxt = self._peek_time()
-                if nxt is not None and nxt > until:
-                    self.clock.advance_to(until)
-                    return
-            if not self.step():
+        event budget ``max_events`` is exhausted (a runaway-loop backstop).
+
+        Equal-timestamp runs drain as one batch: the clock advances once per
+        distinct timestamp and the batch fires in FIFO scheduling order.
+        """
+        heap = self._heap
+        budget = max_events
+        while True:
+            nxt = self._peek_time()
+            if nxt is None:
                 if until is not None and until > self.clock.now:
                     self.clock.advance_to(until)
                 return
-        raise RuntimeError(f"event budget exhausted after {max_events} events")
-
-    def _peek_time(self) -> Optional[float]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+            if until is not None and nxt > until:
+                self.clock.advance_to(until)
+                return
+            # Drain the run of events at exactly `nxt`.  Callbacks may
+            # schedule new events at this same timestamp (they get larger
+            # seqs, so they form the *next* batch — still FIFO) and may
+            # cancel later members of this batch (checked at fire time).
+            batch: list[tuple[int, Callable[[], None]]] = []
+            in_batch = self._in_batch
+            while heap and heap[0][0] == nxt:
+                _, seq = heapq.heappop(heap)
+                action = self._actions.pop(seq, None)
+                if action is None:
+                    self._cancelled.discard(seq)
+                    continue
+                self._labels.pop(seq, None)
+                in_batch.add(seq)
+                batch.append((seq, action))
+            if not batch:
+                continue
+            self.clock.advance_to(nxt)
+            for seq, action in batch:
+                if seq not in in_batch:
+                    continue  # cancelled by an earlier member of this batch
+                if budget <= 0:
+                    in_batch.clear()
+                    raise RuntimeError(
+                        f"event budget exhausted after {max_events} events")
+                in_batch.discard(seq)
+                action()
+                self._events_run += 1
+                budget -= 1
+            in_batch.clear()
 
     def pending(self) -> int:
         """Number of pending (non-cancelled) events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return len(self._actions)
+
+    # ------------------------------------------------------------- internals
+    def _pop_action(self, seq: int) -> Callable[[], None] | None:
+        """Retire one popped heap entry; None when it was cancelled."""
+        action = self._actions.pop(seq, None)
+        if action is None:
+            self._cancelled.discard(seq)
+            return None
+        self._labels.pop(seq, None)
+        return action
+
+    def _cancel(self, seq: int) -> None:
+        if seq in self._in_batch:
+            self._in_batch.discard(seq)  # drained but not yet fired
+            return
+        if self._actions.pop(seq, None) is None:
+            return  # already executed or already cancelled
+        self._labels.pop(seq, None)
+        self._cancelled.add(seq)
+        if len(self._cancelled) * 2 > len(self._actions):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (the cancel-leak fix)."""
+        self._heap = [(t, s) for (t, s) in self._heap if s not in self._cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled.clear()
+        self._compactions += 1
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap:
+            when, seq = self._heap[0]
+            if seq in self._actions:
+                return when
+            heapq.heappop(self._heap)
+            self._cancelled.discard(seq)
+        return None

@@ -10,8 +10,9 @@ paper's three buckets with :meth:`Timeline.figure5_breakdown`.
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 
 class Phase(enum.Enum):
@@ -119,6 +120,30 @@ class Span:
         return self.end - self.start
 
 
+#: Process default for :class:`Timeline` coarsening (see
+#: :func:`coarse_timelines`).  Off by default: every existing run records
+#: exact per-activity spans, bit-identical to the historical behaviour.
+_COARSE_DEFAULT = False
+
+
+@contextmanager
+def coarse_timelines(enabled: bool = True) -> Iterator[None]:
+    """Make every :class:`Timeline` created in this scope coarse by default.
+
+    Coarse timelines aggregate spans into one segment per (phase, resource)
+    — per-worker segments instead of a million-element span list.  The
+    scaling bench wraps its giant runs in this; ordinary runs never coarsen
+    unless asked, so recorded traces and baselines stay exact.
+    """
+    global _COARSE_DEFAULT
+    prev = _COARSE_DEFAULT
+    _COARSE_DEFAULT = bool(enabled)
+    try:
+        yield
+    finally:
+        _COARSE_DEFAULT = prev
+
+
 class Timeline:
     """An append-only collection of :class:`Span` with roll-up queries.
 
@@ -126,10 +151,36 @@ class Timeline:
     and end times, not the sum of durations: parallel uploads overlap, map
     tasks overlap.  ``wall(phase)`` therefore measures the union of intervals
     of a phase, while ``busy(phase)`` sums raw durations (resource-seconds).
+
+    A **coarse** timeline (``Timeline(coarse=True)``, or any timeline created
+    under :func:`coarse_timelines`) does not retain individual spans: each
+    ``record`` folds into one aggregate per (phase, resource) holding the
+    span count, the earliest start, the latest end and the exact busy-seconds
+    sum.  ``busy``/``by_resource``/``span`` stay exact; ``spans`` synthesizes
+    one merged segment per aggregate (what the gantt/trace exporters then
+    show as per-worker segments); ``wall`` unions those merged segments, an
+    upper bound on the exact per-span union.  1M task phases cost a few dict
+    updates each and O(workers) memory instead of a 4M-element span list.
+
+    Extending a coarse timeline into a fine one keeps the aggregates exact
+    as a *carried* side table (queries fold it in as merged segments), so a
+    mixed chain — coarse job timeline -> long-lived fine accumulator ->
+    coarse report — loses nothing: the final aggregates are identical to an
+    all-coarse chain.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, coarse: bool | None = None) -> None:
+        self.coarse = _COARSE_DEFAULT if coarse is None else bool(coarse)
         self._spans: list[Span] = []
+        # (phase, resource) -> [count, min_start, max_end, busy_sum]
+        self._agg: dict[tuple[Phase, str], list] | None = (
+            {} if self.coarse else None)
+        # Aggregates adopted when a *coarse* timeline is extended into this
+        # *fine* one (a long-lived accumulator like SparkContext.timeline may
+        # predate a coarse_timelines() scope).  Kept exact — not flattened to
+        # merged segments — so extending onward into a coarse timeline
+        # round-trips count/envelope/busy losslessly.
+        self._carried: dict[tuple[Phase, str], list] | None = None
 
     def record(
         self,
@@ -138,36 +189,129 @@ class Timeline:
         end: float,
         resource: str = "",
         label: str = "",
-    ) -> Span:
+    ) -> Span | None:
+        """Record one activity.  Returns the stored span, or None when this
+        timeline is coarse (aggregates don't keep individual spans)."""
+        agg = self._agg
+        if agg is not None:
+            if end < start:
+                raise ValueError(
+                    f"span ends before it starts: {phase} [{start}, {end})")
+            e = agg.get((phase, resource))
+            if e is None:
+                agg[(phase, resource)] = [1, start, end, end - start]
+            else:
+                e[0] += 1
+                if start < e[1]:
+                    e[1] = start
+                if end > e[2]:
+                    e[2] = end
+                e[3] += end - start
+            return None
         span = Span(phase=phase, start=start, end=end, resource=resource, label=label)
         self._spans.append(span)
         return span
 
+    @staticmethod
+    def _merge_agg(dst: dict, src: dict) -> None:
+        for key, (cnt, lo, hi, busy) in src.items():
+            e = dst.get(key)
+            if e is None:
+                dst[key] = [cnt, lo, hi, busy]
+            else:
+                e[0] += cnt
+                e[1] = min(e[1], lo)
+                e[2] = max(e[2], hi)
+                e[3] += busy
+
     def extend(self, other: "Timeline") -> None:
-        self._spans.extend(other._spans)
+        if self._agg is not None:
+            if other._agg is not None:
+                self._merge_agg(self._agg, other._agg)
+            else:
+                for s in other._spans:
+                    self.record(s.phase, s.start, s.end, s.resource)
+                if other._carried:
+                    self._merge_agg(self._agg, other._carried)
+        else:
+            if other._agg is not None or other._carried:
+                if self._carried is None:
+                    self._carried = {}
+                if other._agg is not None:
+                    self._merge_agg(self._carried, other._agg)
+                if other._carried:
+                    self._merge_agg(self._carried, other._carried)
+            self._spans.extend(other._spans)
+
+    @staticmethod
+    def _materialize(agg: dict) -> Iterator[Span]:
+        """Merged segments for an aggregate table, in a stable order."""
+        return (
+            Span(phase=phase, start=lo, end=hi, resource=resource,
+                 label=f"coarse:{cnt}")
+            for (phase, resource), (cnt, lo, hi, _busy) in sorted(
+                agg.items(),
+                key=lambda kv: (kv[1][1], kv[0][0].value, kv[0][1]))
+        )
 
     @property
     def spans(self) -> tuple[Span, ...]:
+        if self._agg is not None:
+            return tuple(self._materialize(self._agg))
+        if self._carried:
+            return tuple(self._spans) + tuple(self._materialize(self._carried))
         return tuple(self._spans)
 
     def __len__(self) -> int:
-        return len(self._spans)
+        if self._agg is not None:
+            return len(self._agg)
+        return len(self._spans) + (len(self._carried) if self._carried else 0)
 
     def filter(self, phases: Iterable[Phase]) -> "Timeline":
         keep = set(phases)
-        tl = Timeline()
-        tl._spans = [s for s in self._spans if s.phase in keep]
+        tl = Timeline(coarse=self.coarse)
+        if self._agg is not None:
+            assert tl._agg is not None
+            tl._agg = {k: list(v) for k, v in self._agg.items() if k[0] in keep}
+        else:
+            tl._spans = [s for s in self._spans if s.phase in keep]
+            if self._carried:
+                tl._carried = {k: list(v) for k, v in self._carried.items()
+                               if k[0] in keep}
         return tl
 
     def busy(self, phase: Phase | None = None) -> float:
-        """Total resource-seconds spent in ``phase`` (all phases if None)."""
-        return sum(s.duration for s in self._spans if phase is None or s.phase == phase)
+        """Total resource-seconds spent in ``phase`` (all phases if None).
+
+        Exact in both modes: coarse aggregates carry the busy-seconds sum.
+        """
+        if self._agg is not None:
+            return sum(v[3] for k, v in self._agg.items()
+                       if phase is None or k[0] == phase)
+        total = sum(s.duration for s in self._spans
+                    if phase is None or s.phase == phase)
+        if self._carried:
+            total += sum(v[3] for k, v in self._carried.items()
+                         if phase is None or k[0] == phase)
+        return total
 
     def wall(self, phase: Phase | None = None) -> float:
-        """Length of the union of intervals of ``phase`` (all phases if None)."""
-        ivals = sorted(
-            (s.start, s.end) for s in self._spans if phase is None or s.phase == phase
-        )
+        """Length of the union of intervals of ``phase`` (all phases if None).
+
+        On a coarse timeline the union runs over the merged per-(phase,
+        resource) segments, an upper bound on the per-span union.
+        """
+        if self._agg is not None:
+            ivals = sorted(
+                (v[1], v[2]) for k, v in self._agg.items()
+                if phase is None or k[0] == phase)
+        else:
+            ivals = [(s.start, s.end) for s in self._spans
+                     if phase is None or s.phase == phase]
+            if self._carried:
+                ivals.extend((v[1], v[2]) for k, v in self._carried.items()
+                             if phase is None or k[0] == phase)
+            ivals.sort()
         total = 0.0
         cur_start: float | None = None
         cur_end = 0.0
@@ -185,9 +329,19 @@ class Timeline:
 
     def span(self) -> float:
         """Makespan: last end minus first start (0 for an empty timeline)."""
-        if not self._spans:
+        if self._agg is not None:
+            if not self._agg:
+                return 0.0
+            return (max(v[2] for v in self._agg.values())
+                    - min(v[1] for v in self._agg.values()))
+        ends = [s.end for s in self._spans]
+        starts = [s.start for s in self._spans]
+        if self._carried:
+            starts.extend(v[1] for v in self._carried.values())
+            ends.extend(v[2] for v in self._carried.values())
+        if not starts:
             return 0.0
-        return max(s.end for s in self._spans) - min(s.start for s in self._spans)
+        return max(ends) - min(starts)
 
     def bucket_wall(self) -> dict[str, float]:
         """Union-of-intervals time per Figure-5 bucket."""
@@ -213,8 +367,15 @@ class Timeline:
         return {k: v * total / s for k, v in walls.items()}
 
     def by_resource(self) -> Mapping[str, float]:
-        """Busy seconds per resource name."""
+        """Busy seconds per resource name (exact in both modes)."""
         out: dict[str, float] = {}
+        if self._agg is not None:
+            for (_phase, resource), v in self._agg.items():
+                out[resource] = out.get(resource, 0.0) + v[3]
+            return out
         for s in self._spans:
             out[s.resource] = out.get(s.resource, 0.0) + s.duration
+        if self._carried:
+            for (_phase, resource), v in self._carried.items():
+                out[resource] = out.get(resource, 0.0) + v[3]
         return out

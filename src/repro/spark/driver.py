@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.obs.events import JobEnd, JobStart, get_bus
 from repro.simtime.timeline import Timeline
 from repro.spark.broadcast import Broadcast
@@ -22,6 +24,7 @@ from repro.spark.scheduler import (
     SchedulerCosts,
     Task,
     TaskScheduler,
+    TaskTable,
 )
 from repro.spark.serialization import sizeof_element
 
@@ -40,6 +43,29 @@ class TaskCosts:
     compress_s: float = 0.0
     input_bytes: int = -1  # -1 = measure from the partition data
     output_bytes: int = -1  # -1 = measure from the result
+
+
+@dataclass
+class TaskCostsArrays:
+    """Per-task costs for a whole modeled job, as parallel arrays.
+
+    The vectorized codegen computes every tile's durations and payload sizes
+    in one numpy pass; shipping them as arrays lets the driver build a
+    columnar :class:`~repro.spark.tasktable.TaskTable` without a Python
+    ``costs_for`` call (and a :class:`Task` object) per tile.  Negative byte
+    counts mean "unknown" and clamp to 0, matching the scalar
+    :class:`TaskCosts` sentinel semantics for modeled runs.
+    """
+
+    compute_s: np.ndarray
+    jni_s: np.ndarray
+    decompress_s: np.ndarray
+    compress_s: np.ndarray
+    input_bytes: np.ndarray
+    output_bytes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.compute_s)
 
 
 @dataclass
@@ -77,6 +103,7 @@ class Driver:
         functional: bool = True,
         schedule: ScheduleConfig = STATIC_SCHEDULE,
         stage: str = "",
+        costs_arrays: TaskCostsArrays | None = None,
     ) -> JobResult:
         """Execute ``rdd`` (optionally post-processing each partition).
 
@@ -84,35 +111,63 @@ class Driver:
         measured from the data unless ``costs_for`` overrides them.
         ``stage`` labels every task's timeline spans with the loop it tiles
         (fused offloads submit one stage per member loop).
+
+        Modeled callers may pass ``costs_arrays`` instead of ``costs_for``:
+        the whole task set is then submitted as one columnar
+        :class:`TaskTable` — no per-tile ``Task`` objects, no per-tile costs
+        callback.  The schedule produced is bit-identical either way.
         """
         self._job_seq += 1
         timeline = Timeline()
-        tasks: list[Task] = []
-        for split in range(rdd.num_partitions):
-            costs = costs_for(split) if costs_for is not None else TaskCosts()
-            task = Task(
-                task_id=self._job_seq * 100_000 + split,
-                split=split,
+        n = rdd.num_partitions
+        tasks: list[Task] | TaskTable
+        if costs_arrays is not None and not functional:
+            if len(costs_arrays) != n:
+                raise ValueError(
+                    f"costs_arrays has {len(costs_arrays)} rows for "
+                    f"{n} partitions")
+            splits = np.arange(n, dtype=np.int64)
+            tasks = TaskTable(
+                task_id=self._job_seq * 100_000 + splits,
+                split=splits,
+                compute_s=costs_arrays.compute_s,
+                jni_s=costs_arrays.jni_s,
+                decompress_s=costs_arrays.decompress_s,
+                compress_s=costs_arrays.compress_s,
+                input_bytes=np.maximum(
+                    np.asarray(costs_arrays.input_bytes, dtype=np.int64), 0),
+                output_bytes=np.maximum(
+                    np.asarray(costs_arrays.output_bytes, dtype=np.int64), 0),
                 stage=stage,
-                compute_s=costs.compute_s,
-                jni_s=costs.jni_s,
-                decompress_s=costs.decompress_s,
-                compress_s=costs.compress_s,
-                input_bytes=(
-                    costs.input_bytes
-                    if costs.input_bytes >= 0
-                    else (self._measure_input_bytes(rdd, split) if functional else 0)
-                ),
-                output_bytes=max(costs.output_bytes, 0),
             )
-            if functional:
-                task.closure = self._make_closure(rdd, split, partition_post, task,
-                                                  costs.output_bytes < 0)
-            tasks.append(task)
+        else:
+            task_list: list[Task] = []
+            for split in range(n):
+                costs = costs_for(split) if costs_for is not None else TaskCosts()
+                task = Task(
+                    task_id=self._job_seq * 100_000 + split,
+                    split=split,
+                    stage=stage,
+                    compute_s=costs.compute_s,
+                    jni_s=costs.jni_s,
+                    decompress_s=costs.decompress_s,
+                    compress_s=costs.compress_s,
+                    input_bytes=(
+                        costs.input_bytes
+                        if costs.input_bytes >= 0
+                        else (self._measure_input_bytes(rdd, split) if functional else 0)
+                    ),
+                    output_bytes=max(costs.output_bytes, 0),
+                )
+                if functional:
+                    task.closure = self._make_closure(rdd, split, partition_post, task,
+                                                      costs.output_bytes < 0)
+                task_list.append(task)
+            tasks = task_list
 
         bus = get_bus()
         bus.emit(JobStart(time=self.cluster.clock.now, resource="driver",
-                          job_id=self._job_seq, tasks=len(tasks)))
+                          job_id=self._job_seq, tasks=n))
         stats = self.scheduler.run_job(
             tasks,
             executors=self.cluster.executors,
@@ -127,7 +182,14 @@ class Driver:
         bus.emit(JobEnd(time=self.cluster.clock.now, resource="driver",
                         job_id=self._job_seq, makespan_s=stats.makespan_s,
                         tasks_recomputed=stats.recomputed_tasks))
-        partitions = [r.value if r.value is not None else [] for r in stats.results]
+        if isinstance(tasks, TaskTable):
+            # Modeled columnar jobs have no values; don't materialize 1M
+            # TaskResult objects just to read None from each.  The empty
+            # list is shared — partitions of a modeled job are never mutated.
+            partitions: list[list[Any]] = [[]] * n
+        else:
+            partitions = [r.value if r.value is not None else []
+                          for r in stats.results]
         return JobResult(partitions=partitions, stats=stats, timeline=timeline)
 
     # ------------------------------------------------------------- internals

@@ -72,6 +72,7 @@ class Executor:
         self._dead = True
         for slot in self.pool.slots:
             slot.free_at = float("inf")
+        self.pool.invalidate_cache()
 
     @property
     def is_dead(self) -> bool:

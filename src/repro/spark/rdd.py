@@ -208,13 +208,18 @@ class ParallelCollectionRDD(RDD):
 
     def __init__(self, context: "SparkContext", data: Sequence[Any], num_partitions: int) -> None:
         super().__init__(context, num_partitions)
-        self._slices: list[list[Any]] = [
-            list(data[lo:hi]) for lo, hi in range_partition(len(data), num_partitions)
-        ]
+        # Slicing is lazy: modeled jobs never call ``compute``, so eagerly
+        # materialising one list per partition would be pure allocation
+        # overhead at million-task scale.  ``data`` is driver-side and
+        # immutable by convention (``parallelize`` callers hand over fresh
+        # sequences), so deferred slicing reads the same values.
+        self._data = data
+        self._bounds = range_partition(len(data), num_partitions)
 
     def compute(self, split: int) -> list[Any]:
         self._check_split(split)
-        return list(self._slices[split])
+        lo, hi = self._bounds[split]
+        return list(self._data[lo:hi])
 
 
 class MappedRDD(RDD):

@@ -28,6 +28,7 @@ CORE_DOCS = [
     "docs/ANALYSIS.md",
     "docs/OBSERVABILITY.md",
     "docs/RESILIENCE.md",
+    "docs/PERFORMANCE.md",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -85,3 +86,15 @@ def test_tutorial_document_map_is_complete():
 def test_core_docs_exist():
     missing = [doc for doc in CORE_DOCS if not (REPO / doc).exists()]
     assert not missing, f"missing documents: {missing}"
+
+
+def test_docs_index_is_complete():
+    """docs/README.md must index every document under docs/."""
+    index = (REPO / "docs" / "README.md").read_text()
+    missing = [p.name for p in sorted((REPO / "docs").glob("*.md"))
+               if p.name != "README.md" and f"({p.name})" not in index]
+    assert not missing, f"docs/README.md misses: {missing}"
+
+
+def test_readme_links_docs_index():
+    assert "docs/README.md" in (REPO / "README.md").read_text()

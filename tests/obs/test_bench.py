@@ -203,7 +203,7 @@ def test_committed_baselines_match_current_model():
     root = os.path.join(os.path.dirname(__file__), "..", "..",
                         "benchmarks", "baselines")
     names = sorted(os.listdir(root))
-    assert len(names) == 14
+    assert len(names) == 15
     for fname in names:
         baseline = load_bench(os.path.join(root, fname))
         current = run_benchmark(baseline["benchmark"], quick=True)

@@ -112,3 +112,74 @@ def test_pending_counts_non_cancelled():
     ev = eng.schedule_at(2.0, lambda: None)
     ev.cancel()
     assert eng.pending() == 1
+
+
+# ---------------------------------------------------- batch drain semantics
+def test_equal_timestamp_batch_sees_one_clock_advance():
+    eng = EventEngine()
+    seen = []
+    for tag in "abc":
+        eng.schedule_at(5.0, lambda t=tag: seen.append((t, eng.clock.now)))
+    eng.run()
+    assert seen == [("a", 5.0), ("b", 5.0), ("c", 5.0)]
+
+
+def test_batch_member_can_schedule_at_same_timestamp():
+    """New events at the batch's own timestamp form the *next* batch, FIFO."""
+    eng = EventEngine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        eng.schedule_at(1.0, lambda: fired.append("spawned"))
+
+    eng.schedule_at(1.0, first)
+    eng.schedule_at(1.0, lambda: fired.append("second"))
+    eng.run()
+    assert fired == ["first", "second", "spawned"]
+    assert eng.clock.now == 1.0
+
+
+def test_batch_member_cancelled_by_earlier_member_never_fires():
+    eng = EventEngine()
+    fired = []
+    handles = {}
+
+    def assassin():
+        fired.append("assassin")
+        handles["victim"].cancel()
+
+    eng.schedule_at(3.0, assassin)
+    handles["victim"] = eng.schedule_at(3.0, lambda: fired.append("victim"))
+    eng.schedule_at(3.0, lambda: fired.append("bystander"))
+    eng.run()
+    assert fired == ["assassin", "bystander"]
+    assert eng.events_run == 2
+
+
+# --------------------------------------------------------- heap compaction
+def test_cancel_heavy_run_compacts_the_heap():
+    eng = EventEngine()
+    fired = []
+    handles = [eng.schedule_at(float(i + 1), lambda i=i: fired.append(i))
+               for i in range(100)]
+    for ev in handles[:80]:
+        ev.cancel()
+    assert eng.heap_compactions >= 1
+    assert eng.pending() == 20
+    # Dead entries really leave the heap: at most half the live count may
+    # linger between compactions (the trigger is cancelled*2 > live).
+    assert len(eng._heap) <= 20 + 10
+    eng.run()
+    assert fired == list(range(80, 100))
+    assert eng.events_run == 20
+
+
+def test_events_run_excludes_cancelled_and_compaction_work():
+    eng = EventEngine()
+    keep = eng.schedule_at(1.0, lambda: None)
+    for _ in range(3):
+        eng.schedule_at(2.0, lambda: None).cancel()
+    eng.run()
+    assert eng.events_run == 1
+    assert not keep.cancelled

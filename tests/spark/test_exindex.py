@@ -1,0 +1,92 @@
+"""ExecutorIndex: the O(log n) pick must be bit-identical to the scan.
+
+The index replaced the scheduler's linear earliest-free scan
+(docs/PERFORMANCE.md).  Every test cross-checks against
+:meth:`ExecutorIndex._scan`, which *is* the historical selection.
+"""
+
+import random
+
+from repro.spark.executor import Executor
+from repro.spark.exindex import ExecutorIndex
+
+
+def _executors(n, slots=2):
+    return [Executor(f"w{i}", vcpus=slots) for i in range(n)]
+
+
+def test_pick_prefers_first_free_in_list_order():
+    execs = _executors(4)
+    idx = ExecutorIndex(execs)
+    assert idx.pick(0.0) is execs[0]
+
+
+def test_pick_matches_scan_under_random_load():
+    rng = random.Random(7)
+    execs = _executors(8, slots=2)
+    idx = ExecutorIndex(execs)
+    ready = 0.0
+    for _ in range(500):
+        ready += rng.random() * 0.2
+        expected = idx._scan(ready, None)
+        got = idx.pick(ready)
+        assert got is expected
+        # Occupy the chosen executor like the scheduler would.
+        got.pool.acquire(ready, rng.random() * 3.0)
+
+
+def test_non_monotone_query_falls_back_to_exact_scan():
+    execs = _executors(4)
+    idx = ExecutorIndex(execs)
+    ex = idx.pick(10.0)
+    ex.pool.acquire(10.0, 5.0)
+    # A probe in the past (speculation watch, retry) must still be exact.
+    assert idx.pick(2.0) is idx._scan(2.0, None)
+    # And the fast path keeps working afterwards.
+    assert idx.pick(11.0) is idx._scan(11.0, None)
+
+
+def test_dead_executor_is_never_picked():
+    execs = _executors(3)
+    idx = ExecutorIndex(execs)
+    execs[0].mark_dead()
+    ready = 0.0
+    for _ in range(20):
+        ex = idx.pick(ready)
+        assert ex is not execs[0]
+        ex.pool.acquire(ready, 1.0)
+        ready += 0.1
+
+
+def test_all_dead_returns_none():
+    execs = _executors(2)
+    for ex in execs:
+        ex.mark_dead()
+    idx = ExecutorIndex(execs)
+    assert idx.pick(0.0) is None
+    assert idx.pick_excluding(0.0, execs[0]) is None
+
+
+def test_death_after_construction_is_handled():
+    execs = _executors(2, slots=1)
+    idx = ExecutorIndex(execs)
+    first = idx.pick(0.0)
+    assert first is execs[0]
+    first.pool.acquire(0.0, 100.0)
+    execs[0].mark_dead()
+    assert idx.pick(1.0) is execs[1]
+
+
+def test_pick_excluding_skips_the_original():
+    execs = _executors(3, slots=1)
+    idx = ExecutorIndex(execs)
+    assert idx.pick_excluding(0.0, execs[0]) is execs[1]
+    assert idx.pick_excluding(0.0, execs[0]) is idx._scan(0.0, execs[0])
+
+
+def test_busy_tie_breaks_on_position():
+    execs = _executors(3, slots=1)
+    idx = ExecutorIndex(execs)
+    for ex in execs:
+        ex.pool.acquire(0.0, 10.0)  # all busy until 10.0, identical keys
+    assert idx.pick(1.0) is execs[0]
